@@ -1,0 +1,80 @@
+// Figure 3 reproduction: end-to-end embedding time per method per dataset
+// (the paper plots log-scale seconds; we print seconds). "-" marks methods
+// that refuse a dataset (TADW's densification wall), reproducing the
+// "exceeds one week" omissions. Expected shape: PANE (parallel) fastest,
+// PANE (single) next, NRP close behind, TADW/BANE/LQANR orders of magnitude
+// slower and absent on the large datasets.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "src/baselines/bane.h"
+#include "src/baselines/lqanr.h"
+#include "src/baselines/nrp.h"
+#include "src/baselines/tadw.h"
+#include "src/common/timer.h"
+#include "src/datasets/registry.h"
+
+namespace pane {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 3: running time (seconds)",
+                     "paper shape: PANE par < PANE st << baselines; '-' = "
+                     "method cannot run the dataset");
+  bench::PrintRow("dataset", {"NRP", "TADW", "BANE", "LQANR", "PANE st",
+                              "PANE par"});
+
+  const double scale = bench::BenchScale();
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const AttributedGraph g = MakeDataset(spec, scale);
+    std::vector<std::string> cells;
+
+    {
+      WallTimer timer;
+      const auto nrp = TrainNrp(g, NrpOptions{});
+      cells.push_back(bench::TimeCell(nrp.ok() ? timer.ElapsedSeconds() : -1));
+    }
+    {
+      TadwOptions options;
+      options.max_nodes = 4096;
+      WallTimer timer;
+      const auto tadw = TrainTadw(g, options);
+      cells.push_back(
+          bench::TimeCell(tadw.ok() ? timer.ElapsedSeconds() : -1));
+    }
+    {
+      WallTimer timer;
+      const auto bane = TrainBane(g, BaneOptions{});
+      cells.push_back(
+          bench::TimeCell(bane.ok() ? timer.ElapsedSeconds() : -1));
+    }
+    {
+      WallTimer timer;
+      const auto lqanr = TrainLqanr(g, LqanrOptions{});
+      cells.push_back(
+          bench::TimeCell(lqanr.ok() ? timer.ElapsedSeconds() : -1));
+    }
+    {
+      const auto run = bench::TrainPaneOrDie(g, 128, 1);
+      cells.push_back(bench::TimeCell(run.stats.total_seconds));
+    }
+    {
+      const auto run = bench::TrainPaneOrDie(g, 128, 10);
+      cells.push_back(bench::TimeCell(run.stats.total_seconds));
+    }
+    bench::PrintRow(spec.name, cells);
+  }
+  std::printf(
+      "\n(note: this container exposes %u hardware threads, so the parallel "
+      "column saturates early; the paper's 10-core server shows up to 9x.)\n",
+      std::thread::hardware_concurrency());
+}
+
+}  // namespace
+}  // namespace pane
+
+int main() {
+  pane::Run();
+  return 0;
+}

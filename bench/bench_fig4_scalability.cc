@@ -1,0 +1,72 @@
+// Figure 4 reproduction: PANE efficiency with varying parameters on the two
+// large social-network datasets (Google+- and TWeibo-like):
+//   4a. parallel speedup vs number of threads nb in {1, 2, 5, 10, 20}
+//   4b. running time vs space budget k in {16, 32, 64, 128, 256}
+//   4c. running time vs error threshold eps in {0.001 ... 0.25}
+// Expected shape: 4a near-linear until the physical core count saturates;
+// 4b flat-ish slow growth; 4c time dropping ~10x from eps=0.001 to 0.25.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "src/datasets/registry.h"
+
+namespace pane {
+namespace {
+
+void Run() {
+  const double scale = bench::BenchScale();
+  const std::vector<std::string> dataset_names = {"google+", "tweibo"};
+
+  bench::PrintHeader("Figure 4a: parallel speedup vs nb",
+                     "speedup = time(nb=1) / time(nb); hardware threads "
+                     "here: " + std::to_string(std::thread::hardware_concurrency()));
+  bench::PrintRow("dataset", {"nb=1", "nb=2", "nb=5", "nb=10", "nb=20"});
+  for (const std::string& name : dataset_names) {
+    const AttributedGraph g = *MakeDatasetByName(name, scale);
+    double base = 0.0;
+    std::vector<std::string> cells;
+    for (const int nb : {1, 2, 5, 10, 20}) {
+      const auto run = bench::TrainPaneOrDie(g, 128, nb);
+      if (nb == 1) base = run.stats.total_seconds;
+      cells.push_back(bench::Cell(base / run.stats.total_seconds));
+    }
+    bench::PrintRow(name, cells);
+  }
+
+  bench::PrintHeader("Figure 4b: running time (s) vs space budget k",
+                     "paper shape: slow growth in k");
+  bench::PrintRow("dataset", {"k=16", "k=32", "k=64", "k=128", "k=256"});
+  for (const std::string& name : dataset_names) {
+    const AttributedGraph g = *MakeDatasetByName(name, scale);
+    std::vector<std::string> cells;
+    for (const int k : {16, 32, 64, 128, 256}) {
+      const auto run = bench::TrainPaneOrDie(g, k, 10);
+      cells.push_back(bench::TimeCell(run.stats.total_seconds));
+    }
+    bench::PrintRow(name, cells);
+  }
+
+  bench::PrintHeader("Figure 4c: running time (s) vs error threshold eps",
+                     "paper shape: ~10x drop from eps=0.001 to eps=0.25 "
+                     "(time linear in log(1/eps))");
+  bench::PrintRow("dataset",
+                  {"0.001", "0.005", "0.015", "0.05", "0.25"});
+  for (const std::string& name : dataset_names) {
+    const AttributedGraph g = *MakeDatasetByName(name, scale);
+    std::vector<std::string> cells;
+    for (const double eps : {0.001, 0.005, 0.015, 0.05, 0.25}) {
+      const auto run = bench::TrainPaneOrDie(g, 128, 10, 0.5, eps);
+      cells.push_back(bench::TimeCell(run.stats.total_seconds));
+    }
+    bench::PrintRow(name, cells);
+  }
+}
+
+}  // namespace
+}  // namespace pane
+
+int main() {
+  pane::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 6 reproduction: link-prediction AUC on the five small datasets
+// under the same four parameter sweeps as Figure 5 (k / nb / eps / alpha,
+// others at defaults). Same expected shapes as Figure 5, at higher AUC
+// levels.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "src/datasets/registry.h"
+#include "src/tasks/link_prediction.h"
+
+namespace pane {
+namespace {
+
+double LinkAuc(const LinkSplit& split, bool undirected, int k, int nb,
+               double eps, double alpha) {
+  const auto run =
+      bench::TrainPaneOrDie(split.residual_graph, k, nb, alpha, eps);
+  const EdgeScorer scorer(run.embedding);
+  return EvaluateLinkPrediction(split, [&](int64_t u, int64_t v) {
+           return undirected ? scorer.ScoreUndirected(u, v)
+                             : scorer.Score(u, v);
+         })
+      .auc;
+}
+
+void Run() {
+  const double scale = bench::BenchScale();
+
+  std::vector<std::tuple<std::string, bool, LinkSplit>> splits;
+  for (const DatasetSpec& spec : SmallDatasets()) {
+    const AttributedGraph g = MakeDataset(spec, scale);
+    splits.emplace_back(spec.name, g.undirected(),
+                        SplitEdges(g, 0.3, /*seed=*/23).ValueOrDie());
+  }
+
+  bench::PrintHeader("Figure 6a: link prediction AUC vs k",
+                     "paper shape: AUC grows with k");
+  bench::PrintRow("dataset", {"k=16", "k=32", "k=64", "k=128", "k=256"});
+  for (auto& [name, undirected, split] : splits) {
+    std::vector<std::string> cells;
+    for (const int k : {16, 32, 64, 128, 256}) {
+      cells.push_back(
+          bench::Cell(LinkAuc(split, undirected, k, 10, 0.015, 0.5)));
+    }
+    bench::PrintRow(name, cells);
+  }
+
+  bench::PrintHeader("Figure 6b: link prediction AUC vs nb",
+                     "paper shape: slow decay with nb");
+  bench::PrintRow("dataset", {"nb=1", "nb=2", "nb=5", "nb=10", "nb=20"});
+  for (auto& [name, undirected, split] : splits) {
+    std::vector<std::string> cells;
+    for (const int nb : {1, 2, 5, 10, 20}) {
+      cells.push_back(
+          bench::Cell(LinkAuc(split, undirected, 128, nb, 0.015, 0.5)));
+    }
+    bench::PrintRow(name, cells);
+  }
+
+  bench::PrintHeader("Figure 6c: link prediction AUC vs eps",
+                     "paper shape: stationary until ~0.05, then declines");
+  bench::PrintRow("dataset", {"0.001", "0.005", "0.015", "0.05", "0.25"});
+  for (auto& [name, undirected, split] : splits) {
+    std::vector<std::string> cells;
+    for (const double eps : {0.001, 0.005, 0.015, 0.05, 0.25}) {
+      cells.push_back(
+          bench::Cell(LinkAuc(split, undirected, 128, 10, eps, 0.5)));
+    }
+    bench::PrintRow(name, cells);
+  }
+
+  bench::PrintHeader("Figure 6d: link prediction AUC vs alpha",
+                     "paper shape: peak near alpha = 0.5-0.7");
+  bench::PrintRow("dataset", {"0.1", "0.3", "0.5", "0.7", "0.9"});
+  for (auto& [name, undirected, split] : splits) {
+    std::vector<std::string> cells;
+    for (const double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      cells.push_back(
+          bench::Cell(LinkAuc(split, undirected, 128, 10, 0.015, alpha)));
+    }
+    bench::PrintRow(name, cells);
+  }
+}
+
+}  // namespace
+}  // namespace pane
+
+int main() {
+  pane::Run();
+  return 0;
+}

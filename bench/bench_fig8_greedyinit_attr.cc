@@ -1,0 +1,51 @@
+// Figure 8 reproduction: effectiveness of GreedyInit for attribute
+// inference — the same protocol as Figure 7, evaluated on held-out
+// attribute entries. Expected shape: PANE above PANE-R at every iteration
+// budget; e.g. the paper's Pubmed panel reaches 0.87 AUC in 5 s with
+// greedy seeding vs 12 s without.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "src/datasets/registry.h"
+#include "src/tasks/attribute_inference.h"
+
+namespace pane {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 8: GreedyInit vs random init (attribute inference)",
+      "rows: t = CCD iterations; cells: total seconds | AUC");
+  const double scale = bench::BenchScale();
+
+  for (const std::string& name : {"facebook", "pubmed", "flickr"}) {
+    const AttributedGraph g = *MakeDatasetByName(name, scale);
+    const auto split = SplitAttributes(g, 0.2, /*seed=*/31).ValueOrDie();
+    std::printf("\n[%s] %s\n", name.c_str(), g.Summary().c_str());
+    bench::PrintRow("  t", {"PANE time", "PANE auc", "PANE-R time",
+                            "PANE-R auc"},
+                    8, 11);
+    for (const int t : {1, 2, 5, 10, 20}) {
+      std::vector<std::string> cells;
+      for (const bool greedy : {true, false}) {
+        const auto run = bench::TrainPaneOrDie(split.train_graph, 128, 10,
+                                               0.5, 0.015, greedy, t);
+        const AucAp result =
+            EvaluateAttributeInference(split, [&](int64_t v, int64_t r) {
+              return run.embedding.AttributeScore(v, r);
+            });
+        cells.push_back(bench::TimeCell(run.stats.total_seconds));
+        cells.push_back(bench::Cell(result.auc));
+      }
+      bench::PrintRow("  " + std::to_string(t), cells, 8, 11);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pane
+
+int main() {
+  pane::Run();
+  return 0;
+}

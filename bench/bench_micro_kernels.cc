@@ -1,0 +1,158 @@
+// google-benchmark microbenchmarks for the kernels PANE's complexity
+// analysis is built on: SpMM (the O(md t) affinity phase), GEMM / RandSVD
+// (the O(ndk t) initialization), one CCD sweep (the O(ndk) refinement), and
+// the ablation of incremental residual maintenance (Equations 18-20)
+// against naive recomputation.
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/core/apmi.h"
+#include "src/core/ccd.h"
+#include "src/core/greedy_init.h"
+#include "src/graph/generators.h"
+#include "src/matrix/gemm.h"
+#include "src/matrix/rand_svd.h"
+#include "src/matrix/spmm.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace {
+
+AttributedGraph BenchGraph(int64_t n) {
+  SbmParams params;
+  params.num_nodes = n;
+  params.num_edges = 10 * n;
+  params.num_attributes = 200;
+  params.num_attr_entries = 10 * n;
+  params.num_communities = 8;
+  params.seed = 77;
+  return GenerateAttributedSbm(params);
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const AttributedGraph g = BenchGraph(n);
+  const CsrMatrix p = g.RandomWalkMatrix();
+  Rng rng(1);
+  DenseMatrix x(n, 64);
+  x.FillGaussian(&rng);
+  DenseMatrix out;
+  for (auto _ : state) {
+    SpMM(p, x, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.nnz() * 64);
+}
+BENCHMARK(BM_SpMM)->Arg(2000)->Arg(8000);
+
+void BM_SpMMParallel(benchmark::State& state) {
+  const int64_t n = 8000;
+  const AttributedGraph g = BenchGraph(n);
+  const CsrMatrix p = g.RandomWalkMatrix();
+  Rng rng(1);
+  DenseMatrix x(n, 64);
+  x.FillGaussian(&rng);
+  DenseMatrix out;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SpMM(p, x, &out, &pool);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SpMMParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  DenseMatrix a(n, 200), b(200, 64), c;
+  a.FillGaussian(&rng);
+  b.FillGaussian(&rng);
+  for (auto _ : state) {
+    Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 200 * 64);
+}
+BENCHMARK(BM_Gemm)->Arg(2000)->Arg(8000);
+
+void BM_RandSvd(benchmark::State& state) {
+  Rng rng(3);
+  DenseMatrix m(static_cast<int64_t>(state.range(0)), 200);
+  m.FillGaussian(&rng);
+  RandSvdOptions options;
+  options.power_iters = 6;
+  DenseMatrix u, v;
+  std::vector<double> sigma;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandSvd(m, 64, options, &u, &sigma, &v).ok());
+  }
+}
+BENCHMARK(BM_RandSvd)->Arg(2000)->Arg(4000);
+
+void BM_ApmiIterationCost(benchmark::State& state) {
+  const AttributedGraph g = BenchGraph(state.range(0));
+  const CsrMatrix p = g.RandomWalkMatrix();
+  const CsrMatrix pt = p.Transposed();
+  ApmiInputs inputs;
+  inputs.p = &p;
+  inputs.p_transposed = &pt;
+  inputs.r = &g.attributes();
+  inputs.alpha = 0.5;
+  inputs.t = 6;
+  for (auto _ : state) {
+    auto result = Apmi(inputs);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_ApmiIterationCost)->Arg(2000)->Arg(8000);
+
+void BM_CcdSweep(benchmark::State& state) {
+  const AttributedGraph g = BenchGraph(state.range(0));
+  const AffinityMatrices affinity =
+      ComputeAffinity(g, 0.5, 0.015).ValueOrDie();
+  const auto seed_state = GreedyInit(affinity, 64, 6).ValueOrDie();
+  for (auto _ : state) {
+    EmbeddingState working = seed_state;
+    CcdOptions options;
+    options.iterations = 1;
+    benchmark::DoNotOptimize(CcdRefine(&working, options).ok());
+  }
+}
+BENCHMARK(BM_CcdSweep)->Arg(2000)->Arg(4000);
+
+// Ablation: the incremental residual maintenance of Equations (18)-(20)
+// vs recomputing Sf = Xf Y^T - F' from scratch after a sweep. The paper's
+// design avoids the full n x d GEMM per coordinate pass.
+void BM_ResidualIncremental(benchmark::State& state) {
+  const AttributedGraph g = BenchGraph(2000);
+  const AffinityMatrices affinity =
+      ComputeAffinity(g, 0.5, 0.015).ValueOrDie();
+  auto working = GreedyInit(affinity, 64, 6).ValueOrDie();
+  CcdOptions options;
+  options.iterations = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CcdRefine(&working, options).ok());
+  }
+}
+BENCHMARK(BM_ResidualIncremental);
+
+void BM_ResidualRecompute(benchmark::State& state) {
+  const AttributedGraph g = BenchGraph(2000);
+  const AffinityMatrices affinity =
+      ComputeAffinity(g, 0.5, 0.015).ValueOrDie();
+  const auto seed_state = GreedyInit(affinity, 64, 6).ValueOrDie();
+  DenseMatrix sf, sb;
+  for (auto _ : state) {
+    GemmTransBAddScaled(seed_state.xf, seed_state.y, 1.0, affinity.forward,
+                        -1.0, &sf);
+    GemmTransBAddScaled(seed_state.xb, seed_state.y, 1.0, affinity.backward,
+                        -1.0, &sb);
+    benchmark::DoNotOptimize(sf.data());
+  }
+}
+BENCHMARK(BM_ResidualRecompute);
+
+}  // namespace
+}  // namespace pane
+
+BENCHMARK_MAIN();

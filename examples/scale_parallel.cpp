@@ -1,0 +1,64 @@
+// Scaling walkthrough (the paper's TWeibo/MAG story): generate a larger
+// attributed graph, train single-thread vs parallel PANE, report the phase
+// breakdown and speedup, and persist the embeddings to disk for reuse —
+// the workflow for embedding a graph too large to re-train casually.
+//
+//   ./examples/scale_parallel [--scale=1.0] [--threads=4] [--out=emb.bin]
+#include <cstdio>
+
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+#include "src/core/pane.h"
+#include "src/datasets/registry.h"
+
+int main(int argc, char** argv) {
+  pane::FlagSet flags;
+  flags.AddDouble("scale", 1.0, "dataset scale factor");
+  flags.AddInt("threads", 4, "worker threads for the parallel run");
+  flags.AddString("out", "/tmp/pane_tweibo_embedding.bin",
+                  "path to save the trained embedding");
+  PANE_CHECK_OK(flags.Parse(argc, argv));
+
+  const pane::AttributedGraph graph =
+      *pane::MakeDatasetByName("tweibo", flags.GetDouble("scale"));
+  std::printf("graph: %s\n\n", graph.Summary().c_str());
+
+  auto train = [&](int threads) {
+    pane::PaneOptions options;
+    options.k = 128;
+    options.num_threads = threads;
+    pane::PaneStats stats;
+    auto embedding = pane::Pane(options).Train(graph, &stats).ValueOrDie();
+    std::printf(
+        "nb=%-3d total %6.2fs  (affinity %6.2fs | init %6.2fs | ccd %6.2fs)"
+        "  objective %.3e\n",
+        threads, stats.total_seconds, stats.affinity_seconds,
+        stats.init_seconds, stats.ccd_seconds, stats.objective_final);
+    return std::make_pair(std::move(embedding), stats);
+  };
+
+  auto [single, single_stats] = train(1);
+  auto [parallel, parallel_stats] =
+      train(static_cast<int>(flags.GetInt("threads")));
+  std::printf("\nspeedup: %.2fx\n", single_stats.total_seconds /
+                                        parallel_stats.total_seconds);
+
+  // Persist and reload — downstream services score without re-training.
+  const std::string path = flags.GetString("out");
+  PANE_CHECK_OK(parallel.Save(path));
+  pane::WallTimer load_timer;
+  const auto loaded = pane::PaneEmbedding::Load(path).ValueOrDie();
+  std::printf("saved + reloaded embeddings (%lld x %lld twice + %lld x %lld) "
+              "from %s in %.0fms\n",
+              static_cast<long long>(loaded.xf.rows()),
+              static_cast<long long>(loaded.xf.cols()),
+              static_cast<long long>(loaded.y.rows()),
+              static_cast<long long>(loaded.y.cols()), path.c_str(),
+              load_timer.ElapsedMillis());
+
+  // Spot check: reloaded scores match the in-memory embedding bitwise.
+  PANE_CHECK(loaded.AttributeScore(0, 0) == parallel.AttributeScore(0, 0));
+  std::printf("reloaded scores verified.\n");
+  return 0;
+}

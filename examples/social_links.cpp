@@ -1,0 +1,70 @@
+// Social-network link prediction (the paper's Facebook motif): an
+// undirected friendship graph with profile attributes. Removes 30% of the
+// friendships, trains PANE and the topology-only NRP baseline on the
+// residual graph, and compares who recovers the hidden friendships better —
+// the Table 5 experiment in miniature, showing the value of attributes.
+//
+//   ./examples/social_links [--scale=1.0]
+#include <cstdio>
+
+#include "src/baselines/nrp.h"
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/core/pane.h"
+#include "src/datasets/registry.h"
+#include "src/tasks/link_prediction.h"
+
+int main(int argc, char** argv) {
+  pane::FlagSet flags;
+  flags.AddDouble("scale", 1.0, "dataset scale factor");
+  PANE_CHECK_OK(flags.Parse(argc, argv));
+
+  const pane::AttributedGraph graph =
+      *pane::MakeDatasetByName("facebook", flags.GetDouble("scale"));
+  std::printf("social network: %s\n", graph.Summary().c_str());
+
+  const auto split = pane::SplitEdges(graph, 0.3, /*seed=*/5).ValueOrDie();
+  std::printf("held out %zu friendships (+%zu sampled non-edges)\n\n",
+              split.test_positives.size(), split.test_negatives.size());
+
+  // PANE: uses both topology and profile attributes.
+  pane::PaneOptions options;
+  options.k = 128;
+  options.num_threads = 2;
+  const auto embedding =
+      pane::Pane(options).Train(split.residual_graph).ValueOrDie();
+  const pane::EdgeScorer scorer(embedding);
+  const pane::AucAp pane_result = pane::EvaluateLinkPrediction(
+      split, [&](int64_t u, int64_t v) { return scorer.ScoreUndirected(u, v); });
+
+  // NRP: topology only.
+  pane::NrpOptions nrp_options;
+  const auto nrp = pane::TrainNrp(split.residual_graph, nrp_options).ValueOrDie();
+  const pane::AucAp nrp_result = pane::EvaluateLinkPrediction(
+      split,
+      [&](int64_t u, int64_t v) { return nrp.Score(u, v) + nrp.Score(v, u); });
+
+  std::printf("link prediction on hidden friendships:\n");
+  std::printf("  PANE (topology + attributes):  AUC = %.3f, AP = %.3f\n",
+              pane_result.auc, pane_result.ap);
+  std::printf("  NRP  (topology only):          AUC = %.3f, AP = %.3f\n",
+              nrp_result.auc, nrp_result.ap);
+
+  // A concrete recommendation: the strongest unlinked candidate for user 0.
+  int64_t best = -1;
+  double best_score = -1e300;
+  for (int64_t v = 1; v < graph.num_nodes(); ++v) {
+    if (split.residual_graph.adjacency().At(0, v) > 0.0) continue;
+    const double s = scorer.ScoreUndirected(0, v);
+    if (s > best_score) {
+      best_score = s;
+      best = v;
+    }
+  }
+  std::printf(
+      "\nfriend suggestion for user 0: user %lld (score %.3f, %s)\n",
+      static_cast<long long>(best), best_score,
+      graph.adjacency().At(0, best) > 0.0 ? "was a held-out friend"
+                                          : "new suggestion");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "src/baselines/bane.h"
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/matrix/gemm.h"
+#include "src/matrix/spmm.h"
+#include "src/matrix/svd.h"
+
+namespace pane {
+namespace {
+
+// P_hat = (D + I)^-1 (A + I): row-normalized adjacency with self-loops, the
+// standard WL / GCN smoothing operator.
+CsrMatrix SmoothingOperator(const AttributedGraph& graph) {
+  const int64_t n = graph.num_nodes();
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(graph.num_edges() + n));
+  for (int64_t u = 0; u < n; ++u) {
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      triplets.push_back(Triplet{u, row.cols[p], 1.0});
+    }
+    triplets.push_back(Triplet{u, u, 1.0});
+  }
+  return CsrMatrix::FromTriplets(n, n, triplets).ValueOrDie().RowNormalized();
+}
+
+}  // namespace
+
+Result<BaneEmbedding> TrainBane(const AttributedGraph& graph,
+                                const BaneOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("BANE k must be >= 1");
+  if (options.smoothing_hops < 0) {
+    return Status::InvalidArgument("smoothing_hops must be >= 0");
+  }
+  const int64_t n = graph.num_nodes();
+  const int64_t d = graph.num_attributes();
+  const int k = options.k;
+  Rng rng(options.seed);
+
+  // M = P_hat^s * Rr: attributes diffused over the smoothed topology.
+  const CsrMatrix p_hat = SmoothingOperator(graph);
+  DenseMatrix m = graph.attributes().RowNormalized().ToDense();
+  DenseMatrix next;
+  for (int s = 0; s < options.smoothing_hops; ++s) {
+    SpMM(p_hat, m, &next);
+    std::swap(m, next);
+  }
+
+  // Alternating minimization of ||M - B Z^T||^2:
+  //   Z step: ridge regression  Z = M^T B (B^T B + ridge I)^-1;
+  //   B step: sign update       B = sign(M Z)   (0 -> +1).
+  BaneEmbedding embedding;
+  embedding.codes.Resize(n, k);
+  for (int64_t i = 0; i < n; ++i) {
+    double* row = embedding.codes.Row(i);
+    for (int j = 0; j < k; ++j) row[j] = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  }
+
+  DenseMatrix z(d, k);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    DenseMatrix gram, gram_inv;
+    GemmTransA(embedding.codes, embedding.codes, &gram);  // k x k
+    PANE_RETURN_NOT_OK(InvertSymmetricPsd(gram, options.ridge, &gram_inv));
+    DenseMatrix mtb;
+    GemmTransA(m, embedding.codes, &mtb);  // d x k
+    Gemm(mtb, gram_inv, &z);
+
+    DenseMatrix mz;
+    Gemm(m, z, &mz);  // n x k
+    for (int64_t i = 0; i < n; ++i) {
+      double* row = embedding.codes.Row(i);
+      const double* mz_row = mz.Row(i);
+      for (int j = 0; j < k; ++j) row[j] = mz_row[j] >= 0.0 ? 1.0 : -1.0;
+    }
+  }
+  return embedding;
+}
+
+}  // namespace pane

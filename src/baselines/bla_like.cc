@@ -1,0 +1,48 @@
+#include "src/baselines/bla_like.h"
+
+#include <vector>
+
+#include "src/matrix/spmm.h"
+
+namespace pane {
+
+Result<BlaLikeModel> TrainBlaLike(const AttributedGraph& graph,
+                                  const BlaLikeOptions& options) {
+  if (options.hops < 1) return Status::InvalidArgument("hops must be >= 1");
+  if (options.decay <= 0.0 || options.decay > 1.0) {
+    return Status::InvalidArgument("decay must be in (0, 1]");
+  }
+  const int64_t n = graph.num_nodes();
+
+  // Symmetrized row-normalized adjacency: votes flow along both edge
+  // directions (BLA treats links as evidence regardless of orientation).
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(2 * graph.num_edges()));
+  for (int64_t u = 0; u < n; ++u) {
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      triplets.push_back(Triplet{u, row.cols[p], 1.0});
+      triplets.push_back(Triplet{row.cols[p], u, 1.0});
+    }
+  }
+  PANE_ASSIGN_OR_RETURN(CsrMatrix sym, CsrMatrix::FromTriplets(n, n, triplets));
+  const CsrMatrix a_hat = sym.RowNormalized();
+
+  const DenseMatrix rr = graph.attributes().RowNormalized().ToDense();
+  BlaLikeModel model;
+  model.scores.Resize(n, graph.num_attributes());
+  model.scores.Axpy(options.self_weight, rr);
+
+  DenseMatrix term = rr;
+  DenseMatrix next;
+  double weight = 1.0;
+  for (int h = 1; h <= options.hops; ++h) {
+    SpMM(a_hat, term, &next);
+    std::swap(term, next);
+    weight *= options.decay;
+    model.scores.Axpy(weight, term);
+  }
+  return model;
+}
+
+}  // namespace pane

@@ -1,0 +1,34 @@
+// Neighbor-vote attribute inference, the stand-in for BLA [45] in Table 4.
+// BLA is a (non-embedding) bidirectional link/attribute inference method;
+// its role in the paper is a pure-inference baseline scored on held-out
+// attribute entries. This implementation propagates the observed normalized
+// attribute matrix over the symmetrized adjacency for a few hops with decay:
+//   S = sum_{h=1..hops} decay^h * A_hat^h * Rr,
+// and scores pair (v, r) by S[v, r] (plus the node's own observed entries).
+#pragma once
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+struct BlaLikeOptions {
+  int hops = 2;
+  double decay = 0.5;
+  /// Weight of the node's own (training) attribute row in the score.
+  double self_weight = 1.0;
+};
+
+struct BlaLikeModel {
+  /// n x d dense score matrix.
+  DenseMatrix scores;
+
+  double Score(int64_t v, int64_t r) const { return scores(v, r); }
+};
+
+/// \brief Builds the propagation scores from the *training* graph.
+Result<BlaLikeModel> TrainBlaLike(const AttributedGraph& graph,
+                                  const BlaLikeOptions& options);
+
+}  // namespace pane

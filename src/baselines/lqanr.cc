@@ -1,0 +1,125 @@
+#include "src/baselines/lqanr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/matrix/gemm.h"
+#include "src/matrix/rand_svd.h"
+#include "src/matrix/spmm.h"
+#include "src/matrix/svd.h"
+
+namespace pane {
+namespace {
+
+CsrMatrix SmoothingOperator(const AttributedGraph& graph) {
+  const int64_t n = graph.num_nodes();
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(graph.num_edges() + n));
+  for (int64_t u = 0; u < n; ++u) {
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      triplets.push_back(Triplet{u, row.cols[p], 1.0});
+    }
+    triplets.push_back(Triplet{u, u, 1.0});
+  }
+  return CsrMatrix::FromTriplets(n, n, triplets).ValueOrDie().RowNormalized();
+}
+
+// Quantizes in place to step * {-grid .. grid}; returns mean |error|.
+double Quantize(DenseMatrix* x, double step, int64_t grid) {
+  double err = 0.0;
+  for (int64_t i = 0; i < x->rows(); ++i) {
+    double* row = x->Row(i);
+    for (int64_t j = 0; j < x->cols(); ++j) {
+      double q = std::round(row[j] / step);
+      q = std::max<double>(-static_cast<double>(grid),
+                           std::min<double>(static_cast<double>(grid), q));
+      const double v = q * step;
+      err += std::fabs(v - row[j]);
+      row[j] = v;
+    }
+  }
+  return err / static_cast<double>(x->size());
+}
+
+}  // namespace
+
+Result<LqanrEmbedding> TrainLqanr(const AttributedGraph& graph,
+                                  const LqanrOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("LQANR k must be >= 1");
+  if (options.bit_width < 1 || options.bit_width > 8) {
+    return Status::InvalidArgument("bit_width must be in [1, 8]");
+  }
+  const int64_t n = graph.num_nodes();
+  const int64_t grid = int64_t{1} << options.bit_width;
+
+  // Smoothed proximity M = P_hat^s Rr, then rank-k factorization for the
+  // real-valued starting point.
+  const CsrMatrix p_hat = SmoothingOperator(graph);
+  DenseMatrix m = graph.attributes().RowNormalized().ToDense();
+  DenseMatrix next;
+  for (int s = 0; s < options.smoothing_hops; ++s) {
+    SpMM(p_hat, m, &next);
+    std::swap(m, next);
+  }
+
+  RandSvdOptions svd_options;
+  svd_options.power_iters = 4;
+  svd_options.seed = options.seed;
+  DenseMatrix u, v;
+  std::vector<double> sigma;
+  const int rank = static_cast<int>(
+      std::min<int64_t>(options.k, std::min(n, graph.num_attributes())));
+  PANE_RETURN_NOT_OK(RandSvd(m, rank, svd_options, &u, &sigma, &v));
+  DenseMatrix x(n, options.k);
+  for (int64_t i = 0; i < n; ++i) {
+    double* row = x.Row(i);
+    for (int j = 0; j < rank; ++j) {
+      row[j] = u(i, j) * sigma[static_cast<size_t>(j)];
+    }
+  }
+
+  // Pick the step from the value spread, then alternate: quantize X, re-fit
+  // the real X against M through the dictionary V, re-quantize. Each round
+  // pulls the continuous solution toward representable points.
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    for (int64_t j = 0; j < x.cols(); ++j) {
+      max_abs = std::max(max_abs, std::fabs(row[j]));
+    }
+  }
+  LqanrEmbedding embedding;
+  embedding.step = max_abs > 0.0 ? max_abs / static_cast<double>(grid) : 1.0;
+
+  DenseMatrix dictionary = v;  // d x rank
+  for (int iter = 0; iter < options.refine_iterations; ++iter) {
+    Quantize(&x, embedding.step, grid);
+    // Re-fit dictionary: ridge solve of min_V ||M - X[:, :rank] V^T||^2.
+    DenseMatrix x_head = x.ColBlock(0, rank);
+    DenseMatrix gram, gram_inv;
+    GemmTransA(x_head, x_head, &gram);
+    PANE_RETURN_NOT_OK(InvertSymmetricPsd(gram, 1e-3, &gram_inv));
+    DenseMatrix mtx;
+    GemmTransA(m, x_head, &mtx);  // d x rank
+    Gemm(mtx, gram_inv, &dictionary);
+    // Re-fit X: min_X ||M - X V^T||^2 (V columns near-orthogonal).
+    DenseMatrix vgram, vgram_inv;
+    GemmTransA(dictionary, dictionary, &vgram);
+    PANE_RETURN_NOT_OK(InvertSymmetricPsd(vgram, 1e-3, &vgram_inv));
+    DenseMatrix mv;
+    Gemm(m, dictionary, &mv);  // n x rank
+    DenseMatrix x_new;
+    Gemm(mv, vgram_inv, &x_new);
+    for (int64_t i = 0; i < n; ++i) {
+      double* row = x.Row(i);
+      const double* src = x_new.Row(i);
+      for (int j = 0; j < rank; ++j) row[j] = src[j];
+    }
+  }
+  Quantize(&x, embedding.step, grid);
+  embedding.features = std::move(x);
+  return embedding;
+}
+
+}  // namespace pane

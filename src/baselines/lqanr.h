@@ -1,0 +1,35 @@
+// LQANR [46] (Yang et al., IJCAI 2019): low-bit quantized attributed
+// network representation. Learns node features from a smoothed
+// topology+attribute proximity (same WL diffusion family as BANE) and
+// quantizes each embedding entry to the integer grid
+// {-2^b, ..., -1, 0, 1, ..., 2^b} scaled by a learned per-matrix step —
+// the space/accuracy trade-off knob between full-precision factorization
+// and BANE's 1-bit codes.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+struct LqanrOptions {
+  int k = 128;
+  int bit_width = 3;       ///< b: entries in {-2^b .. 2^b}
+  int smoothing_hops = 2;
+  int refine_iterations = 5;  ///< quantize / re-fit rounds
+  uint64_t seed = 13;
+};
+
+struct LqanrEmbedding {
+  /// n x k features: quantized integer grid times the learned step size.
+  DenseMatrix features;
+  double step = 0.0;  ///< quantization step actually used
+};
+
+Result<LqanrEmbedding> TrainLqanr(const AttributedGraph& graph,
+                                  const LqanrOptions& options);
+
+}  // namespace pane

@@ -1,0 +1,38 @@
+// TADW [44] (Yang et al., IJCAI 2015): text-associated DeepWalk. Factorizes
+// the second-order proximity M = (P + P^2) / 2 as M ~= W^T H T, where T is a
+// reduced text-feature matrix (SVD of the attribute matrix), by alternating
+// ridge-regression updates of W and H. The embedding of node v is the
+// concatenation [W[:, v] ; (H T)[:, v]].
+//
+// Like the original, this densifies an n x n proximity matrix — the paper's
+// prototypical "fails beyond small graphs" baseline — so TrainTadw refuses
+// graphs beyond a node cap instead of exhausting memory (exactly the
+// behaviour Table 5 / Figure 3 report as "did not finish").
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+struct TadwOptions {
+  int k = 128;              ///< final embedding dim (two k/2 halves)
+  int text_dim = 64;        ///< reduced attribute dimension (paper: 200)
+  int als_iterations = 10;  ///< alternating minimization rounds
+  double ridge = 0.2;       ///< Tikhonov weight (paper's lambda)
+  int64_t max_nodes = 20000;  ///< densification guard
+  uint64_t seed = 3;
+};
+
+struct TadwEmbedding {
+  /// n x k node features: [W^T, (H T)^T].
+  DenseMatrix features;
+};
+
+Result<TadwEmbedding> TrainTadw(const AttributedGraph& graph,
+                                const TadwOptions& options);
+
+}  // namespace pane

@@ -1,0 +1,173 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace pane {
+
+void FlagSet::AddInt(const std::string& name, int64_t default_value,
+                     const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::AddDouble(const std::string& name, double default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::AddString(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagSet::AddBool(const std::string& name, bool default_value,
+                      const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagSet::SetFromString(Flag* flag, const std::string& value) {
+  switch (flag->type) {
+    case Type::kInt: {
+      PANE_ASSIGN_OR_RETURN(flag->int_value, ParseInt64(value));
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      PANE_ASSIGN_OR_RETURN(flag->double_value, ParseDouble(value));
+      return Status::OK();
+    }
+    case Type::kString:
+      flag->string_value = value;
+      return Status::OK();
+    case Type::kBool: {
+      std::string v = ToLower(value);
+      if (v == "true" || v == "1" || v == "yes" || v.empty()) {
+        flag->bool_value = true;
+      } else if (v == "false" || v == "0" || v == "no") {
+        flag->bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool value: " + value);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", Usage(argv[0]).c_str());
+      std::exit(0);
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name + "\n" +
+                                     Usage(argv[0]));
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        it->second.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    PANE_RETURN_NOT_OK(SetFromString(&it->second, value));
+  }
+  return Status::OK();
+}
+
+const FlagSet::Flag& FlagSet::Lookup(const std::string& name,
+                                     Type type) const {
+  auto it = flags_.find(name);
+  PANE_CHECK(it != flags_.end()) << "flag not registered: " << name;
+  PANE_CHECK(it->second.type == type) << "flag type mismatch: " << name;
+  return it->second;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return Lookup(name, Type::kInt).int_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return Lookup(name, Type::kDouble).double_value;
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).string_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return Lookup(name, Type::kBool).bool_value;
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [--flag=value ...]\n";
+  for (const auto& [name, flag] : flags_) {
+    std::string def;
+    switch (flag.type) {
+      case Type::kInt:
+        def = StrFormat("%lld", static_cast<long long>(flag.int_value));
+        break;
+      case Type::kDouble:
+        def = StrFormat("%g", flag.double_value);
+        break;
+      case Type::kString:
+        def = flag.string_value;
+        break;
+      case Type::kBool:
+        def = flag.bool_value ? "true" : "false";
+        break;
+    }
+    out += StrFormat("  --%-18s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), def.c_str());
+  }
+  return out;
+}
+
+double EnvDoubleOr(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  auto parsed = ParseDouble(env);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+}  // namespace pane

@@ -1,0 +1,66 @@
+// A tiny --key=value command-line flag parser for the bench and example
+// binaries (keeps them dependency-free). Unknown flags are an error so typos
+// in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace pane {
+
+/// \brief Registry + parser for `--name=value` style flags.
+///
+/// Usage:
+///   FlagSet flags;
+///   flags.AddInt("k", 128, "embedding space budget");
+///   flags.AddDouble("alpha", 0.5, "stopping probability");
+///   PANE_CHECK_OK(flags.Parse(argc, argv));
+///   int k = flags.GetInt("k");
+class FlagSet {
+ public:
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv; accepts `--name=value`, `--name value`, and bare `--name`
+  /// for bool flags. `--help` prints usage and exits(0).
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Rendered --help text.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetFromString(Flag* flag, const std::string& value);
+  const Flag& Lookup(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+/// \brief Reads an environment variable as double, or returns fallback.
+/// Used for PANE_BENCH_SCALE, which enlarges benchmark datasets.
+double EnvDoubleOr(const char* name, double fallback);
+
+}  // namespace pane

@@ -1,0 +1,94 @@
+// Minimal leveled logging + check macros, modeled on the glog subset that
+// Arrow and RocksDB use internally. Logging goes to stderr; the level is
+// settable programmatically or via the PANE_LOG_LEVEL environment variable
+// (0=DEBUG, 1=INFO, 2=WARNING, 3=ERROR, 4=OFF).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pane {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-collecting helper behind the PANE_LOG macro; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message then aborts. Used by PANE_CHECK / PANE_DCHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Severity-name constants for the PANE_LOG token-pasting macro.
+inline constexpr LogLevel kLogSeverity_DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogSeverity_INFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogSeverity_WARNING = LogLevel::kWarning;
+inline constexpr LogLevel kLogSeverity_ERROR = LogLevel::kError;
+
+}  // namespace internal
+}  // namespace pane
+
+#define PANE_LOG_INTERNAL(level)                                      \
+  ::pane::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+/// Usage: PANE_LOG(INFO) << "loaded " << n << " nodes";
+#define PANE_LOG(severity) \
+  PANE_LOG_INTERNAL(::pane::internal::kLogSeverity_##severity)
+
+/// Aborts with a message when `condition` is false. Always on.
+#define PANE_CHECK(condition)                                              \
+  if (!(condition))                                                        \
+  ::pane::internal::FatalLogMessage(__FILE__, __LINE__, #condition).stream()
+
+#define PANE_CHECK_OK(expr)                                          \
+  do {                                                               \
+    ::pane::Status _st = (expr);                                     \
+    PANE_CHECK(_st.ok()) << _st.ToString();                          \
+  } while (false)
+
+/// Debug-build-only check (compiled out under NDEBUG).
+#ifdef NDEBUG
+#define PANE_DCHECK(condition) \
+  while (false) PANE_CHECK(condition)
+#else
+#define PANE_DCHECK(condition) PANE_CHECK(condition)
+#endif

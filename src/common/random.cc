@@ -1,0 +1,107 @@
+#include "src/common/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace pane {
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  PANE_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection to remove
+  // modulo bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (-bound) % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller on (0,1] uniforms; u1 > 0 guaranteed by the 1 - U trick.
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k, Rng* rng) {
+  PANE_CHECK(k >= 0 && k <= n) << "k=" << k << " n=" << n;
+  // Floyd's algorithm: O(k) expected draws, no O(n) scratch.
+  std::unordered_set<int64_t> chosen;
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int64_t j = n - k; j < n; ++j) {
+    int64_t t = static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(j + 1)));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  PANE_CHECK(n > 0) << "AliasSampler needs at least one weight";
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  double total = 0.0;
+  for (double w : weights) {
+    PANE_CHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  if (total <= 0.0) {
+    // Degenerate all-zero input: fall back to the uniform distribution.
+    prob_.assign(n, 1.0);
+    return;
+  }
+
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<int32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<int32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    int32_t s = small.back();
+    small.pop_back();
+    int32_t g = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = g;
+    scaled[g] = (scaled[g] + scaled[s]) - 1.0;
+    (scaled[g] < 1.0 ? small : large).push_back(g);
+  }
+  for (int32_t g : large) prob_[g] = 1.0;
+  for (int32_t s : small) prob_[s] = 1.0;
+}
+
+int64_t AliasSampler::Sample(Rng* rng) const {
+  const int64_t i =
+      static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(prob_.size())));
+  return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace pane

@@ -1,0 +1,136 @@
+// Deterministic, fast pseudo-random generation. All stochastic components in
+// the library (random-walk simulation, randomized SVD, negative sampling,
+// synthetic graph generation) take an explicit seed so that every experiment
+// is reproducible run-to-run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pane {
+
+/// \brief SplitMix64: used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Xoshiro256** PRNG: the library-wide random engine.
+///
+/// Satisfies UniformRandomBitGenerator, so it composes with <random>
+/// distributions, but the helpers below avoid the libstdc++ distribution
+/// objects on hot paths for speed and cross-platform determinism.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x8533cc1aa6f3b5dfULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Forks an independent generator (for per-thread streams).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// \brief Fisher–Yates shuffle of an index vector.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    size_t j = rng->UniformInt(static_cast<uint64_t>(i));
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+/// \brief k distinct values sampled uniformly from [0, n) (Floyd's method).
+std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k, Rng* rng);
+
+/// \brief O(1)-per-draw sampler from a fixed discrete distribution
+/// (Walker/Vose alias method). Used by the Monte-Carlo walk simulator to
+/// draw attribute picks proportional to edge weight.
+class AliasSampler {
+ public:
+  /// Builds the alias table from non-negative weights (need not sum to 1).
+  /// An all-zero weight vector falls back to the uniform distribution.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability weight[i]/sum(weights).
+  int64_t Sample(Rng* rng) const;
+
+  int64_t size() const { return static_cast<int64_t>(prob_.size()); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<int32_t> alias_;
+};
+
+}  // namespace pane

@@ -1,0 +1,181 @@
+// Status / Result error-handling primitives, following the Arrow/RocksDB
+// idiom: library entry points that can fail return a Status (or a Result<T>
+// which is Status + value); exceptions are not used on any library path.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pane {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kIOError = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kNumericError = 8,
+  kCancelled = 9,
+};
+
+/// \brief Human-readable name for a StatusCode ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: either OK or a code plus message.
+///
+/// A default-constructed Status is OK and carries no allocation; error
+/// statuses allocate a small message string. Statuses are cheap to move and
+/// copy, and must be inspected (ok()) before using any dependent result.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \name Factory helpers, one per code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNumericError() const { return code_ == StatusCode::kNumericError; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Status plus a value: holds either a T or an error Status.
+///
+/// Mirrors arrow::Result. Access the value only after checking ok();
+/// ValueOrDie() aborts the process on error (use in tests/examples only).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; aborts if the status is OK (an OK Result
+  /// must carry a value).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      Fail("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// OK() if a value is present, otherwise the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) Fail(std::get<Status>(payload_).ToString());
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) Fail(std::get<Status>(payload_).ToString());
+    return std::get<T>(payload_);
+  }
+  T ValueOrDie() && {
+    if (!ok()) Fail(std::get<Status>(payload_).ToString());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, leaving the Result unspecified. ok() must hold.
+  T MoveValueUnsafe() { return std::move(std::get<T>(payload_)); }
+
+ private:
+  [[noreturn]] static void Fail(const std::string& why);
+  std::variant<Status, T> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const std::string& why);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Fail(const std::string& why) {
+  internal::DieOnBadResult(why);
+}
+
+}  // namespace pane
+
+/// Evaluates an expression returning Status; on error, returns it upward.
+#define PANE_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::pane::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define PANE_CONCAT_IMPL(x, y) x##y
+#define PANE_CONCAT(x, y) PANE_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on error returns the Status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define PANE_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  PANE_ASSIGN_OR_RETURN_IMPL(PANE_CONCAT(_res_, __COUNTER__), lhs, rexpr)
+
+#define PANE_ASSIGN_OR_RETURN_IMPL(res, lhs, rexpr) \
+  auto res = (rexpr);                               \
+  if (!res.ok()) return res.status();               \
+  lhs = res.MoveValueUnsafe()

@@ -1,0 +1,119 @@
+#include "src/common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pane {
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  s = Trim(s);
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("cannot parse integer: '" +
+                                   std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::InvalidArgument("cannot parse empty double");
+  // std::from_chars<double> is available in libstdc++ 11+, but strtod via a
+  // bounded copy is portable and the IO layer is not performance-critical.
+  std::string buf(s);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("cannot parse double: '" + buf + "'");
+  }
+  return value;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatCount(int64_t value) {
+  if (value >= 1000000000) return StrFormat("%.1fB", value / 1e9);
+  if (value >= 1000000) return StrFormat("%.1fM", value / 1e6);
+  if (value >= 1000) return StrFormat("%.1fK", value / 1e3);
+  return StrFormat("%lld", static_cast<long long>(value));
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace pane

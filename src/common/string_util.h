@@ -1,0 +1,40 @@
+// Small string helpers shared by the IO layer and the bench/CLI harnesses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pane {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Locale-independent parsers returning Status on malformed input.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// Joins elements with a separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "12.3K" / "4.5M" / "6.7B" human-readable count formatting.
+std::string FormatCount(int64_t value);
+
+/// Lowercase copy (ASCII).
+std::string ToLower(std::string_view s);
+
+}  // namespace pane

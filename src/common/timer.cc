@@ -1,0 +1,23 @@
+#include "src/common/timer.h"
+
+#include <cstdio>
+
+namespace pane {
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace pane

@@ -1,0 +1,40 @@
+// APMI (Algorithm 2): deterministic linear-time approximation of the
+// forward / backward affinity matrices. Evaluates the truncated series of
+// Equation (6),
+//   P_f^(t) = alpha * sum_{l=0..t} (1-alpha)^l P^l  Rr,
+//   P_b^(t) = alpha * sum_{l=0..t} (1-alpha)^l P^T^l Rc,
+// with t sparse-dense multiplies each (O(m d t) total), then applies the
+// SPMI transform (Equation 7). Error bound: Lemma 3.1.
+#pragma once
+
+#include "src/common/status.h"
+#include "src/core/affinity.h"
+#include "src/graph/graph.h"
+#include "src/matrix/csr_matrix.h"
+
+namespace pane {
+
+struct ApmiInputs {
+  /// Random-walk matrix P = D^-1 A (n x n, row-stochastic).
+  const CsrMatrix* p = nullptr;
+  /// P^T, prebuilt (backward iterations).
+  const CsrMatrix* p_transposed = nullptr;
+  /// Attribute matrix R (n x d).
+  const CsrMatrix* r = nullptr;
+  double alpha = 0.5;
+  int t = 5;
+};
+
+/// \brief Runs Algorithm 2; returns the approximate affinity pair (F', B').
+Result<AffinityMatrices> Apmi(const ApmiInputs& inputs);
+
+/// \brief The truncated probability matrices before the SPMI transform
+/// (Algorithm 2 up to line 5); exposed for the Lemma 3.1 tests.
+Result<ProbabilityMatrices> ApmiProbabilities(const ApmiInputs& inputs);
+
+/// \brief Convenience wrapper: builds P, P^T from the graph and runs APMI
+/// with t derived from (epsilon, alpha).
+Result<AffinityMatrices> ComputeAffinity(const AttributedGraph& graph,
+                                         double alpha, double epsilon);
+
+}  // namespace pane

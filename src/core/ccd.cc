@@ -1,0 +1,167 @@
+#include "src/core/ccd.h"
+
+#include <vector>
+
+#include "src/matrix/vector_ops.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace {
+
+// Coordinate directions whose denominator underflows are skipped: they can
+// arise when k/2 exceeds the rank of the affinity matrices and a Y (or X)
+// column is identically zero.
+constexpr double kDenominatorFloor = 1e-300;
+
+// Phase 1 over node rows [begin, end): for each vi and l, the updates of
+// Equations (13), (14), (16), (18), (19). `yt` is Y^T (k/2 x d, rows
+// contiguous) and `y_denoms[l] = Y[:,l] . Y[:,l]`, both fixed this phase.
+void UpdateNodeRows(EmbeddingState* state, const DenseMatrix& yt,
+                    const std::vector<double>& y_denoms, int64_t begin,
+                    int64_t end) {
+  const int64_t h = state->xf.cols();
+  const int64_t d = state->sf.cols();
+  for (int64_t vi = begin; vi < end; ++vi) {
+    double* xf_row = state->xf.Row(vi);
+    double* xb_row = state->xb.Row(vi);
+    double* sf_row = state->sf.Row(vi);
+    double* sb_row = state->sb.Row(vi);
+    for (int64_t l = 0; l < h; ++l) {
+      const double denom = y_denoms[static_cast<size_t>(l)];
+      if (denom < kDenominatorFloor) continue;
+      const double* yl = yt.Row(l);
+      const double mu_f = Dot(sf_row, yl, d) / denom;  // Equation (16)
+      const double mu_b = Dot(sb_row, yl, d) / denom;
+      xf_row[l] -= mu_f;                               // Equation (13)
+      xb_row[l] -= mu_b;                               // Equation (14)
+      Axpy(-mu_f, yl, sf_row, d);                      // Equation (18)
+      Axpy(-mu_b, yl, sb_row, d);                      // Equation (19)
+    }
+  }
+}
+
+// Phase 2 over attribute rows [begin, end): updates of Equations (15),
+// (17), (20). `xft` / `xbt` are Xf^T / Xb^T (k/2 x n) and
+// `x_denoms[l] = Xf[:,l].Xf[:,l] + Xb[:,l].Xb[:,l]`, fixed this phase.
+// Residual columns are staged through contiguous scratch buffers.
+void UpdateAttributeRows(EmbeddingState* state, const DenseMatrix& xft,
+                         const DenseMatrix& xbt,
+                         const std::vector<double>& x_denoms, int64_t begin,
+                         int64_t end, std::vector<double>* sf_scratch,
+                         std::vector<double>* sb_scratch) {
+  const int64_t h = state->y.cols();
+  const int64_t n = state->sf.rows();
+  const int64_t d = state->sf.cols();
+  double* sf_col = sf_scratch->data();
+  double* sb_col = sb_scratch->data();
+  for (int64_t rj = begin; rj < end; ++rj) {
+    // Gather the residual columns Sf[:, rj], Sb[:, rj].
+    const double* sf_base = state->sf.data() + rj;
+    const double* sb_base = state->sb.data() + rj;
+    for (int64_t i = 0; i < n; ++i) {
+      sf_col[i] = sf_base[i * d];
+      sb_col[i] = sb_base[i * d];
+    }
+    double* y_row = state->y.Row(rj);
+    for (int64_t l = 0; l < h; ++l) {
+      const double denom = x_denoms[static_cast<size_t>(l)];
+      if (denom < kDenominatorFloor) continue;
+      const double* xfl = xft.Row(l);
+      const double* xbl = xbt.Row(l);
+      const double mu_y =
+          (Dot(xfl, sf_col, n) + Dot(xbl, sb_col, n)) / denom;  // Eq. (17)
+      y_row[l] -= mu_y;                                         // Eq. (15)
+      Axpy(-mu_y, xfl, sf_col, n);                              // Eq. (20)
+      Axpy(-mu_y, xbl, sb_col, n);
+    }
+    // Scatter the updated columns back.
+    double* sf_out = state->sf.data() + rj;
+    double* sb_out = state->sb.data() + rj;
+    for (int64_t i = 0; i < n; ++i) {
+      sf_out[i * d] = sf_col[i];
+      sb_out[i * d] = sb_col[i];
+    }
+  }
+}
+
+std::vector<double> ColumnSquaredNorms(const DenseMatrix& transposed) {
+  std::vector<double> out(static_cast<size_t>(transposed.rows()));
+  for (int64_t l = 0; l < transposed.rows(); ++l) {
+    out[static_cast<size_t>(l)] =
+        SquaredNorm(transposed.Row(l), transposed.cols());
+  }
+  return out;
+}
+
+}  // namespace
+
+Status CcdRefine(EmbeddingState* state, const CcdOptions& options) {
+  if (state == nullptr) return Status::InvalidArgument("null state");
+  const int64_t n = state->xf.rows();
+  const int64_t d = state->y.rows();
+  const int64_t h = state->xf.cols();
+  if (state->xb.rows() != n || state->xb.cols() != h ||
+      state->y.cols() != h || state->sf.rows() != n || state->sf.cols() != d ||
+      state->sb.rows() != n || state->sb.cols() != d) {
+    return Status::InvalidArgument("inconsistent embedding state shapes");
+  }
+  if (options.iterations < 0) {
+    return Status::InvalidArgument("iterations must be >= 0");
+  }
+
+  ThreadPool* pool = options.pool;
+  const int nb = pool != nullptr ? pool->num_threads() : 1;
+  const std::vector<Range> node_blocks = PartitionRange(n, nb);
+  const std::vector<Range> attr_blocks = PartitionRange(d, nb);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // ----- Phase 1 (Algorithm 4 lines 3-9 / Algorithm 8 lines 3-10): Y
+    // fixed, sweep Xf / Xb rows.
+    const DenseMatrix yt = state->y.Transposed();
+    const std::vector<double> y_denoms = ColumnSquaredNorms(yt);
+    if (nb == 1) {
+      UpdateNodeRows(state, yt, y_denoms, 0, n);
+    } else {
+      pool->RunBlocks(nb, [&](int b) {
+        const Range& blk = node_blocks[static_cast<size_t>(b)];
+        if (blk.size() > 0) {
+          UpdateNodeRows(state, yt, y_denoms, blk.begin, blk.end);
+        }
+      });
+    }
+
+    // ----- Phase 2 (Algorithm 4 lines 10-14 / Algorithm 8 lines 11-16):
+    // Xf / Xb fixed, sweep Y rows.
+    const DenseMatrix xft = state->xf.Transposed();
+    const DenseMatrix xbt = state->xb.Transposed();
+    std::vector<double> x_denoms = ColumnSquaredNorms(xft);
+    {
+      const std::vector<double> xb_denoms = ColumnSquaredNorms(xbt);
+      for (size_t l = 0; l < x_denoms.size(); ++l) {
+        x_denoms[l] += xb_denoms[l];
+      }
+    }
+    if (nb == 1) {
+      std::vector<double> sf_scratch(static_cast<size_t>(n));
+      std::vector<double> sb_scratch(static_cast<size_t>(n));
+      UpdateAttributeRows(state, xft, xbt, x_denoms, 0, d, &sf_scratch,
+                          &sb_scratch);
+    } else {
+      pool->RunBlocks(nb, [&](int b) {
+        const Range& blk = attr_blocks[static_cast<size_t>(b)];
+        if (blk.size() == 0) return;
+        std::vector<double> sf_scratch(static_cast<size_t>(n));
+        std::vector<double> sb_scratch(static_cast<size_t>(n));
+        UpdateAttributeRows(state, xft, xbt, x_denoms, blk.begin, blk.end,
+                            &sf_scratch, &sb_scratch);
+      });
+    }
+
+    if (options.objective_trace != nullptr) {
+      options.objective_trace->push_back(Objective(*state));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pane

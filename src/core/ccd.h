@@ -1,0 +1,29 @@
+// Cyclic coordinate descent refinement (Algorithm 4, SVDCCD) and its
+// block-parallel version (Algorithm 8, PSVDCCD). Each iteration fixes Y and
+// sweeps the rows of Xf / Xb (updating residual rows Sf[vi], Sb[vi] in O(d),
+// Equations 13-14 / 16 / 18-19), then fixes Xf / Xb and sweeps the rows of Y
+// (updating residual columns in O(n), Equations 15 / 17 / 20).
+#pragma once
+
+#include "src/common/status.h"
+#include "src/core/greedy_init.h"
+
+namespace pane {
+
+class ThreadPool;
+
+struct CcdOptions {
+  /// Number of full CCD sweeps (the t of Algorithm 1 by default).
+  int iterations = 5;
+  /// Worker pool: node-row blocks in phase 1, attribute-row blocks in
+  /// phase 2 (Algorithm 8). nullptr => serial Algorithm 4.
+  ThreadPool* pool = nullptr;
+  /// Optional per-iteration objective trace (appended; Figures 7-8).
+  std::vector<double>* objective_trace = nullptr;
+};
+
+/// \brief Refines `state` in place. The residuals sf / sb are maintained
+/// incrementally and remain consistent with (xf, xb, y) on return.
+Status CcdRefine(EmbeddingState* state, const CcdOptions& options);
+
+}  // namespace pane

@@ -1,0 +1,181 @@
+#include "src/core/greedy_init.h"
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/matrix/gemm.h"
+#include "src/matrix/rand_svd.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace {
+
+Status ValidateK(const AffinityMatrices& affinity, int k) {
+  if (k < 2 || k % 2 != 0) {
+    return Status::InvalidArgument("space budget k must be even and >= 2");
+  }
+  if (affinity.forward.rows() != affinity.backward.rows() ||
+      affinity.forward.cols() != affinity.backward.cols()) {
+    return Status::InvalidArgument("F' and B' shapes differ");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EmbeddingState> GreedyInit(const AffinityMatrices& affinity, int k,
+                                  int t, uint64_t seed) {
+  PANE_RETURN_NOT_OK(ValidateK(affinity, k));
+  const int h = k / 2;
+
+  // Line 1: U, Sigma, V <- RandSVD(F', k/2, t).
+  RandSvdOptions svd_options;
+  svd_options.power_iters = t;
+  svd_options.seed = seed;
+  DenseMatrix u;
+  std::vector<double> sigma;
+  DenseMatrix v;
+  PANE_RETURN_NOT_OK(RandSvd(affinity.forward, h, svd_options, &u, &sigma, &v));
+
+  // Line 2: Y <- V, Xf <- U Sigma, Xb <- B' Y.
+  EmbeddingState state;
+  state.y = std::move(v);
+  state.xf = std::move(u);
+  for (int64_t i = 0; i < state.xf.rows(); ++i) {
+    double* row = state.xf.Row(i);
+    for (int j = 0; j < h; ++j) row[j] *= sigma[static_cast<size_t>(j)];
+  }
+  Gemm(affinity.backward, state.y, &state.xb);
+
+  // Line 3: Sf <- Xf Y^T - F', Sb <- Xb Y^T - B'.
+  GemmTransBAddScaled(state.xf, state.y, 1.0, affinity.forward, -1.0,
+                      &state.sf);
+  GemmTransBAddScaled(state.xb, state.y, 1.0, affinity.backward, -1.0,
+                      &state.sb);
+  return state;
+}
+
+Result<EmbeddingState> SmGreedyInit(const AffinityMatrices& affinity, int k,
+                                    int t, ThreadPool* pool, uint64_t seed) {
+  if (pool == nullptr || pool->num_threads() == 1) {
+    return GreedyInit(affinity, k, t, seed);
+  }
+  PANE_RETURN_NOT_OK(ValidateK(affinity, k));
+  const int h = k / 2;
+  const int nb = pool->num_threads();
+  const int64_t n = affinity.forward.rows();
+  const int64_t d = affinity.forward.cols();
+  const std::vector<Range> node_blocks = PartitionRange(n, nb);
+
+  // Lines 1-3: per-block RandSVD of F'[Vi]; Ui = Phi Sigma.
+  std::vector<DenseMatrix> u_blocks(static_cast<size_t>(nb));
+  std::vector<DenseMatrix> v_blocks(static_cast<size_t>(nb));
+  std::vector<Status> block_status(static_cast<size_t>(nb));
+  pool->RunBlocks(nb, [&](int b) {
+    const Range& blk = node_blocks[static_cast<size_t>(b)];
+    if (blk.size() == 0) {
+      u_blocks[static_cast<size_t>(b)].Resize(0, h);
+      v_blocks[static_cast<size_t>(b)].Resize(d, h);
+      return;
+    }
+    const DenseMatrix f_block =
+        affinity.forward.RowBlock(blk.begin, blk.end);
+    RandSvdOptions svd_options;
+    svd_options.power_iters = t;
+    svd_options.seed = seed + static_cast<uint64_t>(b) + 1;
+    DenseMatrix phi, vi;
+    std::vector<double> sg;
+    block_status[static_cast<size_t>(b)] =
+        RandSvd(f_block, h, svd_options, &phi, &sg, &vi);
+    if (!block_status[static_cast<size_t>(b)].ok()) return;
+    for (int64_t i = 0; i < phi.rows(); ++i) {
+      double* row = phi.Row(i);
+      for (int j = 0; j < h; ++j) row[j] *= sg[static_cast<size_t>(j)];
+    }
+    u_blocks[static_cast<size_t>(b)] = std::move(phi);
+    v_blocks[static_cast<size_t>(b)] = std::move(vi);
+  });
+  for (const Status& s : block_status) PANE_RETURN_NOT_OK(s);
+
+  // Line 4: V <- [V1 ... Vnb]^T, a (nb * k/2) x d stack of the per-block
+  // right factors.
+  DenseMatrix v_stack(static_cast<int64_t>(nb) * h, d);
+  for (int b = 0; b < nb; ++b) {
+    const DenseMatrix vt = v_blocks[static_cast<size_t>(b)].Transposed();
+    v_stack.SetBlock(static_cast<int64_t>(b) * h, 0, vt);
+  }
+
+  // Lines 5-6: RandSVD of the stack; W = Phi Sigma, Y = right factor.
+  EmbeddingState state;
+  DenseMatrix w;
+  {
+    RandSvdOptions svd_options;
+    svd_options.power_iters = t;
+    svd_options.seed = seed;
+    std::vector<double> sg;
+    PANE_RETURN_NOT_OK(RandSvd(v_stack, h, svd_options, &w, &sg, &state.y));
+    for (int64_t i = 0; i < w.rows(); ++i) {
+      double* row = w.Row(i);
+      for (int j = 0; j < h; ++j) row[j] *= sg[static_cast<size_t>(j)];
+    }
+  }
+
+  // Lines 7-11: assemble per block: Xf[Vi] = Ui W[(i-1)k/2 : i k/2],
+  // Xb[Vi] = B'[Vi] Y, residuals from the assembled rows.
+  state.xf.Resize(n, h);
+  state.xb.Resize(n, h);
+  state.sf.Resize(n, d);
+  state.sb.Resize(n, d);
+  pool->RunBlocks(nb, [&](int b) {
+    const Range& blk = node_blocks[static_cast<size_t>(b)];
+    if (blk.size() == 0) return;
+    const DenseMatrix w_block =
+        w.RowBlock(static_cast<int64_t>(b) * h, static_cast<int64_t>(b + 1) * h);
+    DenseMatrix xf_block;
+    Gemm(u_blocks[static_cast<size_t>(b)], w_block, &xf_block);
+    state.xf.SetBlock(blk.begin, 0, xf_block);
+
+    const DenseMatrix b_block = affinity.backward.RowBlock(blk.begin, blk.end);
+    DenseMatrix xb_block;
+    Gemm(b_block, state.y, &xb_block);
+    state.xb.SetBlock(blk.begin, 0, xb_block);
+
+    const DenseMatrix f_block = affinity.forward.RowBlock(blk.begin, blk.end);
+    DenseMatrix sf_block, sb_block;
+    GemmTransBAddScaled(xf_block, state.y, 1.0, f_block, -1.0, &sf_block);
+    GemmTransBAddScaled(xb_block, state.y, 1.0, b_block, -1.0, &sb_block);
+    state.sf.SetBlock(blk.begin, 0, sf_block);
+    state.sb.SetBlock(blk.begin, 0, sb_block);
+  });
+  return state;
+}
+
+Result<EmbeddingState> RandomInit(const AffinityMatrices& affinity, int k,
+                                  uint64_t seed, ThreadPool* pool) {
+  PANE_RETURN_NOT_OK(ValidateK(affinity, k));
+  const int h = k / 2;
+  const int64_t n = affinity.forward.rows();
+  const int64_t d = affinity.forward.cols();
+  Rng rng(seed);
+  EmbeddingState state;
+  state.xf.Resize(n, h);
+  state.xb.Resize(n, h);
+  state.y.Resize(d, h);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(h));
+  state.xf.FillGaussian(&rng, 0.0, scale);
+  state.xb.FillGaussian(&rng, 0.0, scale);
+  state.y.FillGaussian(&rng, 0.0, scale);
+  GemmTransBAddScaled(state.xf, state.y, 1.0, affinity.forward, -1.0,
+                      &state.sf, pool);
+  GemmTransBAddScaled(state.xb, state.y, 1.0, affinity.backward, -1.0,
+                      &state.sb, pool);
+  return state;
+}
+
+double Objective(const EmbeddingState& state) {
+  const double sf_norm = state.sf.FrobeniusNorm();
+  const double sb_norm = state.sb.FrobeniusNorm();
+  return sf_norm * sf_norm + sb_norm * sb_norm;
+}
+
+}  // namespace pane

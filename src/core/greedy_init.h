@@ -1,0 +1,49 @@
+// Greedy seeding of the CCD optimizer (Algorithm 3) and its split-merge
+// parallel counterpart SMGreedyInit (Algorithm 7). The key idea: RandSVD of
+// F' gives Xf = U Sigma, Y = V with Xf Y^T ~= F'; since V is (near)
+// unitary, Xb = B' Y immediately also approximates B' — so CCD starts close
+// to a joint optimum and needs few iterations (Section 5.7, Figures 7-8).
+#pragma once
+
+#include "src/common/status.h"
+#include "src/core/affinity.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+class ThreadPool;
+
+/// \brief Embeddings plus the dynamically maintained CCD residuals.
+struct EmbeddingState {
+  DenseMatrix xf;  // n x k/2 forward embeddings
+  DenseMatrix xb;  // n x k/2 backward embeddings
+  DenseMatrix y;   // d x k/2 attribute embeddings
+  DenseMatrix sf;  // n x d residual Sf = Xf Y^T - F'
+  DenseMatrix sb;  // n x d residual Sb = Xb Y^T - B'
+};
+
+/// \brief Algorithm 3: seeds (Xf, Xb, Y) from one RandSVD of F' and
+/// computes the residuals. `t` is the RandSVD power-iteration count.
+Result<EmbeddingState> GreedyInit(const AffinityMatrices& affinity, int k,
+                                  int t, uint64_t seed = 42);
+
+/// \brief Algorithm 7: splits F' into row blocks (one per pool worker),
+/// RandSVDs each block, merges the per-block right factors with a second
+/// small RandSVD, and assembles Xf[Vi] = Ui * Wi, Xb = B' Y. At t = infinity
+/// this matches GreedyInit exactly (Lemma 4.2); at finite t the extra
+/// factorization error is the parallel-vs-serial utility gap measured in
+/// Section 5.
+Result<EmbeddingState> SmGreedyInit(const AffinityMatrices& affinity, int k,
+                                    int t, ThreadPool* pool,
+                                    uint64_t seed = 42);
+
+/// \brief Random seeding (the PANE-R ablation of Section 5.7): Gaussian
+/// Xf, Xb, Y scaled by 1/sqrt(k/2), residuals computed from them.
+Result<EmbeddingState> RandomInit(const AffinityMatrices& affinity, int k,
+                                  uint64_t seed, ThreadPool* pool = nullptr);
+
+/// \brief Objective of Equation (4) given maintained residuals:
+/// ||Sf||_F^2 + ||Sb||_F^2.
+double Objective(const EmbeddingState& state);
+
+}  // namespace pane

@@ -1,0 +1,100 @@
+#include "src/core/incremental.h"
+
+#include <memory>
+
+#include "src/common/timer.h"
+#include "src/core/ccd.h"
+#include "src/core/greedy_init.h"
+#include "src/core/papmi.h"
+#include "src/matrix/gemm.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+
+Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
+                                       const PaneEmbedding& previous,
+                                       const RefreshOptions& options,
+                                       RefreshStats* stats) {
+  const int64_t n = updated_graph.num_nodes();
+  const int64_t d = updated_graph.num_attributes();
+  const int64_t h = previous.xf.cols();
+  if (previous.y.rows() != d) {
+    return Status::InvalidArgument(
+        "attribute count changed; refresh requires a fixed attribute set");
+  }
+  if (previous.xf.rows() > n) {
+    return Status::InvalidArgument(
+        "node count shrank; compact/remap ids before refreshing");
+  }
+  if (options.ccd_iterations < 0) {
+    return Status::InvalidArgument("ccd_iterations must be >= 0");
+  }
+  RefreshStats local;
+  RefreshStats* out = stats != nullptr ? stats : &local;
+  *out = RefreshStats{};
+  WallTimer total_timer;
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+
+  // Fresh affinity on the updated graph (the linear-time part).
+  AffinityMatrices affinity;
+  {
+    ScopedTimer timer(&out->affinity_seconds);
+    const CsrMatrix p = updated_graph.RandomWalkMatrix();
+    const CsrMatrix pt = p.Transposed();
+    PapmiInputs inputs;
+    inputs.p = &p;
+    inputs.p_transposed = &pt;
+    inputs.r = &updated_graph.attributes();
+    inputs.alpha = options.alpha;
+    inputs.t = ComputeIterationCount(options.epsilon, options.alpha);
+    inputs.pool = pool.get();
+    PANE_ASSIGN_OR_RETURN(affinity, Papmi(inputs));
+  }
+
+  // Warm seed: old rows keep their embeddings; new nodes get the
+  // projection seed X[v] = Affinity[v] . Y (the Y^T Y ~ I rule GreedyInit
+  // uses for Xb, applied on both sides — no SVD needed).
+  EmbeddingState state;
+  state.y = previous.y;
+  state.xf.Resize(n, h);
+  state.xb.Resize(n, h);
+  const int64_t n_prev = previous.xf.rows();
+  state.xf.SetBlock(0, 0, previous.xf);
+  state.xb.SetBlock(0, 0, previous.xb);
+  if (n_prev < n) {
+    DenseMatrix f_tail = affinity.forward.RowBlock(n_prev, n);
+    DenseMatrix b_tail = affinity.backward.RowBlock(n_prev, n);
+    DenseMatrix xf_tail, xb_tail;
+    Gemm(f_tail, state.y, &xf_tail, pool.get());
+    Gemm(b_tail, state.y, &xb_tail, pool.get());
+    state.xf.SetBlock(n_prev, 0, xf_tail);
+    state.xb.SetBlock(n_prev, 0, xb_tail);
+  }
+  GemmTransBAddScaled(state.xf, state.y, 1.0, affinity.forward, -1.0,
+                      &state.sf, pool.get());
+  GemmTransBAddScaled(state.xb, state.y, 1.0, affinity.backward, -1.0,
+                      &state.sb, pool.get());
+  out->objective_initial = Objective(state);
+
+  {
+    ScopedTimer timer(&out->ccd_seconds);
+    CcdOptions ccd_options;
+    ccd_options.iterations = options.ccd_iterations;
+    ccd_options.pool = pool.get();
+    PANE_RETURN_NOT_OK(CcdRefine(&state, ccd_options));
+  }
+  out->objective_final = Objective(state);
+  out->total_seconds = total_timer.ElapsedSeconds();
+
+  PaneEmbedding refreshed;
+  refreshed.xf = std::move(state.xf);
+  refreshed.xb = std::move(state.xb);
+  refreshed.y = std::move(state.y);
+  return refreshed;
+}
+
+}  // namespace pane

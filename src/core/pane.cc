@@ -1,0 +1,103 @@
+#include "src/core/pane.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+#include "src/core/apmi.h"
+#include "src/core/ccd.h"
+#include "src/core/greedy_init.h"
+#include "src/core/papmi.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+
+Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
+                                  PaneStats* stats) const {
+  const PaneOptions& opt = options_;
+  if (opt.k < 2 || opt.k % 2 != 0) {
+    return Status::InvalidArgument("k must be even and >= 2");
+  }
+  if (opt.alpha <= 0.0 || opt.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (opt.epsilon <= 0.0 || opt.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (opt.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (graph.num_nodes() == 0 || graph.num_attributes() == 0) {
+    return Status::InvalidArgument("graph must have nodes and attributes");
+  }
+  if (opt.k / 2 > graph.num_attributes()) {
+    PANE_LOG(WARNING) << "k/2 = " << opt.k / 2 << " exceeds d = "
+                      << graph.num_attributes()
+                      << "; surplus dimensions carry no signal";
+  }
+
+  const int t = ComputeIterationCount(opt.epsilon, opt.alpha);
+  const int ccd_iters = opt.ccd_iterations > 0 ? opt.ccd_iterations : t;
+  PaneStats local_stats;
+  PaneStats* out_stats = stats != nullptr ? stats : &local_stats;
+  *out_stats = PaneStats{};
+  out_stats->t = t;
+
+  WallTimer total_timer;
+  std::unique_ptr<ThreadPool> pool;
+  if (opt.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(opt.num_threads);
+  }
+
+  // Phase 1: affinity approximation (Algorithm 2 / 6).
+  AffinityMatrices affinity;
+  {
+    ScopedTimer timer(&out_stats->affinity_seconds);
+    const CsrMatrix p = graph.RandomWalkMatrix();
+    const CsrMatrix pt = p.Transposed();
+    PapmiInputs inputs;
+    inputs.p = &p;
+    inputs.p_transposed = &pt;
+    inputs.r = &graph.attributes();
+    inputs.alpha = opt.alpha;
+    inputs.t = t;
+    inputs.pool = pool.get();
+    PANE_ASSIGN_OR_RETURN(affinity, Papmi(inputs));
+  }
+
+  // Phase 2a: seeding (Algorithm 3 / 7, or random for PANE-R).
+  EmbeddingState state;
+  {
+    ScopedTimer timer(&out_stats->init_seconds);
+    if (!opt.greedy_init) {
+      PANE_ASSIGN_OR_RETURN(state,
+                            RandomInit(affinity, opt.k, opt.seed, pool.get()));
+    } else if (pool != nullptr) {
+      PANE_ASSIGN_OR_RETURN(
+          state, SmGreedyInit(affinity, opt.k, t, pool.get(), opt.seed));
+    } else {
+      PANE_ASSIGN_OR_RETURN(state, GreedyInit(affinity, opt.k, t, opt.seed));
+    }
+  }
+  out_stats->objective_initial = Objective(state);
+
+  // Phase 2b: CCD refinement (Algorithm 4 / 8).
+  {
+    ScopedTimer timer(&out_stats->ccd_seconds);
+    CcdOptions ccd_options;
+    ccd_options.iterations = ccd_iters;
+    ccd_options.pool = pool.get();
+    PANE_RETURN_NOT_OK(CcdRefine(&state, ccd_options));
+  }
+  out_stats->objective_final = Objective(state);
+  out_stats->total_seconds = total_timer.ElapsedSeconds();
+
+  PaneEmbedding embedding;
+  embedding.xf = std::move(state.xf);
+  embedding.xb = std::move(state.xb);
+  embedding.y = std::move(state.y);
+  return embedding;
+}
+
+}  // namespace pane

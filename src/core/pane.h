@@ -1,0 +1,61 @@
+// Top-level PANE driver: Algorithm 1 (single thread) and Algorithm 5
+// (parallel), assembling affinity approximation (APMI / PAPMI), greedy
+// initialization (GreedyInit / SMGreedyInit) and CCD refinement
+// (SVDCCD / PSVDCCD) into one Train() call.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/core/embedding.h"
+#include "src/graph/graph.h"
+
+namespace pane {
+
+struct PaneOptions {
+  /// Space budget k: each node gets Xf, Xb of length k/2, each attribute a
+  /// Y of length k/2. Must be even. Paper default: 128.
+  int k = 128;
+  /// Random-walk stopping probability. Paper default: 0.5.
+  double alpha = 0.5;
+  /// Error threshold; sets t = ceil(log(eps)/log(1-alpha) - 1). Paper
+  /// default: 0.015.
+  double epsilon = 0.015;
+  /// nb of Algorithm 5. 1 => the single-thread Algorithm 1 code paths.
+  int num_threads = 1;
+  /// CCD sweeps; 0 => use the derived t (Algorithm 1 behaviour). The
+  /// Figures 7-8 experiments sweep this explicitly.
+  int ccd_iterations = 0;
+  /// false => PANE-R: random instead of greedy initialization (Section 5.7).
+  bool greedy_init = true;
+  /// Seed for RandSVD sketches / random init.
+  uint64_t seed = 42;
+};
+
+/// \brief Phase timings and diagnostics from one Train() run.
+struct PaneStats {
+  int t = 0;                      ///< derived iteration count
+  double affinity_seconds = 0.0;  ///< APMI / PAPMI phase
+  double init_seconds = 0.0;      ///< GreedyInit / SMGreedyInit phase
+  double ccd_seconds = 0.0;       ///< CCD refinement phase
+  double total_seconds = 0.0;
+  double objective_initial = 0.0;  ///< Equation (4) right after init
+  double objective_final = 0.0;    ///< Equation (4) after refinement
+};
+
+/// \brief Trains PANE embeddings on an attributed graph.
+class Pane {
+ public:
+  explicit Pane(PaneOptions options) : options_(options) {}
+
+  /// Runs the full pipeline. `stats` (optional) receives phase timings.
+  Result<PaneEmbedding> Train(const AttributedGraph& graph,
+                              PaneStats* stats = nullptr) const;
+
+  const PaneOptions& options() const { return options_; }
+
+ private:
+  PaneOptions options_;
+};
+
+}  // namespace pane

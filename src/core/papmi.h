@@ -1,0 +1,26 @@
+// PAPMI (Algorithm 6): block-parallel affinity approximation. The attribute
+// set R is partitioned into nb column blocks; each worker runs the APMI
+// iteration on its own n x |Ri| panel (column blocks of a sparse-dense
+// product are independent). The SPMI transform then runs parallel over node
+// row blocks. Lemma 4.1: output is identical to single-thread APMI — our
+// implementation preserves per-element summation order, so the equality is
+// bitwise and tested as such.
+#pragma once
+
+#include "src/common/status.h"
+#include "src/core/apmi.h"
+
+namespace pane {
+
+class ThreadPool;
+
+struct PapmiInputs : ApmiInputs {
+  /// Worker pool; its size is the nb of Algorithm 5. nullptr => serial.
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief Runs Algorithm 6; returns (F', B') equal to Apmi() on the same
+/// inputs.
+Result<AffinityMatrices> Papmi(const PapmiInputs& inputs);
+
+}  // namespace pane

@@ -1,0 +1,53 @@
+// Registry of synthetic stand-ins for the paper's eight datasets (Table 3).
+// Each entry mirrors the published shape — node/edge/attribute counts,
+// attribute-entry density, label count, directedness — at a configurable
+// downscale so the full table/figure sweeps run on a laptop-class machine.
+// Set scale = 1.0 for the bench defaults; larger scales approach the
+// published sizes (memory permitting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+
+namespace pane {
+
+/// \brief One dataset entry: name, paper-reported statistics, generator
+/// parameters at scale 1.0.
+struct DatasetSpec {
+  std::string name;
+  /// Published statistics, for the provenance columns in bench output.
+  int64_t paper_nodes = 0;
+  int64_t paper_edges = 0;
+  int64_t paper_attributes = 0;
+  int64_t paper_attr_entries = 0;
+  int32_t paper_labels = 0;
+  /// True for the datasets every method handles (Cora ... Flickr); the
+  /// large three (Google+, TWeibo, MAG) are where baselines start failing.
+  bool small = true;
+  /// Generator parameters at scale 1.0.
+  SbmParams params;
+};
+
+/// All eight dataset specs in Table 3 order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// The five small datasets (parameter-sensitivity figures use these).
+std::vector<DatasetSpec> SmallDatasets();
+
+/// Lookup by (case-insensitive) name.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Instantiates the synthetic graph for a spec at the given scale: node,
+/// edge and attribute-entry budgets are multiplied by `scale` (attribute
+/// count grows with sqrt(scale) to keep per-attribute support realistic).
+AttributedGraph MakeDataset(const DatasetSpec& spec, double scale = 1.0);
+
+/// Convenience: FindDataset + MakeDataset.
+Result<AttributedGraph> MakeDatasetByName(const std::string& name,
+                                          double scale = 1.0);
+
+}  // namespace pane

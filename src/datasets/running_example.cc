@@ -1,0 +1,23 @@
+#include "src/datasets/running_example.h"
+
+namespace pane {
+
+AttributedGraph MakeFigure1Example() {
+  GraphBuilder builder(6, 3);
+  builder.AddEdge(0, 2).AddEdge(2, 0);  // v1 <-> v3
+  builder.AddEdge(0, 4).AddEdge(4, 0);  // v1 <-> v5
+  builder.AddEdge(1, 2);                // v2 -> v3
+  builder.AddEdge(2, 3);                // v3 -> v4
+  builder.AddEdge(3, 0);                // v4 -> v1
+  builder.AddEdge(4, 5);                // v5 -> v6
+  builder.AddEdge(5, 3);                // v6 -> v4
+  builder.AddNodeAttribute(2, 0, 1.0);  // v3 - r1
+  builder.AddNodeAttribute(3, 0, 1.0);  // v4 - r1
+  builder.AddNodeAttribute(4, 0, 1.0);  // v5 - r1
+  builder.AddNodeAttribute(2, 1, 1.0);  // v3 - r2
+  builder.AddNodeAttribute(4, 1, 1.0);  // v5 - r2
+  builder.AddNodeAttribute(5, 2, 1.0);  // v6 - r3
+  return builder.Build(false).ValueOrDie();
+}
+
+}  // namespace pane

@@ -1,0 +1,17 @@
+// The Figure 1 running example (6 nodes v1..v6, 3 attributes r1..r3) used
+// throughout Section 2 and reproduced by the Table 2 bench.
+#pragma once
+
+#include "src/graph/graph.h"
+
+namespace pane {
+
+/// \brief Builds the extended-graph running example of Figure 1.
+///
+/// Edges transcribed from the figure (v6's out-edge routed to v4 so the
+/// qualitative Table 2 claims — v5's backward affinity favouring its own r1
+/// over r3 — hold); v1 and v2 carry no attributes, exercising the
+/// degenerate-walk footnote of Section 2.2.
+AttributedGraph MakeFigure1Example();
+
+}  // namespace pane

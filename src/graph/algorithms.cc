@@ -1,0 +1,115 @@
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/logging.h"
+
+namespace pane {
+
+ComponentInfo WeaklyConnectedComponents(const AttributedGraph& graph) {
+  const int64_t n = graph.num_nodes();
+  ComponentInfo info;
+  info.component_id.assign(static_cast<size_t>(n), -1);
+  std::vector<int64_t> component_size;
+  std::deque<int64_t> queue;
+
+  for (int64_t start = 0; start < n; ++start) {
+    if (info.component_id[static_cast<size_t>(start)] >= 0) continue;
+    const int32_t id = info.num_components++;
+    component_size.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    info.component_id[static_cast<size_t>(start)] = id;
+    while (!queue.empty()) {
+      const int64_t u = queue.front();
+      queue.pop_front();
+      ++component_size[static_cast<size_t>(id)];
+      auto visit = [&](const CsrMatrix& adj) {
+        const CsrMatrix::RowView row = adj.Row(u);
+        for (int64_t p = 0; p < row.length; ++p) {
+          const int64_t v = row.cols[p];
+          if (info.component_id[static_cast<size_t>(v)] < 0) {
+            info.component_id[static_cast<size_t>(v)] = id;
+            queue.push_back(v);
+          }
+        }
+      };
+      visit(graph.adjacency());             // out-edges
+      visit(graph.adjacency_transposed());  // in-edges (weak connectivity)
+    }
+  }
+  for (int64_t size : component_size) {
+    info.largest_size = std::max(info.largest_size, size);
+  }
+  return info;
+}
+
+std::vector<int64_t> BfsDistances(const AttributedGraph& graph,
+                                  int64_t source) {
+  const int64_t n = graph.num_nodes();
+  PANE_CHECK(source >= 0 && source < n);
+  std::vector<int64_t> dist(static_cast<size_t>(n), -1);
+  std::deque<int64_t> queue;
+  dist[static_cast<size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int64_t u = queue.front();
+    queue.pop_front();
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      const int64_t v = row.cols[p];
+      if (dist[static_cast<size_t>(v)] < 0) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+DegreeStats OutDegreeStats(const AttributedGraph& graph) {
+  const int64_t n = graph.num_nodes();
+  DegreeStats stats;
+  if (n == 0) return stats;
+  std::vector<int64_t> degrees = graph.OutDegrees();
+  int64_t total = 0;
+  int64_t dangling = 0;
+  for (int64_t d : degrees) {
+    stats.max = std::max(stats.max, d);
+    total += d;
+    dangling += (d == 0);
+  }
+  stats.mean = static_cast<double>(total) / static_cast<double>(n);
+  stats.dangling_fraction = static_cast<double>(dangling) / static_cast<double>(n);
+
+  // Gini via the sorted-rank formula: G = (2 sum_i i*x_i) / (n sum x) -
+  // (n + 1) / n, with x ascending and i starting at 1.
+  if (total > 0) {
+    std::sort(degrees.begin(), degrees.end());
+    double weighted = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      weighted += static_cast<double>(i + 1) *
+                  static_cast<double>(degrees[static_cast<size_t>(i)]);
+    }
+    stats.gini = 2.0 * weighted /
+                     (static_cast<double>(n) * static_cast<double>(total)) -
+                 (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+  }
+  return stats;
+}
+
+double EdgeReciprocity(const AttributedGraph& graph) {
+  const int64_t m = graph.num_edges();
+  if (m == 0) return 0.0;
+  int64_t reciprocal = 0;
+  for (int64_t u = 0; u < graph.num_nodes(); ++u) {
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      if (graph.adjacency().At(row.cols[p], u) != 0.0) ++reciprocal;
+    }
+  }
+  return static_cast<double>(reciprocal) / static_cast<double>(m);
+}
+
+}  // namespace pane

@@ -1,0 +1,46 @@
+// Graph analysis utilities: connectivity, BFS, degree statistics,
+// reciprocity. Used for dataset sanity checks (generator validation, bench
+// provenance lines) and generally useful to library consumers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pane {
+
+/// \brief Weakly connected components (edge direction ignored).
+struct ComponentInfo {
+  /// component_id[v] in [0, num_components), ids ordered by first-seen node.
+  std::vector<int32_t> component_id;
+  int32_t num_components = 0;
+  /// Size of the largest component.
+  int64_t largest_size = 0;
+};
+
+ComponentInfo WeaklyConnectedComponents(const AttributedGraph& graph);
+
+/// \brief BFS hop distances from `source` along out-edges; unreachable
+/// nodes get -1.
+std::vector<int64_t> BfsDistances(const AttributedGraph& graph,
+                                  int64_t source);
+
+/// \brief Degree distribution summary.
+struct DegreeStats {
+  int64_t max = 0;
+  double mean = 0.0;
+  /// Fraction of nodes with zero out-degree (dangling).
+  double dangling_fraction = 0.0;
+  /// Gini coefficient of the degree distribution in [0, 1); heavy-tailed
+  /// graphs (citation/social) sit well above Erdos-Renyi.
+  double gini = 0.0;
+};
+
+DegreeStats OutDegreeStats(const AttributedGraph& graph);
+
+/// \brief Fraction of directed edges (u, v) whose reverse (v, u) is also an
+/// edge. 1.0 for undirected graphs; low for citation-style DAG-ish graphs.
+double EdgeReciprocity(const AttributedGraph& graph);
+
+}  // namespace pane

@@ -1,0 +1,240 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace pane {
+
+AttributedGraph ErdosRenyi(int64_t num_nodes, int64_t num_edges, uint64_t seed,
+                           bool undirected) {
+  PANE_CHECK(num_nodes >= 2);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes, /*num_attributes=*/1);
+  // Rejection sampling of distinct pairs; duplicates are merged by the
+  // builder so a mild duplicate rate only costs a few extra draws.
+  for (int64_t e = 0; e < num_edges; ++e) {
+    int64_t u = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+    int64_t v = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+    while (v == u) {
+      v = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+    }
+    if (undirected) {
+      builder.AddUndirectedEdge(u, v);
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build(undirected).ValueOrDie();
+}
+
+AttributedGraph BarabasiAlbert(int64_t num_nodes, int64_t edges_per_node,
+                               uint64_t seed) {
+  PANE_CHECK(num_nodes > edges_per_node && edges_per_node >= 1);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes, /*num_attributes=*/1);
+  // Repeated-endpoint list trick: sampling a uniform element of `targets`
+  // is sampling proportional to degree.
+  std::vector<int64_t> targets;
+  targets.reserve(static_cast<size_t>(2 * num_nodes * edges_per_node));
+  // Seed clique over the first edges_per_node + 1 nodes.
+  for (int64_t u = 0; u <= edges_per_node; ++u) {
+    for (int64_t v = 0; v <= edges_per_node; ++v) {
+      if (u == v) continue;
+      builder.AddEdge(u, v);
+      targets.push_back(v);
+    }
+  }
+  for (int64_t u = edges_per_node + 1; u < num_nodes; ++u) {
+    for (int64_t e = 0; e < edges_per_node; ++e) {
+      const int64_t v =
+          targets[rng.UniformInt(static_cast<uint64_t>(targets.size()))];
+      if (v == u) {
+        --e;
+        continue;
+      }
+      builder.AddEdge(u, v);
+      targets.push_back(v);
+    }
+    targets.push_back(u);
+  }
+  return builder.Build(false).ValueOrDie();
+}
+
+namespace {
+
+// Truncated Pareto activity: rank-independent heavy tail with bounded max
+// so no single hub absorbs the whole edge budget at small n.
+double ParetoActivity(Rng* rng, double exponent) {
+  const double u = rng->UniformDouble();
+  const double x = std::pow(1.0 - u, -1.0 / (exponent - 1.0));
+  return std::min(x, 1000.0);
+}
+
+}  // namespace
+
+AttributedGraph GenerateAttributedSbm(const SbmParams& params) {
+  PANE_CHECK(params.num_nodes >= 2);
+  PANE_CHECK(params.num_communities >= 1);
+  PANE_CHECK(params.num_attributes >= params.num_communities)
+      << "need at least one attribute per community";
+  Rng rng(params.seed);
+
+  const int64_t n = params.num_nodes;
+  const int32_t c = params.num_communities;
+
+  // Community assignment, round-robin after a shuffle => balanced classes.
+  std::vector<int32_t> community(static_cast<size_t>(n));
+  {
+    std::vector<int64_t> perm(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+    Shuffle(&perm, &rng);
+    for (int64_t i = 0; i < n; ++i) {
+      community[static_cast<size_t>(perm[static_cast<size_t>(i)])] =
+          static_cast<int32_t>(i % c);
+    }
+  }
+
+  // Per-node activity and per-community member lists / alias samplers.
+  std::vector<double> activity(static_cast<size_t>(n));
+  for (double& a : activity) a = ParetoActivity(&rng, params.degree_exponent);
+
+  std::vector<std::vector<int64_t>> members(static_cast<size_t>(c));
+  std::vector<std::vector<double>> member_weights(static_cast<size_t>(c));
+  for (int64_t v = 0; v < n; ++v) {
+    const int32_t cv = community[static_cast<size_t>(v)];
+    members[static_cast<size_t>(cv)].push_back(v);
+    member_weights[static_cast<size_t>(cv)].push_back(activity[static_cast<size_t>(v)]);
+  }
+  std::vector<AliasSampler> community_sampler;
+  community_sampler.reserve(static_cast<size_t>(c));
+  for (int32_t i = 0; i < c; ++i) {
+    community_sampler.emplace_back(member_weights[static_cast<size_t>(i)]);
+  }
+  const AliasSampler global_sampler(activity);
+
+  // Out-degree budget proportional to activity.
+  double activity_sum = 0.0;
+  for (double a : activity) activity_sum += a;
+  const int64_t edge_budget =
+      params.undirected ? params.num_edges / 2 : params.num_edges;
+
+  GraphBuilder builder(n, params.num_attributes);
+
+  // First sampled out-neighbor per node; secondary labels (multi-label
+  // mode) are drawn from its community so they are *learnable* from the
+  // structure rather than noise.
+  std::vector<int64_t> first_target(static_cast<size_t>(n), -1);
+
+  std::unordered_set<int64_t> chosen_targets;
+  for (int64_t v = 0; v < n; ++v) {
+    const double expected =
+        edge_budget * activity[static_cast<size_t>(v)] / activity_sum;
+    int64_t degree = static_cast<int64_t>(expected);
+    if (rng.UniformDouble() < expected - degree) ++degree;
+    if (degree == 0 && rng.UniformDouble() < 0.5) degree = 1;  // avoid isolates
+    const int32_t cv = community[static_cast<size_t>(v)];
+    chosen_targets.clear();
+    for (int64_t e = 0; e < degree; ++e) {
+      // Resample self-loops and duplicate targets so the realized edge
+      // count tracks the budget (duplicates would silently merge).
+      int64_t target = -1;
+      for (int attempt = 0;
+           attempt < 16 &&
+           (target < 0 || target == v || chosen_targets.count(target) > 0);
+           ++attempt) {
+        if (rng.Bernoulli(params.edge_homophily)) {
+          const auto& pool = members[static_cast<size_t>(cv)];
+          if (pool.size() > 1) {
+            target = pool[static_cast<size_t>(
+                community_sampler[static_cast<size_t>(cv)].Sample(&rng))];
+          }
+        } else {
+          target = global_sampler.Sample(&rng);
+        }
+      }
+      if (target < 0 || target == v || chosen_targets.count(target) > 0) {
+        continue;
+      }
+      chosen_targets.insert(target);
+      if (first_target[static_cast<size_t>(v)] < 0) {
+        first_target[static_cast<size_t>(v)] = target;
+      }
+      if (params.undirected) {
+        builder.AddUndirectedEdge(v, target);
+      } else {
+        builder.AddEdge(v, target);
+      }
+    }
+  }
+
+  // Attribute blocks: community i prefers attributes
+  // [i * d / c, (i + 1) * d / c), with Zipf-tilted popularity inside the
+  // block so a few attributes dominate, like word/tag data.
+  const int64_t d = params.num_attributes;
+  std::vector<AliasSampler> block_sampler;
+  std::vector<int64_t> block_begin(static_cast<size_t>(c));
+  std::vector<int64_t> block_size(static_cast<size_t>(c));
+  block_sampler.reserve(static_cast<size_t>(c));
+  for (int32_t i = 0; i < c; ++i) {
+    block_begin[static_cast<size_t>(i)] = i * d / c;
+    block_size[static_cast<size_t>(i)] = (i + 1) * static_cast<int64_t>(d) / c -
+                                         block_begin[static_cast<size_t>(i)];
+    std::vector<double> zipf(static_cast<size_t>(block_size[static_cast<size_t>(i)]));
+    for (size_t j = 0; j < zipf.size(); ++j) {
+      zipf[j] = 1.0 / static_cast<double>(j + 1);
+    }
+    block_sampler.emplace_back(zipf);
+  }
+
+  std::unordered_set<int64_t> chosen_attrs;
+  for (int64_t v = 0; v < n; ++v) {
+    const double expected = static_cast<double>(params.num_attr_entries) / n *
+                            (0.5 + activity[static_cast<size_t>(v)] /
+                                       (activity_sum / n) * 0.5);
+    int64_t count = static_cast<int64_t>(expected);
+    if (rng.UniformDouble() < expected - count) ++count;
+    const int32_t cv = community[static_cast<size_t>(v)];
+    chosen_attrs.clear();
+    for (int64_t e = 0; e < count; ++e) {
+      // Resample duplicates (Zipf popularity makes them common) so |E_R|
+      // tracks its budget.
+      int64_t attr = -1;
+      for (int attempt = 0;
+           attempt < 16 && (attr < 0 || chosen_attrs.count(attr) > 0);
+           ++attempt) {
+        if (rng.Bernoulli(params.attr_homophily)) {
+          attr = block_begin[static_cast<size_t>(cv)] +
+                 block_sampler[static_cast<size_t>(cv)].Sample(&rng);
+        } else {
+          attr = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(d)));
+        }
+      }
+      if (attr < 0 || chosen_attrs.count(attr) > 0) continue;
+      chosen_attrs.insert(attr);
+      builder.AddNodeAttribute(v, attr, 1.0);
+    }
+  }
+
+  // Labels: the community, plus (multi-label mode) the community of the
+  // node's first out-neighbor — a structurally grounded secondary class
+  // that embeddings capturing the neighborhood can actually predict.
+  for (int64_t v = 0; v < n; ++v) {
+    builder.AddLabel(v, community[static_cast<size_t>(v)]);
+    for (int32_t extra = 1; extra < params.labels_per_node; ++extra) {
+      if (!rng.Bernoulli(0.5)) continue;
+      const int64_t neighbor = first_target[static_cast<size_t>(v)];
+      if (neighbor >= 0) {
+        builder.AddLabel(v, community[static_cast<size_t>(neighbor)]);
+      }
+    }
+  }
+
+  return builder.Build(params.undirected).ValueOrDie();
+}
+
+}  // namespace pane

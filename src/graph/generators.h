@@ -1,0 +1,58 @@
+// Synthetic attributed-graph generators. These stand in for the paper's
+// eight real datasets (Table 3), which are not redistributable/offline; the
+// degree-corrected stochastic block model with homophilous attributes
+// reproduces the properties PANE's evaluation depends on: skewed degrees,
+// multi-hop node-attribute affinity, and label/community structure.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace pane {
+
+/// \brief G(n, m) Erdos-Renyi: m distinct directed edges chosen uniformly.
+AttributedGraph ErdosRenyi(int64_t num_nodes, int64_t num_edges, uint64_t seed,
+                           bool undirected = false);
+
+/// \brief Barabasi-Albert preferential attachment: each new node attaches
+/// `edges_per_node` out-edges to existing nodes ~ degree. Produces the
+/// power-law degree profile of citation/social graphs.
+AttributedGraph BarabasiAlbert(int64_t num_nodes, int64_t edges_per_node,
+                               uint64_t seed);
+
+/// \brief Parameters for the attributed degree-corrected SBM.
+struct SbmParams {
+  int64_t num_nodes = 1000;
+  /// Target number of directed edges (expected; realized count is close).
+  int64_t num_edges = 5000;
+  int64_t num_attributes = 200;
+  /// Target number of node-attribute associations |E_R| (expected).
+  int64_t num_attr_entries = 5000;
+  /// Communities; doubles as the label classes.
+  int32_t num_communities = 5;
+  /// Fraction of out-edges that stay inside the source's community.
+  double edge_homophily = 0.8;
+  /// Fraction of attribute picks drawn from the community's preferred block.
+  double attr_homophily = 0.8;
+  /// Pareto exponent for expected degrees (2.5 ~ social/citation graphs).
+  double degree_exponent = 2.5;
+  /// If true, every edge is mirrored (Facebook / Flickr style).
+  bool undirected = false;
+  /// Labels per node; > 1 yields multi-label nodes (Facebook / MAG style).
+  int32_t labels_per_node = 1;
+  uint64_t seed = 1;
+};
+
+/// \brief Attributed degree-corrected stochastic block model.
+///
+/// Nodes are assigned to communities uniformly; per-node activity follows a
+/// truncated Pareto; edges pick their target inside the community with
+/// probability edge_homophily (else globally), weighted by activity.
+/// Attributes are partitioned into per-community preferred blocks; each
+/// association picks from the block with probability attr_homophily (else
+/// uniformly), with Zipf-tilted popularity inside the block. Labels are the
+/// community ids (plus random extras when labels_per_node > 1).
+AttributedGraph GenerateAttributedSbm(const SbmParams& params);
+
+}  // namespace pane

@@ -1,0 +1,134 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace pane {
+
+CsrMatrix AttributedGraph::RandomWalkMatrix() const {
+  const int64_t n = num_nodes();
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(adjacency_.nnz() + n));
+  for (int64_t u = 0; u < n; ++u) {
+    const CsrMatrix::RowView row = adjacency_.Row(u);
+    if (row.length == 0) {
+      triplets.push_back(Triplet{u, u, 1.0});  // absorbing dangling node
+      continue;
+    }
+    const double inv = 1.0 / static_cast<double>(row.length);
+    for (int64_t p = 0; p < row.length; ++p) {
+      triplets.push_back(Triplet{u, row.cols[p], inv});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, triplets).ValueOrDie();
+}
+
+std::vector<int64_t> AttributedGraph::OutDegrees() const {
+  std::vector<int64_t> deg(static_cast<size_t>(num_nodes()), 0);
+  for (int64_t v = 0; v < num_nodes(); ++v) deg[static_cast<size_t>(v)] = adjacency_.RowNnz(v);
+  return deg;
+}
+
+std::vector<int64_t> AttributedGraph::InDegrees() const {
+  std::vector<int64_t> deg(static_cast<size_t>(num_nodes()), 0);
+  for (int64_t v = 0; v < num_nodes(); ++v) {
+    deg[static_cast<size_t>(v)] = adjacency_t_.RowNnz(v);
+  }
+  return deg;
+}
+
+std::string AttributedGraph::Summary() const {
+  return StrFormat(
+      "graph{n=%s, m=%s, d=%s, |E_R|=%s, |L|=%d, %s}",
+      FormatCount(num_nodes()).c_str(), FormatCount(num_edges()).c_str(),
+      FormatCount(num_attributes()).c_str(),
+      FormatCount(num_attribute_entries()).c_str(), num_label_classes_,
+      undirected_ ? "undirected" : "directed");
+}
+
+GraphBuilder::GraphBuilder(int64_t num_nodes, int64_t num_attributes)
+    : num_nodes_(num_nodes), num_attributes_(num_attributes),
+      labels_(static_cast<size_t>(num_nodes)) {}
+
+GraphBuilder& GraphBuilder::AddEdge(int64_t from, int64_t to) {
+  if (from == to) return *this;  // self-loops dropped
+  if (from < 0 || from >= num_nodes_ || to < 0 || to >= num_nodes_) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = Status::OutOfRange(
+          StrFormat("edge (%lld, %lld) outside [0, %lld)",
+                    static_cast<long long>(from), static_cast<long long>(to),
+                    static_cast<long long>(num_nodes_)));
+    }
+    return *this;
+  }
+  edges_.push_back(Triplet{from, to, 1.0});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddUndirectedEdge(int64_t u, int64_t v) {
+  AddEdge(u, v);
+  AddEdge(v, u);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddNodeAttribute(int64_t v, int64_t r,
+                                             double weight) {
+  if (v < 0 || v >= num_nodes_ || r < 0 || r >= num_attributes_ ||
+      weight <= 0.0) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = Status::OutOfRange(
+          StrFormat("attribute entry (%lld, %lld, %f) invalid",
+                    static_cast<long long>(v), static_cast<long long>(r),
+                    weight));
+    }
+    return *this;
+  }
+  attr_entries_.push_back(Triplet{v, r, weight});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddLabel(int64_t v, int32_t label) {
+  if (v < 0 || v >= num_nodes_ || label < 0) {
+    if (deferred_error_.ok()) {
+      deferred_error_ = Status::OutOfRange("label entry invalid");
+    }
+    return *this;
+  }
+  labels_[static_cast<size_t>(v)].push_back(label);
+  return *this;
+}
+
+Result<AttributedGraph> GraphBuilder::Build(bool undirected) {
+  PANE_RETURN_NOT_OK(deferred_error_);
+  AttributedGraph g;
+  PANE_ASSIGN_OR_RETURN(
+      g.adjacency_, CsrMatrix::FromTriplets(num_nodes_, num_nodes_, edges_));
+  // Duplicate edges were summed by the triplet merge; clamp back to 1.
+  {
+    std::vector<int64_t> indptr = g.adjacency_.indptr();
+    std::vector<int32_t> indices = g.adjacency_.indices();
+    std::vector<double> values(indices.size(), 1.0);
+    PANE_ASSIGN_OR_RETURN(
+        g.adjacency_,
+        CsrMatrix::FromCsrArrays(num_nodes_, num_nodes_, std::move(indptr),
+                                 std::move(indices), std::move(values)));
+  }
+  g.adjacency_t_ = g.adjacency_.Transposed();
+  PANE_ASSIGN_OR_RETURN(g.attributes_,
+                        CsrMatrix::FromTriplets(num_nodes_, num_attributes_,
+                                                attr_entries_));
+  int32_t max_label = -1;
+  for (auto& node_labels : labels_) {
+    std::sort(node_labels.begin(), node_labels.end());
+    node_labels.erase(std::unique(node_labels.begin(), node_labels.end()),
+                      node_labels.end());
+    if (!node_labels.empty()) max_label = std::max(max_label, node_labels.back());
+  }
+  g.labels_ = std::move(labels_);
+  g.num_label_classes_ = max_label + 1;
+  g.undirected_ = undirected;
+  return g;
+}
+
+}  // namespace pane

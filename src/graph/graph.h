@@ -1,0 +1,109 @@
+// The attributed network G = (V, E_V, R, E_R) of Section 2.1: a directed
+// graph over n nodes, a set of d attributes, weighted node-attribute
+// associations, and (optional) node labels for the classification task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/matrix/csr_matrix.h"
+
+namespace pane {
+
+/// \brief Immutable attributed graph. Construct via GraphBuilder.
+class AttributedGraph {
+ public:
+  AttributedGraph() = default;
+
+  int64_t num_nodes() const { return adjacency_.rows(); }
+  int64_t num_edges() const { return adjacency_.nnz(); }
+  int64_t num_attributes() const { return attributes_.cols(); }
+  int64_t num_attribute_entries() const { return attributes_.nnz(); }
+
+  /// True if the graph was declared undirected at build time (stored as a
+  /// symmetric adjacency per Section 2.1).
+  bool undirected() const { return undirected_; }
+
+  /// Adjacency matrix A (n x n): A[u, v] = 1 iff edge (u, v).
+  const CsrMatrix& adjacency() const { return adjacency_; }
+
+  /// A^T, prebuilt once (backward-affinity iterations multiply by P^T).
+  const CsrMatrix& adjacency_transposed() const { return adjacency_t_; }
+
+  /// Attribute matrix R (n x d): R[v, r] = w for (v, r, w) in E_R.
+  const CsrMatrix& attributes() const { return attributes_; }
+
+  /// Random-walk matrix P = D^-1 A, row-stochastic. Dangling nodes (no
+  /// out-edges) become absorbing via a self-loop: a walk that reaches one
+  /// stays until the alpha-stop fires, so no probability mass is lost —
+  /// the standard RWR convention, and what keeps a dangling node's
+  /// affinity to its own attributes intact.
+  CsrMatrix RandomWalkMatrix() const;
+
+  /// Out-degrees (number of out-edges per node).
+  std::vector<int64_t> OutDegrees() const;
+
+  /// In-degrees.
+  std::vector<int64_t> InDegrees() const;
+
+  /// Node labels: labels()[v] is the sorted set of class ids of node v
+  /// (multi-label datasets like Facebook / MAG have several). Empty when
+  /// the dataset has no labels.
+  const std::vector<std::vector<int32_t>>& labels() const { return labels_; }
+
+  /// Number of distinct label classes (|L|); 0 when unlabeled.
+  int32_t num_label_classes() const { return num_label_classes_; }
+
+  bool has_labels() const { return num_label_classes_ > 0; }
+
+  /// One-line "n=.. m=.. d=.. |E_R|=.. |L|=.." summary.
+  std::string Summary() const;
+
+ private:
+  friend class GraphBuilder;
+
+  CsrMatrix adjacency_;
+  CsrMatrix adjacency_t_;
+  CsrMatrix attributes_;
+  std::vector<std::vector<int32_t>> labels_;
+  int32_t num_label_classes_ = 0;
+  bool undirected_ = false;
+};
+
+/// \brief Accumulates edges / attribute entries / labels, then Build()s an
+/// AttributedGraph. Duplicate edges collapse to a single unit-weight edge;
+/// duplicate attribute entries sum their weights.
+class GraphBuilder {
+ public:
+  /// \param num_nodes n  \param num_attributes d
+  GraphBuilder(int64_t num_nodes, int64_t num_attributes);
+
+  /// Adds directed edge (from -> to). Self-loops are dropped.
+  GraphBuilder& AddEdge(int64_t from, int64_t to);
+
+  /// Adds both (u -> v) and (v -> u) per the undirected-graph convention of
+  /// Section 2.1.
+  GraphBuilder& AddUndirectedEdge(int64_t u, int64_t v);
+
+  /// Associates node v with attribute r at weight w (> 0).
+  GraphBuilder& AddNodeAttribute(int64_t v, int64_t r, double weight = 1.0);
+
+  /// Adds a class label to node v.
+  GraphBuilder& AddLabel(int64_t v, int32_t label);
+
+  /// \param undirected declare the graph undirected (metadata only; callers
+  /// are expected to have used AddUndirectedEdge).
+  Result<AttributedGraph> Build(bool undirected = false);
+
+ private:
+  int64_t num_nodes_;
+  int64_t num_attributes_;
+  std::vector<Triplet> edges_;
+  std::vector<Triplet> attr_entries_;
+  std::vector<std::vector<int32_t>> labels_;
+  Status deferred_error_;
+};
+
+}  // namespace pane

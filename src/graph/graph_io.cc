@@ -1,0 +1,216 @@
+#include "src/graph/graph_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace pane {
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x50414e4547523031ULL;  // "PANEGR01"
+
+Status WriteAll(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+template <typename T>
+void AppendPod(std::string* buf, const T& value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void AppendVector(std::string* buf, const std::vector<T>& v) {
+  AppendPod<uint64_t>(buf, v.size());
+  buf->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::istream* in, T* value) {
+  in->read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!*in) return Status::IOError("truncated binary graph file");
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadVector(std::istream* in, std::vector<T>* v) {
+  uint64_t size = 0;
+  PANE_RETURN_NOT_OK(ReadPod(in, &size));
+  v->resize(size);
+  in->read(reinterpret_cast<char*>(v->data()),
+           static_cast<std::streamsize>(size * sizeof(T)));
+  if (!*in) return Status::IOError("truncated binary graph file");
+  return Status::OK();
+}
+
+void AppendCsr(std::string* buf, const CsrMatrix& m) {
+  AppendPod<int64_t>(buf, m.rows());
+  AppendPod<int64_t>(buf, m.cols());
+  AppendVector(buf, m.indptr());
+  AppendVector(buf, m.indices());
+  AppendVector(buf, m.values());
+}
+
+Result<CsrMatrix> ReadCsr(std::istream* in) {
+  int64_t rows = 0, cols = 0;
+  PANE_RETURN_NOT_OK(ReadPod(in, &rows));
+  PANE_RETURN_NOT_OK(ReadPod(in, &cols));
+  std::vector<int64_t> indptr;
+  std::vector<int32_t> indices;
+  std::vector<double> values;
+  PANE_RETURN_NOT_OK(ReadVector(in, &indptr));
+  PANE_RETURN_NOT_OK(ReadVector(in, &indices));
+  PANE_RETURN_NOT_OK(ReadVector(in, &values));
+  return CsrMatrix::FromCsrArrays(rows, cols, std::move(indptr),
+                                  std::move(indices), std::move(values));
+}
+
+}  // namespace
+
+Status SaveGraphText(const AttributedGraph& graph, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory: " + dir);
+
+  PANE_RETURN_NOT_OK(WriteAll(
+      dir + "/meta.txt",
+      StrFormat("%lld %lld %d\n", static_cast<long long>(graph.num_nodes()),
+                static_cast<long long>(graph.num_attributes()),
+                graph.undirected() ? 0 : 1)));
+
+  std::string edges;
+  for (int64_t u = 0; u < graph.num_nodes(); ++u) {
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      edges += StrFormat("%lld %d\n", static_cast<long long>(u), row.cols[p]);
+    }
+  }
+  PANE_RETURN_NOT_OK(WriteAll(dir + "/edges.txt", edges));
+
+  std::string attrs;
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+    const CsrMatrix::RowView row = graph.attributes().Row(v);
+    for (int64_t p = 0; p < row.length; ++p) {
+      attrs += StrFormat("%lld %d %.17g\n", static_cast<long long>(v),
+                         row.cols[p], row.vals[p]);
+    }
+  }
+  PANE_RETURN_NOT_OK(WriteAll(dir + "/attrs.txt", attrs));
+
+  std::string labels;
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+    const auto& node_labels = graph.labels()[static_cast<size_t>(v)];
+    if (node_labels.empty()) continue;
+    labels += StrFormat("%lld", static_cast<long long>(v));
+    for (int32_t l : node_labels) labels += StrFormat(" %d", l);
+    labels += "\n";
+  }
+  return WriteAll(dir + "/labels.txt", labels);
+}
+
+Result<AttributedGraph> LoadGraphText(const std::string& dir) {
+  std::ifstream meta(dir + "/meta.txt");
+  if (!meta) return Status::IOError("cannot open " + dir + "/meta.txt");
+  int64_t n = 0, d = 0;
+  int directed = 1;
+  meta >> n >> d >> directed;
+  if (!meta) return Status::IOError("malformed meta.txt");
+
+  GraphBuilder builder(n, d);
+
+  {
+    std::ifstream edges(dir + "/edges.txt");
+    if (!edges) return Status::IOError("cannot open " + dir + "/edges.txt");
+    int64_t u = 0, v = 0;
+    while (edges >> u >> v) builder.AddEdge(u, v);
+  }
+  {
+    std::ifstream attrs(dir + "/attrs.txt");
+    if (!attrs) return Status::IOError("cannot open " + dir + "/attrs.txt");
+    int64_t v = 0, r = 0;
+    double w = 0.0;
+    while (attrs >> v >> r >> w) builder.AddNodeAttribute(v, r, w);
+  }
+  {
+    std::ifstream labels(dir + "/labels.txt");
+    if (labels) {
+      std::string line;
+      while (std::getline(labels, line)) {
+        std::istringstream ls(line);
+        int64_t v = 0;
+        if (!(ls >> v)) continue;
+        int32_t label = 0;
+        while (ls >> label) builder.AddLabel(v, label);
+      }
+    }
+  }
+  return builder.Build(directed == 0);
+}
+
+Status SaveGraphBinary(const AttributedGraph& graph, const std::string& path) {
+  std::string buf;
+  AppendPod(&buf, kBinaryMagic);
+  AppendPod<uint8_t>(&buf, graph.undirected() ? 1 : 0);
+  AppendCsr(&buf, graph.adjacency());
+  AppendCsr(&buf, graph.attributes());
+  AppendPod<int64_t>(&buf, graph.num_nodes());
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+    const auto& labels = graph.labels()[static_cast<size_t>(v)];
+    AppendPod<uint32_t>(&buf, static_cast<uint32_t>(labels.size()));
+    buf.append(reinterpret_cast<const char*>(labels.data()),
+               labels.size() * sizeof(int32_t));
+  }
+  return WriteAll(path, buf);
+}
+
+Result<AttributedGraph> LoadGraphBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  uint64_t magic = 0;
+  PANE_RETURN_NOT_OK(ReadPod(&in, &magic));
+  if (magic != kBinaryMagic) {
+    return Status::InvalidArgument("not a PANE binary graph file: " + path);
+  }
+  uint8_t undirected = 0;
+  PANE_RETURN_NOT_OK(ReadPod(&in, &undirected));
+  PANE_ASSIGN_OR_RETURN(CsrMatrix adjacency, ReadCsr(&in));
+  PANE_ASSIGN_OR_RETURN(CsrMatrix attributes, ReadCsr(&in));
+  int64_t n = 0;
+  PANE_RETURN_NOT_OK(ReadPod(&in, &n));
+  if (n != adjacency.rows()) {
+    return Status::InvalidArgument("label count mismatch in binary graph");
+  }
+
+  GraphBuilder builder(adjacency.rows(), attributes.cols());
+  for (int64_t u = 0; u < adjacency.rows(); ++u) {
+    const CsrMatrix::RowView row = adjacency.Row(u);
+    for (int64_t p = 0; p < row.length; ++p) builder.AddEdge(u, row.cols[p]);
+  }
+  for (int64_t v = 0; v < attributes.rows(); ++v) {
+    const CsrMatrix::RowView row = attributes.Row(v);
+    for (int64_t p = 0; p < row.length; ++p) {
+      builder.AddNodeAttribute(v, row.cols[p], row.vals[p]);
+    }
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    uint32_t count = 0;
+    PANE_RETURN_NOT_OK(ReadPod(&in, &count));
+    for (uint32_t i = 0; i < count; ++i) {
+      int32_t label = 0;
+      PANE_RETURN_NOT_OK(ReadPod(&in, &label));
+      builder.AddLabel(v, label);
+    }
+  }
+  return builder.Build(undirected == 1);
+}
+
+}  // namespace pane

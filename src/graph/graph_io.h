@@ -1,0 +1,33 @@
+// Text and binary persistence for attributed graphs. The text layout mirrors
+// the edge-list / attribute-triple / label-list files that public ANE
+// datasets (Cora, Citeseer, TWeibo, ...) ship as, so real data drops in when
+// available; the binary format exists for fast reload of large synthetic
+// instances.
+//
+// Text directory layout:
+//   meta.txt    "num_nodes num_attributes directed(0|1)"
+//   edges.txt   one "from to" pair per line
+//   attrs.txt   one "node attr weight" triple per line
+//   labels.txt  one "node label1 label2 ..." line per labeled node (optional)
+#pragma once
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+
+namespace pane {
+
+/// Writes the graph as the four text files under `dir` (created if needed).
+Status SaveGraphText(const AttributedGraph& graph, const std::string& dir);
+
+/// Loads a graph from the text layout above.
+Result<AttributedGraph> LoadGraphText(const std::string& dir);
+
+/// Writes a single binary snapshot (magic + CSR arrays, little-endian).
+Status SaveGraphBinary(const AttributedGraph& graph, const std::string& path);
+
+/// Loads a binary snapshot written by SaveGraphBinary.
+Result<AttributedGraph> LoadGraphBinary(const std::string& path);
+
+}  // namespace pane

@@ -1,0 +1,107 @@
+#include "src/graph/random_walk.h"
+
+#include "src/common/logging.h"
+
+namespace pane {
+namespace {
+
+// Weighted pick from a CSR row by cumulative scan (row fan-outs are small).
+int64_t SampleRowWeighted(const CsrMatrix::RowView& row, Rng* rng) {
+  if (row.length == 0) return -1;
+  double total = 0.0;
+  for (int64_t p = 0; p < row.length; ++p) total += row.vals[p];
+  if (total <= 0.0) return -1;
+  double u = rng->UniformDouble() * total;
+  for (int64_t p = 0; p < row.length; ++p) {
+    u -= row.vals[p];
+    if (u <= 0.0) return row.cols[p];
+  }
+  return row.cols[row.length - 1];
+}
+
+}  // namespace
+
+WalkSimulator::WalkSimulator(const AttributedGraph& graph, double alpha,
+                             uint64_t seed)
+    : graph_(graph), alpha_(alpha), rng_(seed) {
+  PANE_CHECK(alpha > 0.0 && alpha < 1.0) << "alpha must be in (0, 1)";
+  attributes_col_normalized_ = graph.attributes().ColNormalized();
+  // Backward walks start from a node drawn ~ Rc[:, r]: build one alias
+  // sampler per attribute from the transposed attribute matrix.
+  const CsrMatrix rt = graph.attributes().Transposed();  // d x n
+  const int64_t d = graph.num_attributes();
+  attr_col_sampler_.reserve(static_cast<size_t>(d));
+  attr_col_nodes_.resize(static_cast<size_t>(d));
+  for (int64_t r = 0; r < d; ++r) {
+    const CsrMatrix::RowView row = rt.Row(r);
+    std::vector<double> weights(static_cast<size_t>(row.length));
+    auto& nodes = attr_col_nodes_[static_cast<size_t>(r)];
+    nodes.resize(static_cast<size_t>(row.length));
+    for (int64_t p = 0; p < row.length; ++p) {
+      nodes[static_cast<size_t>(p)] = row.cols[p];
+      weights[static_cast<size_t>(p)] = row.vals[p];
+    }
+    if (weights.empty()) weights.push_back(1.0);  // placeholder, never used
+    attr_col_sampler_.emplace_back(weights);
+  }
+}
+
+int64_t WalkSimulator::ForwardWalk(int64_t start, Rng* rng) const {
+  int64_t cur = start;
+  while (true) {
+    if (rng->Bernoulli(alpha_)) {
+      // Terminate here; follow E_R to an attribute ~ Rr[cur, :].
+      return SampleRowWeighted(graph_.attributes().Row(cur), rng);
+    }
+    const CsrMatrix::RowView out = graph_.adjacency().Row(cur);
+    if (out.length == 0) {
+      // Dangling node: absorbing self-loop (matches RandomWalkMatrix), so
+      // the walk is guaranteed to stop here eventually.
+      return SampleRowWeighted(graph_.attributes().Row(cur), rng);
+    }
+    cur = out.cols[rng->UniformInt(static_cast<uint64_t>(out.length))];
+  }
+}
+
+int64_t WalkSimulator::BackwardWalk(int64_t attr, Rng* rng) const {
+  const auto& nodes = attr_col_nodes_[static_cast<size_t>(attr)];
+  if (nodes.empty()) return -1;  // attribute with no owners
+  int64_t cur = nodes[static_cast<size_t>(
+      attr_col_sampler_[static_cast<size_t>(attr)].Sample(rng))];
+  while (true) {
+    if (rng->Bernoulli(alpha_)) return cur;
+    const CsrMatrix::RowView out = graph_.adjacency().Row(cur);
+    if (out.length == 0) return cur;  // absorbing dangling node
+    cur = out.cols[rng->UniformInt(static_cast<uint64_t>(out.length))];
+  }
+}
+
+DenseMatrix WalkSimulator::EstimateForwardProbabilities(
+    int64_t walks_per_node) {
+  const int64_t n = graph_.num_nodes();
+  DenseMatrix pf(n, graph_.num_attributes());
+  const double inv = 1.0 / static_cast<double>(walks_per_node);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t w = 0; w < walks_per_node; ++w) {
+      const int64_t attr = ForwardWalk(v, &rng_);
+      if (attr >= 0) pf(v, attr) += inv;
+    }
+  }
+  return pf;
+}
+
+DenseMatrix WalkSimulator::EstimateBackwardProbabilities(
+    int64_t walks_per_attribute) {
+  const int64_t d = graph_.num_attributes();
+  DenseMatrix pb(graph_.num_nodes(), d);
+  const double inv = 1.0 / static_cast<double>(walks_per_attribute);
+  for (int64_t r = 0; r < d; ++r) {
+    for (int64_t w = 0; w < walks_per_attribute; ++w) {
+      const int64_t node = BackwardWalk(r, &rng_);
+      if (node >= 0) pb(node, r) += inv;
+    }
+  }
+  return pb;
+}
+
+}  // namespace pane

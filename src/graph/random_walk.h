@@ -1,0 +1,51 @@
+// Monte-Carlo simulation of the forward / backward random walks of
+// Section 2.2 on the extended graph (graph nodes + attribute nodes). This is
+// the *definition* of node-attribute affinity; APMI (Algorithm 2)
+// approximates it deterministically. The simulator provides the ground truth
+// that tests and the Table 2 running-example bench validate APMI against.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/graph/graph.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+/// \brief Samples forward/backward walks and accumulates empirical
+/// probabilities p_f(v, r), p_b(v, r).
+class WalkSimulator {
+ public:
+  /// \param alpha stopping probability per step (0 < alpha < 1).
+  WalkSimulator(const AttributedGraph& graph, double alpha, uint64_t seed);
+
+  /// Empirical p_f as an n x d matrix: entry (v, r) is the fraction of the
+  /// `walks_per_node` forward walks from v that yielded pair (v, r).
+  /// Matches the matrix form of Equation (5): walks that die (dangling node,
+  /// or stop at an attribute-less node) contribute to no pair, so rows may
+  /// sum to less than 1.
+  DenseMatrix EstimateForwardProbabilities(int64_t walks_per_node);
+
+  /// Empirical p_b as an n x d matrix: entry (v, r) is the fraction of the
+  /// `walks_per_attribute` backward walks from r that stopped at v.
+  DenseMatrix EstimateBackwardProbabilities(int64_t walks_per_attribute);
+
+  /// One forward walk from `start`; returns the attribute index picked, or
+  /// -1 if the walk died. Exposed for tests.
+  int64_t ForwardWalk(int64_t start, Rng* rng) const;
+
+  /// One backward walk from attribute `attr`; returns the node the walk
+  /// stopped at, or -1 if it died.
+  int64_t BackwardWalk(int64_t attr, Rng* rng) const;
+
+ private:
+  const AttributedGraph& graph_;
+  double alpha_;
+  Rng rng_;
+  CsrMatrix attributes_col_normalized_;       // Rc, for backward source pick
+  std::vector<AliasSampler> attr_col_sampler_;  // per attribute: nodes ~ Rc
+  std::vector<std::vector<int64_t>> attr_col_nodes_;
+};
+
+}  // namespace pane

@@ -1,0 +1,243 @@
+#include "src/matrix/csr_matrix.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace pane {
+
+Result<CsrMatrix> CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                          const std::vector<Triplet>& triplets) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::OutOfRange(
+          StrFormat("triplet (%lld, %lld) outside %lld x %lld",
+                    static_cast<long long>(t.row), static_cast<long long>(t.col),
+                    static_cast<long long>(rows), static_cast<long long>(cols)));
+    }
+  }
+
+  // Counting sort by row, then sort each row's entries by column and merge
+  // duplicates. Two passes, O(nnz log(row_nnz)) total.
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.indptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  for (const Triplet& t : triplets) {
+    ++m.indptr_[static_cast<size_t>(t.row) + 1];
+  }
+  for (size_t i = 1; i < m.indptr_.size(); ++i) {
+    m.indptr_[i] += m.indptr_[i - 1];
+  }
+  std::vector<int32_t> cols_tmp(triplets.size());
+  std::vector<double> vals_tmp(triplets.size());
+  std::vector<int64_t> cursor(m.indptr_.begin(), m.indptr_.end() - 1);
+  for (const Triplet& t : triplets) {
+    const int64_t pos = cursor[static_cast<size_t>(t.row)]++;
+    cols_tmp[static_cast<size_t>(pos)] = static_cast<int32_t>(t.col);
+    vals_tmp[static_cast<size_t>(pos)] = t.value;
+  }
+
+  m.indices_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::vector<int64_t> new_indptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<std::pair<int32_t, double>> row_buf;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t begin = m.indptr_[static_cast<size_t>(r)];
+    const int64_t end = m.indptr_[static_cast<size_t>(r) + 1];
+    row_buf.clear();
+    for (int64_t p = begin; p < end; ++p) {
+      row_buf.emplace_back(cols_tmp[static_cast<size_t>(p)],
+                           vals_tmp[static_cast<size_t>(p)]);
+    }
+    std::sort(row_buf.begin(), row_buf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t p = 0; p < row_buf.size(); ++p) {
+      if (!m.indices_.empty() &&
+          static_cast<int64_t>(m.indices_.size()) > new_indptr[static_cast<size_t>(r)] &&
+          m.indices_.back() == row_buf[p].first) {
+        m.values_.back() += row_buf[p].second;  // merge duplicate
+      } else {
+        m.indices_.push_back(row_buf[p].first);
+        m.values_.push_back(row_buf[p].second);
+      }
+    }
+    new_indptr[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(m.indices_.size());
+  }
+  m.indptr_ = std::move(new_indptr);
+  return m;
+}
+
+Result<CsrMatrix> CsrMatrix::FromCsrArrays(int64_t rows, int64_t cols,
+                                           std::vector<int64_t> indptr,
+                                           std::vector<int32_t> indices,
+                                           std::vector<double> values) {
+  if (static_cast<int64_t>(indptr.size()) != rows + 1) {
+    return Status::InvalidArgument("indptr size must be rows + 1");
+  }
+  if (indices.size() != values.size()) {
+    return Status::InvalidArgument("indices/values size mismatch");
+  }
+  if (indptr.front() != 0 ||
+      indptr.back() != static_cast<int64_t>(indices.size())) {
+    return Status::InvalidArgument("indptr endpoints malformed");
+  }
+  for (size_t i = 1; i < indptr.size(); ++i) {
+    if (indptr[i] < indptr[i - 1]) {
+      return Status::InvalidArgument("indptr must be non-decreasing");
+    }
+  }
+  for (int32_t c : indices) {
+    if (c < 0 || c >= cols) return Status::OutOfRange("column index");
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.indptr_ = std::move(indptr);
+  m.indices_ = std::move(indices);
+  m.values_ = std::move(values);
+  return m;
+}
+
+double CsrMatrix::At(int64_t i, int64_t j) const {
+  PANE_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  const RowView row = Row(i);
+  const int32_t* found =
+      std::lower_bound(row.cols, row.cols + row.length, static_cast<int32_t>(j));
+  if (found != row.cols + row.length && *found == static_cast<int32_t>(j)) {
+    return row.vals[found - row.cols];
+  }
+  return 0.0;
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> sums(static_cast<size_t>(rows_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const RowView row = Row(i);
+    double s = 0.0;
+    for (int64_t p = 0; p < row.length; ++p) s += row.vals[p];
+    sums[static_cast<size_t>(i)] = s;
+  }
+  return sums;
+}
+
+std::vector<double> CsrMatrix::ColSums() const {
+  std::vector<double> sums(static_cast<size_t>(cols_), 0.0);
+  for (size_t p = 0; p < indices_.size(); ++p) {
+    sums[static_cast<size_t>(indices_[p])] += values_[p];
+  }
+  return sums;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.indptr_.assign(static_cast<size_t>(cols_) + 1, 0);
+  t.indices_.resize(indices_.size());
+  t.values_.resize(values_.size());
+  for (int32_t c : indices_) ++t.indptr_[static_cast<size_t>(c) + 1];
+  for (size_t i = 1; i < t.indptr_.size(); ++i) t.indptr_[i] += t.indptr_[i - 1];
+  std::vector<int64_t> cursor(t.indptr_.begin(), t.indptr_.end() - 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const RowView row = Row(r);
+    for (int64_t p = 0; p < row.length; ++p) {
+      const int64_t pos = cursor[static_cast<size_t>(row.cols[p])]++;
+      t.indices_[static_cast<size_t>(pos)] = static_cast<int32_t>(r);
+      t.values_[static_cast<size_t>(pos)] = row.vals[p];
+    }
+  }
+  // Rows of the transpose are emitted in increasing source-row order, so the
+  // column indices within each row are already sorted.
+  return t;
+}
+
+CsrMatrix CsrMatrix::RowNormalized() const {
+  CsrMatrix out = *this;
+  for (int64_t i = 0; i < rows_; ++i) {
+    const int64_t begin = indptr_[static_cast<size_t>(i)];
+    const int64_t end = indptr_[static_cast<size_t>(i) + 1];
+    double s = 0.0;
+    for (int64_t p = begin; p < end; ++p) s += values_[static_cast<size_t>(p)];
+    if (s != 0.0) {
+      const double inv = 1.0 / s;
+      for (int64_t p = begin; p < end; ++p) {
+        out.values_[static_cast<size_t>(p)] *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::ColNormalized() const {
+  CsrMatrix out = *this;
+  const std::vector<double> sums = ColSums();
+  for (size_t p = 0; p < out.values_.size(); ++p) {
+    const double s = sums[static_cast<size_t>(out.indices_[p])];
+    if (s != 0.0) out.values_[p] /= s;
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::ColSlice(int64_t col_begin, int64_t col_end) const {
+  PANE_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= cols_);
+  CsrMatrix out;
+  out.rows_ = rows_;
+  out.cols_ = col_end - col_begin;
+  out.indptr_.assign(static_cast<size_t>(rows_) + 1, 0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const RowView row = Row(r);
+    // Row columns are sorted: locate the [col_begin, col_end) window.
+    const int32_t* lo = std::lower_bound(row.cols, row.cols + row.length,
+                                         static_cast<int32_t>(col_begin));
+    const int32_t* hi = std::lower_bound(lo, row.cols + row.length,
+                                         static_cast<int32_t>(col_end));
+    for (const int32_t* p = lo; p < hi; ++p) {
+      out.indices_.push_back(static_cast<int32_t>(*p - col_begin));
+      out.values_.push_back(row.vals[p - row.cols]);
+    }
+    out.indptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(out.indices_.size());
+  }
+  return out;
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const RowView row = Row(r);
+    for (int64_t p = 0; p < row.length; ++p) {
+      out(r, row.cols[p]) = row.vals[p];
+    }
+  }
+  return out;
+}
+
+void CsrMatrix::ScaleValues(double s) {
+  for (double& v : values_) v *= s;
+}
+
+std::string CsrMatrix::ToString(int max_rows) const {
+  std::string out = StrFormat(
+      "CsrMatrix %lld x %lld, nnz=%lld\n", static_cast<long long>(rows_),
+      static_cast<long long>(cols_), static_cast<long long>(nnz()));
+  const int64_t r = std::min<int64_t>(rows_, max_rows);
+  for (int64_t i = 0; i < r; ++i) {
+    const RowView row = Row(i);
+    out += StrFormat("  row %lld:", static_cast<long long>(i));
+    for (int64_t p = 0; p < row.length && p < 12; ++p) {
+      out += StrFormat(" (%d, %.3f)", row.cols[p], row.vals[p]);
+    }
+    if (row.length > 12) out += " ...";
+    out += "\n";
+  }
+  if (r < rows_) out += "  ...\n";
+  return out;
+}
+
+}  // namespace pane

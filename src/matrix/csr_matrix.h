@@ -1,0 +1,105 @@
+// Compressed sparse row matrix. Holds the graph adjacency / random-walk
+// matrix P (n x n, m non-zeros) and the node-attribute matrix R (n x d,
+// |E_R| non-zeros) — the two sparse inputs of PANE. Column indices are
+// 32-bit (n, d < 2^31), row offsets 64-bit (m may exceed 2^31).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+/// \brief One (row, col, value) entry used to assemble a CsrMatrix.
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  double value = 0.0;
+};
+
+/// \brief Immutable-after-build CSR sparse matrix of doubles.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Assembles from unordered triplets; duplicate (row, col) entries are
+  /// summed. Out-of-range indices yield InvalidArgument.
+  static Result<CsrMatrix> FromTriplets(int64_t rows, int64_t cols,
+                                        const std::vector<Triplet>& triplets);
+
+  /// Builds directly from CSR arrays (must be well-formed: indptr
+  /// non-decreasing, indices within [0, cols)).
+  static Result<CsrMatrix> FromCsrArrays(int64_t rows, int64_t cols,
+                                         std::vector<int64_t> indptr,
+                                         std::vector<int32_t> indices,
+                                         std::vector<double> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(indices_.size()); }
+
+  const std::vector<int64_t>& indptr() const { return indptr_; }
+  const std::vector<int32_t>& indices() const { return indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// \brief Zero-copy view of one row's non-zeros.
+  struct RowView {
+    int64_t length = 0;
+    const int32_t* cols = nullptr;
+    const double* vals = nullptr;
+  };
+  RowView Row(int64_t i) const {
+    const int64_t begin = indptr_[static_cast<size_t>(i)];
+    const int64_t end = indptr_[static_cast<size_t>(i) + 1];
+    return RowView{end - begin, indices_.data() + begin,
+                   values_.data() + begin};
+  }
+
+  int64_t RowNnz(int64_t i) const {
+    return indptr_[static_cast<size_t>(i) + 1] - indptr_[static_cast<size_t>(i)];
+  }
+
+  /// Element lookup via binary search within the row; O(log nnz(row)).
+  double At(int64_t i, int64_t j) const;
+
+  /// Per-row sums of values.
+  std::vector<double> RowSums() const;
+
+  /// Per-column sums of values.
+  std::vector<double> ColSums() const;
+
+  /// Transpose (CSC of this matrix re-expressed as CSR).
+  CsrMatrix Transposed() const;
+
+  /// Row-stochastic copy: each row divided by its sum (Equation 1, Rr; also
+  /// the random-walk matrix P = D^-1 A). Zero rows are left all-zero.
+  CsrMatrix RowNormalized() const;
+
+  /// Column-normalized copy: each column divided by its sum (Equation 1, Rc).
+  /// Zero columns are left all-zero.
+  CsrMatrix ColNormalized() const;
+
+  /// Copy containing only columns [col_begin, col_end), reindexed to start
+  /// at 0 (the Rr[:, Ri] blocks of Algorithm 6).
+  CsrMatrix ColSlice(int64_t col_begin, int64_t col_end) const;
+
+  /// Densifies (small matrices / tests only).
+  DenseMatrix ToDense() const;
+
+  /// Scales all values in place.
+  void ScaleValues(double s);
+
+  std::string ToString(int max_rows = 8) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> indptr_;   // size rows_ + 1
+  std::vector<int32_t> indices_;  // size nnz, sorted within each row
+  std::vector<double> values_;    // size nnz
+};
+
+}  // namespace pane

@@ -1,0 +1,179 @@
+#include "src/matrix/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/string_util.h"
+
+namespace pane {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0) {
+  PANE_CHECK(rows >= 0 && cols >= 0);
+}
+
+DenseMatrix::DenseMatrix(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int64_t>(rows.size());
+  cols_ = rows_ > 0 ? static_cast<int64_t>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<size_t>(rows_ * cols_));
+  for (const auto& r : rows) {
+    PANE_CHECK(static_cast<int64_t>(r.size()) == cols_)
+        << "ragged initializer list";
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+void DenseMatrix::Resize(int64_t rows, int64_t cols) {
+  PANE_CHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<size_t>(rows * cols), 0.0);
+}
+
+void DenseMatrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void DenseMatrix::FillGaussian(Rng* rng, double mean, double stddev) {
+  for (double& x : data_) x = rng->Gaussian(mean, stddev);
+}
+
+void DenseMatrix::FillUniform(Rng* rng, double lo, double hi) {
+  for (double& x : data_) x = rng->UniformDouble(lo, hi);
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  constexpr int64_t kBlock = 64;  // cache-blocked transpose
+  for (int64_t ib = 0; ib < rows_; ib += kBlock) {
+    const int64_t imax = std::min(ib + kBlock, rows_);
+    for (int64_t jb = 0; jb < cols_; jb += kBlock) {
+      const int64_t jmax = std::min(jb + kBlock, cols_);
+      for (int64_t i = ib; i < imax; ++i) {
+        for (int64_t j = jb; j < jmax; ++j) {
+          out(j, i) = (*this)(i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::RowBlock(int64_t row_begin, int64_t row_end) const {
+  PANE_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= rows_);
+  DenseMatrix out(row_end - row_begin, cols_);
+  std::copy(Row(row_begin), Row(row_begin) + (row_end - row_begin) * cols_,
+            out.data());
+  return out;
+}
+
+DenseMatrix DenseMatrix::ColBlock(int64_t col_begin, int64_t col_end) const {
+  PANE_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= cols_);
+  DenseMatrix out(rows_, col_end - col_begin);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* src = Row(i) + col_begin;
+    std::copy(src, src + (col_end - col_begin), out.Row(i));
+  }
+  return out;
+}
+
+void DenseMatrix::SetBlock(int64_t row_begin, int64_t col_begin,
+                           const DenseMatrix& block) {
+  PANE_CHECK(row_begin + block.rows() <= rows_ &&
+             col_begin + block.cols() <= cols_)
+      << "block out of bounds";
+  for (int64_t i = 0; i < block.rows(); ++i) {
+    std::copy(block.Row(i), block.Row(i) + block.cols(),
+              Row(row_begin + i) + col_begin);
+  }
+}
+
+void DenseMatrix::Scale(double s) {
+  for (double& x : data_) x *= s;
+}
+
+void DenseMatrix::Add(const DenseMatrix& other) {
+  PANE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void DenseMatrix::Sub(const DenseMatrix& other) {
+  PANE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void DenseMatrix::Axpy(double s, const DenseMatrix& other) {
+  PANE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double DenseMatrix::Sum() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x;
+  return sum;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {
+  PANE_CHECK(SameShape(other));
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+std::vector<double> DenseMatrix::ColumnSums() const {
+  std::vector<double> sums(static_cast<size_t>(cols_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (int64_t j = 0; j < cols_; ++j) sums[static_cast<size_t>(j)] += row[j];
+  }
+  return sums;
+}
+
+std::vector<double> DenseMatrix::RowSums() const {
+  std::vector<double> sums(static_cast<size_t>(rows_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    double s = 0.0;
+    for (int64_t j = 0; j < cols_; ++j) s += row[j];
+    sums[static_cast<size_t>(i)] = s;
+  }
+  return sums;
+}
+
+std::string DenseMatrix::ToString(int max_rows, int max_cols) const {
+  std::string out =
+      StrFormat("DenseMatrix %lld x %lld\n", static_cast<long long>(rows_),
+                static_cast<long long>(cols_));
+  const int64_t r = std::min<int64_t>(rows_, max_rows);
+  const int64_t c = std::min<int64_t>(cols_, max_cols);
+  for (int64_t i = 0; i < r; ++i) {
+    out += "  [";
+    for (int64_t j = 0; j < c; ++j) {
+      out += StrFormat("%9.4f", (*this)(i, j));
+      if (j + 1 < c) out += " ";
+    }
+    if (c < cols_) out += " ...";
+    out += "]\n";
+  }
+  if (r < rows_) out += "  ...\n";
+  return out;
+}
+
+DenseMatrix DenseMatrix::Identity(int64_t n) {
+  DenseMatrix out(n, n);
+  for (int64_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+}  // namespace pane

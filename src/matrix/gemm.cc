@@ -1,0 +1,115 @@
+#include "src/matrix/gemm.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/matrix/vector_ops.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace {
+
+// Rows [begin, end) of C = A * B, i-k-j order (unit-stride inner loop).
+void GemmRows(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+              int64_t begin, int64_t end) {
+  const int64_t inner = a.cols();
+  const int64_t k = b.cols();
+  for (int64_t i = begin; i < end; ++i) {
+    double* c_row = c->Row(i);
+    std::fill(c_row, c_row + k, 0.0);
+    const double* a_row = a.Row(i);
+    for (int64_t p = 0; p < inner; ++p) {
+      const double v = a_row[p];
+      if (v == 0.0) continue;
+      const double* b_row = b.Row(p);
+      for (int64_t j = 0; j < k; ++j) c_row[j] += v * b_row[j];
+    }
+  }
+}
+
+// Rows [begin, end) of C = A * B^T via row-row dot products.
+void GemmTransBRows(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+                    int64_t begin, int64_t end) {
+  const int64_t inner = a.cols();
+  const int64_t k = b.rows();
+  for (int64_t i = begin; i < end; ++i) {
+    double* c_row = c->Row(i);
+    const double* a_row = a.Row(i);
+    for (int64_t j = 0; j < k; ++j) {
+      c_row[j] = Dot(a_row, b.Row(j), inner);
+    }
+  }
+}
+
+void GemmTransBAddScaledRows(const DenseMatrix& a, const DenseMatrix& b,
+                             double alpha, const DenseMatrix& c0, double beta,
+                             DenseMatrix* c, int64_t begin, int64_t end) {
+  const int64_t inner = a.cols();
+  const int64_t k = b.rows();
+  for (int64_t i = begin; i < end; ++i) {
+    double* c_row = c->Row(i);
+    const double* a_row = a.Row(i);
+    const double* c0_row = c0.Row(i);
+    for (int64_t j = 0; j < k; ++j) {
+      c_row[j] = alpha * Dot(a_row, b.Row(j), inner) + beta * c0_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+          ThreadPool* pool) {
+  PANE_CHECK(a.cols() == b.rows()) << "Gemm shape mismatch";
+  PANE_CHECK(c != &a && c != &b) << "Gemm cannot run in place";
+  c->Resize(a.rows(), b.cols());
+  if (pool == nullptr || pool->num_threads() == 1 || a.rows() == 1) {
+    GemmRows(a, b, c, 0, a.rows());
+    return;
+  }
+  ParallelFor(pool, 0, a.rows(), [&](int64_t begin, int64_t end) {
+    GemmRows(a, b, c, begin, end);
+  });
+}
+
+void GemmTransA(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+                ThreadPool* pool) {
+  PANE_CHECK(a.rows() == b.rows()) << "GemmTransA shape mismatch";
+  // A^T is small x large in our call sites (A is tall-skinny); an explicit
+  // transpose keeps the kernel at unit stride and costs O(A) extra memory,
+  // negligible next to the n x d matrices around it.
+  const DenseMatrix at = a.Transposed();
+  Gemm(at, b, c, pool);
+}
+
+void GemmTransB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+                ThreadPool* pool) {
+  PANE_CHECK(a.cols() == b.cols()) << "GemmTransB shape mismatch";
+  PANE_CHECK(c != &a && c != &b) << "GemmTransB cannot run in place";
+  c->Resize(a.rows(), b.rows());
+  if (pool == nullptr || pool->num_threads() == 1 || a.rows() == 1) {
+    GemmTransBRows(a, b, c, 0, a.rows());
+    return;
+  }
+  ParallelFor(pool, 0, a.rows(), [&](int64_t begin, int64_t end) {
+    GemmTransBRows(a, b, c, begin, end);
+  });
+}
+
+void GemmTransBAddScaled(const DenseMatrix& a, const DenseMatrix& b,
+                         double alpha, const DenseMatrix& c0, double beta,
+                         DenseMatrix* c, ThreadPool* pool) {
+  PANE_CHECK(a.cols() == b.cols());
+  PANE_CHECK(c0.rows() == a.rows() && c0.cols() == b.rows());
+  PANE_CHECK(c != &a && c != &b && c != &c0);
+  c->Resize(a.rows(), b.rows());
+  if (pool == nullptr || pool->num_threads() == 1 || a.rows() == 1) {
+    GemmTransBAddScaledRows(a, b, alpha, c0, beta, c, 0, a.rows());
+    return;
+  }
+  ParallelFor(pool, 0, a.rows(), [&](int64_t begin, int64_t end) {
+    GemmTransBAddScaledRows(a, b, alpha, c0, beta, c, begin, end);
+  });
+}
+
+}  // namespace pane

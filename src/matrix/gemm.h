@@ -1,0 +1,30 @@
+// Dense matrix-multiply kernels used by randomized SVD (Q^T A, A Omega),
+// greedy initialization (Xf = U Sigma, Xb = B' Y), and residual formation
+// (Sf = Xf Y^T - F'). Cache-aware loop orders, optionally row-parallel.
+#pragma once
+
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+class ThreadPool;
+
+/// C = A * B. C resized to (A.rows, B.cols).
+void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+          ThreadPool* pool = nullptr);
+
+/// C = A^T * B. C resized to (A.cols, B.cols).
+void GemmTransA(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+                ThreadPool* pool = nullptr);
+
+/// C = A * B^T. C resized to (A.rows, B.rows).
+void GemmTransB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+                ThreadPool* pool = nullptr);
+
+/// C = alpha * A * B^T + beta * C0, with C0 given (C resized; used for
+/// residuals Sf = Xf Y^T - F' in one pass: alpha=1, beta=-1, c0=F').
+void GemmTransBAddScaled(const DenseMatrix& a, const DenseMatrix& b,
+                         double alpha, const DenseMatrix& c0, double beta,
+                         DenseMatrix* c, ThreadPool* pool = nullptr);
+
+}  // namespace pane

@@ -1,0 +1,115 @@
+#include "src/matrix/qr.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/matrix/vector_ops.h"
+
+namespace pane {
+namespace {
+
+constexpr double kRankTolerance = 1e-12;
+
+// Columns live contiguously in a column-major scratch buffer so the MGS
+// inner products run at unit stride.
+struct ColMajor {
+  int64_t rows;
+  int64_t cols;
+  std::vector<double> data;
+
+  explicit ColMajor(const DenseMatrix& a)
+      : rows(a.rows()), cols(a.cols()),
+        data(static_cast<size_t>(rows * cols)) {
+    for (int64_t i = 0; i < rows; ++i) {
+      const double* row = a.Row(i);
+      for (int64_t j = 0; j < cols; ++j) {
+        data[static_cast<size_t>(j * rows + i)] = row[j];
+      }
+    }
+  }
+
+  double* Col(int64_t j) { return data.data() + j * rows; }
+  const double* Col(int64_t j) const { return data.data() + j * rows; }
+
+  DenseMatrix ToRowMajor() const {
+    DenseMatrix out(rows, cols);
+    for (int64_t j = 0; j < cols; ++j) {
+      const double* col = Col(j);
+      for (int64_t i = 0; i < rows; ++i) out(i, j) = col[i];
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Status ThinQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r, Rng* rng) {
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  if (n < c) {
+    return Status::InvalidArgument("ThinQr requires rows >= cols");
+  }
+  if (c == 0) {
+    q->Resize(n, 0);
+    if (r != nullptr) r->Resize(0, 0);
+    return Status::OK();
+  }
+
+  ColMajor work(a);
+  if (r != nullptr) r->Resize(c, c);
+  Rng fallback_rng(0x9d2c5680u);
+  Rng* rand = rng != nullptr ? rng : &fallback_rng;
+
+  for (int64_t j = 0; j < c; ++j) {
+    double* v = work.Col(j);
+    const double orig_norm = Norm2(v, n);
+    // Two MGS passes against the already-formed basis.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int64_t i = 0; i < j; ++i) {
+        const double* qi = work.Col(i);
+        const double rij = Dot(qi, v, n);
+        Axpy(-rij, qi, v, n);
+        if (r != nullptr) (*r)(i, j) += rij;
+      }
+    }
+    double norm = Norm2(v, n);
+    if (norm > kRankTolerance * std::max(1.0, orig_norm)) {
+      Scal(1.0 / norm, v, n);
+      if (r != nullptr) (*r)(j, j) = norm;
+      continue;
+    }
+    // Rank-deficient column: substitute a random direction orthogonal to the
+    // basis so Q keeps full column rank (R gets a zero diagonal entry).
+    if (r != nullptr) (*r)(j, j) = 0.0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      for (int64_t i = 0; i < n; ++i) v[i] = rand->Gaussian();
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int64_t i = 0; i < j; ++i) {
+          const double* qi = work.Col(i);
+          Axpy(-Dot(qi, v, n), qi, v, n);
+        }
+      }
+      norm = Norm2(v, n);
+      if (norm > 1e-6) {
+        Scal(1.0 / norm, v, n);
+        break;
+      }
+    }
+    if (norm <= 1e-6) {
+      return Status::NumericError("ThinQr could not complete a basis column");
+    }
+  }
+
+  *q = work.ToRowMajor();
+  return Status::OK();
+}
+
+Status OrthonormalizeColumns(DenseMatrix* q, Rng* rng) {
+  DenseMatrix out;
+  PANE_RETURN_NOT_OK(ThinQr(*q, &out, /*r=*/nullptr, rng));
+  *q = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace pane

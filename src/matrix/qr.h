@@ -1,0 +1,28 @@
+// Thin QR factorization of tall-skinny matrices (n x r with r << n), the
+// re-orthonormalization step inside the randomized SVD power iteration.
+#pragma once
+
+#include "src/common/status.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+class Rng;
+
+/// \brief Computes a thin QR of `a` (rows >= cols required): a = Q R with
+/// Q orthonormal columns (same shape as a) and R upper-triangular r x r.
+///
+/// Uses modified Gram-Schmidt with a second re-orthogonalization pass
+/// ("twice is enough"), which matches Householder accuracy for the
+/// conditioning seen in randomized sketches. Rank-deficient columns are
+/// replaced by random directions re-orthogonalized against the basis, so Q
+/// always has full column rank; the corresponding R entries are zero.
+///
+/// `r` may be nullptr when only Q is needed.
+Status ThinQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r,
+              Rng* rng = nullptr);
+
+/// In-place variant: orthonormalizes the columns of `q` (rows >= cols).
+Status OrthonormalizeColumns(DenseMatrix* q, Rng* rng = nullptr);
+
+}  // namespace pane

@@ -1,0 +1,41 @@
+// Randomized truncated SVD (the RandSVD of Algorithm 3 / 7, citing
+// Musco & Musco [30]). We implement randomized subspace (simultaneous power)
+// iteration with Gaussian sketching and oversampling: for matrices whose
+// spectrum decays — which the log-scaled affinity matrices F', B' do — its
+// accuracy matches the block-Krylov variant at the iteration counts PANE
+// uses, while needing one n x (k+p) panel instead of a q-times-wider one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+class ThreadPool;
+
+struct RandSvdOptions {
+  /// Extra sketch columns beyond the k requested (accuracy buffer).
+  int oversample = 8;
+  /// Power-iteration count (the paper passes its t here).
+  int power_iters = 6;
+  /// Sketch seed; fixed default keeps runs reproducible.
+  uint64_t seed = 0x7a9e5eedULL;
+  /// Optional pool for the GEMMs inside the iteration.
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief Rank-k randomized SVD: a ~= U diag(sigma) V^T.
+///
+/// U is (a.rows x k) with orthonormal columns, sigma has k non-increasing
+/// entries, V is (a.cols x k) with orthonormal columns. If k exceeds
+/// min(rows, cols), the surplus columns of U and V are filled with random
+/// orthonormal directions and sigma entries are 0 — so downstream consumers
+/// (GreedyInit) can rely on U, V always having exactly k orthonormal
+/// columns regardless of input rank.
+Status RandSvd(const DenseMatrix& a, int k, const RandSvdOptions& options,
+               DenseMatrix* u, std::vector<double>* sigma, DenseMatrix* v);
+
+}  // namespace pane

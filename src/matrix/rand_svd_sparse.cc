@@ -1,0 +1,81 @@
+#include "src/matrix/rand_svd_sparse.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/matrix/gemm.h"
+#include "src/matrix/qr.h"
+#include "src/matrix/spmm.h"
+#include "src/matrix/svd.h"
+
+namespace pane {
+
+Status RandSvdSparse(const CsrMatrix& a, const CsrMatrix& a_transposed, int k,
+                     const RandSvdOptions& options, DenseMatrix* u,
+                     std::vector<double>* sigma, DenseMatrix* v) {
+  const int64_t n = a.rows();
+  const int64_t d = a.cols();
+  if (k <= 0) return Status::InvalidArgument("RandSvdSparse requires k > 0");
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("RandSvdSparse on an empty matrix");
+  }
+  if (a_transposed.rows() != d || a_transposed.cols() != n) {
+    return Status::InvalidArgument("a_transposed shape mismatch");
+  }
+
+  const int64_t max_rank = std::min(n, d);
+  const int64_t r =
+      std::min<int64_t>(static_cast<int64_t>(k) + options.oversample, max_rank);
+  Rng rng(options.seed);
+
+  DenseMatrix omega(d, r);
+  omega.FillGaussian(&rng);
+  DenseMatrix y;
+  SpMM(a, omega, &y, options.pool);
+  DenseMatrix q;
+  PANE_RETURN_NOT_OK(ThinQr(y, &q, nullptr, &rng));
+
+  DenseMatrix z, qz;
+  for (int iter = 0; iter < options.power_iters; ++iter) {
+    SpMM(a_transposed, q, &z, options.pool);
+    PANE_RETURN_NOT_OK(ThinQr(z, &qz, nullptr, &rng));
+    SpMM(a, qz, &y, options.pool);
+    PANE_RETURN_NOT_OK(ThinQr(y, &q, nullptr, &rng));
+  }
+
+  // B^T = A^T Q (d x r); its thin SVD gives the small core directly.
+  DenseMatrix bt;
+  SpMM(a_transposed, q, &bt, options.pool);
+  DenseMatrix w;
+  std::vector<double> sig;
+  DenseMatrix zz;
+  PANE_RETURN_NOT_OK(JacobiSvd(bt, &w, &sig, &zz));
+
+  DenseMatrix u_full;
+  Gemm(q, zz, &u_full, options.pool);
+
+  const int64_t kept = std::min<int64_t>(k, r);
+  u->Resize(n, k);
+  v->Resize(d, k);
+  sigma->assign(static_cast<size_t>(k), 0.0);
+  for (int64_t j = 0; j < kept; ++j) {
+    (*sigma)[static_cast<size_t>(j)] = sig[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < n; ++i) (*u)(i, j) = u_full(i, j);
+    for (int64_t i = 0; i < d; ++i) (*v)(i, j) = w(i, j);
+  }
+  if (kept < k) {
+    for (int64_t j = kept; j < k; ++j) {
+      if (k <= n) {
+        for (int64_t i = 0; i < n; ++i) (*u)(i, j) = rng.Gaussian();
+      }
+      if (k <= d) {
+        for (int64_t i = 0; i < d; ++i) (*v)(i, j) = rng.Gaussian();
+      }
+    }
+    if (k <= n) PANE_RETURN_NOT_OK(OrthonormalizeColumns(u, &rng));
+    if (k <= d) PANE_RETURN_NOT_OK(OrthonormalizeColumns(v, &rng));
+  }
+  return Status::OK();
+}
+
+}  // namespace pane

@@ -1,0 +1,22 @@
+// Randomized SVD over a CSR matrix (sketching via SpMM instead of GEMM).
+// Used by the baselines that factorize the adjacency / random-walk matrix
+// directly (NRP, TADW, BANE), where densifying the n x n input is exactly
+// the scalability failure the paper attributes to prior methods.
+#pragma once
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/matrix/csr_matrix.h"
+#include "src/matrix/rand_svd.h"
+
+namespace pane {
+
+/// \brief Rank-k randomized SVD of sparse `a`: a ~= U diag(sigma) V^T.
+/// \param a_transposed A^T prebuilt by the caller (A^T Q products).
+/// Semantics of the outputs match RandSvd().
+Status RandSvdSparse(const CsrMatrix& a, const CsrMatrix& a_transposed, int k,
+                     const RandSvdOptions& options, DenseMatrix* u,
+                     std::vector<double>* sigma, DenseMatrix* v);
+
+}  // namespace pane

@@ -1,0 +1,90 @@
+#include "src/matrix/spmm.h"
+
+#include "src/common/logging.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace {
+
+// Computes rows [row_begin, row_end) of out = A * X.
+void SpMMRows(const CsrMatrix& a, const DenseMatrix& x, DenseMatrix* out,
+              int64_t row_begin, int64_t row_end) {
+  const int64_t k = x.cols();
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    double* out_row = out->Row(i);
+    std::fill(out_row, out_row + k, 0.0);
+    const CsrMatrix::RowView row = a.Row(i);
+    for (int64_t p = 0; p < row.length; ++p) {
+      const double v = row.vals[p];
+      const double* x_row = x.Row(row.cols[p]);
+      for (int64_t j = 0; j < k; ++j) out_row[j] += v * x_row[j];
+    }
+  }
+}
+
+// Computes rows [row_begin, row_end) of out = alpha * A * X + beta * Y.
+void SpMMAddScaledRows(const CsrMatrix& a, const DenseMatrix& x, double alpha,
+                       const DenseMatrix& y, double beta, DenseMatrix* out,
+                       int64_t row_begin, int64_t row_end) {
+  const int64_t k = x.cols();
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    double* out_row = out->Row(i);
+    const double* y_row = y.Row(i);
+    for (int64_t j = 0; j < k; ++j) out_row[j] = beta * y_row[j];
+    const CsrMatrix::RowView row = a.Row(i);
+    for (int64_t p = 0; p < row.length; ++p) {
+      const double v = alpha * row.vals[p];
+      const double* x_row = x.Row(row.cols[p]);
+      for (int64_t j = 0; j < k; ++j) out_row[j] += v * x_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+void SpMM(const CsrMatrix& a, const DenseMatrix& x, DenseMatrix* out,
+          ThreadPool* pool) {
+  PANE_CHECK(a.cols() == x.rows())
+      << "SpMM shape mismatch: " << a.cols() << " vs " << x.rows();
+  PANE_CHECK(out != &x) << "SpMM cannot run in place";
+  out->Resize(a.rows(), x.cols());
+  if (pool == nullptr || pool->num_threads() == 1) {
+    SpMMRows(a, x, out, 0, a.rows());
+    return;
+  }
+  ParallelFor(pool, 0, a.rows(), [&](int64_t begin, int64_t end) {
+    SpMMRows(a, x, out, begin, end);
+  });
+}
+
+void SpMMAddScaled(const CsrMatrix& a, const DenseMatrix& x, double alpha,
+                   const DenseMatrix& y, double beta, DenseMatrix* out,
+                   ThreadPool* pool) {
+  PANE_CHECK(a.cols() == x.rows());
+  PANE_CHECK(y.rows() == a.rows() && y.cols() == x.cols());
+  PANE_CHECK(out != &x && out != &y) << "SpMMAddScaled cannot run in place";
+  out->Resize(a.rows(), x.cols());
+  if (pool == nullptr || pool->num_threads() == 1) {
+    SpMMAddScaledRows(a, x, alpha, y, beta, out, 0, a.rows());
+    return;
+  }
+  ParallelFor(pool, 0, a.rows(), [&](int64_t begin, int64_t end) {
+    SpMMAddScaledRows(a, x, alpha, y, beta, out, begin, end);
+  });
+}
+
+void SpMV(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>* y) {
+  PANE_CHECK(static_cast<int64_t>(x.size()) == a.cols());
+  y->assign(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const CsrMatrix::RowView row = a.Row(i);
+    double s = 0.0;
+    for (int64_t p = 0; p < row.length; ++p) {
+      s += row.vals[p] * x[static_cast<size_t>(row.cols[p])];
+    }
+    (*y)[static_cast<size_t>(i)] = s;
+  }
+}
+
+}  // namespace pane

@@ -1,0 +1,29 @@
+// Sparse-times-dense kernels. The APMI iteration (Algorithm 2, lines 4-5)
+// is Pf <- (1-a) * P * Pf + a * Pf0, i.e. repeated CSR x dense multiplies;
+// these kernels are where PANE spends its O(md log(1/eps)) affinity phase.
+#pragma once
+
+#include "src/matrix/csr_matrix.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+class ThreadPool;
+
+/// out = A * X. out is resized to (A.rows, X.cols). If pool is non-null the
+/// multiply is row-parallel across the pool's workers.
+void SpMM(const CsrMatrix& a, const DenseMatrix& x, DenseMatrix* out,
+          ThreadPool* pool = nullptr);
+
+/// out = alpha * (A * X) + beta * Y; shapes: A (r x c), X (c x k),
+/// Y (r x k). This fused form implements one APMI iteration in a single
+/// pass (beta * Y adds the restart term).
+void SpMMAddScaled(const CsrMatrix& a, const DenseMatrix& x, double alpha,
+                   const DenseMatrix& y, double beta, DenseMatrix* out,
+                   ThreadPool* pool = nullptr);
+
+/// y = A * x for a dense vector x (length A.cols); y resized to A.rows.
+void SpMV(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>* y);
+
+}  // namespace pane

@@ -1,0 +1,214 @@
+#include "src/matrix/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/matrix/gemm.h"
+#include "src/matrix/vector_ops.h"
+
+namespace pane {
+namespace {
+
+constexpr int kMaxSweeps = 60;
+constexpr double kOrthTolerance = 1e-14;
+
+}  // namespace
+
+Status JacobiSvd(const DenseMatrix& a, DenseMatrix* u,
+                 std::vector<double>* sigma, DenseMatrix* v) {
+  const int64_t n = a.rows();
+  const int64_t c = a.cols();
+  if (n < c) {
+    return Status::InvalidArgument("JacobiSvd requires rows >= cols");
+  }
+  if (c == 0) {
+    u->Resize(n, 0);
+    sigma->clear();
+    v->Resize(0, 0);
+    return Status::OK();
+  }
+
+  // Column-major working copy of A; rotations act on contiguous columns.
+  std::vector<double> w(static_cast<size_t>(n * c));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      w[static_cast<size_t>(j * n + i)] = a(i, j);
+    }
+  }
+  // V accumulates the right rotations, also column-major.
+  std::vector<double> vw(static_cast<size_t>(c * c), 0.0);
+  for (int64_t j = 0; j < c; ++j) vw[static_cast<size_t>(j * c + j)] = 1.0;
+
+  auto col = [&](int64_t j) { return w.data() + j * n; };
+  auto vcol = [&](int64_t j) { return vw.data() + j * c; };
+
+  bool converged = false;
+  for (int sweep = 0; sweep < kMaxSweeps && !converged; ++sweep) {
+    converged = true;
+    for (int64_t p = 0; p < c - 1; ++p) {
+      for (int64_t q = p + 1; q < c; ++q) {
+        double* wp = col(p);
+        double* wq = col(q);
+        const double app = SquaredNorm(wp, n);
+        const double aqq = SquaredNorm(wq, n);
+        const double apq = Dot(wp, wq, n);
+        if (app == 0.0 || aqq == 0.0) continue;
+        if (std::fabs(apq) <= kOrthTolerance * std::sqrt(app * aqq)) continue;
+        converged = false;
+        // Rotation angle zeroing the (p, q) Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (int64_t i = 0; i < n; ++i) {
+          const double xp = wp[i];
+          const double xq = wq[i];
+          wp[i] = cs * xp - sn * xq;
+          wq[i] = sn * xp + cs * xq;
+        }
+        double* vp = vcol(p);
+        double* vq = vcol(q);
+        for (int64_t i = 0; i < c; ++i) {
+          const double xp = vp[i];
+          const double xq = vq[i];
+          vp[i] = cs * xp - sn * xq;
+          vq[i] = sn * xp + cs * xq;
+        }
+      }
+    }
+  }
+
+  // Extract singular values and sort non-increasing.
+  std::vector<double> norms(static_cast<size_t>(c));
+  for (int64_t j = 0; j < c; ++j) norms[static_cast<size_t>(j)] = Norm2(col(j), n);
+  std::vector<int64_t> order(static_cast<size_t>(c));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return norms[static_cast<size_t>(x)] > norms[static_cast<size_t>(y)];
+  });
+
+  sigma->resize(static_cast<size_t>(c));
+  u->Resize(n, c);
+  v->Resize(c, c);
+  Rng fill_rng(0x5bd1e995u);
+  for (int64_t jj = 0; jj < c; ++jj) {
+    const int64_t j = order[static_cast<size_t>(jj)];
+    const double s = norms[static_cast<size_t>(j)];
+    (*sigma)[static_cast<size_t>(jj)] = s;
+    const double* wj = col(j);
+    const double* vj = vcol(j);
+    if (s > 0.0) {
+      const double inv = 1.0 / s;
+      for (int64_t i = 0; i < n; ++i) (*u)(i, jj) = wj[i] * inv;
+    } else {
+      // Null singular direction: complete U with a random unit vector made
+      // orthogonal to the previously emitted columns so U stays orthonormal.
+      std::vector<double> tmp(static_cast<size_t>(n));
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        for (int64_t i = 0; i < n; ++i) tmp[static_cast<size_t>(i)] = fill_rng.Gaussian();
+        for (int64_t prev = 0; prev < jj; ++prev) {
+          double dot = 0.0;
+          for (int64_t i = 0; i < n; ++i) dot += tmp[static_cast<size_t>(i)] * (*u)(i, prev);
+          for (int64_t i = 0; i < n; ++i) tmp[static_cast<size_t>(i)] -= dot * (*u)(i, prev);
+        }
+        const double norm = Norm2(tmp.data(), n);
+        if (norm > 1e-6) {
+          for (int64_t i = 0; i < n; ++i) (*u)(i, jj) = tmp[static_cast<size_t>(i)] / norm;
+          break;
+        }
+      }
+    }
+    for (int64_t i = 0; i < c; ++i) (*v)(i, jj) = vj[i];
+  }
+  return Status::OK();
+}
+
+Status JacobiEigenSymmetric(const DenseMatrix& s, DenseMatrix* v,
+                            std::vector<double>* lambda) {
+  const int64_t n = s.rows();
+  if (s.cols() != n) {
+    return Status::InvalidArgument("JacobiEigenSymmetric requires square input");
+  }
+  DenseMatrix a = s;  // working copy, symmetric
+  *v = DenseMatrix::Identity(n);
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (std::sqrt(off) <= 1e-13 * std::max(1.0, a.FrobeniusNorm())) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double tau = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (int64_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = cs * aip - sn * aiq;
+          a(i, q) = sn * aip + cs * aiq;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double api = a(p, i);
+          const double aqi = a(q, i);
+          a(p, i) = cs * api - sn * aqi;
+          a(q, i) = sn * api + cs * aqi;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double vip = (*v)(i, p);
+          const double viq = (*v)(i, q);
+          (*v)(i, p) = cs * vip - sn * viq;
+          (*v)(i, q) = sn * vip + cs * viq;
+        }
+      }
+    }
+  }
+
+  lambda->resize(static_cast<size_t>(n));
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) diag[static_cast<size_t>(i)] = a(i, i);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return diag[static_cast<size_t>(x)] > diag[static_cast<size_t>(y)];
+  });
+  DenseMatrix sorted_v(n, n);
+  for (int64_t jj = 0; jj < n; ++jj) {
+    const int64_t j = order[static_cast<size_t>(jj)];
+    (*lambda)[static_cast<size_t>(jj)] = diag[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < n; ++i) sorted_v(i, jj) = (*v)(i, j);
+  }
+  *v = std::move(sorted_v);
+  return Status::OK();
+}
+
+Status InvertSymmetricPsd(const DenseMatrix& s, double ridge,
+                          DenseMatrix* inverse) {
+  if (ridge <= 0.0) {
+    return Status::InvalidArgument("ridge must be positive");
+  }
+  DenseMatrix v;
+  std::vector<double> lambda;
+  PANE_RETURN_NOT_OK(JacobiEigenSymmetric(s, &v, &lambda));
+  const int64_t n = s.rows();
+  // inverse = V diag(1/(lambda + ridge)) V^T
+  DenseMatrix scaled = v;  // columns scaled by 1/(lambda_j + ridge)
+  for (int64_t j = 0; j < n; ++j) {
+    const double denom = std::max(lambda[static_cast<size_t>(j)], 0.0) + ridge;
+    const double inv = 1.0 / denom;
+    for (int64_t i = 0; i < n; ++i) scaled(i, j) *= inv;
+  }
+  GemmTransB(scaled, v, inverse);
+  return Status::OK();
+}
+
+}  // namespace pane

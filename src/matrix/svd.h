@@ -1,0 +1,37 @@
+// Deterministic SVD / symmetric eigendecomposition via Jacobi rotations.
+// These handle the small "core" factorizations that the randomized SVD
+// (rand_svd.h) reduces to, plus exact reference decompositions in tests.
+#pragma once
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+/// \brief Thin SVD of a tall (rows >= cols) matrix: a = U diag(sigma) V^T.
+///
+/// One-sided Jacobi: rotates column pairs of `a` until mutually orthogonal.
+/// Singular values are returned in non-increasing order; U is rows x cols
+/// with orthonormal columns, V is cols x cols orthogonal. Accuracy is at
+/// machine-precision level; cost O(rows * cols^2 * sweeps), which is fine
+/// for the cols <= a few hundred regime PANE needs.
+Status JacobiSvd(const DenseMatrix& a, DenseMatrix* u,
+                 std::vector<double>* sigma, DenseMatrix* v);
+
+/// \brief Eigendecomposition of a symmetric matrix: s = V diag(lambda) V^T.
+///
+/// Classic two-sided Jacobi. Eigenvalues are returned in non-increasing
+/// order with matching eigenvector columns.
+Status JacobiEigenSymmetric(const DenseMatrix& s, DenseMatrix* v,
+                            std::vector<double>* lambda);
+
+/// \brief (Pseudo-)inverse of a symmetric PSD matrix with Tikhonov ridge:
+/// inv = V diag(1 / (lambda + ridge)) V^T. Eigenvalues below `ridge` are
+/// regularized rather than exploded, so this is safe for the normal-equation
+/// solves in the ALS baselines (TADW).
+Status InvertSymmetricPsd(const DenseMatrix& s, double ridge,
+                          DenseMatrix* inverse);
+
+}  // namespace pane

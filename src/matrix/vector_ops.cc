@@ -1,0 +1,45 @@
+#include "src/matrix/vector_ops.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace pane {
+
+double Dot(const double* x, const double* y, int64_t n) {
+  // 4-way unrolled accumulation; with -O3 -march=native this vectorizes.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void Axpy(double a, const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void Scal(double a, double* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+double SquaredNorm(const double* x, int64_t n) { return Dot(x, x, n); }
+
+double Norm2(const double* x, int64_t n) { return std::sqrt(SquaredNorm(x, n)); }
+
+void Copy(const double* src, double* dst, int64_t n) {
+  std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(double));
+}
+
+double NormalizeL2(double* x, int64_t n) {
+  const double norm = Norm2(x, n);
+  if (norm > 0.0) Scal(1.0 / norm, x, n);
+  return norm;
+}
+
+}  // namespace pane

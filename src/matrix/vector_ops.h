@@ -1,0 +1,32 @@
+// Raw-pointer BLAS-1 kernels used on the hot paths of the CCD solver
+// (Equations 13-20) and the Jacobi/QR routines. Kept free of bounds checks;
+// callers own shape correctness.
+#pragma once
+
+#include <cstdint>
+
+namespace pane {
+
+/// sum_i x[i] * y[i]
+double Dot(const double* x, const double* y, int64_t n);
+
+/// y += a * x
+void Axpy(double a, const double* x, double* y, int64_t n);
+
+/// x *= a
+void Scal(double a, double* x, int64_t n);
+
+/// sqrt(sum x_i^2)
+double Norm2(const double* x, int64_t n);
+
+/// sum x_i^2
+double SquaredNorm(const double* x, int64_t n);
+
+/// dst = src (memcpy semantics)
+void Copy(const double* src, double* dst, int64_t n);
+
+/// Normalizes x to unit L2 norm; returns the original norm. A zero vector is
+/// left unchanged and 0 is returned.
+double NormalizeL2(double* x, int64_t n);
+
+}  // namespace pane

@@ -1,0 +1,103 @@
+#include "src/parallel/thread_pool.h"
+
+#include "src/common/logging.h"
+
+namespace pane {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  if (num_threads_ == 1) return;  // inline mode: no workers
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (num_threads_ == 1) {
+    task();  // inline execution
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PANE_CHECK(!shutting_down_) << "Submit() after shutdown";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::RunBlocks(int num_blocks, const std::function<void(int)>& fn) {
+  if (num_blocks <= 0) return;
+  if (num_threads_ == 1 || num_blocks == 1) {
+    for (int b = 0; b < num_blocks; ++b) fn(b);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(num_blocks));
+  for (int b = 0; b < num_blocks; ++b) {
+    futures.push_back(Submit([&fn, b] { fn(b); }));
+  }
+  for (auto& f : futures) f.get();  // rethrows any worker exception
+}
+
+std::vector<Range> PartitionRange(int64_t n, int nb) {
+  PANE_CHECK(nb >= 1);
+  std::vector<Range> ranges(static_cast<size_t>(nb));
+  const int64_t base = n / nb;
+  const int64_t extra = n % nb;
+  int64_t cursor = 0;
+  for (int i = 0; i < nb; ++i) {
+    const int64_t len = base + (i < extra ? 1 : 0);
+    ranges[static_cast<size_t>(i)] = Range{cursor, cursor + len};
+    cursor += len;
+  }
+  PANE_DCHECK(cursor == n);
+  return ranges;
+}
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int nb = pool != nullptr ? pool->num_threads() : 1;
+  if (nb == 1 || n == 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::vector<Range> chunks = PartitionRange(n, nb);
+  pool->RunBlocks(nb, [&](int b) {
+    const Range& r = chunks[static_cast<size_t>(b)];
+    if (r.size() > 0) fn(begin + r.begin, begin + r.end);
+  });
+}
+
+}  // namespace pane

@@ -1,0 +1,71 @@
+// Fixed-size worker pool used by the parallel PANE algorithms (PAPMI,
+// SMGreedyInit, PSVDCCD). The paper's parallel model is static block
+// partitioning: node set V and attribute set R are split into nb equal
+// subsets and each thread owns one subset (Algorithm 5, lines 1-2); the pool
+// here provides exactly that execution shape via RunBlocks().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pane {
+
+/// \brief A fixed set of worker threads consuming a FIFO task queue.
+///
+/// A pool of size 1 executes everything inline on the calling thread, so the
+/// single-thread algorithm variants pay no synchronization cost and their
+/// timings (Figures 3/4) are honest.
+class ThreadPool {
+ public:
+  /// \param num_threads number of workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues a task; the future resolves when it finishes.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(0), ..., fn(num_blocks - 1) across the pool and blocks until
+  /// all complete. This is the "parallel for Vi in V" primitive of
+  /// Algorithms 6-8. Tasks may outnumber workers; they queue.
+  void RunBlocks(int num_blocks, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+/// \brief Half-open index range [begin, end).
+struct Range {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t size() const { return end - begin; }
+};
+
+/// \brief Splits [0, n) into nb contiguous near-equal ranges (the V / R
+/// partition of Algorithm 5). The first n % nb ranges get one extra element;
+/// when n < nb the trailing ranges are empty.
+std::vector<Range> PartitionRange(int64_t n, int nb);
+
+/// \brief Static-partition parallel loop: splits [begin, end) into one chunk
+/// per worker and runs fn(chunk_begin, chunk_end) on each. Blocks until done.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace pane

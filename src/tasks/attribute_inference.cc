@@ -1,0 +1,112 @@
+#include "src/tasks/attribute_inference.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/random.h"
+
+namespace pane {
+namespace {
+
+// Packs a (node, attribute) pair into one key for membership tests.
+uint64_t PairKey(int64_t v, int64_t r, int64_t d) {
+  return static_cast<uint64_t>(v) * static_cast<uint64_t>(d) +
+         static_cast<uint64_t>(r);
+}
+
+}  // namespace
+
+Result<AttributeSplit> SplitAttributes(const AttributedGraph& graph,
+                                       double test_fraction, uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  const int64_t n = graph.num_nodes();
+  const int64_t d = graph.num_attributes();
+  const int64_t total = graph.num_attribute_entries();
+  if (total < 4) {
+    return Status::InvalidArgument("too few attribute entries to split");
+  }
+  Rng rng(seed);
+
+  // Collect all entries, shuffle, split.
+  struct Entry {
+    int64_t v;
+    int64_t r;
+    double w;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(total));
+  std::unordered_set<uint64_t> present;
+  present.reserve(static_cast<size_t>(total) * 2);
+  for (int64_t v = 0; v < n; ++v) {
+    const CsrMatrix::RowView row = graph.attributes().Row(v);
+    for (int64_t p = 0; p < row.length; ++p) {
+      entries.push_back(Entry{v, row.cols[p], row.vals[p]});
+      present.insert(PairKey(v, row.cols[p], d));
+    }
+  }
+  Shuffle(&entries, &rng);
+  const int64_t test_count = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(total) * test_fraction));
+
+  AttributeSplit split;
+  GraphBuilder builder(n, d);
+  for (int64_t u = 0; u < n; ++u) {
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) builder.AddEdge(u, row.cols[p]);
+  }
+  for (int64_t i = 0; i < total; ++i) {
+    const Entry& e = entries[static_cast<size_t>(i)];
+    if (i < test_count) {
+      split.test_positives.emplace_back(e.v, e.r);
+    } else {
+      builder.AddNodeAttribute(e.v, e.r, e.w);
+    }
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    for (int32_t l : graph.labels()[static_cast<size_t>(v)]) {
+      builder.AddLabel(v, l);
+    }
+  }
+  PANE_ASSIGN_OR_RETURN(split.train_graph, builder.Build(graph.undirected()));
+
+  // Negatives: uniform (node, attribute) pairs not present in the full R.
+  split.test_negatives.reserve(split.test_positives.size());
+  const uint64_t max_attempts = 100 * static_cast<uint64_t>(test_count) + 1000;
+  uint64_t attempts = 0;
+  while (split.test_negatives.size() < split.test_positives.size() &&
+         attempts++ < max_attempts) {
+    const int64_t v =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const int64_t r =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(d)));
+    if (present.count(PairKey(v, r, d)) > 0) continue;
+    split.test_negatives.emplace_back(v, r);
+  }
+  if (split.test_negatives.size() < split.test_positives.size()) {
+    return Status::Internal("could not sample enough negative pairs; "
+                            "attribute matrix nearly dense");
+  }
+  return split;
+}
+
+AucAp EvaluateAttributeInference(
+    const AttributeSplit& split,
+    const std::function<double(int64_t, int64_t)>& score) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  scores.reserve(split.test_positives.size() + split.test_negatives.size());
+  labels.reserve(scores.capacity());
+  for (const auto& [v, r] : split.test_positives) {
+    scores.push_back(score(v, r));
+    labels.push_back(1);
+  }
+  for (const auto& [v, r] : split.test_negatives) {
+    scores.push_back(score(v, r));
+    labels.push_back(0);
+  }
+  return ComputeAucAp(scores, labels);
+}
+
+}  // namespace pane

@@ -1,0 +1,38 @@
+// Attribute-inference harness (Section 5.2): hold out 20% of the non-zero
+// attribute entries E_R, train on the remaining 80%, then score held-out
+// (node, attribute) positives against an equal number of sampled negative
+// pairs, reporting AUC and AP.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/tasks/metrics.h"
+
+namespace pane {
+
+/// \brief Train/test split of the node-attribute associations.
+struct AttributeSplit {
+  /// Same topology / labels, attributes restricted to the training 80%.
+  AttributedGraph train_graph;
+  /// Held-out positive (node, attribute) pairs.
+  std::vector<std::pair<int64_t, int64_t>> test_positives;
+  /// Sampled (node, attribute) pairs absent from the *full* matrix R.
+  std::vector<std::pair<int64_t, int64_t>> test_negatives;
+};
+
+/// \param test_fraction fraction of E_R held out (paper: 0.2).
+Result<AttributeSplit> SplitAttributes(const AttributedGraph& graph,
+                                       double test_fraction, uint64_t seed);
+
+/// \brief Scores every test pair with `score(node, attribute)` and computes
+/// AUC / AP with held-out entries as positives.
+AucAp EvaluateAttributeInference(
+    const AttributeSplit& split,
+    const std::function<double(int64_t, int64_t)>& score);
+
+}  // namespace pane

@@ -1,0 +1,146 @@
+#include "src/tasks/link_prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/random.h"
+#include "src/matrix/vector_ops.h"
+
+namespace pane {
+namespace {
+
+uint64_t PairKey(int64_t u, int64_t v, int64_t n) {
+  return static_cast<uint64_t>(u) * static_cast<uint64_t>(n) +
+         static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+Result<LinkSplit> SplitEdges(const AttributedGraph& graph,
+                             double holdout_fraction, uint64_t seed) {
+  if (holdout_fraction <= 0.0 || holdout_fraction >= 1.0) {
+    return Status::InvalidArgument("holdout_fraction must be in (0, 1)");
+  }
+  const int64_t n = graph.num_nodes();
+  Rng rng(seed);
+
+  // Collect edges; for undirected graphs keep each pair once (u < v).
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  std::unordered_set<uint64_t> present;
+  for (int64_t u = 0; u < n; ++u) {
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      const int64_t v = row.cols[p];
+      present.insert(PairKey(u, v, n));
+      if (graph.undirected() && u > v) continue;
+      edges.emplace_back(u, v);
+    }
+  }
+  if (edges.size() < 4) {
+    return Status::InvalidArgument("too few edges to split");
+  }
+  Shuffle(&edges, &rng);
+  const int64_t holdout = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(edges.size()) *
+                              holdout_fraction));
+
+  LinkSplit split;
+  GraphBuilder builder(n, graph.num_attributes());
+  for (int64_t i = 0; i < static_cast<int64_t>(edges.size()); ++i) {
+    const auto& [u, v] = edges[static_cast<size_t>(i)];
+    if (i < holdout) {
+      split.test_positives.emplace_back(u, v);
+    } else if (graph.undirected()) {
+      builder.AddUndirectedEdge(u, v);
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    const CsrMatrix::RowView row = graph.attributes().Row(v);
+    for (int64_t p = 0; p < row.length; ++p) {
+      builder.AddNodeAttribute(v, row.cols[p], row.vals[p]);
+    }
+    for (int32_t l : graph.labels()[static_cast<size_t>(v)]) {
+      builder.AddLabel(v, l);
+    }
+  }
+  PANE_ASSIGN_OR_RETURN(split.residual_graph, builder.Build(graph.undirected()));
+
+  // Negatives: pairs with no edge in either direction in the full graph.
+  split.test_negatives.reserve(split.test_positives.size());
+  const uint64_t max_attempts =
+      100 * static_cast<uint64_t>(split.test_positives.size()) + 1000;
+  uint64_t attempts = 0;
+  while (split.test_negatives.size() < split.test_positives.size() &&
+         attempts++ < max_attempts) {
+    const int64_t u =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const int64_t v =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    if (u == v) continue;
+    if (present.count(PairKey(u, v, n)) > 0) continue;
+    if (graph.undirected() && present.count(PairKey(v, u, n)) > 0) continue;
+    split.test_negatives.emplace_back(u, v);
+  }
+  if (split.test_negatives.size() < split.test_positives.size()) {
+    return Status::Internal("could not sample enough non-edges; graph dense");
+  }
+  return split;
+}
+
+AucAp EvaluateLinkPrediction(
+    const LinkSplit& split,
+    const std::function<double(int64_t, int64_t)>& score) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  scores.reserve(split.test_positives.size() + split.test_negatives.size());
+  labels.reserve(scores.capacity());
+  for (const auto& [u, v] : split.test_positives) {
+    scores.push_back(score(u, v));
+    labels.push_back(1);
+  }
+  for (const auto& [u, v] : split.test_negatives) {
+    scores.push_back(score(u, v));
+    labels.push_back(0);
+  }
+  return ComputeAucAp(scores, labels);
+}
+
+double InnerProductScore(const DenseMatrix& embedding, int64_t u, int64_t v) {
+  return Dot(embedding.Row(u), embedding.Row(v), embedding.cols());
+}
+
+double CosineScore(const DenseMatrix& embedding, int64_t u, int64_t v) {
+  const int64_t k = embedding.cols();
+  const double dot = Dot(embedding.Row(u), embedding.Row(v), k);
+  const double nu = Norm2(embedding.Row(u), k);
+  const double nv = Norm2(embedding.Row(v), k);
+  if (nu == 0.0 || nv == 0.0) return 0.0;
+  return dot / (nu * nv);
+}
+
+double HammingScore(const DenseMatrix& embedding, int64_t u, int64_t v) {
+  const int64_t k = embedding.cols();
+  const double* a = embedding.Row(u);
+  const double* b = embedding.Row(v);
+  int64_t mismatches = 0;
+  for (int64_t i = 0; i < k; ++i) {
+    mismatches += ((a[i] >= 0.0) != (b[i] >= 0.0));
+  }
+  return -static_cast<double>(mismatches);
+}
+
+double EdgeFeatureScore(const DenseMatrix& embedding,
+                        const std::vector<double>& weights, int64_t u,
+                        int64_t v) {
+  const int64_t k = embedding.cols();
+  const double* a = embedding.Row(u);
+  const double* b = embedding.Row(v);
+  double s = 0.0;
+  for (int64_t i = 0; i < k; ++i) s += weights[static_cast<size_t>(i)] * a[i] * b[i];
+  return s;
+}
+
+}  // namespace pane

@@ -1,0 +1,53 @@
+// Link-prediction harness (Section 5.3): remove 30% of the edges, train on
+// the residual graph, then score removed edges against an equal number of
+// sampled non-edges. Also hosts the four baseline scoring conventions the
+// paper evaluates competitors under (inner product / cosine / Hamming /
+// edge features).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/matrix/dense_matrix.h"
+#include "src/tasks/metrics.h"
+
+namespace pane {
+
+/// \brief Residual graph + held-out positive and sampled negative pairs.
+struct LinkSplit {
+  AttributedGraph residual_graph;
+  /// Removed edges (u, v); for undirected graphs each pair appears once.
+  std::vector<std::pair<int64_t, int64_t>> test_positives;
+  /// Sampled node pairs with no edge in the *full* graph.
+  std::vector<std::pair<int64_t, int64_t>> test_negatives;
+};
+
+/// \param holdout_fraction fraction of edges removed (paper: 0.3).
+Result<LinkSplit> SplitEdges(const AttributedGraph& graph,
+                             double holdout_fraction, uint64_t seed);
+
+/// \brief Scores all test pairs with `score(u, v)` and computes AUC / AP.
+AucAp EvaluateLinkPrediction(
+    const LinkSplit& split,
+    const std::function<double(int64_t, int64_t)>& score);
+
+/// \name Baseline pair-scoring conventions over a single embedding matrix
+/// (one row per node). The paper runs each competitor under all four and
+/// keeps the best; callers can do the same.
+/// @{
+double InnerProductScore(const DenseMatrix& embedding, int64_t u, int64_t v);
+double CosineScore(const DenseMatrix& embedding, int64_t u, int64_t v);
+/// Negated Hamming distance of the sign patterns (binary embeddings, BANE).
+double HammingScore(const DenseMatrix& embedding, int64_t u, int64_t v);
+/// Hadamard edge-feature score against a weight vector (edge-feature
+/// convention with a logistic model trained by the caller).
+double EdgeFeatureScore(const DenseMatrix& embedding,
+                        const std::vector<double>& weights, int64_t u,
+                        int64_t v);
+/// @}
+
+}  // namespace pane

@@ -1,0 +1,105 @@
+#include "src/tasks/logistic.h"
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/matrix/vector_ops.h"
+
+namespace pane {
+namespace {
+
+double Sigmoid(double z) {
+  // Split by sign for numerical stability at large |z|.
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status LogisticRegression::Train(const DenseMatrix& features,
+                                 const std::vector<int>& labels) {
+  const int64_t m = features.rows();
+  const int64_t dim = features.cols();
+  if (static_cast<int64_t>(labels.size()) != m) {
+    return Status::InvalidArgument("labels/features size mismatch");
+  }
+  if (m == 0) return Status::InvalidArgument("empty training set");
+  w_.assign(static_cast<size_t>(dim) + 1, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<int64_t> order(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) order[static_cast<size_t>(i)] = i;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    Shuffle(&order, &rng);
+    // 1/sqrt(epoch) step decay.
+    const double lr =
+        options_.learning_rate / std::sqrt(static_cast<double>(epoch + 1));
+    for (int64_t i : order) {
+      const double* x = features.Row(i);
+      const double y = labels[static_cast<size_t>(i)] != 0 ? 1.0 : 0.0;
+      const double p = Sigmoid(Dot(w_.data(), x, dim) + w_[static_cast<size_t>(dim)]);
+      const double g = p - y;  // dLoss/dz
+      // w <- w - lr * (g * x + l2 * w); bias unregularized.
+      for (int64_t j = 0; j < dim; ++j) {
+        w_[static_cast<size_t>(j)] -=
+            lr * (g * x[j] + options_.l2 * w_[static_cast<size_t>(j)]);
+      }
+      w_[static_cast<size_t>(dim)] -= lr * g;
+    }
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::Decision(const double* x) const {
+  const int64_t dim = static_cast<int64_t>(w_.size()) - 1;
+  return Dot(w_.data(), x, dim) + w_[static_cast<size_t>(dim)];
+}
+
+double LogisticRegression::Predict(const double* x) const {
+  return Sigmoid(Decision(x));
+}
+
+Result<std::vector<double>> TrainEdgeFeatureWeights(
+    const DenseMatrix& embedding,
+    const std::vector<std::pair<int64_t, int64_t>>& positives,
+    const std::vector<std::pair<int64_t, int64_t>>& negatives,
+    const LogisticRegression::Options& options) {
+  if (positives.empty() || negatives.empty()) {
+    return Status::InvalidArgument(
+        "edge-feature training needs positives and negatives");
+  }
+  const int64_t k = embedding.cols();
+  const int64_t m =
+      static_cast<int64_t>(positives.size() + negatives.size());
+  DenseMatrix features(m, k);
+  std::vector<int> labels(static_cast<size_t>(m), 0);
+  int64_t row = 0;
+  auto emit = [&](const std::vector<std::pair<int64_t, int64_t>>& pairs,
+                  int label) {
+    for (const auto& [u, v] : pairs) {
+      const double* a = embedding.Row(u);
+      const double* b = embedding.Row(v);
+      double* out = features.Row(row);
+      for (int64_t j = 0; j < k; ++j) out[j] = a[j] * b[j];  // Hadamard
+      labels[static_cast<size_t>(row)] = label;
+      ++row;
+    }
+  };
+  emit(positives, 1);
+  emit(negatives, 0);
+
+  LogisticRegression model(options);
+  PANE_RETURN_NOT_OK(model.Train(features, labels));
+  // Drop the bias: EdgeFeatureScore ranks pairs, and a constant offset
+  // does not change the ranking.
+  std::vector<double> weights(model.weights().begin(),
+                              model.weights().end() - 1);
+  return weights;
+}
+
+}  // namespace pane

@@ -1,0 +1,56 @@
+// L2-regularized logistic regression trained by SGD, plus the edge-feature
+// training protocol from the link-prediction literature [14, 26]: pairs are
+// featurized as the Hadamard product of endpoint embeddings and a logistic
+// model is fit on held-in positives vs sampled negatives. This completes
+// the fourth of the four baseline scoring conventions Section 5.3 lists
+// (inner product / cosine / Hamming / edge features).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+/// \brief Binary logistic regression: p(y=1|x) = sigmoid(w.x + b).
+class LogisticRegression {
+ public:
+  struct Options {
+    int epochs = 30;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    uint64_t seed = 19;
+  };
+
+  LogisticRegression() = default;
+  explicit LogisticRegression(Options options) : options_(options) {}
+
+  /// \param features one row per example; \param labels 0/1 per row.
+  Status Train(const DenseMatrix& features, const std::vector<int>& labels);
+
+  /// Probability of the positive class for one feature row.
+  double Predict(const double* x) const;
+
+  /// Raw decision value w.x + b.
+  double Decision(const double* x) const;
+
+  const std::vector<double>& weights() const { return w_; }
+
+ private:
+  Options options_;
+  std::vector<double> w_;  // last entry is the bias
+};
+
+/// \brief Trains edge-feature weights on Hadamard features
+/// emb[u] * emb[v] over the given positive / negative training pairs.
+/// The returned vector plugs into EdgeFeatureScore() (link_prediction.h).
+Result<std::vector<double>> TrainEdgeFeatureWeights(
+    const DenseMatrix& embedding,
+    const std::vector<std::pair<int64_t, int64_t>>& positives,
+    const std::vector<std::pair<int64_t, int64_t>>& negatives,
+    const LogisticRegression::Options& options = {});
+
+}  // namespace pane

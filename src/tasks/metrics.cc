@@ -1,0 +1,142 @@
+#include "src/tasks/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace pane {
+
+double AreaUnderRocCurve(const std::vector<double>& scores,
+                         const std::vector<int>& labels) {
+  PANE_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  int64_t num_pos = 0;
+  for (int l : labels) num_pos += (l != 0);
+  const int64_t num_neg = static_cast<int64_t>(n) - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Average ranks across tied score groups, then U = sum of positive ranks.
+  double pos_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j + 1));
+    for (size_t t = i; t <= j; ++t) {
+      if (labels[order[t]] != 0) pos_rank_sum += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double u = pos_rank_sum -
+                   static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  PANE_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  int64_t num_pos = 0;
+  for (int l : labels) num_pos += (l != 0);
+  if (num_pos == 0) return 0.0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  double ap = 0.0;
+  int64_t hits = 0;
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (labels[order[rank]] != 0) {
+      ++hits;
+      ap += static_cast<double>(hits) / static_cast<double>(rank + 1);
+    }
+  }
+  return ap / static_cast<double>(num_pos);
+}
+
+F1Scores ComputeF1(const std::vector<std::vector<int32_t>>& truth,
+                   const std::vector<std::vector<int32_t>>& predicted,
+                   int32_t num_classes) {
+  PANE_CHECK(truth.size() == predicted.size());
+  PANE_CHECK(num_classes > 0);
+  std::vector<int64_t> tp(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> fp(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> fn(static_cast<size_t>(num_classes), 0);
+
+  std::vector<char> truth_mask(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    for (int32_t l : truth[i]) {
+      if (l >= 0 && l < num_classes) truth_mask[static_cast<size_t>(l)] = 1;
+    }
+    for (int32_t l : predicted[i]) {
+      if (l < 0 || l >= num_classes) continue;
+      if (truth_mask[static_cast<size_t>(l)] == 1) {
+        ++tp[static_cast<size_t>(l)];
+        truth_mask[static_cast<size_t>(l)] = 2;  // matched; dups ignored
+      } else if (truth_mask[static_cast<size_t>(l)] == 0) {
+        ++fp[static_cast<size_t>(l)];
+      }
+    }
+    for (int32_t l : truth[i]) {
+      if (l < 0 || l >= num_classes) continue;
+      if (truth_mask[static_cast<size_t>(l)] == 1) ++fn[static_cast<size_t>(l)];
+      truth_mask[static_cast<size_t>(l)] = 0;  // reset for next example
+    }
+  }
+
+  int64_t tp_sum = 0, fp_sum = 0, fn_sum = 0;
+  double macro_sum = 0.0;
+  int32_t macro_count = 0;
+  for (int32_t c = 0; c < num_classes; ++c) {
+    const int64_t tpc = tp[static_cast<size_t>(c)];
+    const int64_t fpc = fp[static_cast<size_t>(c)];
+    const int64_t fnc = fn[static_cast<size_t>(c)];
+    tp_sum += tpc;
+    fp_sum += fpc;
+    fn_sum += fnc;
+    if (tpc + fpc + fnc > 0) {
+      macro_sum += 2.0 * tpc / static_cast<double>(2 * tpc + fpc + fnc);
+      ++macro_count;
+    }
+  }
+  F1Scores out;
+  out.micro = (2 * tp_sum + fp_sum + fn_sum) > 0
+                  ? 2.0 * tp_sum / static_cast<double>(2 * tp_sum + fp_sum + fn_sum)
+                  : 0.0;
+  out.macro = macro_count > 0 ? macro_sum / macro_count : 0.0;
+  return out;
+}
+
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, int64_t k) {
+  PANE_CHECK(scores.size() == labels.size());
+  PANE_CHECK(k > 0);
+  const int64_t n = static_cast<int64_t>(scores.size());
+  const int64_t kk = std::min(k, n);
+  std::vector<size_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  int64_t hits = 0;
+  for (int64_t i = 0; i < kk; ++i) hits += (labels[order[static_cast<size_t>(i)]] != 0);
+  return static_cast<double>(hits) / static_cast<double>(kk);
+}
+
+AucAp ComputeAucAp(const std::vector<double>& scores,
+                   const std::vector<int>& labels) {
+  AucAp out;
+  out.auc = AreaUnderRocCurve(scores, labels);
+  out.ap = AveragePrecision(scores, labels);
+  return out;
+}
+
+}  // namespace pane

@@ -1,0 +1,52 @@
+// Evaluation metrics used in Section 5: AUC and Average Precision for
+// attribute inference / link prediction, micro- and macro-F1 for node
+// classification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pane {
+
+/// \brief Area under the ROC curve for binary labels (1 = positive).
+///
+/// Rank-based (Mann-Whitney U) computation; tied scores receive averaged
+/// ranks, so the result is the probability a random positive outranks a
+/// random negative with ties counted half. Returns 0.5 when either class is
+/// empty.
+double AreaUnderRocCurve(const std::vector<double>& scores,
+                         const std::vector<int>& labels);
+
+/// \brief Average precision: mean of precision@rank over positive items,
+/// scores sorted descending (ties broken by original order).
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// \brief Micro/macro F1 for (multi-)label prediction.
+struct F1Scores {
+  double micro = 0.0;
+  double macro = 0.0;
+};
+
+/// \param truth / \param predicted per-example label sets (duplicates
+/// ignored); \param num_classes total classes for the macro average.
+F1Scores ComputeF1(const std::vector<std::vector<int32_t>>& truth,
+                   const std::vector<std::vector<int32_t>>& predicted,
+                   int32_t num_classes);
+
+/// \brief Fraction of the top-k scored items that are positives.
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, int64_t k);
+
+/// \brief AUC + AP pair, the unit most experiment tables report.
+struct AucAp {
+  double auc = 0.0;
+  double ap = 0.0;
+};
+
+AucAp ComputeAucAp(const std::vector<double>& scores,
+                   const std::vector<int>& labels);
+
+}  // namespace pane

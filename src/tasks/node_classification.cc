@@ -1,0 +1,191 @@
+#include "src/tasks/node_classification.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/matrix/vector_ops.h"
+
+namespace pane {
+
+Status LinearSvm::Train(const DenseMatrix& features,
+                        const std::vector<int>& labels,
+                        const std::vector<int64_t>& row_indices) {
+  if (labels.size() != row_indices.size()) {
+    return Status::InvalidArgument("labels/rows size mismatch");
+  }
+  const int64_t dim = features.cols();
+  const int64_t m = static_cast<int64_t>(row_indices.size());
+  if (m == 0) return Status::InvalidArgument("empty training set");
+  w_.assign(static_cast<size_t>(dim) + 1, 0.0);
+
+  // Dual coordinate descent (Hsieh et al. style) with the bias folded in as
+  // a constant feature of value 1.
+  std::vector<double> alpha(static_cast<size_t>(m), 0.0);
+  std::vector<double> q_diag(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    const double* x = features.Row(row_indices[static_cast<size_t>(i)]);
+    q_diag[static_cast<size_t>(i)] = SquaredNorm(x, dim) + 1.0;  // + bias^2
+  }
+
+  Rng rng(options_.seed);
+  std::vector<int64_t> order(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) order[static_cast<size_t>(i)] = i;
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    Shuffle(&order, &rng);
+    double max_step = 0.0;
+    for (int64_t oi = 0; oi < m; ++oi) {
+      const int64_t i = order[static_cast<size_t>(oi)];
+      const double* x = features.Row(row_indices[static_cast<size_t>(i)]);
+      const double yi = labels[static_cast<size_t>(i)] > 0 ? 1.0 : -1.0;
+      // G = y_i * (w.x + b) - 1
+      const double decision = Dot(w_.data(), x, dim) + w_[static_cast<size_t>(dim)];
+      const double g = yi * decision - 1.0;
+      const double alpha_old = alpha[static_cast<size_t>(i)];
+      double alpha_new =
+          std::min(std::max(alpha_old - g / q_diag[static_cast<size_t>(i)], 0.0),
+                   options_.c);
+      const double delta = alpha_new - alpha_old;
+      if (delta == 0.0) continue;
+      alpha[static_cast<size_t>(i)] = alpha_new;
+      Axpy(delta * yi, x, w_.data(), dim);
+      w_[static_cast<size_t>(dim)] += delta * yi;  // bias feature = 1
+      max_step = std::max(max_step, std::fabs(delta));
+    }
+    if (max_step < options_.tolerance) break;
+  }
+  return Status::OK();
+}
+
+double LinearSvm::Decision(const double* x) const {
+  PANE_DCHECK(!w_.empty());
+  const int64_t dim = static_cast<int64_t>(w_.size()) - 1;
+  return Dot(w_.data(), x, dim) + w_[static_cast<size_t>(dim)];
+}
+
+DenseMatrix RowNormalizedCopy(const DenseMatrix& m) {
+  DenseMatrix out = m;
+  for (int64_t i = 0; i < out.rows(); ++i) {
+    NormalizeL2(out.Row(i), out.cols());
+  }
+  return out;
+}
+
+DenseMatrix ConcatNormalizedEmbeddings(const DenseMatrix& xf,
+                                       const DenseMatrix& xb) {
+  PANE_CHECK(xf.rows() == xb.rows());
+  DenseMatrix out(xf.rows(), xf.cols() + xb.cols());
+  for (int64_t i = 0; i < xf.rows(); ++i) {
+    double* row = out.Row(i);
+    Copy(xf.Row(i), row, xf.cols());
+    NormalizeL2(row, xf.cols());
+    Copy(xb.Row(i), row + xf.cols(), xb.cols());
+    NormalizeL2(row + xf.cols(), xb.cols());
+  }
+  return out;
+}
+
+Result<F1Scores> EvaluateNodeClassification(
+    const DenseMatrix& features, const AttributedGraph& graph,
+    const NodeClassificationOptions& options) {
+  if (!graph.has_labels()) {
+    return Status::InvalidArgument("graph has no labels");
+  }
+  if (features.rows() != graph.num_nodes()) {
+    return Status::InvalidArgument("features/nodes size mismatch");
+  }
+  if (options.train_fraction <= 0.0 || options.train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  const int64_t n = graph.num_nodes();
+  const int32_t num_classes = graph.num_label_classes();
+
+  // Multi-label graphs predict every positive class; single-label argmax.
+  bool multi_label = false;
+  for (const auto& ls : graph.labels()) {
+    if (ls.size() > 1) {
+      multi_label = true;
+      break;
+    }
+  }
+
+  // Only labeled nodes participate.
+  std::vector<int64_t> labeled;
+  labeled.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    if (!graph.labels()[static_cast<size_t>(v)].empty()) labeled.push_back(v);
+  }
+  if (labeled.size() < 10) {
+    return Status::InvalidArgument("too few labeled nodes");
+  }
+
+  double micro_sum = 0.0;
+  double macro_sum = 0.0;
+  for (int rep = 0; rep < options.repeats; ++rep) {
+    Rng rng(options.seed + static_cast<uint64_t>(rep) * 1000003ULL);
+    std::vector<int64_t> perm = labeled;
+    Shuffle(&perm, &rng);
+    const int64_t train_count = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(perm.size()) *
+                                options.train_fraction));
+    const std::vector<int64_t> train_rows(perm.begin(),
+                                          perm.begin() + train_count);
+    const std::vector<int64_t> test_rows(perm.begin() + train_count,
+                                         perm.end());
+    if (test_rows.empty()) {
+      return Status::InvalidArgument("train_fraction leaves no test nodes");
+    }
+
+    // One-vs-rest SVMs.
+    std::vector<LinearSvm> classifiers;
+    classifiers.reserve(static_cast<size_t>(num_classes));
+    for (int32_t c = 0; c < num_classes; ++c) {
+      std::vector<int> y(train_rows.size(), -1);
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        const auto& ls = graph.labels()[static_cast<size_t>(train_rows[i])];
+        if (std::binary_search(ls.begin(), ls.end(), c)) y[i] = 1;
+      }
+      LinearSvm::Options svm_options;
+      svm_options.c = options.svm_c;
+      svm_options.seed = options.seed + static_cast<uint64_t>(c);
+      LinearSvm svm(svm_options);
+      PANE_RETURN_NOT_OK(svm.Train(features, y, train_rows));
+      classifiers.push_back(std::move(svm));
+    }
+
+    // Predict.
+    std::vector<std::vector<int32_t>> truth;
+    std::vector<std::vector<int32_t>> predicted;
+    truth.reserve(test_rows.size());
+    predicted.reserve(test_rows.size());
+    for (int64_t v : test_rows) {
+      truth.push_back(graph.labels()[static_cast<size_t>(v)]);
+      const double* x = features.Row(v);
+      std::vector<int32_t> pred;
+      int32_t best_class = 0;
+      double best_score = -1e300;
+      for (int32_t c = 0; c < num_classes; ++c) {
+        const double s = classifiers[static_cast<size_t>(c)].Decision(x);
+        if (s > best_score) {
+          best_score = s;
+          best_class = c;
+        }
+        if (multi_label && s > 0.0) pred.push_back(c);
+      }
+      if (pred.empty()) pred.push_back(best_class);
+      predicted.push_back(std::move(pred));
+    }
+    const F1Scores f1 = ComputeF1(truth, predicted, num_classes);
+    micro_sum += f1.micro;
+    macro_sum += f1.macro;
+  }
+
+  F1Scores out;
+  out.micro = micro_sum / options.repeats;
+  out.macro = macro_sum / options.repeats;
+  return out;
+}
+
+}  // namespace pane

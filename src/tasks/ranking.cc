@@ -1,0 +1,50 @@
+#include "src/tasks/ranking.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pane {
+namespace {
+
+// Keeps the k best (index, score) pairs out of a scored stream.
+Ranking SelectTopK(Ranking candidates, int64_t k) {
+  const int64_t kk = std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + kk,
+                    candidates.end(), [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                    });
+  candidates.resize(static_cast<size_t>(kk));
+  return candidates;
+}
+
+}  // namespace
+
+Ranking TopKAttributes(const PaneEmbedding& embedding, int64_t v, int64_t k,
+                       const AttributedGraph* exclude) {
+  PANE_CHECK(v >= 0 && v < embedding.num_nodes());
+  PANE_CHECK(k > 0);
+  Ranking candidates;
+  candidates.reserve(static_cast<size_t>(embedding.num_attributes()));
+  for (int64_t r = 0; r < embedding.num_attributes(); ++r) {
+    if (exclude != nullptr && exclude->attributes().At(v, r) != 0.0) continue;
+    candidates.emplace_back(r, embedding.AttributeScore(v, r));
+  }
+  return SelectTopK(std::move(candidates), k);
+}
+
+Ranking TopKTargets(const PaneEmbedding& embedding, const EdgeScorer& scorer,
+                    int64_t u, int64_t k, const AttributedGraph* exclude) {
+  PANE_CHECK(u >= 0 && u < embedding.num_nodes());
+  PANE_CHECK(k > 0);
+  Ranking candidates;
+  candidates.reserve(static_cast<size_t>(embedding.num_nodes()));
+  for (int64_t v = 0; v < embedding.num_nodes(); ++v) {
+    if (v == u) continue;
+    if (exclude != nullptr && exclude->adjacency().At(u, v) != 0.0) continue;
+    candidates.emplace_back(v, scorer.Score(u, v));
+  }
+  return SelectTopK(std::move(candidates), k);
+}
+
+}  // namespace pane

@@ -1,0 +1,133 @@
+// Tests for the affinity definitions (Section 2.2): iteration-count
+// derivation, SPMI transform properties, exact dense reference, and
+// agreement with the Monte-Carlo walk simulator that *defines* the
+// quantities being approximated.
+#include "src/core/affinity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/random_walk.h"
+#include "test_util.h"
+
+namespace pane {
+namespace {
+
+TEST(IterationCountTest, MatchesPaperSection56) {
+  // "when alpha = 0.5, varying eps from 0.001 to 0.25 corresponds to
+  //  reducing the number of iterations t from 9 to 1".
+  EXPECT_EQ(ComputeIterationCount(0.001, 0.5), 9);
+  EXPECT_EQ(ComputeIterationCount(0.25, 0.5), 1);
+  // Default eps = 0.015 at alpha = 0.5.
+  EXPECT_EQ(ComputeIterationCount(0.015, 0.5), 6);
+}
+
+TEST(IterationCountTest, GuaranteesTailBound) {
+  for (double alpha : {0.15, 0.3, 0.5, 0.7, 0.9}) {
+    for (double eps : {0.001, 0.015, 0.1, 0.25}) {
+      const int t = ComputeIterationCount(eps, alpha);
+      EXPECT_LE(std::pow(1.0 - alpha, t + 1), eps + 1e-12)
+          << "alpha=" << alpha << " eps=" << eps;
+    }
+  }
+}
+
+TEST(IterationCountTest, ClampsToAtLeastOne) {
+  EXPECT_GE(ComputeIterationCount(0.9, 0.9), 1);
+}
+
+TEST(SpmiTest, ZeroProbabilityGivesZeroAffinity) {
+  ProbabilityMatrices probs;
+  probs.pf = DenseMatrix({{0.5, 0.0}, {0.5, 0.0}});
+  probs.pb = DenseMatrix({{0.0, 0.0}, {0.3, 0.7}});
+  const AffinityMatrices affinity = SpmiFromProbabilities(probs);
+  // Zero column of pf -> zero forward affinity column.
+  EXPECT_EQ(affinity.forward(0, 1), 0.0);
+  EXPECT_EQ(affinity.forward(1, 1), 0.0);
+  // Zero row of pb -> zero backward affinity row.
+  EXPECT_EQ(affinity.backward(0, 0), 0.0);
+  EXPECT_EQ(affinity.backward(0, 1), 0.0);
+}
+
+TEST(SpmiTest, UniformProbabilitiesGiveLogTwo) {
+  // If p_hat is uniform 1/n down each column, n * p_hat = 1 everywhere and
+  // F = ln(2) — the SPMI floor for "no association signal".
+  ProbabilityMatrices probs;
+  probs.pf = DenseMatrix({{0.25, 0.25}, {0.25, 0.25}});
+  probs.pb = DenseMatrix({{0.25, 0.25}, {0.25, 0.25}});
+  const AffinityMatrices affinity = SpmiFromProbabilities(probs);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(affinity.forward(i, j), std::log(2.0), 1e-12);
+      EXPECT_NEAR(affinity.backward(i, j), std::log(2.0), 1e-12);
+    }
+  }
+}
+
+TEST(SpmiTest, AffinityAlwaysNonNegative) {
+  // SPMI = log(x + 1) with x >= 0, hence >= 0 — the shift that motivates
+  // SPMI over plain PMI in Section 2.2.
+  const AttributedGraph g = testing::SmallSbm(5, 200);
+  const auto affinity = ExactAffinity(g, 0.5).ValueOrDie();
+  for (int64_t i = 0; i < affinity.forward.rows(); ++i) {
+    for (int64_t j = 0; j < affinity.forward.cols(); ++j) {
+      EXPECT_GE(affinity.forward(i, j), 0.0);
+      EXPECT_GE(affinity.backward(i, j), 0.0);
+    }
+  }
+}
+
+TEST(ExactAffinityTest, RunningExampleQualitativeClaims) {
+  // Section 2.3's reading of Table 2: v1 has high affinity with r1 (many
+  // intermediate nodes connect them); v6 is the r3 specialist.
+  const AttributedGraph g = testing::Figure1Graph();
+  const auto affinity = ExactAffinity(g, 0.15).ValueOrDie();
+  const DenseMatrix& f = affinity.forward;
+  const DenseMatrix& b = affinity.backward;
+
+  // v1 (index 0): r1 is its strongest forward attribute.
+  EXPECT_GT(f(0, 0), f(0, 2));
+  // v6 (index 5): r3 dominates both directions.
+  EXPECT_GT(f(5, 2), f(5, 0));
+  EXPECT_GT(b(5, 2), b(5, 0));
+  // The paper's v5 observation: forward affinity alone ranks r3 >= r1 for
+  // v5 even though v5 owns r1 — backward affinity resolves it.
+  EXPECT_GT(b(4, 0), b(4, 2));
+}
+
+TEST(ExactAffinityTest, ForwardProbabilitiesMatchWalkSimulation) {
+  const AttributedGraph g = testing::Figure1Graph();
+  const double alpha = 0.2;
+  const auto probs = ExactProbabilities(g, alpha, 60).ValueOrDie();
+
+  WalkSimulator sim(g, alpha, /*seed=*/3);
+  const DenseMatrix pf_mc = sim.EstimateForwardProbabilities(60000);
+  EXPECT_LT(pf_mc.MaxAbsDiff(probs.pf), 0.01)
+      << "Monte-Carlo forward probabilities disagree with the series";
+}
+
+TEST(ExactAffinityTest, BackwardProbabilitiesMatchWalkSimulation) {
+  const AttributedGraph g = testing::Figure1Graph();
+  const double alpha = 0.2;
+  const auto probs = ExactProbabilities(g, alpha, 60).ValueOrDie();
+
+  WalkSimulator sim(g, alpha, /*seed=*/4);
+  const DenseMatrix pb_mc = sim.EstimateBackwardProbabilities(60000);
+  // pb columns are per-attribute distributions over nodes.
+  EXPECT_LT(pb_mc.MaxAbsDiff(probs.pb), 0.01);
+}
+
+TEST(ExactAffinityTest, RefusesHugeGraphs) {
+  SbmParams params;
+  params.num_nodes = 5000;
+  params.num_edges = 10000;
+  params.num_attributes = 4;
+  params.num_attr_entries = 5000;
+  params.num_communities = 2;
+  const AttributedGraph g = GenerateAttributedSbm(params);
+  EXPECT_FALSE(ExactProbabilities(g, 0.5, 5).ok());
+}
+
+}  // namespace
+}  // namespace pane

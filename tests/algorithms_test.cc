@@ -1,0 +1,102 @@
+// Tests for the graph-analysis utilities.
+#include "src/graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "test_util.h"
+
+namespace pane {
+namespace {
+
+AttributedGraph TwoComponents() {
+  GraphBuilder builder(6, 1);
+  builder.AddEdge(0, 1).AddEdge(1, 2);  // component {0,1,2}
+  builder.AddEdge(3, 4);                // component {3,4}; node 5 isolated
+  return builder.Build(false).ValueOrDie();
+}
+
+TEST(WccTest, CountsComponents) {
+  const ComponentInfo info = WeaklyConnectedComponents(TwoComponents());
+  EXPECT_EQ(info.num_components, 3);
+  EXPECT_EQ(info.largest_size, 3);
+  EXPECT_EQ(info.component_id[0], info.component_id[2]);
+  EXPECT_EQ(info.component_id[3], info.component_id[4]);
+  EXPECT_NE(info.component_id[0], info.component_id[3]);
+  EXPECT_NE(info.component_id[5], info.component_id[0]);
+}
+
+TEST(WccTest, DirectionIgnored) {
+  // 0 -> 1 <- 2: weakly connected even though no directed path 0 -> 2.
+  GraphBuilder builder(3, 1);
+  builder.AddEdge(0, 1).AddEdge(2, 1);
+  const ComponentInfo info =
+      WeaklyConnectedComponents(builder.Build(false).ValueOrDie());
+  EXPECT_EQ(info.num_components, 1);
+}
+
+TEST(WccTest, SbmIsMostlyConnected) {
+  const AttributedGraph g = testing::SmallSbm(131, 500);
+  const ComponentInfo info = WeaklyConnectedComponents(g);
+  EXPECT_GT(info.largest_size, 400);
+}
+
+TEST(BfsTest, DistancesAlongOutEdges) {
+  const AttributedGraph g = TwoComponents();
+  const auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], -1);  // unreachable
+  EXPECT_EQ(dist[5], -1);
+}
+
+TEST(BfsTest, RespectsDirection) {
+  GraphBuilder builder(2, 1);
+  builder.AddEdge(0, 1);
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  EXPECT_EQ(BfsDistances(g, 1)[0], -1);  // no back edge
+}
+
+TEST(DegreeStatsTest, HandComputed) {
+  const AttributedGraph g = TwoComponents();
+  const DegreeStats stats = OutDegreeStats(g);
+  EXPECT_EQ(stats.max, 1);
+  EXPECT_NEAR(stats.mean, 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(stats.dangling_fraction, 3.0 / 6.0, 1e-12);  // nodes 2, 4, 5
+}
+
+TEST(DegreeStatsTest, GiniOrdersUniformVsSkewed) {
+  // Erdos-Renyi degrees are near-uniform; Barabasi-Albert heavy-tailed.
+  const DegreeStats er = OutDegreeStats(ErdosRenyi(2000, 10000, 1));
+  const AttributedGraph ba = BarabasiAlbert(2000, 5, /*seed=*/2);
+  // BA skew is in the in-degree; build stats over the transposed graph.
+  GraphBuilder builder(2000, 1);
+  for (int64_t u = 0; u < 2000; ++u) {
+    const CsrMatrix::RowView row = ba.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) builder.AddEdge(row.cols[p], u);
+  }
+  const DegreeStats ba_in =
+      OutDegreeStats(builder.Build(false).ValueOrDie());
+  EXPECT_GT(ba_in.gini, er.gini + 0.1);
+}
+
+TEST(ReciprocityTest, HandComputed) {
+  GraphBuilder builder(3, 1);
+  builder.AddEdge(0, 1).AddEdge(1, 0).AddEdge(1, 2);  // 2 of 3 reciprocal
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  EXPECT_NEAR(EdgeReciprocity(g), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ReciprocityTest, UndirectedIsOne) {
+  const AttributedGraph g = testing::SmallSbm(132, 200, /*undirected=*/true);
+  EXPECT_DOUBLE_EQ(EdgeReciprocity(g), 1.0);
+}
+
+TEST(ReciprocityTest, EmptyGraphIsZero) {
+  GraphBuilder builder(3, 1);
+  EXPECT_DOUBLE_EQ(EdgeReciprocity(builder.Build(false).ValueOrDie()), 0.0);
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,162 @@
+// Tests for the competitor implementations: each baseline must train, emit
+// well-formed embeddings, and land in its expected quality band relative to
+// chance and to PANE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/bane.h"
+#include "src/baselines/bla_like.h"
+#include "src/baselines/lqanr.h"
+#include "src/baselines/nrp.h"
+#include "src/baselines/tadw.h"
+#include "src/tasks/attribute_inference.h"
+#include "src/tasks/link_prediction.h"
+#include "test_util.h"
+
+namespace pane {
+namespace {
+
+TEST(NrpTest, ShapesAndFiniteness) {
+  const AttributedGraph g = testing::SmallSbm(81, 300);
+  NrpOptions options;
+  options.k = 32;
+  const auto embedding = TrainNrp(g, options).ValueOrDie();
+  EXPECT_EQ(embedding.xf.rows(), 300);
+  EXPECT_EQ(embedding.xf.cols(), 16);
+  for (int64_t i = 0; i < 20; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      EXPECT_TRUE(std::isfinite(embedding.xf(i, j)));
+      EXPECT_TRUE(std::isfinite(embedding.xb(i, j)));
+    }
+  }
+}
+
+TEST(NrpTest, LinkPredictionAboveChance) {
+  const AttributedGraph g = testing::SmallSbm(82, 500);
+  const auto split = SplitEdges(g, 0.3, 11).ValueOrDie();
+  NrpOptions options;
+  options.k = 64;
+  const auto embedding = TrainNrp(split.residual_graph, options).ValueOrDie();
+  const AucAp result = EvaluateLinkPrediction(
+      split, [&](int64_t u, int64_t v) { return embedding.Score(u, v); });
+  EXPECT_GT(result.auc, 0.65);
+}
+
+TEST(NrpTest, RejectsOddK) {
+  const AttributedGraph g = testing::Figure1Graph();
+  NrpOptions options;
+  options.k = 5;
+  EXPECT_FALSE(TrainNrp(g, options).ok());
+}
+
+TEST(TadwTest, TrainsOnSmallGraph) {
+  const AttributedGraph g = testing::SmallSbm(83, 250);
+  TadwOptions options;
+  options.k = 32;
+  options.als_iterations = 5;
+  const auto embedding = TrainTadw(g, options).ValueOrDie();
+  EXPECT_EQ(embedding.features.rows(), 250);
+  EXPECT_EQ(embedding.features.cols(), 32);
+  for (int64_t j = 0; j < 32; ++j) {
+    EXPECT_TRUE(std::isfinite(embedding.features(0, j)));
+  }
+}
+
+TEST(TadwTest, RefusesLargeGraphs) {
+  // The densification guard: the paper's "did not finish on large data".
+  const AttributedGraph g = testing::SmallSbm(84, 120);
+  TadwOptions options;
+  options.max_nodes = 100;
+  const auto result = TrainTadw(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(TadwTest, LinkPredictionAboveChance) {
+  const AttributedGraph g = testing::SmallSbm(85, 400);
+  const auto split = SplitEdges(g, 0.3, 12).ValueOrDie();
+  TadwOptions options;
+  options.k = 32;
+  options.als_iterations = 5;
+  const auto embedding = TrainTadw(split.residual_graph, options).ValueOrDie();
+  const AucAp result = EvaluateLinkPrediction(split, [&](int64_t u, int64_t v) {
+    return CosineScore(embedding.features, u, v);
+  });
+  EXPECT_GT(result.auc, 0.6);
+}
+
+TEST(BaneTest, CodesAreBinary) {
+  const AttributedGraph g = testing::SmallSbm(86, 200);
+  BaneOptions options;
+  options.k = 24;
+  const auto embedding = TrainBane(g, options).ValueOrDie();
+  EXPECT_EQ(embedding.codes.rows(), 200);
+  EXPECT_EQ(embedding.codes.cols(), 24);
+  for (int64_t i = 0; i < embedding.codes.rows(); ++i) {
+    for (int64_t j = 0; j < 24; ++j) {
+      const double v = embedding.codes(i, j);
+      EXPECT_TRUE(v == 1.0 || v == -1.0) << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(BaneTest, HammingLinkPredictionAboveChance) {
+  const AttributedGraph g = testing::SmallSbm(87, 400);
+  const auto split = SplitEdges(g, 0.3, 13).ValueOrDie();
+  BaneOptions options;
+  options.k = 48;
+  const auto embedding = TrainBane(split.residual_graph, options).ValueOrDie();
+  const AucAp result = EvaluateLinkPrediction(split, [&](int64_t u, int64_t v) {
+    return HammingScore(embedding.codes, u, v);
+  });
+  EXPECT_GT(result.auc, 0.6);
+}
+
+TEST(LqanrTest, EntriesOnQuantizedGrid) {
+  const AttributedGraph g = testing::SmallSbm(88, 200);
+  LqanrOptions options;
+  options.k = 16;
+  options.bit_width = 2;
+  const auto embedding = TrainLqanr(g, options).ValueOrDie();
+  ASSERT_GT(embedding.step, 0.0);
+  const int64_t grid = 4;  // 2^2
+  for (int64_t i = 0; i < embedding.features.rows(); ++i) {
+    for (int64_t j = 0; j < embedding.features.cols(); ++j) {
+      const double q = embedding.features(i, j) / embedding.step;
+      EXPECT_NEAR(q, std::round(q), 1e-9);
+      EXPECT_LE(std::fabs(q), static_cast<double>(grid) + 1e-9);
+    }
+  }
+}
+
+TEST(LqanrTest, BitWidthValidation) {
+  const AttributedGraph g = testing::Figure1Graph();
+  LqanrOptions options;
+  options.bit_width = 0;
+  EXPECT_FALSE(TrainLqanr(g, options).ok());
+  options.bit_width = 9;
+  EXPECT_FALSE(TrainLqanr(g, options).ok());
+}
+
+TEST(BlaLikeTest, TruePairsOutscoreRandomPairs) {
+  const AttributedGraph g = testing::SmallSbm(89, 400);
+  const auto split = SplitAttributes(g, 0.2, 14).ValueOrDie();
+  const auto model = TrainBlaLike(split.train_graph, BlaLikeOptions{}).ValueOrDie();
+  const AucAp result = EvaluateAttributeInference(
+      split, [&](int64_t v, int64_t r) { return model.Score(v, r); });
+  EXPECT_GT(result.auc, 0.6);
+}
+
+TEST(BlaLikeTest, Validation) {
+  const AttributedGraph g = testing::Figure1Graph();
+  BlaLikeOptions options;
+  options.hops = 0;
+  EXPECT_FALSE(TrainBlaLike(g, options).ok());
+  options.hops = 2;
+  options.decay = 1.5;
+  EXPECT_FALSE(TrainBlaLike(g, options).ok());
+}
+
+}  // namespace
+}  // namespace pane

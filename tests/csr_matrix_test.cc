@@ -1,0 +1,148 @@
+// Tests for the CSR sparse matrix: assembly, transforms, normalizations.
+#include "src/matrix/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace pane {
+namespace {
+
+CsrMatrix Example() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  return CsrMatrix::FromTriplets(
+             3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 0, 3.0}, {2, 1, 4.0}})
+      .ValueOrDie();
+}
+
+TEST(CsrMatrixTest, FromTripletsBasic) {
+  const CsrMatrix m = Example();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 4.0);
+}
+
+TEST(CsrMatrixTest, DuplicatesSum) {
+  const CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0}, {0, 1, 2.5}, {1, 0, 1.0}})
+          .ValueOrDie();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 3.5);
+}
+
+TEST(CsrMatrixTest, RowsSortedByColumn) {
+  const CsrMatrix m =
+      CsrMatrix::FromTriplets(1, 5, {{0, 4, 1}, {0, 0, 2}, {0, 2, 3}})
+          .ValueOrDie();
+  const CsrMatrix::RowView row = m.Row(0);
+  ASSERT_EQ(row.length, 3);
+  EXPECT_EQ(row.cols[0], 0);
+  EXPECT_EQ(row.cols[1], 2);
+  EXPECT_EQ(row.cols[2], 4);
+}
+
+TEST(CsrMatrixTest, OutOfRangeTripletRejected) {
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}).ok());
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{0, -1, 1.0}}).ok());
+}
+
+TEST(CsrMatrixTest, FromCsrArraysValidation) {
+  EXPECT_TRUE(CsrMatrix::FromCsrArrays(2, 2, {0, 1, 2}, {1, 0}, {1.0, 2.0}).ok());
+  // indptr wrong size
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(2, 2, {0, 2}, {1, 0}, {1.0, 2.0}).ok());
+  // decreasing indptr
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(2, 2, {0, 2, 1}, {1, 0}, {1.0, 2.0}).ok());
+  // column out of range
+  EXPECT_FALSE(CsrMatrix::FromCsrArrays(2, 2, {0, 1, 2}, {1, 5}, {1.0, 2.0}).ok());
+}
+
+TEST(CsrMatrixTest, RowColSums) {
+  const CsrMatrix m = Example();
+  const auto row_sums = m.RowSums();
+  EXPECT_DOUBLE_EQ(row_sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(row_sums[1], 0.0);
+  EXPECT_DOUBLE_EQ(row_sums[2], 7.0);
+  const auto col_sums = m.ColSums();
+  EXPECT_DOUBLE_EQ(col_sums[0], 4.0);
+  EXPECT_DOUBLE_EQ(col_sums[1], 4.0);
+  EXPECT_DOUBLE_EQ(col_sums[2], 2.0);
+}
+
+TEST(CsrMatrixTest, TransposeMatchesDense) {
+  const CsrMatrix m = Example();
+  const CsrMatrix t = m.Transposed();
+  const DenseMatrix md = m.ToDense();
+  const DenseMatrix td = t.ToDense();
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(md(i, j), td(j, i));
+  }
+}
+
+TEST(CsrMatrixTest, TransposeTwiceIsIdentity) {
+  Rng rng(71);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 500; ++i) {
+    triplets.push_back(Triplet{static_cast<int64_t>(rng.UniformInt(uint64_t{40})),
+                               static_cast<int64_t>(rng.UniformInt(uint64_t{30})),
+                               rng.UniformDouble()});
+  }
+  const CsrMatrix m = CsrMatrix::FromTriplets(40, 30, triplets).ValueOrDie();
+  const CsrMatrix tt = m.Transposed().Transposed();
+  EXPECT_EQ(m.ToDense().MaxAbsDiff(tt.ToDense()), 0.0);
+}
+
+TEST(CsrMatrixTest, RowNormalizedIsStochastic) {
+  const CsrMatrix rn = Example().RowNormalized();
+  const auto sums = rn.RowSums();
+  EXPECT_NEAR(sums[0], 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);  // zero row stays zero
+  EXPECT_NEAR(sums[2], 1.0, 1e-15);
+  EXPECT_NEAR(rn.At(2, 0), 3.0 / 7.0, 1e-15);
+}
+
+TEST(CsrMatrixTest, ColNormalizedSumsToOne) {
+  const CsrMatrix cn = Example().ColNormalized();
+  const auto sums = cn.ColSums();
+  EXPECT_NEAR(sums[0], 1.0, 1e-15);
+  EXPECT_NEAR(sums[1], 1.0, 1e-15);
+  EXPECT_NEAR(sums[2], 1.0, 1e-15);
+  EXPECT_NEAR(cn.At(0, 0), 0.25, 1e-15);
+}
+
+TEST(CsrMatrixTest, ColSliceReindexes) {
+  const CsrMatrix m = Example();
+  const CsrMatrix slice = m.ColSlice(1, 3);
+  EXPECT_EQ(slice.cols(), 2);
+  EXPECT_DOUBLE_EQ(slice.At(0, 1), 2.0);  // was column 2
+  EXPECT_DOUBLE_EQ(slice.At(2, 0), 4.0);  // was column 1
+  EXPECT_EQ(slice.nnz(), 2);
+}
+
+TEST(CsrMatrixTest, ColSliceConcatenationCoversMatrix) {
+  const CsrMatrix m = Example();
+  const CsrMatrix a = m.ColSlice(0, 2);
+  const CsrMatrix b = m.ColSlice(2, 3);
+  EXPECT_EQ(a.nnz() + b.nnz(), m.nnz());
+}
+
+TEST(CsrMatrixTest, ScaleValues) {
+  CsrMatrix m = Example();
+  m.ScaleValues(2.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 8.0);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(0, 0, {}).ValueOrDie();
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,138 @@
+// Tests for the dense matrix container and elementwise/block operations.
+#include "src/matrix/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+
+namespace pane {
+namespace {
+
+TEST(DenseMatrixTest, ConstructionZeroInitialized) {
+  DenseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, InitializerList) {
+  DenseMatrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(DenseMatrixTest, RowPointerIsContiguous) {
+  DenseMatrix m({{1, 2}, {3, 4}});
+  const double* row1 = m.Row(1);
+  EXPECT_EQ(row1[0], 3.0);
+  EXPECT_EQ(row1[1], 4.0);
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix m({{1, 2, 3}, {4, 5, 6}});
+  const DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), t(j, i));
+  }
+}
+
+TEST(DenseMatrixTest, TransposeLargeRoundTrip) {
+  Rng rng(5);
+  DenseMatrix m(131, 77);  // exercises the blocked path
+  m.FillGaussian(&rng);
+  EXPECT_EQ(m.Transposed().Transposed().MaxAbsDiff(m), 0.0);
+}
+
+TEST(DenseMatrixTest, RowAndColBlocks) {
+  DenseMatrix m({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  const DenseMatrix rb = m.RowBlock(1, 3);
+  EXPECT_EQ(rb.rows(), 2);
+  EXPECT_EQ(rb(0, 0), 4.0);
+  EXPECT_EQ(rb(1, 2), 9.0);
+  const DenseMatrix cb = m.ColBlock(1, 2);
+  EXPECT_EQ(cb.cols(), 1);
+  EXPECT_EQ(cb(2, 0), 8.0);
+}
+
+TEST(DenseMatrixTest, SetBlock) {
+  DenseMatrix m(3, 3);
+  m.SetBlock(1, 1, DenseMatrix({{5, 6}, {7, 8}}));
+  EXPECT_EQ(m(1, 1), 5.0);
+  EXPECT_EQ(m(2, 2), 8.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(DenseMatrixTest, ArithmeticOps) {
+  DenseMatrix a({{1, 2}, {3, 4}});
+  DenseMatrix b({{10, 20}, {30, 40}});
+  a.Add(b);
+  EXPECT_EQ(a(1, 1), 44.0);
+  a.Sub(b);
+  EXPECT_EQ(a(0, 0), 1.0);
+  a.Scale(2.0);
+  EXPECT_EQ(a(0, 1), 4.0);
+  a.Axpy(0.5, b);
+  EXPECT_EQ(a(0, 0), 2.0 + 5.0);
+}
+
+TEST(DenseMatrixTest, Norms) {
+  DenseMatrix m({{3, 4}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 7.0);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a({{1, 2}});
+  DenseMatrix b({{1.5, 1.0}});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 1.0);
+}
+
+TEST(DenseMatrixTest, RowColumnSums) {
+  DenseMatrix m({{1, 2}, {3, 4}});
+  const auto cols = m.ColumnSums();
+  EXPECT_DOUBLE_EQ(cols[0], 4.0);
+  EXPECT_DOUBLE_EQ(cols[1], 6.0);
+  const auto rows = m.RowSums();
+  EXPECT_DOUBLE_EQ(rows[0], 3.0);
+  EXPECT_DOUBLE_EQ(rows[1], 7.0);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  const DenseMatrix i = DenseMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(i.Sum(), 3.0);
+}
+
+TEST(DenseMatrixTest, FillGaussianMoments) {
+  Rng rng(3);
+  DenseMatrix m(200, 200);
+  m.FillGaussian(&rng, 1.0, 2.0);
+  const double mean = m.Sum() / m.size();
+  EXPECT_NEAR(mean, 1.0, 0.05);
+}
+
+TEST(DenseMatrixTest, ResizeDiscardsContents) {
+  DenseMatrix m({{1, 2}});
+  m.Resize(2, 2);
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m.rows(), 2);
+}
+
+TEST(DenseMatrixTest, ToStringTruncates) {
+  DenseMatrix m(20, 20);
+  const std::string s = m.ToString(3, 3);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("20 x 20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pane

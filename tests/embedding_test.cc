@@ -1,0 +1,121 @@
+// Tests for the embedding container: scoring formulas (Equations 21-22)
+// against naive evaluation, and save/load round-trips.
+#include "src/core/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/random.h"
+#include "src/core/pane.h"
+#include "src/matrix/vector_ops.h"
+#include "test_util.h"
+
+namespace pane {
+namespace {
+
+PaneEmbedding RandomEmbedding(int64_t n, int64_t d, int h, uint64_t seed) {
+  Rng rng(seed);
+  PaneEmbedding e;
+  e.xf.Resize(n, h);
+  e.xb.Resize(n, h);
+  e.y.Resize(d, h);
+  e.xf.FillGaussian(&rng);
+  e.xb.FillGaussian(&rng);
+  e.y.FillGaussian(&rng);
+  return e;
+}
+
+TEST(EmbeddingTest, AttributeScoreMatchesEquation21) {
+  const PaneEmbedding e = RandomEmbedding(10, 6, 4, 1);
+  for (int64_t v = 0; v < 10; ++v) {
+    for (int64_t r = 0; r < 6; ++r) {
+      double expected = 0.0;
+      for (int64_t l = 0; l < 4; ++l) {
+        expected += e.xf(v, l) * e.y(r, l) + e.xb(v, l) * e.y(r, l);
+      }
+      EXPECT_NEAR(e.AttributeScore(v, r), expected, 1e-12);
+    }
+  }
+}
+
+TEST(EdgeScorerTest, MatchesEquation22Naive) {
+  const PaneEmbedding e = RandomEmbedding(8, 5, 3, 2);
+  const EdgeScorer scorer(e);
+  for (int64_t u = 0; u < 8; ++u) {
+    for (int64_t w = 0; w < 8; ++w) {
+      // p(u, w) = sum_r (Xf[u].Y[r]) * (Xb[w].Y[r])
+      double expected = 0.0;
+      for (int64_t r = 0; r < 5; ++r) {
+        const double f = Dot(e.xf.Row(u), e.y.Row(r), 3);
+        const double b = Dot(e.xb.Row(w), e.y.Row(r), 3);
+        expected += f * b;
+      }
+      EXPECT_NEAR(scorer.Score(u, w), expected, 1e-10);
+    }
+  }
+}
+
+TEST(EdgeScorerTest, UndirectedIsSymmetricSum) {
+  const PaneEmbedding e = RandomEmbedding(6, 4, 2, 3);
+  const EdgeScorer scorer(e);
+  for (int64_t u = 0; u < 6; ++u) {
+    for (int64_t w = 0; w < 6; ++w) {
+      EXPECT_NEAR(scorer.ScoreUndirected(u, w),
+                  scorer.Score(u, w) + scorer.Score(w, u), 1e-12);
+      EXPECT_NEAR(scorer.ScoreUndirected(u, w), scorer.ScoreUndirected(w, u),
+                  1e-12);
+    }
+  }
+}
+
+class EmbeddingIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("pane_emb_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(EmbeddingIoTest, SaveLoadRoundTrip) {
+  const PaneEmbedding e = RandomEmbedding(20, 10, 8, 4);
+  ASSERT_TRUE(e.Save(path_).ok());
+  const auto loaded = PaneEmbedding::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(e.xf.MaxAbsDiff(loaded->xf), 0.0);
+  EXPECT_EQ(e.xb.MaxAbsDiff(loaded->xb), 0.0);
+  EXPECT_EQ(e.y.MaxAbsDiff(loaded->y), 0.0);
+}
+
+TEST_F(EmbeddingIoTest, TrainedEmbeddingScoresSurviveRoundTrip) {
+  const AttributedGraph g = testing::SmallSbm(91, 200);
+  PaneOptions options;
+  options.k = 16;
+  const auto e = Pane(options).Train(g).ValueOrDie();
+  ASSERT_TRUE(e.Save(path_).ok());
+  const auto loaded = PaneEmbedding::Load(path_).ValueOrDie();
+  for (int64_t v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(e.AttributeScore(v, 0), loaded.AttributeScore(v, 0));
+  }
+}
+
+TEST_F(EmbeddingIoTest, LoadRejectsGarbage) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not an embedding", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(PaneEmbedding::Load(path_).ok());
+}
+
+TEST_F(EmbeddingIoTest, LoadMissingFileFails) {
+  EXPECT_TRUE(PaneEmbedding::Load("/nonexistent/file.bin").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,174 @@
+// Tests for the synthetic graph generators: size targets, degree skew,
+// community/attribute homophily — the properties the evaluation relies on.
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/datasets/registry.h"
+
+namespace pane {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountApproximate) {
+  const AttributedGraph g = ErdosRenyi(500, 2000, 1);
+  // Duplicates merge, so the realized count is slightly below the target.
+  EXPECT_GT(g.num_edges(), 1900);
+  EXPECT_LE(g.num_edges(), 2000);
+  EXPECT_EQ(g.num_nodes(), 500);
+}
+
+TEST(ErdosRenyiTest, UndirectedIsSymmetric) {
+  const AttributedGraph g = ErdosRenyi(100, 300, 2, /*undirected=*/true);
+  const DenseMatrix a = g.adjacency().ToDense();
+  for (int64_t i = 0; i < 100; ++i) {
+    for (int64_t j = 0; j < 100; ++j) EXPECT_EQ(a(i, j), a(j, i));
+  }
+}
+
+TEST(BarabasiAlbertTest, DegreeSkew) {
+  const AttributedGraph g = BarabasiAlbert(2000, 3, 3);
+  const auto in_deg = g.InDegrees();
+  const int64_t max_deg = *std::max_element(in_deg.begin(), in_deg.end());
+  const double avg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  // Preferential attachment concentrates in-degree on hubs.
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * avg);
+}
+
+SbmParams TestParams() {
+  SbmParams p;
+  p.num_nodes = 1000;
+  p.num_edges = 6000;
+  p.num_attributes = 100;
+  p.num_attr_entries = 5000;
+  p.num_communities = 5;
+  p.edge_homophily = 0.85;
+  p.attr_homophily = 0.85;
+  p.seed = 4;
+  return p;
+}
+
+TEST(SbmTest, SizesNearTargets) {
+  // Heavy-tailed hub degrees collide inside communities, so realized counts
+  // land somewhat under budget; within 20% keeps dataset ordering intact.
+  const AttributedGraph g = GenerateAttributedSbm(TestParams());
+  EXPECT_EQ(g.num_nodes(), 1000);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 6000.0, 1200.0);
+  EXPECT_NEAR(static_cast<double>(g.num_attribute_entries()), 5000.0, 1000.0);
+  EXPECT_EQ(g.num_label_classes(), 5);
+}
+
+TEST(SbmTest, CommunitiesBalanced) {
+  const AttributedGraph g = GenerateAttributedSbm(TestParams());
+  std::vector<int> counts(5, 0);
+  for (const auto& labels : g.labels()) {
+    ASSERT_EQ(labels.size(), 1u);
+    ++counts[static_cast<size_t>(labels[0])];
+  }
+  for (int c : counts) EXPECT_EQ(c, 200);
+}
+
+TEST(SbmTest, EdgeHomophilyRealized) {
+  const AttributedGraph g = GenerateAttributedSbm(TestParams());
+  int64_t within = 0, across = 0;
+  for (int64_t u = 0; u < g.num_nodes(); ++u) {
+    const auto row = g.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      const int64_t v = row.cols[p];
+      if (g.labels()[static_cast<size_t>(u)][0] ==
+          g.labels()[static_cast<size_t>(v)][0]) {
+        ++within;
+      } else {
+        ++across;
+      }
+    }
+  }
+  const double frac =
+      static_cast<double>(within) / static_cast<double>(within + across);
+  EXPECT_GT(frac, 0.7);  // target 0.85 minus duplicate-merge noise
+}
+
+TEST(SbmTest, AttributeHomophilyRealized) {
+  const AttributedGraph g = GenerateAttributedSbm(TestParams());
+  // Community i prefers attribute block [i*d/c, (i+1)*d/c).
+  const int64_t d = g.num_attributes();
+  const int32_t c = g.num_label_classes();
+  int64_t in_block = 0, total = 0;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    const int32_t cv = g.labels()[static_cast<size_t>(v)][0];
+    const int64_t lo = cv * d / c;
+    const int64_t hi = (cv + 1) * d / c;
+    const auto row = g.attributes().Row(v);
+    for (int64_t p = 0; p < row.length; ++p) {
+      total += 1;
+      if (row.cols[p] >= lo && row.cols[p] < hi) ++in_block;
+    }
+  }
+  EXPECT_GT(static_cast<double>(in_block) / static_cast<double>(total), 0.7);
+}
+
+TEST(SbmTest, UndirectedMode) {
+  SbmParams p = TestParams();
+  p.undirected = true;
+  const AttributedGraph g = GenerateAttributedSbm(p);
+  EXPECT_TRUE(g.undirected());
+  const DenseMatrix a = g.adjacency().ToDense();
+  for (int64_t i = 0; i < 50; ++i) {
+    for (int64_t j = 0; j < 50; ++j) EXPECT_EQ(a(i, j), a(j, i));
+  }
+}
+
+TEST(SbmTest, MultiLabelMode) {
+  // Secondary labels come from the first out-neighbor's community, so they
+  // duplicate the primary label whenever that edge is homophilous; lower
+  // edge homophily to make distinct secondary labels common enough to count.
+  SbmParams p = TestParams();
+  p.labels_per_node = 3;
+  p.edge_homophily = 0.5;
+  const AttributedGraph g = GenerateAttributedSbm(p);
+  size_t multi = 0;
+  for (const auto& labels : g.labels()) multi += (labels.size() > 1);
+  EXPECT_GT(multi, 100u);
+  // Secondary labels must still be valid class ids.
+  for (const auto& labels : g.labels()) {
+    for (int32_t l : labels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, p.num_communities);
+    }
+  }
+}
+
+TEST(SbmTest, DeterministicForSeed) {
+  const AttributedGraph a = GenerateAttributedSbm(TestParams());
+  const AttributedGraph b = GenerateAttributedSbm(TestParams());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.adjacency().ToDense().MaxAbsDiff(b.adjacency().ToDense()), 0.0);
+}
+
+TEST(DatasetRegistryTest, AllEightPresent) {
+  EXPECT_EQ(AllDatasets().size(), 8u);
+  EXPECT_EQ(SmallDatasets().size(), 5u);
+  EXPECT_TRUE(FindDataset("cora").ok());
+  EXPECT_TRUE(FindDataset("MAG").ok());
+  EXPECT_FALSE(FindDataset("imaginary").ok());
+}
+
+TEST(DatasetRegistryTest, MakeDatasetScales) {
+  const DatasetSpec spec = FindDataset("cora").ValueOrDie();
+  const AttributedGraph half = MakeDataset(spec, 0.5);
+  const AttributedGraph full = MakeDataset(spec, 1.0);
+  EXPECT_LT(half.num_nodes(), full.num_nodes());
+  EXPECT_LT(half.num_edges(), full.num_edges());
+  EXPECT_TRUE(full.has_labels());
+}
+
+TEST(DatasetRegistryTest, UndirectedDatasetsMatchPaper) {
+  EXPECT_TRUE(MakeDatasetByName("facebook", 0.2)->undirected());
+  EXPECT_TRUE(MakeDatasetByName("flickr", 0.2)->undirected());
+  EXPECT_FALSE(MakeDatasetByName("cora", 0.2)->undirected());
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,106 @@
+// Round-trip tests for the graph text / binary persistence layer.
+#include "src/graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/graph/generators.h"
+
+namespace pane {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pane_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+AttributedGraph SampleGraph() {
+  SbmParams params;
+  params.num_nodes = 120;
+  params.num_edges = 500;
+  params.num_attributes = 30;
+  params.num_attr_entries = 400;
+  params.num_communities = 4;
+  params.seed = 9;
+  return GenerateAttributedSbm(params);
+}
+
+void ExpectGraphsEqual(const AttributedGraph& a, const AttributedGraph& b) {
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_attributes(), b.num_attributes());
+  EXPECT_EQ(a.num_attribute_entries(), b.num_attribute_entries());
+  EXPECT_EQ(a.undirected(), b.undirected());
+  EXPECT_EQ(a.adjacency().ToDense().MaxAbsDiff(b.adjacency().ToDense()), 0.0);
+  EXPECT_LT(a.attributes().ToDense().MaxAbsDiff(b.attributes().ToDense()),
+            1e-14);
+  ASSERT_EQ(a.labels().size(), b.labels().size());
+  for (size_t v = 0; v < a.labels().size(); ++v) {
+    EXPECT_EQ(a.labels()[v], b.labels()[v]) << "node " << v;
+  }
+}
+
+TEST_F(GraphIoTest, TextRoundTrip) {
+  const AttributedGraph g = SampleGraph();
+  const std::string dir = (dir_ / "text").string();
+  ASSERT_TRUE(SaveGraphText(g, dir).ok());
+  auto loaded = LoadGraphText(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectGraphsEqual(g, *loaded);
+}
+
+TEST_F(GraphIoTest, BinaryRoundTrip) {
+  const AttributedGraph g = SampleGraph();
+  const std::string path = (dir_ / "graph.bin").string();
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  auto loaded = LoadGraphBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectGraphsEqual(g, *loaded);
+}
+
+TEST_F(GraphIoTest, LoadTextMissingDirectoryFails) {
+  EXPECT_TRUE(LoadGraphText((dir_ / "nope").string()).status().IsIOError());
+}
+
+TEST_F(GraphIoTest, LoadBinaryMissingFileFails) {
+  EXPECT_TRUE(
+      LoadGraphBinary((dir_ / "nope.bin").string()).status().IsIOError());
+}
+
+TEST_F(GraphIoTest, LoadBinaryRejectsGarbage) {
+  const std::string path = (dir_ / "junk.bin").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a graph", f);
+    std::fclose(f);
+  }
+  const auto loaded = LoadGraphBinary(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(GraphIoTest, UndirectedFlagSurvivesRoundTrip) {
+  SbmParams params;
+  params.num_nodes = 60;
+  params.num_edges = 200;
+  params.num_attributes = 10;
+  params.num_attr_entries = 100;
+  params.num_communities = 3;
+  params.undirected = true;
+  const AttributedGraph g = GenerateAttributedSbm(params);
+  const std::string path = (dir_ / "undirected.bin").string();
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  EXPECT_TRUE(LoadGraphBinary(path)->undirected());
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,148 @@
+// Tests for the attributed graph container and builder.
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace pane {
+namespace {
+
+AttributedGraph PaperExampleGraph() {
+  // The running example of Figure 1: 6 nodes v1..v6 (0-indexed 0..5),
+  // 3 attributes r1..r3 (0..2). Edges read off the figure: a small directed
+  // cycle structure among v1..v6 with v1, v2 attribute-less.
+  GraphBuilder builder(6, 3);
+  builder.AddEdge(0, 2).AddEdge(2, 0);  // v1 <-> v3
+  builder.AddEdge(0, 4).AddEdge(4, 0);  // v1 <-> v5
+  builder.AddEdge(1, 2);                // v2 -> v3
+  builder.AddEdge(2, 3);                // v3 -> v4
+  builder.AddEdge(3, 0);                // v4 -> v1
+  builder.AddEdge(4, 5);                // v5 -> v6
+  builder.AddEdge(5, 3);                // v6 -> v4
+  builder.AddNodeAttribute(2, 0, 1.0);  // v3 - r1
+  builder.AddNodeAttribute(3, 0, 1.0);  // v4 - r1
+  builder.AddNodeAttribute(4, 0, 1.0);  // v5 - r1
+  builder.AddNodeAttribute(2, 1, 1.0);  // v3 - r2
+  builder.AddNodeAttribute(4, 1, 1.0);  // v5 - r2
+  builder.AddNodeAttribute(5, 2, 1.0);  // v6 - r3
+  builder.AddLabel(0, 0).AddLabel(1, 0).AddLabel(2, 1);
+  return builder.Build(false).ValueOrDie();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  const AttributedGraph g = PaperExampleGraph();
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 9);
+  EXPECT_EQ(g.num_attributes(), 3);
+  EXPECT_EQ(g.num_attribute_entries(), 6);
+  EXPECT_EQ(g.num_label_classes(), 2);
+  EXPECT_FALSE(g.undirected());
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  GraphBuilder builder(3, 1);
+  builder.AddEdge(0, 0).AddEdge(0, 1);
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesCollapseToUnitWeight) {
+  GraphBuilder builder(3, 1);
+  builder.AddEdge(0, 1).AddEdge(0, 1).AddEdge(0, 1);
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.adjacency().At(0, 1), 1.0);
+}
+
+TEST(GraphBuilderTest, DuplicateAttributeEntriesSum) {
+  GraphBuilder builder(2, 2);
+  builder.AddEdge(0, 1);
+  builder.AddNodeAttribute(0, 1, 1.5).AddNodeAttribute(0, 1, 0.5);
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  EXPECT_DOUBLE_EQ(g.attributes().At(0, 1), 2.0);
+}
+
+TEST(GraphBuilderTest, OutOfRangeDeferredToBuild) {
+  GraphBuilder builder(2, 1);
+  builder.AddEdge(0, 5);
+  EXPECT_FALSE(builder.Build(false).ok());
+
+  GraphBuilder builder2(2, 1);
+  builder2.AddNodeAttribute(0, 3, 1.0);
+  EXPECT_FALSE(builder2.Build(false).ok());
+}
+
+TEST(GraphBuilderTest, NonPositiveAttributeWeightRejected) {
+  GraphBuilder builder(2, 1);
+  builder.AddNodeAttribute(0, 0, 0.0);
+  EXPECT_FALSE(builder.Build(false).ok());
+}
+
+TEST(GraphBuilderTest, LabelsDeduplicatedAndSorted) {
+  GraphBuilder builder(2, 1);
+  builder.AddEdge(0, 1);
+  builder.AddLabel(0, 3).AddLabel(0, 1).AddLabel(0, 3);
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  const auto& labels = g.labels()[0];
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 3);
+  EXPECT_EQ(g.num_label_classes(), 4);  // max label + 1
+}
+
+TEST(GraphTest, Degrees) {
+  const AttributedGraph g = PaperExampleGraph();
+  const auto out_deg = g.OutDegrees();
+  const auto in_deg = g.InDegrees();
+  EXPECT_EQ(out_deg[0], 2);  // v1 -> v3, v5
+  EXPECT_EQ(out_deg[1], 1);  // v2 -> v3
+  EXPECT_EQ(in_deg[0], 3);   // from v3, v4, v5
+  EXPECT_EQ(in_deg[2], 2);   // from v1, v2
+}
+
+TEST(GraphTest, TransposedAdjacencyConsistent) {
+  const AttributedGraph g = PaperExampleGraph();
+  const DenseMatrix a = g.adjacency().ToDense();
+  const DenseMatrix at = g.adjacency_transposed().ToDense();
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) EXPECT_EQ(a(i, j), at(j, i));
+  }
+}
+
+TEST(GraphTest, RandomWalkMatrixRowStochastic) {
+  const AttributedGraph g = PaperExampleGraph();
+  const auto sums = g.RandomWalkMatrix().RowSums();
+  for (int64_t v = 0; v < 6; ++v) {
+    EXPECT_NEAR(sums[static_cast<size_t>(v)], 1.0, 1e-15);
+  }
+}
+
+TEST(GraphTest, DanglingNodeGetsAbsorbingSelfLoop) {
+  GraphBuilder builder(3, 1);
+  builder.AddEdge(0, 1).AddEdge(0, 2);  // nodes 1, 2 dangling
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  const CsrMatrix p = g.RandomWalkMatrix();
+  EXPECT_DOUBLE_EQ(p.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.At(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(p.At(0, 0), 0.0);  // non-dangling rows get no self-loop
+  EXPECT_DOUBLE_EQ(p.At(0, 1), 0.5);
+}
+
+TEST(GraphTest, UndirectedConventionMirrorsEdges) {
+  GraphBuilder builder(3, 1);
+  builder.AddUndirectedEdge(0, 1).AddUndirectedEdge(1, 2);
+  const AttributedGraph g = builder.Build(true).ValueOrDie();
+  EXPECT_TRUE(g.undirected());
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_DOUBLE_EQ(g.adjacency().At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.adjacency().At(1, 0), 1.0);
+}
+
+TEST(GraphTest, SummaryMentionsCounts) {
+  const AttributedGraph g = PaperExampleGraph();
+  const std::string s = g.Summary();
+  EXPECT_NE(s.find("n=6"), std::string::npos);
+  EXPECT_NE(s.find("directed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,83 @@
+// Tests for logging levels / check macros and the timing utilities.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+#include "src/common/timer.h"
+
+namespace pane {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MessagesBelowLevelAreCheap) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  // Must not crash or emit; mostly a smoke test for the macro expansion.
+  PANE_LOG(INFO) << "suppressed " << 42;
+  PANE_LOG(ERROR) << "also suppressed";
+  SetLogLevel(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(PANE_CHECK(1 == 2) << "math broke", "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(PANE_CHECK_OK(Status::Internal("nope")), "nope");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  PANE_CHECK(2 + 2 == 4) << "never printed";
+  PANE_CHECK_OK(Status::OK());
+}
+
+TEST(WallTimerTest, MeasuresElapsed) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_GE(timer.ElapsedMicros(), 15000);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(ScopedTimerTest, AccumulatesIntoSink) {
+  double sink = 0.0;
+  {
+    ScopedTimer t(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(sink, 0.008);
+  {
+    ScopedTimer t(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(sink, 0.016);  // accumulates, not overwrites
+}
+
+TEST(FormatDurationTest, Units) {
+  EXPECT_EQ(FormatDuration(2.5 * 3600), "2.50 h");
+  EXPECT_EQ(FormatDuration(90.0), "1.50 min");
+  EXPECT_EQ(FormatDuration(2.0), "2.00 s");
+  EXPECT_EQ(FormatDuration(0.5), "500.00 ms");
+  EXPECT_EQ(FormatDuration(2e-5), "20 us");
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,103 @@
+// Tests for the evaluation metrics with hand-computed expectations.
+#include "src/tasks/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pane {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(
+      AreaUnderRocCurve({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucTest, PerfectInversion) {
+  EXPECT_DOUBLE_EQ(
+      AreaUnderRocCurve({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucTest, RandomOrderIsHalf) {
+  // Identical scores: every positive ties every negative -> 0.5.
+  EXPECT_DOUBLE_EQ(AreaUnderRocCurve({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, HandComputedMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8 vs 0.6) win, (0.8 vs 0.2) win, (0.4 vs 0.6) loss,
+  // (0.4 vs 0.2) win => 3/4.
+  EXPECT_DOUBLE_EQ(
+      AreaUnderRocCurve({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, TiesCountHalf) {
+  // pos {0.5}, neg {0.5, 0.1}: tie counts 0.5, win counts 1 => 0.75.
+  EXPECT_DOUBLE_EQ(AreaUnderRocCurve({0.5, 0.5, 0.1}, {1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(AreaUnderRocCurve({0.1, 0.2}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AreaUnderRocCurve({0.1, 0.2}, {0, 0}), 0.5);
+}
+
+TEST(ApTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(ApTest, HandComputedCase) {
+  // Ranking: pos, neg, pos, neg. Precisions at hits: 1/1, 2/3.
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.8, 0.7, 0.6}, {1, 0, 1, 0}),
+                   (1.0 + 2.0 / 3.0) / 2.0);
+}
+
+TEST(ApTest, NoPositives) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5, 0.4}, {0, 0}), 0.0);
+}
+
+TEST(PrecisionAtKTest, Basics) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0.9, 0.8, 0.7, 0.6}, {1, 0, 1, 0}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0.9, 0.8, 0.7, 0.6}, {1, 0, 1, 0}, 1), 1.0);
+  // k beyond size clamps.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0.9, 0.8}, {1, 1}, 10), 1.0);
+}
+
+TEST(F1Test, SingleLabelPerfect) {
+  const F1Scores f1 = ComputeF1({{0}, {1}, {2}}, {{0}, {1}, {2}}, 3);
+  EXPECT_DOUBLE_EQ(f1.micro, 1.0);
+  EXPECT_DOUBLE_EQ(f1.macro, 1.0);
+}
+
+TEST(F1Test, SingleLabelHandComputed) {
+  // truth:     0 0 1 1
+  // predicted: 0 1 1 0
+  // class 0: tp=1 fp=1 fn=1 -> F1 = 2/4 = 0.5; class 1 same.
+  const F1Scores f1 = ComputeF1({{0}, {0}, {1}, {1}}, {{0}, {1}, {1}, {0}}, 2);
+  EXPECT_DOUBLE_EQ(f1.micro, 0.5);
+  EXPECT_DOUBLE_EQ(f1.macro, 0.5);
+}
+
+TEST(F1Test, MultiLabelPartialOverlap) {
+  // truth {0,1}, predicted {1,2}: tp(1)=1, fp(2)=1, fn(0)=1.
+  // micro = 2*1 / (2*1 + 1 + 1) = 0.5.
+  const F1Scores f1 = ComputeF1({{0, 1}}, {{1, 2}}, 3);
+  EXPECT_DOUBLE_EQ(f1.micro, 0.5);
+}
+
+TEST(F1Test, MacroIgnoresAbsentClasses) {
+  // Class 2 never appears in truth or prediction -> excluded from macro.
+  const F1Scores f1 = ComputeF1({{0}, {1}}, {{0}, {1}}, 3);
+  EXPECT_DOUBLE_EQ(f1.macro, 1.0);
+}
+
+TEST(F1Test, EmptyPredictionsGiveZero) {
+  const F1Scores f1 = ComputeF1({{0}, {1}}, {{}, {}}, 2);
+  EXPECT_DOUBLE_EQ(f1.micro, 0.0);
+}
+
+TEST(ComputeAucApTest, BothComputed) {
+  const AucAp both = ComputeAucAp({0.9, 0.1}, {1, 0});
+  EXPECT_DOUBLE_EQ(both.auc, 1.0);
+  EXPECT_DOUBLE_EQ(both.ap, 1.0);
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,98 @@
+// Tests for PAPMI (Algorithm 6) — most importantly Lemma 4.1: the parallel
+// block decomposition returns *the same* F', B' as single-thread APMI. Our
+// implementation preserves per-element summation order, so the equality is
+// checked bitwise.
+#include "src/core/papmi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/apmi.h"
+#include "src/parallel/thread_pool.h"
+#include "test_util.h"
+
+namespace pane {
+namespace {
+
+AffinityMatrices RunPapmi(const AttributedGraph& g, double alpha, int t,
+                          int nb) {
+  const CsrMatrix p = g.RandomWalkMatrix();
+  const CsrMatrix pt = p.Transposed();
+  ThreadPool pool(nb);
+  PapmiInputs inputs;
+  inputs.p = &p;
+  inputs.p_transposed = &pt;
+  inputs.r = &g.attributes();
+  inputs.alpha = alpha;
+  inputs.t = t;
+  inputs.pool = &pool;
+  return Papmi(inputs).ValueOrDie();
+}
+
+AffinityMatrices RunApmiSerial(const AttributedGraph& g, double alpha, int t) {
+  const CsrMatrix p = g.RandomWalkMatrix();
+  const CsrMatrix pt = p.Transposed();
+  ApmiInputs inputs;
+  inputs.p = &p;
+  inputs.p_transposed = &pt;
+  inputs.r = &g.attributes();
+  inputs.alpha = alpha;
+  inputs.t = t;
+  return Apmi(inputs).ValueOrDie();
+}
+
+// Lemma 4.1 as a parameterized sweep over the thread count nb.
+class PapmiThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PapmiThreadSweep, Lemma41IdenticalToApmi) {
+  const int nb = GetParam();
+  const AttributedGraph g = testing::SmallSbm(31, 300);
+  const AffinityMatrices serial = RunApmiSerial(g, 0.5, 5);
+  const AffinityMatrices parallel = RunPapmi(g, 0.5, 5, nb);
+  EXPECT_EQ(serial.forward.MaxAbsDiff(parallel.forward), 0.0) << "nb=" << nb;
+  EXPECT_EQ(serial.backward.MaxAbsDiff(parallel.backward), 0.0) << "nb=" << nb;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadGrid, PapmiThreadSweep,
+                         ::testing::Values(2, 3, 5, 8));
+
+TEST(PapmiTest, MoreBlocksThanAttributes) {
+  // d = 3 attributes split across 8 workers: most blocks are empty.
+  const AttributedGraph g = testing::Figure1Graph();
+  const AffinityMatrices serial = RunApmiSerial(g, 0.3, 4);
+  const AffinityMatrices parallel = RunPapmi(g, 0.3, 4, 8);
+  EXPECT_EQ(serial.forward.MaxAbsDiff(parallel.forward), 0.0);
+  EXPECT_EQ(serial.backward.MaxAbsDiff(parallel.backward), 0.0);
+}
+
+TEST(PapmiTest, NullPoolFallsBackToApmi) {
+  const AttributedGraph g = testing::Figure1Graph();
+  const CsrMatrix p = g.RandomWalkMatrix();
+  const CsrMatrix pt = p.Transposed();
+  PapmiInputs inputs;
+  inputs.p = &p;
+  inputs.p_transposed = &pt;
+  inputs.r = &g.attributes();
+  inputs.alpha = 0.5;
+  inputs.t = 3;
+  inputs.pool = nullptr;
+  const auto result = Papmi(inputs);
+  ASSERT_TRUE(result.ok());
+  const AffinityMatrices serial = RunApmiSerial(g, 0.5, 3);
+  EXPECT_EQ(serial.forward.MaxAbsDiff(result->forward), 0.0);
+}
+
+TEST(PapmiTest, DifferentAlphaAndT) {
+  const AttributedGraph g = testing::SmallSbm(33, 200);
+  for (const double alpha : {0.15, 0.7}) {
+    for (const int t : {1, 6}) {
+      const AffinityMatrices serial = RunApmiSerial(g, alpha, t);
+      const AffinityMatrices parallel = RunPapmi(g, alpha, t, 4);
+      EXPECT_EQ(serial.forward.MaxAbsDiff(parallel.forward), 0.0)
+          << "alpha=" << alpha << " t=" << t;
+      EXPECT_EQ(serial.backward.MaxAbsDiff(parallel.backward), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pane

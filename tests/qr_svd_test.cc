@@ -1,0 +1,184 @@
+// Tests for the deterministic factorizations: thin QR, one-sided Jacobi
+// SVD, symmetric Jacobi eigen, regularized SPD inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/matrix/dense_matrix.h"
+#include "src/matrix/gemm.h"
+#include "src/matrix/qr.h"
+#include "src/matrix/svd.h"
+
+namespace pane {
+namespace {
+
+double OrthonormalityError(const DenseMatrix& q) {
+  DenseMatrix gram;
+  GemmTransA(q, q, &gram);
+  gram.Sub(DenseMatrix::Identity(q.cols()));
+  return gram.FrobeniusNorm();
+}
+
+TEST(ThinQrTest, ReconstructsAndOrthonormal) {
+  Rng rng(1);
+  DenseMatrix a(50, 8);
+  a.FillGaussian(&rng);
+  DenseMatrix q, r;
+  ASSERT_TRUE(ThinQr(a, &q, &r, &rng).ok());
+  EXPECT_LT(OrthonormalityError(q), 1e-12);
+  DenseMatrix qr;
+  Gemm(q, r, &qr);
+  EXPECT_LT(qr.MaxAbsDiff(a), 1e-10);
+}
+
+TEST(ThinQrTest, RIsUpperTriangular) {
+  Rng rng(2);
+  DenseMatrix a(20, 6);
+  a.FillGaussian(&rng);
+  DenseMatrix q, r;
+  ASSERT_TRUE(ThinQr(a, &q, &r, &rng).ok());
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < i; ++j) EXPECT_EQ(r(i, j), 0.0);
+  }
+}
+
+TEST(ThinQrTest, RankDeficientStillOrthonormal) {
+  Rng rng(3);
+  DenseMatrix a(30, 5);
+  a.FillGaussian(&rng);
+  // Make column 3 a copy of column 1 and column 4 zero.
+  for (int64_t i = 0; i < 30; ++i) {
+    a(i, 3) = a(i, 1);
+    a(i, 4) = 0.0;
+  }
+  DenseMatrix q, r;
+  ASSERT_TRUE(ThinQr(a, &q, &r, &rng).ok());
+  EXPECT_LT(OrthonormalityError(q), 1e-10);
+  EXPECT_EQ(r(3, 3), 0.0);
+  EXPECT_EQ(r(4, 4), 0.0);
+}
+
+TEST(ThinQrTest, WideInputRejected) {
+  DenseMatrix a(3, 5), q, r;
+  EXPECT_FALSE(ThinQr(a, &q, &r).ok());
+}
+
+TEST(OrthonormalizeColumnsTest, InPlace) {
+  Rng rng(4);
+  DenseMatrix m(40, 6);
+  m.FillGaussian(&rng);
+  ASSERT_TRUE(OrthonormalizeColumns(&m, &rng).ok());
+  EXPECT_LT(OrthonormalityError(m), 1e-12);
+}
+
+TEST(JacobiSvdTest, ReconstructsInput) {
+  Rng rng(5);
+  DenseMatrix a(40, 7);
+  a.FillGaussian(&rng);
+  DenseMatrix u, v;
+  std::vector<double> sigma;
+  ASSERT_TRUE(JacobiSvd(a, &u, &sigma, &v).ok());
+  // Rebuild U diag(sigma) V^T.
+  DenseMatrix us = u;
+  for (int64_t i = 0; i < us.rows(); ++i) {
+    for (int64_t j = 0; j < us.cols(); ++j) {
+      us(i, j) *= sigma[static_cast<size_t>(j)];
+    }
+  }
+  DenseMatrix rebuilt;
+  GemmTransB(us, v, &rebuilt);
+  EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-10);
+}
+
+TEST(JacobiSvdTest, FactorsOrthonormalAndSigmaSorted) {
+  Rng rng(6);
+  DenseMatrix a(25, 6);
+  a.FillGaussian(&rng);
+  DenseMatrix u, v;
+  std::vector<double> sigma;
+  ASSERT_TRUE(JacobiSvd(a, &u, &sigma, &v).ok());
+  EXPECT_LT(OrthonormalityError(u), 1e-10);
+  EXPECT_LT(OrthonormalityError(v), 1e-10);
+  for (size_t j = 1; j < sigma.size(); ++j) {
+    EXPECT_GE(sigma[j - 1], sigma[j] - 1e-12);
+  }
+  for (double s : sigma) EXPECT_GE(s, 0.0);
+}
+
+TEST(JacobiSvdTest, KnownDiagonalCase) {
+  DenseMatrix a({{3, 0}, {0, 4}, {0, 0}});
+  DenseMatrix u, v;
+  std::vector<double> sigma;
+  ASSERT_TRUE(JacobiSvd(a, &u, &sigma, &v).ok());
+  EXPECT_NEAR(sigma[0], 4.0, 1e-12);
+  EXPECT_NEAR(sigma[1], 3.0, 1e-12);
+}
+
+TEST(JacobiSvdTest, RankDeficientPadsOrthonormalU) {
+  Rng rng(7);
+  DenseMatrix a(20, 5);
+  a.FillGaussian(&rng);
+  for (int64_t i = 0; i < 20; ++i) {
+    a(i, 4) = 2.0 * a(i, 0);  // rank 4
+  }
+  DenseMatrix u, v;
+  std::vector<double> sigma;
+  ASSERT_TRUE(JacobiSvd(a, &u, &sigma, &v).ok());
+  EXPECT_LT(sigma[4], 1e-8);
+  EXPECT_LT(OrthonormalityError(u), 1e-6);
+}
+
+TEST(JacobiEigenTest, SymmetricReconstruction) {
+  Rng rng(8);
+  DenseMatrix b(6, 6);
+  b.FillGaussian(&rng);
+  DenseMatrix s;
+  GemmTransA(b, b, &s);  // SPD
+  DenseMatrix v;
+  std::vector<double> lambda;
+  ASSERT_TRUE(JacobiEigenSymmetric(s, &v, &lambda).ok());
+  // V diag(lambda) V^T == S
+  DenseMatrix vl = v;
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) vl(i, j) *= lambda[static_cast<size_t>(j)];
+  }
+  DenseMatrix rebuilt;
+  GemmTransB(vl, v, &rebuilt);
+  EXPECT_LT(rebuilt.MaxAbsDiff(s), 1e-9);
+  for (size_t j = 1; j < lambda.size(); ++j) {
+    EXPECT_GE(lambda[j - 1], lambda[j] - 1e-12);
+  }
+}
+
+TEST(JacobiEigenTest, NonSquareRejected) {
+  DenseMatrix s(2, 3), v;
+  std::vector<double> lambda;
+  EXPECT_FALSE(JacobiEigenSymmetric(s, &v, &lambda).ok());
+}
+
+TEST(InvertSymmetricPsdTest, InvertsWellConditioned) {
+  Rng rng(9);
+  DenseMatrix b(5, 5);
+  b.FillGaussian(&rng);
+  DenseMatrix s;
+  GemmTransA(b, b, &s);
+  for (int64_t i = 0; i < 5; ++i) s(i, i) += 1.0;  // well-conditioned
+  DenseMatrix inv;
+  ASSERT_TRUE(InvertSymmetricPsd(s, 1e-9, &inv).ok());
+  DenseMatrix prod;
+  Gemm(s, inv, &prod);
+  prod.Sub(DenseMatrix::Identity(5));
+  EXPECT_LT(prod.FrobeniusNorm(), 1e-6);
+}
+
+TEST(InvertSymmetricPsdTest, RidgeRegularizesSingular) {
+  DenseMatrix s({{1, 0}, {0, 0}});  // singular
+  DenseMatrix inv;
+  ASSERT_TRUE(InvertSymmetricPsd(s, 0.1, &inv).ok());
+  EXPECT_NEAR(inv(1, 1), 10.0, 1e-9);  // 1 / ridge
+  EXPECT_FALSE(InvertSymmetricPsd(s, 0.0, &inv).ok());
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,167 @@
+// Tests for the PRNG stack: determinism, distribution sanity, alias method.
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pane {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{10});
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<size_t>(v)];
+  }
+  // Each bucket should be near 10000 (chi-square-ish slack).
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-3}, int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(ShuffleTest, ProducesPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Shuffle(&v, &rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(ShuffleTest, ActuallyShuffles) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Shuffle(&v, &rng);
+  int fixed_points = 0;
+  for (int i = 0; i < 100; ++i) fixed_points += (v[static_cast<size_t>(i)] == i);
+  EXPECT_LT(fixed_points, 15);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(43);
+  const auto sample = SampleWithoutReplacement(100, 30, &rng);
+  ASSERT_EQ(sample.size(), 30u);
+  std::vector<int64_t> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  EXPECT_GE(sorted.front(), 0);
+  EXPECT_LT(sorted.back(), 100);
+}
+
+TEST(SampleWithoutReplacementTest, FullSample) {
+  Rng rng(47);
+  const auto sample = SampleWithoutReplacement(10, 10, &rng);
+  std::vector<int64_t> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(53);
+  AliasSampler sampler({1.0, 2.0, 3.0, 4.0});
+  std::vector<int64_t> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(sampler.Sample(&rng))];
+  for (int j = 0; j < 4; ++j) {
+    const double expected = (j + 1) / 10.0;
+    EXPECT_NEAR(counts[static_cast<size_t>(j)] / static_cast<double>(n),
+                expected, 0.01)
+        << "bucket " << j;
+  }
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  Rng rng(59);
+  AliasSampler sampler({5.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(&rng), 0);
+}
+
+TEST(AliasSamplerTest, ZeroWeightsFallBackToUniform) {
+  Rng rng(61);
+  AliasSampler sampler({0.0, 0.0, 0.0});
+  std::vector<int64_t> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[static_cast<size_t>(sampler.Sample(&rng))];
+  for (int j = 0; j < 3; ++j) EXPECT_GT(counts[static_cast<size_t>(j)], 8000);
+}
+
+TEST(AliasSamplerTest, ZeroWeightEntryNeverSampled) {
+  Rng rng(67);
+  AliasSampler sampler({1.0, 0.0, 1.0});
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(sampler.Sample(&rng), 1);
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,123 @@
+// Tests for the Monte-Carlo extended-graph walk simulator — the executable
+// definition of Section 2.2's forward/backward walks.
+#include "src/graph/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace pane {
+namespace {
+
+TEST(WalkSimulatorTest, ForwardWalkReturnsValidAttributeOrDeath) {
+  const AttributedGraph g = testing::Figure1Graph();
+  WalkSimulator sim(g, 0.3, 1);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t attr = sim.ForwardWalk(0, &rng);
+    EXPECT_GE(attr, -1);
+    EXPECT_LT(attr, g.num_attributes());
+  }
+}
+
+TEST(WalkSimulatorTest, WalkFromAttributeOwnerBiasedToThatAttribute) {
+  // A forward walk from v6 (owner of r3 only, out-edge to v4) picks r3
+  // whenever it stops immediately — with alpha=0.9 that dominates.
+  const AttributedGraph g = testing::Figure1Graph();
+  WalkSimulator sim(g, 0.9, 3);
+  Rng rng(4);
+  int64_t r3 = 0, total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t attr = sim.ForwardWalk(5, &rng);
+    if (attr >= 0) {
+      ++total;
+      r3 += (attr == 2);
+    }
+  }
+  EXPECT_GT(static_cast<double>(r3) / total, 0.85);
+}
+
+TEST(WalkSimulatorTest, DanglingNodeAbsorbsWalk) {
+  // Node 1 is a sink. A walk that moves there is absorbed and stops there;
+  // with no attributes on node 1 the forward walk yields no pair, while a
+  // backward walk absorbed there reports node 1.
+  GraphBuilder builder(2, 1);
+  builder.AddEdge(0, 1);
+  builder.AddNodeAttribute(0, 0, 1.0);
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  WalkSimulator sim(g, 0.5, 5);
+  Rng rng(6);
+  int died = 0, emitted = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t attr = sim.ForwardWalk(0, &rng);
+    if (attr < 0) {
+      ++died;
+    } else {
+      ++emitted;
+    }
+  }
+  // P(stop at 0, emit r0) = 0.5; P(move to dangling 1, absorbed, no
+  // attributes) = 0.5.
+  EXPECT_NEAR(static_cast<double>(emitted) / 4000.0, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(died) / 4000.0, 0.5, 0.05);
+}
+
+TEST(WalkSimulatorTest, BackwardWalkFromUnownedAttributeDies) {
+  GraphBuilder builder(2, 2);
+  builder.AddEdge(0, 1);
+  builder.AddNodeAttribute(0, 0, 1.0);  // attribute 1 has no owners
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  WalkSimulator sim(g, 0.5, 7);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sim.BackwardWalk(1, &rng), -1);
+  }
+}
+
+TEST(WalkSimulatorTest, BackwardSourceWeightedByColumnNormalization) {
+  // r0 owned by node 0 (weight 3) and node 1 (weight 1); with alpha ~ 1 the
+  // walk stops where it starts, so stop counts mirror Rc[:, r0].
+  GraphBuilder builder(2, 1);
+  builder.AddEdge(0, 1).AddEdge(1, 0);
+  builder.AddNodeAttribute(0, 0, 3.0).AddNodeAttribute(1, 0, 1.0);
+  const AttributedGraph g = builder.Build(false).ValueOrDie();
+  WalkSimulator sim(g, 0.99, 9);
+  Rng rng(10);
+  int64_t at0 = 0, total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t node = sim.BackwardWalk(0, &rng);
+    if (node >= 0) {
+      ++total;
+      at0 += (node == 0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(at0) / total, 0.75, 0.02);
+}
+
+TEST(WalkSimulatorTest, EstimatesAreProbabilities) {
+  const AttributedGraph g = testing::SmallSbm(101, 150);
+  WalkSimulator sim(g, 0.5, 11);
+  const DenseMatrix pf = sim.EstimateForwardProbabilities(200);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    double row_sum = 0.0;
+    for (int64_t r = 0; r < g.num_attributes(); ++r) {
+      EXPECT_GE(pf(v, r), 0.0);
+      row_sum += pf(v, r);
+    }
+    EXPECT_LE(row_sum, 1.0 + 1e-9);
+  }
+  const DenseMatrix pb = sim.EstimateBackwardProbabilities(200);
+  const auto col_sums = pb.ColumnSums();
+  for (double s : col_sums) EXPECT_LE(s, 1.0 + 1e-9);
+}
+
+TEST(WalkSimulatorTest, RejectsInvalidAlpha) {
+  const AttributedGraph g = testing::Figure1Graph();
+  EXPECT_DEATH(WalkSimulator(g, 0.0, 1), "alpha");
+  EXPECT_DEATH(WalkSimulator(g, 1.0, 1), "alpha");
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,151 @@
+// Tests for the multiply kernels: sparse-dense and dense-dense, serial vs
+// parallel, against naive references.
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/matrix/csr_matrix.h"
+#include "src/matrix/gemm.h"
+#include "src/matrix/spmm.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace {
+
+DenseMatrix NaiveMultiply(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (int64_t p = 0; p < a.cols(); ++p) s += a(i, p) * b(p, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+CsrMatrix RandomSparse(int64_t rows, int64_t cols, int64_t nnz, Rng* rng) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(nnz));
+  for (int64_t i = 0; i < nnz; ++i) {
+    triplets.push_back(
+        Triplet{static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(rows))),
+                static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(cols))),
+                rng->Gaussian()});
+  }
+  return CsrMatrix::FromTriplets(rows, cols, triplets).ValueOrDie();
+}
+
+TEST(SpMMTest, MatchesDenseReference) {
+  Rng rng(1);
+  const CsrMatrix a = RandomSparse(40, 30, 200, &rng);
+  DenseMatrix x(30, 7);
+  x.FillGaussian(&rng);
+  DenseMatrix out;
+  SpMM(a, x, &out);
+  const DenseMatrix expected = NaiveMultiply(a.ToDense(), x);
+  EXPECT_LT(out.MaxAbsDiff(expected), 1e-12);
+}
+
+TEST(SpMMTest, ParallelMatchesSerial) {
+  Rng rng(2);
+  const CsrMatrix a = RandomSparse(123, 77, 900, &rng);
+  DenseMatrix x(77, 9);
+  x.FillGaussian(&rng);
+  DenseMatrix serial, parallel;
+  SpMM(a, x, &serial);
+  ThreadPool pool(4);
+  SpMM(a, x, &parallel, &pool);
+  EXPECT_EQ(serial.MaxAbsDiff(parallel), 0.0);  // row-partitioned => bitwise
+}
+
+TEST(SpMMTest, FusedAddScaled) {
+  Rng rng(3);
+  const CsrMatrix a = RandomSparse(25, 25, 120, &rng);
+  DenseMatrix x(25, 4), y(25, 4);
+  x.FillGaussian(&rng);
+  y.FillGaussian(&rng);
+  DenseMatrix out;
+  SpMMAddScaled(a, x, 0.7, y, 0.3, &out);
+  DenseMatrix expected = NaiveMultiply(a.ToDense(), x);
+  expected.Scale(0.7);
+  expected.Axpy(0.3, y);
+  EXPECT_LT(out.MaxAbsDiff(expected), 1e-12);
+}
+
+TEST(SpMVTest, MatchesDense) {
+  Rng rng(4);
+  const CsrMatrix a = RandomSparse(15, 10, 60, &rng);
+  std::vector<double> x(10);
+  for (double& v : x) v = rng.Gaussian();
+  std::vector<double> y;
+  SpMV(a, x, &y);
+  const DenseMatrix ad = a.ToDense();
+  for (int64_t i = 0; i < 15; ++i) {
+    double expected = 0.0;
+    for (int64_t j = 0; j < 10; ++j) expected += ad(i, j) * x[static_cast<size_t>(j)];
+    EXPECT_NEAR(y[static_cast<size_t>(i)], expected, 1e-12);
+  }
+}
+
+TEST(GemmTest, MatchesNaive) {
+  Rng rng(5);
+  DenseMatrix a(17, 23), b(23, 11);
+  a.FillGaussian(&rng);
+  b.FillGaussian(&rng);
+  DenseMatrix c;
+  Gemm(a, b, &c);
+  EXPECT_LT(c.MaxAbsDiff(NaiveMultiply(a, b)), 1e-11);
+}
+
+TEST(GemmTest, ParallelMatchesSerial) {
+  Rng rng(6);
+  DenseMatrix a(64, 32), b(32, 16);
+  a.FillGaussian(&rng);
+  b.FillGaussian(&rng);
+  DenseMatrix serial, parallel;
+  Gemm(a, b, &serial);
+  ThreadPool pool(3);
+  Gemm(a, b, &parallel, &pool);
+  EXPECT_EQ(serial.MaxAbsDiff(parallel), 0.0);
+}
+
+TEST(GemmTransATest, MatchesNaive) {
+  Rng rng(7);
+  DenseMatrix a(20, 8), b(20, 5);
+  a.FillGaussian(&rng);
+  b.FillGaussian(&rng);
+  DenseMatrix c;
+  GemmTransA(a, b, &c);
+  EXPECT_LT(c.MaxAbsDiff(NaiveMultiply(a.Transposed(), b)), 1e-11);
+}
+
+TEST(GemmTransBTest, MatchesNaive) {
+  Rng rng(8);
+  DenseMatrix a(12, 9), b(14, 9);
+  a.FillGaussian(&rng);
+  b.FillGaussian(&rng);
+  DenseMatrix c;
+  GemmTransB(a, b, &c);
+  EXPECT_LT(c.MaxAbsDiff(NaiveMultiply(a, b.Transposed())), 1e-11);
+}
+
+TEST(GemmTransBAddScaledTest, ResidualForm) {
+  Rng rng(9);
+  DenseMatrix x(10, 4), y(6, 4), f(10, 6);
+  x.FillGaussian(&rng);
+  y.FillGaussian(&rng);
+  f.FillGaussian(&rng);
+  DenseMatrix s;
+  GemmTransBAddScaled(x, y, 1.0, f, -1.0, &s);  // S = X Y^T - F
+  DenseMatrix expected = NaiveMultiply(x, y.Transposed());
+  expected.Sub(f);
+  EXPECT_LT(s.MaxAbsDiff(expected), 1e-11);
+}
+
+TEST(GemmTest, ShapeMismatchAborts) {
+  DenseMatrix a(2, 3), b(4, 2), c;
+  EXPECT_DEATH(Gemm(a, b, &c), "shape");
+}
+
+}  // namespace
+}  // namespace pane

@@ -1,0 +1,127 @@
+// Tests for string helpers and the flag parser.
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace pane {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitTest, NoSeparator) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyRuns) {
+  const auto parts = SplitWhitespace("  a \t b\n  c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(TrimTest, Both) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("txt", "file.txt"));
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("  -7 "), -7);
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.015"), 0.015);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 1e-3);
+  EXPECT_FALSE(ParseDouble("x").ok());
+  EXPECT_FALSE(ParseDouble("1.0x").ok());
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(FormatCountTest, Units) {
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(2700), "2.7K");
+  EXPECT_EQ(FormatCount(13700000), "13.7M");
+  EXPECT_EQ(FormatCount(978200000LL * 2), "2.0B");
+}
+
+TEST(ToLowerTest, Ascii) { EXPECT_EQ(ToLower("MaG"), "mag"); }
+
+TEST(FlagSetTest, DefaultsAndOverrides) {
+  FlagSet flags;
+  flags.AddInt("k", 128, "budget");
+  flags.AddDouble("alpha", 0.5, "stop prob");
+  flags.AddString("dataset", "cora", "name");
+  flags.AddBool("parallel", false, "use threads");
+
+  const char* argv[] = {"prog", "--k=64", "--alpha", "0.3", "--parallel"};
+  ASSERT_TRUE(flags.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("k"), 64);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 0.3);
+  EXPECT_EQ(flags.GetString("dataset"), "cora");
+  EXPECT_TRUE(flags.GetBool("parallel"));
+}
+
+TEST(FlagSetTest, UnknownFlagFails) {
+  FlagSet flags;
+  flags.AddInt("k", 1, "k");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagSetTest, BadValueFails) {
+  FlagSet flags;
+  flags.AddInt("k", 1, "k");
+  const char* argv[] = {"prog", "--k=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagSetTest, MissingValueFails) {
+  FlagSet flags;
+  flags.AddInt("k", 1, "k");
+  const char* argv[] = {"prog", "--k"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagSetTest, BoolExplicitValues) {
+  FlagSet flags;
+  flags.AddBool("x", true, "x");
+  const char* argv[] = {"prog", "--x=false"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_FALSE(flags.GetBool("x"));
+}
+
+}  // namespace
+}  // namespace pane

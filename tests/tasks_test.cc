@@ -1,0 +1,179 @@
+// Tests for the task harnesses: attribute / edge splitting invariants, the
+// linear SVM, and the node-classification protocol.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/common/random.h"
+#include "src/tasks/attribute_inference.h"
+#include "src/tasks/link_prediction.h"
+#include "src/tasks/node_classification.h"
+#include "test_util.h"
+
+namespace pane {
+namespace {
+
+TEST(SplitAttributesTest, CountsAndDisjointness) {
+  const AttributedGraph g = testing::SmallSbm(71, 400);
+  const auto split = SplitAttributes(g, 0.2, /*seed=*/5).ValueOrDie();
+  const int64_t total = g.num_attribute_entries();
+  const int64_t test_count = static_cast<int64_t>(split.test_positives.size());
+  EXPECT_NEAR(static_cast<double>(test_count), 0.2 * total, 2.0);
+  EXPECT_EQ(split.train_graph.num_attribute_entries(), total - test_count);
+  EXPECT_EQ(split.test_negatives.size(), split.test_positives.size());
+  // Topology unchanged.
+  EXPECT_EQ(split.train_graph.num_edges(), g.num_edges());
+
+  // Held-out positives are absent from the training matrix; negatives are
+  // absent from the *full* matrix.
+  for (const auto& [v, r] : split.test_positives) {
+    EXPECT_EQ(split.train_graph.attributes().At(v, r), 0.0);
+    EXPECT_GT(g.attributes().At(v, r), 0.0);
+  }
+  for (const auto& [v, r] : split.test_negatives) {
+    EXPECT_EQ(g.attributes().At(v, r), 0.0);
+  }
+}
+
+TEST(SplitAttributesTest, InvalidFraction) {
+  const AttributedGraph g = testing::Figure1Graph();
+  EXPECT_FALSE(SplitAttributes(g, 0.0, 1).ok());
+  EXPECT_FALSE(SplitAttributes(g, 1.0, 1).ok());
+}
+
+TEST(SplitAttributesTest, PerfectScorerGetsAucOne) {
+  const AttributedGraph g = testing::SmallSbm(72, 200);
+  const auto split = SplitAttributes(g, 0.2, 6).ValueOrDie();
+  // Oracle scorer: looks up the full matrix.
+  const AucAp result = EvaluateAttributeInference(
+      split,
+      [&](int64_t v, int64_t r) { return g.attributes().At(v, r); });
+  EXPECT_DOUBLE_EQ(result.auc, 1.0);
+}
+
+TEST(SplitEdgesTest, CountsAndResidual) {
+  const AttributedGraph g = testing::SmallSbm(73, 400);
+  const auto split = SplitEdges(g, 0.3, /*seed=*/7).ValueOrDie();
+  const int64_t held = static_cast<int64_t>(split.test_positives.size());
+  EXPECT_NEAR(static_cast<double>(held), 0.3 * g.num_edges(), 2.0);
+  EXPECT_EQ(split.residual_graph.num_edges(), g.num_edges() - held);
+  // Attributes and labels untouched.
+  EXPECT_EQ(split.residual_graph.num_attribute_entries(),
+            g.num_attribute_entries());
+  EXPECT_EQ(split.residual_graph.num_label_classes(), g.num_label_classes());
+  // Negatives are real non-edges.
+  for (const auto& [u, v] : split.test_negatives) {
+    EXPECT_EQ(g.adjacency().At(u, v), 0.0);
+  }
+  // Positives absent from the residual graph.
+  for (const auto& [u, v] : split.test_positives) {
+    EXPECT_EQ(split.residual_graph.adjacency().At(u, v), 0.0);
+  }
+}
+
+TEST(SplitEdgesTest, UndirectedKeepsPairsTogether) {
+  const AttributedGraph g = testing::SmallSbm(74, 300, /*undirected=*/true);
+  const auto split = SplitEdges(g, 0.3, 8).ValueOrDie();
+  // Residual must remain symmetric.
+  const DenseMatrix a = split.residual_graph.adjacency().ToDense();
+  for (int64_t i = 0; i < 60; ++i) {
+    for (int64_t j = 0; j < 60; ++j) EXPECT_EQ(a(i, j), a(j, i));
+  }
+  // Removed pairs are gone in both directions.
+  for (const auto& [u, v] : split.test_positives) {
+    EXPECT_EQ(split.residual_graph.adjacency().At(u, v), 0.0);
+    EXPECT_EQ(split.residual_graph.adjacency().At(v, u), 0.0);
+  }
+}
+
+TEST(BaselineScorersTest, Conventions) {
+  DenseMatrix e({{1.0, 0.0}, {2.0, 0.0}, {-1.0, 0.0}, {0.0, 3.0}});
+  EXPECT_DOUBLE_EQ(InnerProductScore(e, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(CosineScore(e, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(CosineScore(e, 0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(CosineScore(e, 0, 3), 0.0);
+  // Hamming: sign patterns (+,+) vs (+,+) = 0 mismatches for rows 0,1.
+  EXPECT_DOUBLE_EQ(HammingScore(e, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(HammingScore(e, 0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(EdgeFeatureScore(e, {1.0, 1.0}, 0, 1), 2.0);
+}
+
+TEST(LinearSvmTest, SeparablePerfect) {
+  // y = +1 iff x0 > x1.
+  DenseMatrix features({{2, 0}, {3, 1}, {5, 2}, {0, 2}, {1, 3}, {2, 5}});
+  std::vector<int> labels = {1, 1, 1, -1, -1, -1};
+  std::vector<int64_t> rows = {0, 1, 2, 3, 4, 5};
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Train(features, labels, rows).ok());
+  for (int64_t i = 0; i < 6; ++i) {
+    const double decision = svm.Decision(features.Row(i));
+    EXPECT_GT(decision * labels[static_cast<size_t>(i)], 0.0) << "row " << i;
+  }
+}
+
+TEST(LinearSvmTest, BiasHandlesOffsetData) {
+  // Both classes have positive coordinates; only the bias separates them.
+  DenseMatrix features({{5.0}, {6.0}, {7.0}, {1.0}, {2.0}, {3.0}});
+  std::vector<int> labels = {1, 1, 1, -1, -1, -1};
+  std::vector<int64_t> rows = {0, 1, 2, 3, 4, 5};
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Train(features, labels, rows).ok());
+  EXPECT_GT(svm.Decision(features.Row(0)), 0.0);
+  EXPECT_LT(svm.Decision(features.Row(3)), 0.0);
+}
+
+TEST(LinearSvmTest, EmptyTrainingRejected) {
+  DenseMatrix features(3, 2);
+  LinearSvm svm;
+  EXPECT_FALSE(svm.Train(features, {}, {}).ok());
+}
+
+TEST(ConcatNormalizedEmbeddingsTest, UnitHalves) {
+  DenseMatrix xf({{3, 4}}), xb({{0, 5}});
+  const DenseMatrix features = ConcatNormalizedEmbeddings(xf, xb);
+  EXPECT_EQ(features.cols(), 4);
+  EXPECT_NEAR(features(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(features(0, 1), 0.8, 1e-12);
+  EXPECT_NEAR(features(0, 3), 1.0, 1e-12);
+}
+
+TEST(NodeClassificationTest, EasyFeaturesHighF1) {
+  // Features = one-hot of the community -> near-perfect classification.
+  const AttributedGraph g = testing::SmallSbm(75, 300);
+  DenseMatrix features(g.num_nodes(), g.num_label_classes());
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    features(v, g.labels()[static_cast<size_t>(v)][0]) = 1.0;
+  }
+  NodeClassificationOptions options;
+  options.train_fraction = 0.5;
+  options.repeats = 2;
+  const F1Scores f1 =
+      EvaluateNodeClassification(features, g, options).ValueOrDie();
+  EXPECT_GT(f1.micro, 0.95);
+  EXPECT_GT(f1.macro, 0.95);
+}
+
+TEST(NodeClassificationTest, RandomFeaturesNearChance) {
+  const AttributedGraph g = testing::SmallSbm(76, 300);
+  Rng rng(9);
+  DenseMatrix features(g.num_nodes(), 8);
+  features.FillGaussian(&rng);
+  NodeClassificationOptions options;
+  options.train_fraction = 0.5;
+  options.repeats = 2;
+  const F1Scores f1 =
+      EvaluateNodeClassification(features, g, options).ValueOrDie();
+  EXPECT_LT(f1.micro, 0.45);  // 4 balanced classes -> chance ~0.25
+}
+
+TEST(NodeClassificationTest, Validation) {
+  const AttributedGraph unlabeled = testing::Figure1Graph();
+  DenseMatrix features(6, 2);
+  NodeClassificationOptions options;
+  // Figure1Graph has no labels here (labels added only in graph_test).
+  EXPECT_FALSE(
+      EvaluateNodeClassification(features, unlabeled, options).ok());
+}
+
+}  // namespace
+}  // namespace pane

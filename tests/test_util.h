@@ -1,0 +1,49 @@
+// Shared fixtures for the algorithm tests: the paper's Figure 1 running
+// example and small SBM instances.
+#pragma once
+
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+
+namespace pane {
+namespace testing {
+
+/// The extended-graph running example of Figure 1 (6 nodes, 3 attributes).
+/// Edges transcribed from the figure; v1 (index 0) and v2 (index 1) carry no
+/// attributes, exercising the degenerate-walk footnote.
+inline AttributedGraph Figure1Graph() {
+  GraphBuilder builder(6, 3);
+  builder.AddEdge(0, 2).AddEdge(2, 0);  // v1 <-> v3
+  builder.AddEdge(0, 4).AddEdge(4, 0);  // v1 <-> v5
+  builder.AddEdge(1, 2);                // v2 -> v3
+  builder.AddEdge(2, 3);                // v3 -> v4
+  builder.AddEdge(3, 0);                // v4 -> v1
+  builder.AddEdge(4, 5);                // v5 -> v6
+  builder.AddEdge(5, 3);                // v6 -> v4
+  builder.AddNodeAttribute(2, 0, 1.0);  // v3 - r1
+  builder.AddNodeAttribute(3, 0, 1.0);  // v4 - r1
+  builder.AddNodeAttribute(4, 0, 1.0);  // v5 - r1
+  builder.AddNodeAttribute(2, 1, 1.0);  // v3 - r2
+  builder.AddNodeAttribute(4, 1, 1.0);  // v5 - r2
+  builder.AddNodeAttribute(5, 2, 1.0);  // v6 - r3
+  return builder.Build(false).ValueOrDie();
+}
+
+/// Small homophilous SBM instance for end-to-end quality tests.
+inline AttributedGraph SmallSbm(uint64_t seed = 12, int64_t n = 400,
+                                bool undirected = false) {
+  SbmParams params;
+  params.num_nodes = n;
+  params.num_edges = 6 * n;
+  params.num_attributes = 80;
+  params.num_attr_entries = 8 * n;
+  params.num_communities = 4;
+  params.edge_homophily = 0.85;
+  params.attr_homophily = 0.85;
+  params.undirected = undirected;
+  params.seed = seed;
+  return GenerateAttributedSbm(params);
+}
+
+}  // namespace testing
+}  // namespace pane

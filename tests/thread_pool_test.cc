@@ -1,0 +1,128 @@
+// Tests for the worker pool and the static partitioning primitives that
+// implement the paper's nb-way block decomposition (Algorithm 5).
+#include "src/parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace pane {
+namespace {
+
+TEST(PartitionRangeTest, EvenSplit) {
+  const auto ranges = PartitionRange(100, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  for (const Range& r : ranges) EXPECT_EQ(r.size(), 25);
+  EXPECT_EQ(ranges.front().begin, 0);
+  EXPECT_EQ(ranges.back().end, 100);
+}
+
+TEST(PartitionRangeTest, RemainderGoesToFirstRanges) {
+  const auto ranges = PartitionRange(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].size(), 4);
+  EXPECT_EQ(ranges[1].size(), 3);
+  EXPECT_EQ(ranges[2].size(), 3);
+}
+
+TEST(PartitionRangeTest, CoversWithoutGapsOrOverlap) {
+  for (int64_t n : {0, 1, 7, 100, 1001}) {
+    for (int nb : {1, 2, 3, 8, 13}) {
+      const auto ranges = PartitionRange(n, nb);
+      int64_t cursor = 0;
+      for (const Range& r : ranges) {
+        EXPECT_EQ(r.begin, cursor);
+        cursor = r.end;
+      }
+      EXPECT_EQ(cursor, n);
+    }
+  }
+}
+
+TEST(PartitionRangeTest, MoreBlocksThanElements) {
+  const auto ranges = PartitionRange(2, 5);
+  ASSERT_EQ(ranges.size(), 5u);
+  EXPECT_EQ(ranges[0].size(), 1);
+  EXPECT_EQ(ranges[1].size(), 1);
+  for (size_t i = 2; i < 5; ++i) EXPECT_EQ(ranges[i].size(), 0);
+}
+
+TEST(ThreadPoolTest, SubmitRuns) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id worker;
+  pool.Submit([&worker] { worker = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(caller, worker);
+}
+
+TEST(ThreadPoolTest, RunBlocksCoversAllBlocks) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10);
+  pool.RunBlocks(10, [&hits](int b) { hits[static_cast<size_t>(b)].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunBlocksZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.RunBlocks(0, [](int) { FAIL() << "should not run"; });
+}
+
+TEST(ThreadPoolTest, ClampsToOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool_neg(-3);
+  EXPECT_EQ(pool_neg.num_threads(), 1);
+}
+
+TEST(ParallelForTest, SumsMatchSerial) {
+  ThreadPool pool(4);
+  const int64_t n = 100000;
+  std::vector<int64_t> data(static_cast<size_t>(n));
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<int64_t> total{0};
+  ParallelFor(&pool, 0, n, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += data[static_cast<size_t>(i)];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), n * (n - 1) / 2);
+}
+
+TEST(ParallelForTest, NullPoolRunsSerial) {
+  int64_t sum = 0;
+  ParallelFor(nullptr, 5, 10, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 5 + 6 + 7 + 8 + 9);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 3, 3, [](int64_t, int64_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughRunBlocks) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.RunBlocks(4,
+                     [](int b) {
+                       if (b == 2) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pane

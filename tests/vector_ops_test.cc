@@ -1,0 +1,97 @@
+// Direct unit tests for the BLAS-1 kernels under the CCD hot loops.
+#include "src/matrix/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace pane {
+namespace {
+
+TEST(DotTest, HandComputed) {
+  const double x[] = {1, 2, 3};
+  const double y[] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(x, y, 3), 32.0);
+}
+
+TEST(DotTest, UnrolledTailHandling) {
+  // Lengths around the 4-way unroll boundary.
+  std::vector<double> x(11), y(11);
+  double expected = 0.0;
+  for (int i = 0; i < 11; ++i) {
+    x[static_cast<size_t>(i)] = i + 1;
+    y[static_cast<size_t>(i)] = 2 * i - 3;
+    expected += (i + 1) * (2 * i - 3);
+  }
+  for (int64_t n : {1, 2, 3, 4, 5, 7, 8, 11}) {
+    double partial = 0.0;
+    for (int64_t i = 0; i < n; ++i) partial += x[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+    EXPECT_DOUBLE_EQ(Dot(x.data(), y.data(), n), partial) << "n=" << n;
+  }
+  EXPECT_DOUBLE_EQ(Dot(x.data(), y.data(), 11), expected);
+}
+
+TEST(DotTest, ZeroLength) {
+  EXPECT_DOUBLE_EQ(Dot(nullptr, nullptr, 0), 0.0);
+}
+
+TEST(AxpyTest, HandComputed) {
+  const double x[] = {1, 2, 3};
+  double y[] = {10, 20, 30};
+  Axpy(2.0, x, y, 3);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(ScalTest, Scales) {
+  double x[] = {1, -2, 4};
+  Scal(-0.5, x, 3);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], -2.0);
+}
+
+TEST(NormTest, Pythagorean) {
+  const double x[] = {3, 4};
+  EXPECT_DOUBLE_EQ(Norm2(x, 2), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(x, 2), 25.0);
+}
+
+TEST(CopyTest, Copies) {
+  const double src[] = {1, 2, 3};
+  double dst[3] = {0, 0, 0};
+  Copy(src, dst, 3);
+  EXPECT_DOUBLE_EQ(dst[1], 2.0);
+}
+
+TEST(NormalizeL2Test, UnitNormAfter) {
+  double x[] = {3, 0, 4};
+  const double norm = NormalizeL2(x, 3);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_DOUBLE_EQ(Norm2(x, 3), 1.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+}
+
+TEST(NormalizeL2Test, ZeroVectorUntouched) {
+  double x[] = {0, 0};
+  EXPECT_DOUBLE_EQ(NormalizeL2(x, 2), 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(DotTest, ConsistentWithNaiveOnRandomData) {
+  Rng rng(3);
+  std::vector<double> x(1000), y(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = rng.Gaussian();
+  }
+  double naive = 0.0;
+  for (size_t i = 0; i < 1000; ++i) naive += x[i] * y[i];
+  EXPECT_NEAR(Dot(x.data(), y.data(), 1000), naive, 1e-9 * std::fabs(naive));
+}
+
+}  // namespace
+}  // namespace pane
