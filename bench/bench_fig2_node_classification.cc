@@ -1,17 +1,18 @@
 // Figure 2 reproduction: node-classification micro-F1 as the training
 // fraction sweeps 0.1 .. 0.9, per dataset. Methods: NRP, BANE, LQANR, TADW
-// (small datasets only) and PANE (single thread + parallel). PANE / NRP use
-// normalized Xf || Xb features; the others their single embedding matrix.
+// (small datasets only) and PANE (single thread + parallel), all constructed
+// through the unified EmbedderRegistry; classifier features come from the
+// shared ClassifierFeatures adapter (normalized Xf || Xb for the factor
+// methods, raw codes for BANE, row-normalized features otherwise).
 // Expected shape: PANE top curve on every panel, NRP strongest baseline on
 // the large graphs, all curves rising with the training fraction.
 #include <cmath>
 #include <cstdio>
 
 #include "bench_common.h"
-#include "src/baselines/bane.h"
-#include "src/baselines/lqanr.h"
-#include "src/baselines/nrp.h"
-#include "src/baselines/tadw.h"
+#include "src/api/adapters.h"
+#include "src/api/registry.h"
+#include "src/common/logging.h"
 #include "src/datasets/registry.h"
 #include "src/tasks/node_classification.h"
 
@@ -19,6 +20,24 @@ namespace pane {
 namespace {
 
 constexpr double kFractions[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+struct MethodRow {
+  std::string label;
+  std::string method;
+  EmbedderConfig config;
+};
+
+std::vector<MethodRow> Rows() {
+  std::vector<MethodRow> rows;
+  rows.push_back({"NRP", "nrp", EmbedderConfig()});
+  rows.push_back({"TADW", "tadw", EmbedderConfig().Set("max_nodes", "4096")});
+  rows.push_back({"BANE", "bane", EmbedderConfig()});
+  rows.push_back({"LQANR", "lqanr", EmbedderConfig()});
+  rows.push_back({"PANE (single)", "pane-seq", EmbedderConfig()});
+  rows.push_back(
+      {"PANE (parallel)", "pane", EmbedderConfig().Set("threads", "10")});
+  return rows;
+}
 
 double MicroF1(const DenseMatrix& features, const AttributedGraph& g,
                double fraction) {
@@ -29,63 +48,33 @@ double MicroF1(const DenseMatrix& features, const AttributedGraph& g,
   return f1.ok() ? f1->micro : NAN;
 }
 
-void SweepRow(const std::string& name, const DenseMatrix& features,
-              const AttributedGraph& g) {
-  std::vector<std::string> cells;
-  for (const double fraction : kFractions) {
-    cells.push_back(bench::Cell(MicroF1(features, g, fraction)));
-  }
-  bench::PrintRow("  " + name, cells);
-}
-
 void Run() {
   bench::PrintHeader(
       "Figure 2: node classification, micro-F1 vs train fraction",
       "columns: train fraction 0.1 0.3 0.5 0.7 0.9; paper shape: PANE on "
       "top in every panel");
 
+  const std::vector<MethodRow> rows = Rows();
   const double scale = bench::BenchScale();
   for (const DatasetSpec& spec : AllDatasets()) {
     const AttributedGraph g = MakeDataset(spec, scale);
     std::printf("\n[%s] %s\n", spec.name.c_str(), g.Summary().c_str());
     bench::PrintRow("  method", {"10%", "30%", "50%", "70%", "90%"});
 
-    {
-      NrpOptions options;
-      const auto nrp = TrainNrp(g, options);
-      if (nrp.ok()) {
-        SweepRow("NRP", ConcatNormalizedEmbeddings(nrp->xf, nrp->xb), g);
+    for (const MethodRow& row : rows) {
+      const auto embedder = EmbedderRegistry::Create(row.method, row.config);
+      PANE_CHECK(embedder.ok()) << embedder.status();
+      const auto embedding = (*embedder)->Train(g);
+      if (!embedding.ok()) {
+        bench::PrintRow("  " + row.label, {"-", "-", "-", "-", "-"});
+        continue;
       }
-    }
-    {
-      TadwOptions options;
-      options.max_nodes = 4096;
-      const auto tadw = TrainTadw(g, options);
-      if (tadw.ok()) {
-        SweepRow("TADW", RowNormalizedCopy(tadw->features), g);
-      } else {
-        bench::PrintRow("  TADW", {"-", "-", "-", "-", "-"});
+      const DenseMatrix features = ClassifierFeatures(*embedding);
+      std::vector<std::string> cells;
+      for (const double fraction : kFractions) {
+        cells.push_back(bench::Cell(MicroF1(features, g, fraction)));
       }
-    }
-    {
-      const auto bane = TrainBane(g, BaneOptions{});
-      if (bane.ok()) SweepRow("BANE", bane->codes, g);
-    }
-    {
-      const auto lqanr = TrainLqanr(g, LqanrOptions{});
-      if (lqanr.ok()) SweepRow("LQANR", RowNormalizedCopy(lqanr->features), g);
-    }
-    {
-      const auto run = bench::TrainPaneOrDie(g, 128, 1);
-      SweepRow("PANE (single)",
-               ConcatNormalizedEmbeddings(run.embedding.xf, run.embedding.xb),
-               g);
-    }
-    {
-      const auto run = bench::TrainPaneOrDie(g, 128, 10);
-      SweepRow("PANE (parallel)",
-               ConcatNormalizedEmbeddings(run.embedding.xf, run.embedding.xb),
-               g);
+      bench::PrintRow("  " + row.label, cells);
     }
   }
 }

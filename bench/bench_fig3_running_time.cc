@@ -4,64 +4,60 @@
 // "exceeds one week" omissions. Expected shape: PANE (parallel) fastest,
 // PANE (single) next, NRP close behind, TADW/BANE/LQANR orders of magnitude
 // slower and absent on the large datasets.
+//
+// Every method is driven through the unified EmbedderRegistry surface; the
+// per-method column is just (name, config).
 #include <cstdio>
 #include <thread>
 
 #include "bench_common.h"
-#include "src/baselines/bane.h"
-#include "src/baselines/lqanr.h"
-#include "src/baselines/nrp.h"
-#include "src/baselines/tadw.h"
+#include "src/api/registry.h"
+#include "src/common/logging.h"
 #include "src/common/timer.h"
 #include "src/datasets/registry.h"
 
 namespace pane {
 namespace {
 
+struct MethodColumn {
+  std::string label;
+  std::string method;
+  EmbedderConfig config;
+};
+
+std::vector<MethodColumn> Columns() {
+  std::vector<MethodColumn> columns;
+  columns.push_back({"NRP", "nrp", EmbedderConfig()});
+  columns.push_back(
+      {"TADW", "tadw", EmbedderConfig().Set("max_nodes", "4096")});
+  columns.push_back({"BANE", "bane", EmbedderConfig()});
+  columns.push_back({"LQANR", "lqanr", EmbedderConfig()});
+  columns.push_back({"PANE st", "pane-seq", EmbedderConfig()});
+  columns.push_back({"PANE par", "pane", EmbedderConfig().Set("threads", "10")});
+  return columns;
+}
+
 void Run() {
   bench::PrintHeader("Figure 3: running time (seconds)",
                      "paper shape: PANE par < PANE st << baselines; '-' = "
                      "method cannot run the dataset");
-  bench::PrintRow("dataset", {"NRP", "TADW", "BANE", "LQANR", "PANE st",
-                              "PANE par"});
+  const std::vector<MethodColumn> columns = Columns();
+  std::vector<std::string> labels;
+  for (const MethodColumn& c : columns) labels.push_back(c.label);
+  bench::PrintRow("dataset", labels);
 
   const double scale = bench::BenchScale();
   for (const DatasetSpec& spec : AllDatasets()) {
     const AttributedGraph g = MakeDataset(spec, scale);
     std::vector<std::string> cells;
-
-    {
+    for (const MethodColumn& column : columns) {
+      const auto embedder =
+          EmbedderRegistry::Create(column.method, column.config);
+      PANE_CHECK(embedder.ok()) << embedder.status();
       WallTimer timer;
-      const auto nrp = TrainNrp(g, NrpOptions{});
-      cells.push_back(bench::TimeCell(nrp.ok() ? timer.ElapsedSeconds() : -1));
-    }
-    {
-      TadwOptions options;
-      options.max_nodes = 4096;
-      WallTimer timer;
-      const auto tadw = TrainTadw(g, options);
+      const auto embedding = (*embedder)->Train(g);
       cells.push_back(
-          bench::TimeCell(tadw.ok() ? timer.ElapsedSeconds() : -1));
-    }
-    {
-      WallTimer timer;
-      const auto bane = TrainBane(g, BaneOptions{});
-      cells.push_back(
-          bench::TimeCell(bane.ok() ? timer.ElapsedSeconds() : -1));
-    }
-    {
-      WallTimer timer;
-      const auto lqanr = TrainLqanr(g, LqanrOptions{});
-      cells.push_back(
-          bench::TimeCell(lqanr.ok() ? timer.ElapsedSeconds() : -1));
-    }
-    {
-      const auto run = bench::TrainPaneOrDie(g, 128, 1);
-      cells.push_back(bench::TimeCell(run.stats.total_seconds));
-    }
-    {
-      const auto run = bench::TrainPaneOrDie(g, 128, 10);
-      cells.push_back(bench::TimeCell(run.stats.total_seconds));
+          bench::TimeCell(embedding.ok() ? timer.ElapsedSeconds() : -1));
     }
     bench::PrintRow(spec.name, cells);
   }

@@ -18,7 +18,7 @@ void Run() {
       "rows: t = CCD iterations; cells: total seconds | AUC");
   const double scale = bench::BenchScale();
 
-  for (const std::string& name : {"facebook", "pubmed", "flickr"}) {
+  for (const std::string name : {"facebook", "pubmed", "flickr"}) {
     const AttributedGraph g = *MakeDatasetByName(name, scale);
     const auto split = SplitAttributes(g, 0.2, /*seed=*/31).ValueOrDie();
     std::printf("\n[%s] %s\n", name.c_str(), g.Summary().c_str());

@@ -1,62 +1,68 @@
 // Table 4 reproduction: attribute-inference AUC / AP on all eight datasets.
 // Methods: the BLA-like inference baseline, PANE (single thread), PANE
-// (parallel, nb = 10). CAN — the only embedding competitor able to infer
-// attributes — is a GPU graph-convolutional VAE and is out of scope for
-// this CPU reproduction (see DESIGN.md); the paper reports it failing
-// beyond the five small datasets anyway. Expected shape: PANE columns
-// dominate BLA everywhere; parallel PANE within a whisker of single-thread.
-#include <cmath>
+// (parallel, nb = 10), all through the unified EmbedderRegistry +
+// RunAttributeInference surface (BLA's direct score matrix and PANE's
+// Equation 21 both flow through the NodeEmbedding attribute adapter). CAN —
+// the only embedding competitor able to infer attributes — is a GPU graph-
+// convolutional VAE and is out of scope for this CPU reproduction (see
+// DESIGN.md); the paper reports it failing beyond the five small datasets
+// anyway. Expected shape: PANE columns dominate BLA everywhere; parallel
+// PANE within a whisker of single-thread.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "src/baselines/bla_like.h"
+#include "src/api/evaluate.h"
+#include "src/api/registry.h"
+#include "src/common/logging.h"
 #include "src/datasets/registry.h"
-#include "src/tasks/attribute_inference.h"
 
 namespace pane {
 namespace {
+
+struct MethodColumn {
+  std::string label;
+  std::string method;
+  EmbedderConfig config;
+};
+
+std::vector<MethodColumn> Columns() {
+  std::vector<MethodColumn> columns;
+  columns.push_back({"BLA", "bla", EmbedderConfig()});
+  columns.push_back({"PANEst", "pane-seq", EmbedderConfig()});
+  columns.push_back({"PANEpar", "pane", EmbedderConfig().Set("threads", "10")});
+  return columns;
+}
 
 void Run() {
   bench::PrintHeader(
       "Table 4: attribute inference (AUC / AP)",
       "paper shape: PANE best everywhere; CAN/BLA fail on large datasets");
-  bench::PrintRow("dataset",
-                  {"BLA auc", "BLA ap", "PANEst.a", "PANEst.p", "PANEpar.a",
-                   "PANEpar.p"});
+  const std::vector<MethodColumn> columns = Columns();
+  std::vector<std::string> labels;
+  for (const MethodColumn& c : columns) {
+    labels.push_back(c.label + ".a");
+    labels.push_back(c.label + ".p");
+  }
+  bench::PrintRow("dataset", labels);
 
   const double scale = bench::BenchScale();
   for (const DatasetSpec& spec : AllDatasets()) {
     const AttributedGraph g = MakeDataset(spec, scale);
-    const auto split = SplitAttributes(g, 0.2, /*seed=*/7).ValueOrDie();
-
-    AucAp bla{NAN, NAN};
-    {
-      const auto model = TrainBlaLike(split.train_graph, BlaLikeOptions{});
-      if (model.ok()) {
-        bla = EvaluateAttributeInference(split, [&](int64_t v, int64_t r) {
-          return model->Score(v, r);
-        });
+    std::vector<std::string> cells;
+    for (const MethodColumn& column : columns) {
+      const auto embedder =
+          EmbedderRegistry::Create(column.method, column.config);
+      PANE_CHECK(embedder.ok()) << embedder.status();
+      const auto r = RunAttributeInference(**embedder, g, 0.2, /*seed=*/7);
+      if (r.ok()) {
+        cells.push_back(bench::Cell(r->auc));
+        cells.push_back(bench::Cell(r->ap));
+      } else {
+        cells.push_back("-");
+        cells.push_back("-");
       }
     }
-
-    const auto single = bench::TrainPaneOrDie(split.train_graph, 128, 1);
-    const AucAp single_result =
-        EvaluateAttributeInference(split, [&](int64_t v, int64_t r) {
-          return single.embedding.AttributeScore(v, r);
-        });
-
-    const auto parallel = bench::TrainPaneOrDie(split.train_graph, 128, 10);
-    const AucAp parallel_result =
-        EvaluateAttributeInference(split, [&](int64_t v, int64_t r) {
-          return parallel.embedding.AttributeScore(v, r);
-        });
-
-    bench::PrintRow(spec.name,
-                    {bench::Cell(bla.auc), bench::Cell(bla.ap),
-                     bench::Cell(single_result.auc),
-                     bench::Cell(single_result.ap),
-                     bench::Cell(parallel_result.auc),
-                     bench::Cell(parallel_result.ap)});
+    bench::PrintRow(spec.name, cells);
   }
   std::printf(
       "\n(CAN: GPU autoencoder, not reproduced — see DESIGN.md "

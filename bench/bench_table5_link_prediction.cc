@@ -1,43 +1,40 @@
 // Table 5 reproduction: link-prediction AUC / AP on all eight datasets.
 // Methods: NRP (topology-only), TADW, BANE, LQANR (factorization ANE
-// baselines), PANE single-thread and parallel. Each single-matrix baseline
-// is scored under both the inner-product and cosine conventions (Hamming
-// for BANE) and reports its best, mirroring the paper's protocol. TADW
-// refuses graphs beyond its densification guard — the "-" cells that
-// reproduce the paper's did-not-finish entries.
+// baselines), PANE single-thread and parallel — all driven through the
+// unified EmbedderRegistry + RunLinkPrediction surface, which tries each
+// artifact's candidate scoring conventions (inner product / cosine, Hamming
+// for BANE, Equation 22 for PANE) and keeps the best, mirroring the paper's
+// protocol. TADW refuses graphs beyond its densification guard — the "-"
+// cells that reproduce the paper's did-not-finish entries.
 // Expected shape: PANE on top overall; NRP competitive (it wins Google+ in
 // the paper); TADW/BANE/LQANR trailing and absent on the large datasets.
-#include <cmath>
 #include <cstdio>
-#include <functional>
 
 #include "bench_common.h"
-#include "src/baselines/bane.h"
-#include "src/baselines/lqanr.h"
-#include "src/baselines/nrp.h"
-#include "src/baselines/tadw.h"
+#include "src/api/evaluate.h"
+#include "src/api/registry.h"
+#include "src/common/logging.h"
 #include "src/datasets/registry.h"
-#include "src/tasks/link_prediction.h"
 
 namespace pane {
 namespace {
 
-using Scorer = std::function<double(int64_t, int64_t)>;
+struct MethodColumn {
+  std::string label;
+  std::string method;
+  EmbedderConfig config;
+};
 
-AucAp BestOf(const LinkSplit& split, const std::vector<Scorer>& scorers) {
-  AucAp best{0.0, 0.0};
-  for (const Scorer& scorer : scorers) {
-    const AucAp result = EvaluateLinkPrediction(split, scorer);
-    if (result.auc > best.auc) best = result;
-  }
-  return best;
-}
-
-Scorer Symmetrize(const AttributedGraph& g, Scorer directed) {
-  if (!g.undirected()) return directed;
-  return [directed](int64_t u, int64_t v) {
-    return directed(u, v) + directed(v, u);
-  };
+std::vector<MethodColumn> Columns() {
+  std::vector<MethodColumn> columns;
+  columns.push_back({"NRP", "nrp", EmbedderConfig()});
+  columns.push_back(
+      {"TADW", "tadw", EmbedderConfig().Set("max_nodes", "4096")});
+  columns.push_back({"BANE", "bane", EmbedderConfig()});
+  columns.push_back({"LQANR", "lqanr", EmbedderConfig()});
+  columns.push_back({"PANEst", "pane-seq", EmbedderConfig()});
+  columns.push_back({"PANEpar", "pane", EmbedderConfig().Set("threads", "10")});
+  return columns;
 }
 
 void Run() {
@@ -45,99 +42,31 @@ void Run() {
       "Table 5: link prediction (AUC / AP)",
       "paper shape: PANE best (NRP close; wins Google+); TADW & co die on "
       "large data");
-  bench::PrintRow("dataset",
-                  {"NRP.a", "NRP.p", "TADW.a", "TADW.p", "BANE.a", "BANE.p",
-                   "LQANR.a", "LQANR.p", "PANEst.a", "PANEst.p", "PANEpar.a",
-                   "PANEpar.p"},
-                  12, 8);
+  const std::vector<MethodColumn> columns = Columns();
+  std::vector<std::string> labels;
+  for (const MethodColumn& c : columns) {
+    labels.push_back(c.label + ".a");
+    labels.push_back(c.label + ".p");
+  }
+  bench::PrintRow("dataset", labels, 12, 8);
 
   const double scale = bench::BenchScale();
   for (const DatasetSpec& spec : AllDatasets()) {
     const AttributedGraph g = MakeDataset(spec, scale);
-    const auto split = SplitEdges(g, 0.3, /*seed=*/13).ValueOrDie();
-    const AttributedGraph& train = split.residual_graph;
     std::vector<std::string> cells;
-
-    {  // NRP: Xf[u] . Xb[v].
-      NrpOptions options;
-      const auto nrp = TrainNrp(train, options);
-      if (nrp.ok()) {
-        Scorer s = Symmetrize(
-            g, [&nrp](int64_t u, int64_t v) { return nrp->Score(u, v); });
-        const AucAp r = EvaluateLinkPrediction(split, s);
-        cells.push_back(bench::Cell(r.auc));
-        cells.push_back(bench::Cell(r.ap));
+    for (const MethodColumn& column : columns) {
+      const auto embedder =
+          EmbedderRegistry::Create(column.method, column.config);
+      PANE_CHECK(embedder.ok()) << embedder.status();
+      const auto r = RunLinkPrediction(**embedder, g, 0.3, /*seed=*/13);
+      if (r.ok()) {
+        cells.push_back(bench::Cell(r->auc));
+        cells.push_back(bench::Cell(r->ap));
       } else {
         cells.push_back("-");
         cells.push_back("-");
       }
     }
-
-    {  // TADW: best of inner product / cosine; guarded against large n.
-      TadwOptions options;
-      options.max_nodes = 4096;  // densification wall
-      const auto tadw = TrainTadw(train, options);
-      if (tadw.ok()) {
-        const DenseMatrix& f = tadw->features;
-        const AucAp r = BestOf(
-            split,
-            {Symmetrize(g, [&f](int64_t u, int64_t v) {
-               return InnerProductScore(f, u, v);
-             }),
-             [&f](int64_t u, int64_t v) { return CosineScore(f, u, v); }});
-        cells.push_back(bench::Cell(r.auc));
-        cells.push_back(bench::Cell(r.ap));
-      } else {
-        cells.push_back("-");
-        cells.push_back("-");
-      }
-    }
-
-    {  // BANE: Hamming over binary codes.
-      const auto bane = TrainBane(train, BaneOptions{});
-      if (bane.ok()) {
-        const DenseMatrix& codes = bane->codes;
-        const AucAp r = EvaluateLinkPrediction(
-            split, [&codes](int64_t u, int64_t v) {
-              return HammingScore(codes, u, v);
-            });
-        cells.push_back(bench::Cell(r.auc));
-        cells.push_back(bench::Cell(r.ap));
-      } else {
-        cells.push_back("-");
-        cells.push_back("-");
-      }
-    }
-
-    {  // LQANR: best of inner product / cosine on quantized features.
-      const auto lqanr = TrainLqanr(train, LqanrOptions{});
-      if (lqanr.ok()) {
-        const DenseMatrix& f = lqanr->features;
-        const AucAp r = BestOf(
-            split,
-            {Symmetrize(g, [&f](int64_t u, int64_t v) {
-               return InnerProductScore(f, u, v);
-             }),
-             [&f](int64_t u, int64_t v) { return CosineScore(f, u, v); }});
-        cells.push_back(bench::Cell(r.auc));
-        cells.push_back(bench::Cell(r.ap));
-      } else {
-        cells.push_back("-");
-        cells.push_back("-");
-      }
-    }
-
-    for (const int threads : {1, 10}) {
-      const auto run = bench::TrainPaneOrDie(train, 128, threads);
-      const EdgeScorer scorer(run.embedding);
-      Scorer s = Symmetrize(g, [&scorer](int64_t u, int64_t v) {
-        return scorer.Score(u, v);
-      });
-      const AucAp r = EvaluateLinkPrediction(split, s);
-      cells.push_back(bench::Cell(r.auc));
-      cells.push_back(bench::Cell(r.ap));
-    }
-
     bench::PrintRow(spec.name, cells, 12, 8);
   }
   std::printf(

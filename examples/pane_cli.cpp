@@ -1,28 +1,30 @@
-// Command-line front-end: train PANE on a graph stored on disk (the text
-// layout documented in src/graph/graph_io.h, which matches common public
-// ANE dataset dumps) and write the embedding; or evaluate a saved embedding
-// on the three downstream tasks. Demonstrates the full file-in/file-out
-// workflow a production pipeline would script.
+// Command-line front-end on the unified Embedder API: pick any registered
+// method with --method (PANE or a baseline), train on a graph stored on disk
+// (the text layout documented in src/graph/graph_io.h) and write the common
+// NodeEmbedding artifact; or evaluate the method on the three downstream
+// tasks. There is no per-algorithm branching here — EmbedderRegistry and
+// the NodeEmbedding adapters do all the dispatch.
 //
-//   # train (writes embedding.bin)
-//   ./examples/pane_cli --mode=train --graph=/data/cora --out=embedding.bin \
-//        --k=128 --alpha=0.5 --epsilon=0.015 --threads=8
-//   # evaluate all three tasks
-//   ./examples/pane_cli --mode=eval --graph=/data/cora
+//   # train (writes embedding.bin in the unified artifact format)
+//   ./pane_cli --mode=train --method=pane --graph=/data/cora
+//        --out=embedding.bin --k=128 --alpha=0.5 --epsilon=0.015 --threads=8
+//   # evaluate any method on all three tasks
+//   ./pane_cli --mode=eval --method=nrp --graph=/data/cora
 //
 // With --graph=demo (default) a synthetic Cora-like graph is generated and
 // saved to a temp directory first, so the binary runs out of the box.
 #include <cstdio>
 #include <filesystem>
 
+#include "src/api/evaluate.h"
+#include "src/api/node_embedding.h"
+#include "src/api/registry.h"
 #include "src/common/flags.h"
 #include "src/common/logging.h"
-#include "src/core/pane.h"
+#include "src/common/string_util.h"
+#include "src/common/timer.h"
 #include "src/datasets/registry.h"
 #include "src/graph/graph_io.h"
-#include "src/tasks/attribute_inference.h"
-#include "src/tasks/link_prediction.h"
-#include "src/tasks/node_classification.h"
 
 namespace {
 
@@ -45,76 +47,78 @@ pane::AttributedGraph LoadOrDemo(const std::string& graph_arg) {
 
 int main(int argc, char** argv) {
   pane::FlagSet flags;
+  flags.AddString("method", "pane",
+                  "embedder to run: " + pane::Join(
+                      pane::EmbedderRegistry::Names(), " | "));
   flags.AddString("mode", "eval", "train | eval");
   flags.AddString("graph", "demo", "graph directory (text layout) or 'demo'");
   flags.AddString("out", "/tmp/pane_embedding.bin", "embedding output path");
   flags.AddInt("k", 128, "space budget");
-  flags.AddDouble("alpha", 0.5, "random-walk stopping probability");
-  flags.AddDouble("epsilon", 0.015, "affinity error threshold");
+  flags.AddDouble("alpha", 0.5, "random-walk stopping probability (PANE)");
+  flags.AddDouble("epsilon", 0.015, "affinity error threshold (PANE)");
   flags.AddInt("threads", 4, "worker threads (1 = Algorithm 1)");
   flags.AddInt("seed", 42, "random seed");
+  flags.AddString("opt", "",
+                  "extra method-specific config entries, comma-separated "
+                  "key=value (e.g. teleport=0.2,bit_width=3)");
   PANE_CHECK_OK(flags.Parse(argc, argv));
+
+  // The registered flags are bridged into the config wholesale; --opt
+  // reaches any method-specific key the flag set doesn't name. The chosen
+  // embedder reads the keys it knows and validates them.
+  const std::string method = flags.GetString("method");
+  auto config = pane::EmbedderConfig::FromFlags(flags);
+  for (const auto entry : pane::Split(flags.GetString("opt"), ',')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    PANE_CHECK(eq != std::string_view::npos)
+        << "--opt entries must look like key=value, got: " << entry;
+    config.Set(std::string(entry.substr(0, eq)),
+               std::string(entry.substr(eq + 1)));
+  }
+  const auto embedder = pane::EmbedderRegistry::Create(method, config);
+  PANE_CHECK(embedder.ok()) << embedder.status();
 
   const pane::AttributedGraph graph = LoadOrDemo(flags.GetString("graph"));
   std::printf("loaded %s\n", graph.Summary().c_str());
 
-  pane::PaneOptions options;
-  options.k = static_cast<int>(flags.GetInt("k"));
-  options.alpha = flags.GetDouble("alpha");
-  options.epsilon = flags.GetDouble("epsilon");
-  options.num_threads = static_cast<int>(flags.GetInt("threads"));
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-
   if (flags.GetString("mode") == "train") {
-    pane::PaneStats stats;
-    const auto embedding = pane::Pane(options).Train(graph, &stats);
+    pane::WallTimer timer;
+    const auto embedding = (*embedder)->Train(graph);
     PANE_CHECK(embedding.ok()) << embedding.status();
     PANE_CHECK_OK(embedding->Save(flags.GetString("out")));
     std::printf(
-        "trained k=%d embedding in %.2fs (t=%d; affinity %.2fs, init %.2fs, "
-        "ccd %.2fs); wrote %s\n",
-        options.k, stats.total_seconds, stats.t, stats.affinity_seconds,
-        stats.init_seconds, stats.ccd_seconds,
-        flags.GetString("out").c_str());
+        "trained %s embedding (n=%lld, dim=%lld, link=%s, attr=%s) in %.2fs; "
+        "wrote %s\n",
+        embedding->method.c_str(),
+        static_cast<long long>(embedding->num_nodes()),
+        static_cast<long long>(embedding->dim()),
+        pane::LinkConventionToString(embedding->link_convention),
+        pane::AttributeConventionToString(embedding->attribute_convention),
+        timer.ElapsedSeconds(), flags.GetString("out").c_str());
     return 0;
   }
 
   PANE_CHECK(flags.GetString("mode") == "eval")
       << "unknown --mode (use train or eval)";
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
   {  // Attribute inference.
-    const auto split = pane::SplitAttributes(graph, 0.2, options.seed);
-    PANE_CHECK(split.ok()) << split.status();
-    const auto embedding = pane::Pane(options).Train(split->train_graph);
-    PANE_CHECK(embedding.ok()) << embedding.status();
-    const pane::AucAp r =
-        pane::EvaluateAttributeInference(*split, [&](int64_t v, int64_t a) {
-          return embedding->AttributeScore(v, a);
-        });
-    std::printf("attribute inference: AUC %.3f  AP %.3f\n", r.auc, r.ap);
+    const auto r =
+        pane::RunAttributeInference(**embedder, graph, 0.2, seed);
+    PANE_CHECK(r.ok()) << r.status();
+    std::printf("attribute inference: AUC %.3f  AP %.3f\n", r->auc, r->ap);
   }
   {  // Link prediction.
-    const auto split = pane::SplitEdges(graph, 0.3, options.seed);
-    PANE_CHECK(split.ok()) << split.status();
-    const auto embedding = pane::Pane(options).Train(split->residual_graph);
-    PANE_CHECK(embedding.ok()) << embedding.status();
-    const pane::EdgeScorer scorer(*embedding);
-    const pane::AucAp r =
-        pane::EvaluateLinkPrediction(*split, [&](int64_t u, int64_t v) {
-          return graph.undirected() ? scorer.ScoreUndirected(u, v)
-                                    : scorer.Score(u, v);
-        });
-    std::printf("link prediction:     AUC %.3f  AP %.3f\n", r.auc, r.ap);
+    const auto r = pane::RunLinkPrediction(**embedder, graph, 0.3, seed);
+    PANE_CHECK(r.ok()) << r.status();
+    std::printf("link prediction:     AUC %.3f  AP %.3f\n", r->auc, r->ap);
   }
   if (graph.has_labels()) {  // Node classification.
-    const auto embedding = pane::Pane(options).Train(graph);
-    PANE_CHECK(embedding.ok()) << embedding.status();
     pane::NodeClassificationOptions nc;
     nc.train_fraction = 0.5;
     nc.repeats = 3;
-    const auto f1 = pane::EvaluateNodeClassification(
-        pane::ConcatNormalizedEmbeddings(embedding->xf, embedding->xb), graph,
-        nc);
+    const auto f1 = pane::RunNodeClassification(**embedder, graph, nc);
     PANE_CHECK(f1.ok()) << f1.status();
     std::printf("node classification: micro-F1 %.3f  macro-F1 %.3f\n",
                 f1->micro, f1->macro);

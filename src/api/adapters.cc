@@ -1,0 +1,128 @@
+#include "src/api/adapters.h"
+
+#include <utility>
+
+#include "src/core/embedding.h"
+#include "src/matrix/vector_ops.h"
+#include "src/tasks/link_prediction.h"
+#include "src/tasks/node_classification.h"
+
+namespace pane {
+namespace {
+
+PairScorer Symmetrized(PairScorer directed, bool undirected) {
+  if (!undirected) return directed;
+  return [directed = std::move(directed)](int64_t u, int64_t v) {
+    return directed(u, v) + directed(v, u);
+  };
+}
+
+}  // namespace
+
+Result<PairScorer> MakeLinkScorer(std::shared_ptr<const NodeEmbedding> e,
+                                  bool undirected) {
+  PANE_RETURN_NOT_OK(e->Check());
+  switch (e->link_convention) {
+    case LinkConvention::kInnerProduct:
+      return PairScorer([e](int64_t u, int64_t v) {
+        return InnerProductScore(e->features, u, v);
+      });
+    case LinkConvention::kHamming:
+      return PairScorer([e](int64_t u, int64_t v) {
+        return HammingScore(e->features, u, v);
+      });
+    case LinkConvention::kForwardBackward: {
+      auto scorer = std::make_shared<EdgeScorer>(e->xf, e->xb, e->y);
+      return Symmetrized(
+          [scorer](int64_t u, int64_t v) { return scorer->Score(u, v); },
+          undirected);
+    }
+    case LinkConvention::kAsymmetricDot:
+      return Symmetrized(
+          [e](int64_t u, int64_t v) {
+            return Dot(e->xf.Row(u), e->xb.Row(v), e->xf.cols());
+          },
+          undirected);
+  }
+  return Status::Internal("unreachable link convention");
+}
+
+Result<std::vector<PairScorer>> MakeCandidateLinkScorers(
+    std::shared_ptr<const NodeEmbedding> e, bool undirected) {
+  PANE_ASSIGN_OR_RETURN(PairScorer primary, MakeLinkScorer(e, undirected));
+  std::vector<PairScorer> scorers;
+  scorers.push_back(std::move(primary));
+  if (e->link_convention == LinkConvention::kInnerProduct) {
+    scorers.push_back([e](int64_t u, int64_t v) {
+      return CosineScore(e->features, u, v);
+    });
+  }
+  return scorers;
+}
+
+Result<PairScorer> MakeAttributeScorer(std::shared_ptr<const NodeEmbedding> e,
+                                       const AttributedGraph& train_graph) {
+  PANE_RETURN_NOT_OK(e->Check());
+  if (e->num_nodes() != train_graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "embedding row count does not match the graph's node count");
+  }
+  switch (e->attribute_convention) {
+    case AttributeConvention::kFactors:
+      // Equation 21: p(v, r) = Xf[v].Y[r] + Xb[v].Y[r].
+      return PairScorer([e](int64_t v, int64_t r) {
+        const double* yr = e->y.Row(r);
+        return Dot(e->xf.Row(v), yr, e->xf.cols()) +
+               Dot(e->xb.Row(v), yr, e->xb.cols());
+      });
+    case AttributeConvention::kDirect:
+      if (e->dim() != train_graph.num_attributes()) {
+        return Status::InvalidArgument(
+            "direct attribute artifact must be n x d");
+      }
+      return PairScorer(
+          [e](int64_t v, int64_t r) { return e->features(v, r); });
+    case AttributeConvention::kCentroid: {
+      // Per-attribute centroids of the training-graph members' features.
+      const CsrMatrix& r = train_graph.attributes();
+      auto centroids = std::make_shared<DenseMatrix>(
+          train_graph.num_attributes(), e->dim());
+      std::vector<double> weight(
+          static_cast<size_t>(train_graph.num_attributes()), 0.0);
+      for (int64_t v = 0; v < r.rows(); ++v) {
+        const CsrMatrix::RowView row = r.Row(v);
+        const double* fv = e->features.Row(v);
+        for (int64_t i = 0; i < row.length; ++i) {
+          const int64_t attr = row.cols[i];
+          const double w = row.vals[i];
+          double* c = centroids->Row(attr);
+          for (int64_t j = 0; j < e->dim(); ++j) c[j] += w * fv[j];
+          weight[static_cast<size_t>(attr)] += w;
+        }
+      }
+      for (int64_t a = 0; a < centroids->rows(); ++a) {
+        const double w = weight[static_cast<size_t>(a)];
+        if (w > 0.0) {
+          double* c = centroids->Row(a);
+          for (int64_t j = 0; j < e->dim(); ++j) c[j] /= w;
+        }
+      }
+      return PairScorer([e, centroids](int64_t v, int64_t a) {
+        return Dot(e->features.Row(v), centroids->Row(a), e->dim());
+      });
+    }
+  }
+  return Status::Internal("unreachable attribute convention");
+}
+
+DenseMatrix ClassifierFeatures(const NodeEmbedding& e) {
+  if (e.has_node_factors()) {
+    return ConcatNormalizedEmbeddings(e.xf, e.xb);
+  }
+  if (e.link_convention == LinkConvention::kHamming) {
+    return e.features;  // binary codes are consumed raw
+  }
+  return RowNormalizedCopy(e.features);
+}
+
+}  // namespace pane

@@ -1,0 +1,49 @@
+// Adapters from the common NodeEmbedding artifact to the three downstream
+// task harnesses (src/tasks): pairwise link scorers, (node, attribute)
+// scorers, and classifier feature matrices. All consumers go through these,
+// so a task never needs to know which algorithm produced the artifact.
+//
+// Scorer factories take the embedding by shared_ptr and capture it in the
+// returned closure — a scorer can safely outlive every other reference to
+// the embedding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/api/node_embedding.h"
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+using PairScorer = std::function<double(int64_t, int64_t)>;
+
+/// \brief Link scorer under the artifact's primary convention
+/// (EvaluateLinkPrediction-compatible). `undirected` selects the paper's
+/// symmetric score p(u, w) + p(w, u) for the asymmetric conventions.
+Result<PairScorer> MakeLinkScorer(std::shared_ptr<const NodeEmbedding> e,
+                                  bool undirected);
+
+/// \brief All link-scoring conventions this artifact should be tried under:
+/// the paper evaluates single-matrix competitors under inner product AND
+/// cosine and keeps the best, so kInnerProduct artifacts yield both.
+Result<std::vector<PairScorer>> MakeCandidateLinkScorers(
+    std::shared_ptr<const NodeEmbedding> e, bool undirected);
+
+/// \brief Attribute-inference scorer p(v, r). Factor artifacts use Equation
+/// 21; direct artifacts read their n x d score matrix; everything else
+/// falls back to per-attribute centroids fitted on `train_graph` (so even
+/// topology-only methods like NRP produce a defined score).
+Result<PairScorer> MakeAttributeScorer(std::shared_ptr<const NodeEmbedding> e,
+                                       const AttributedGraph& train_graph);
+
+/// \brief Node-classification feature matrix: normalized Xf || Xb for
+/// factor artifacts (the paper's PANE / NRP protocol), raw codes for
+/// Hamming artifacts (BANE), row-normalized features otherwise.
+DenseMatrix ClassifierFeatures(const NodeEmbedding& e);
+
+}  // namespace pane

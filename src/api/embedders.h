@@ -1,0 +1,32 @@
+// Factory functions for the built-in embedders, one per algorithm in the
+// reproduction. Each parses its options out of an EmbedderConfig (returning
+// InvalidArgument on malformed values); EmbedderRegistry::Create then runs
+// Validate() so callers never hold an embedder with bad options. Prefer
+// EmbedderRegistry::Create("name", config) over calling these directly.
+#pragma once
+
+#include <memory>
+
+#include "src/api/embedder.h"
+#include "src/common/status.h"
+
+namespace pane {
+
+/// PANE, Algorithm 5 (parallel; config "threads", default 4).
+Result<std::unique_ptr<Embedder>> NewPaneEmbedder(const EmbedderConfig& config);
+/// PANE, Algorithm 1 (single thread regardless of config "threads").
+Result<std::unique_ptr<Embedder>> NewPaneSeqEmbedder(
+    const EmbedderConfig& config);
+/// TADW (text-associated DeepWalk; refuses graphs over "max_nodes").
+Result<std::unique_ptr<Embedder>> NewTadwEmbedder(const EmbedderConfig& config);
+/// NRP (topology-only reweighted PPR factorization).
+Result<std::unique_ptr<Embedder>> NewNrpEmbedder(const EmbedderConfig& config);
+/// BANE (binarized codes, Hamming link scoring).
+Result<std::unique_ptr<Embedder>> NewBaneEmbedder(const EmbedderConfig& config);
+/// LQANR (low-bit quantized features).
+Result<std::unique_ptr<Embedder>> NewLqanrEmbedder(
+    const EmbedderConfig& config);
+/// BLA-like attribute-propagation baseline (direct n x d score matrix).
+Result<std::unique_ptr<Embedder>> NewBlaEmbedder(const EmbedderConfig& config);
+
+}  // namespace pane

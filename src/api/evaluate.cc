@@ -1,0 +1,54 @@
+#include "src/api/evaluate.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/api/adapters.h"
+#include "src/tasks/attribute_inference.h"
+#include "src/tasks/link_prediction.h"
+
+namespace pane {
+
+Result<AucAp> RunAttributeInference(const Embedder& embedder,
+                                    const AttributedGraph& graph,
+                                    double test_fraction, uint64_t seed) {
+  PANE_ASSIGN_OR_RETURN(AttributeSplit split,
+                        SplitAttributes(graph, test_fraction, seed));
+  PANE_ASSIGN_OR_RETURN(NodeEmbedding trained,
+                        embedder.Train(split.train_graph));
+  auto artifact = std::make_shared<const NodeEmbedding>(std::move(trained));
+  PANE_ASSIGN_OR_RETURN(PairScorer scorer,
+                        MakeAttributeScorer(artifact, split.train_graph));
+  return EvaluateAttributeInference(split, scorer);
+}
+
+Result<AucAp> RunLinkPrediction(const Embedder& embedder,
+                                const AttributedGraph& graph,
+                                double holdout_fraction, uint64_t seed) {
+  PANE_ASSIGN_OR_RETURN(LinkSplit split,
+                        SplitEdges(graph, holdout_fraction, seed));
+  PANE_ASSIGN_OR_RETURN(NodeEmbedding trained,
+                        embedder.Train(split.residual_graph));
+  auto artifact = std::make_shared<const NodeEmbedding>(std::move(trained));
+  PANE_ASSIGN_OR_RETURN(
+      std::vector<PairScorer> scorers,
+      MakeCandidateLinkScorers(artifact, graph.undirected()));
+  AucAp best{0.0, 0.0};
+  bool first = true;
+  for (const PairScorer& scorer : scorers) {
+    const AucAp result = EvaluateLinkPrediction(split, scorer);
+    if (first || result.auc > best.auc) best = result;
+    first = false;
+  }
+  return best;
+}
+
+Result<F1Scores> RunNodeClassification(
+    const Embedder& embedder, const AttributedGraph& graph,
+    const NodeClassificationOptions& options) {
+  PANE_ASSIGN_OR_RETURN(NodeEmbedding trained, embedder.Train(graph));
+  return EvaluateNodeClassification(ClassifierFeatures(trained), graph,
+                                    options);
+}
+
+}  // namespace pane

@@ -1,0 +1,39 @@
+// The three downstream-task drivers of the paper (Sections 5.2-5.4) on the
+// unified Embedder surface: split, train via the abstract interface, adapt
+// the NodeEmbedding, evaluate. The CLI and the table / figure benches run
+// every method — PANE and baselines alike — through these, with no
+// per-algorithm branching.
+#pragma once
+
+#include <cstdint>
+
+#include "src/api/embedder.h"
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/tasks/metrics.h"
+#include "src/tasks/node_classification.h"
+
+namespace pane {
+
+/// \brief Attribute inference (Section 5.2): hold out `test_fraction` of the
+/// attribute entries, train on the rest, score held-out positives against
+/// sampled negatives.
+Result<AucAp> RunAttributeInference(const Embedder& embedder,
+                                    const AttributedGraph& graph,
+                                    double test_fraction, uint64_t seed);
+
+/// \brief Link prediction (Section 5.3): remove `holdout_fraction` of the
+/// edges, train on the residual graph, score removed edges against sampled
+/// non-edges. Tries every candidate scoring convention of the artifact and
+/// returns the best, mirroring the paper's protocol.
+Result<AucAp> RunLinkPrediction(const Embedder& embedder,
+                                const AttributedGraph& graph,
+                                double holdout_fraction, uint64_t seed);
+
+/// \brief Node classification (Section 5.4): train on the full graph, fit
+/// one-vs-rest SVMs on the adapter's classifier features.
+Result<F1Scores> RunNodeClassification(
+    const Embedder& embedder, const AttributedGraph& graph,
+    const NodeClassificationOptions& options);
+
+}  // namespace pane

@@ -1,0 +1,213 @@
+#include "src/api/node_embedding.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace pane {
+namespace {
+
+// "PANENEB1": the unified NodeEmbedding artifact, distinct from the legacy
+// PaneEmbedding magic so old files fail loudly instead of misparsing.
+constexpr uint64_t kNodeEmbeddingMagic = 0x50414e454e454231ULL;
+constexpr uint32_t kFormatVersion = 1;
+
+constexpr size_t kMaxMethodNameLength = 256;
+
+constexpr uint8_t kHasXf = 1u << 0;
+constexpr uint8_t kHasXb = 1u << 1;
+constexpr uint8_t kHasY = 1u << 2;
+
+template <typename T>
+void AppendPod(std::string* buf, const T& value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+Status ReadPod(std::istream* in, T* value) {
+  in->read(reinterpret_cast<char*>(value), sizeof(*value));
+  if (!*in) return Status::IOError("truncated embedding file");
+  return Status::OK();
+}
+
+void AppendMatrix(std::string* buf, const DenseMatrix& m) {
+  AppendPod(buf, m.rows());
+  AppendPod(buf, m.cols());
+  buf->append(reinterpret_cast<const char*>(m.data()),
+              static_cast<size_t>(m.size()) * sizeof(double));
+}
+
+/// \param max_doubles entry budget derived from the bytes remaining in the
+/// file, so a corrupt shape header yields a Status instead of a huge
+/// allocation (or rows * cols overflow).
+Status ReadMatrix(std::istream* in, DenseMatrix* m, int64_t max_doubles) {
+  int64_t rows = 0, cols = 0;
+  PANE_RETURN_NOT_OK(ReadPod(in, &rows));
+  PANE_RETURN_NOT_OK(ReadPod(in, &cols));
+  if (rows < 0 || cols < 0) {
+    return Status::IOError("negative matrix shape in embedding file");
+  }
+  if (rows > 0 && cols > max_doubles / rows) {
+    return Status::IOError(
+        "matrix shape in embedding file exceeds the file's size");
+  }
+  m->Resize(rows, cols);
+  in->read(reinterpret_cast<char*>(m->data()),
+           static_cast<std::streamsize>(m->size() * sizeof(double)));
+  if (!*in) return Status::IOError("truncated embedding file");
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* LinkConventionToString(LinkConvention c) {
+  switch (c) {
+    case LinkConvention::kInnerProduct:
+      return "inner-product";
+    case LinkConvention::kHamming:
+      return "hamming";
+    case LinkConvention::kForwardBackward:
+      return "forward-backward";
+    case LinkConvention::kAsymmetricDot:
+      return "asymmetric-dot";
+  }
+  return "unknown";
+}
+
+const char* AttributeConventionToString(AttributeConvention c) {
+  switch (c) {
+    case AttributeConvention::kCentroid:
+      return "centroid";
+    case AttributeConvention::kDirect:
+      return "direct";
+    case AttributeConvention::kFactors:
+      return "factors";
+  }
+  return "unknown";
+}
+
+Status NodeEmbedding::Check() const {
+  if (features.empty()) {
+    return Status::InvalidArgument("NodeEmbedding has no feature matrix");
+  }
+  if (method.size() > kMaxMethodNameLength) {
+    return Status::InvalidArgument(
+        "NodeEmbedding method name exceeds the serializable length");
+  }
+  if (!xf.empty() || !xb.empty()) {
+    if (xf.rows() != features.rows() || !xf.SameShape(xb)) {
+      return Status::InvalidArgument(
+          "NodeEmbedding factor blocks xf / xb must be n x k/2 with matching "
+          "shapes");
+    }
+  }
+  if (!y.empty()) {
+    if (xf.empty() || y.cols() != xf.cols()) {
+      return Status::InvalidArgument(
+          "NodeEmbedding attribute factor y requires xf / xb with the same "
+          "column count");
+    }
+  }
+  if (link_convention == LinkConvention::kForwardBackward &&
+      !has_attribute_factors()) {
+    return Status::InvalidArgument(
+        "forward-backward link convention requires xf, xb and y");
+  }
+  if (link_convention == LinkConvention::kAsymmetricDot &&
+      !has_node_factors()) {
+    return Status::InvalidArgument(
+        "asymmetric-dot link convention requires xf and xb");
+  }
+  if (attribute_convention == AttributeConvention::kFactors &&
+      !has_attribute_factors()) {
+    return Status::InvalidArgument(
+        "factor attribute convention requires xf, xb and y");
+  }
+  return Status::OK();
+}
+
+Status NodeEmbedding::Save(const std::string& path) const {
+  PANE_RETURN_NOT_OK(Check());
+  std::string buf;
+  AppendPod(&buf, kNodeEmbeddingMagic);
+  AppendPod(&buf, kFormatVersion);
+  const uint32_t method_len = static_cast<uint32_t>(method.size());
+  AppendPod(&buf, method_len);
+  buf.append(method);
+  AppendPod(&buf, static_cast<int8_t>(link_convention));
+  AppendPod(&buf, static_cast<int8_t>(attribute_convention));
+  uint8_t mask = 0;
+  if (!xf.empty()) mask |= kHasXf;
+  if (!xb.empty()) mask |= kHasXb;
+  if (!y.empty()) mask |= kHasY;
+  AppendPod(&buf, mask);
+  AppendMatrix(&buf, features);
+  if (!xf.empty()) AppendMatrix(&buf, xf);
+  if (!xb.empty()) AppendMatrix(&buf, xb);
+  if (!y.empty()) AppendMatrix(&buf, y);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<NodeEmbedding> NodeEmbedding::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  in.seekg(0, std::ios::end);
+  const int64_t file_size = static_cast<int64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  const auto remaining_doubles = [&in, file_size]() {
+    return (file_size - static_cast<int64_t>(in.tellg())) /
+           static_cast<int64_t>(sizeof(double));
+  };
+  uint64_t magic = 0;
+  PANE_RETURN_NOT_OK(ReadPod(&in, &magic));
+  if (magic != kNodeEmbeddingMagic) {
+    return Status::InvalidArgument("not a NodeEmbedding file: " + path);
+  }
+  uint32_t version = 0;
+  PANE_RETURN_NOT_OK(ReadPod(&in, &version));
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported NodeEmbedding version in " +
+                                   path);
+  }
+  uint32_t method_len = 0;
+  PANE_RETURN_NOT_OK(ReadPod(&in, &method_len));
+  if (method_len > kMaxMethodNameLength) {
+    return Status::InvalidArgument("implausible method-name length in " + path);
+  }
+  NodeEmbedding e;
+  e.method.resize(method_len);
+  in.read(e.method.data(), method_len);
+  if (!in) return Status::IOError("truncated embedding file");
+  int8_t link = 0, attr = 0;
+  PANE_RETURN_NOT_OK(ReadPod(&in, &link));
+  PANE_RETURN_NOT_OK(ReadPod(&in, &attr));
+  if (link < 0 || link > static_cast<int8_t>(LinkConvention::kAsymmetricDot)) {
+    return Status::InvalidArgument("bad link convention in " + path);
+  }
+  if (attr < 0 || attr > static_cast<int8_t>(AttributeConvention::kFactors)) {
+    return Status::InvalidArgument("bad attribute convention in " + path);
+  }
+  e.link_convention = static_cast<LinkConvention>(link);
+  e.attribute_convention = static_cast<AttributeConvention>(attr);
+  uint8_t mask = 0;
+  PANE_RETURN_NOT_OK(ReadPod(&in, &mask));
+  PANE_RETURN_NOT_OK(ReadMatrix(&in, &e.features, remaining_doubles()));
+  if (mask & kHasXf) {
+    PANE_RETURN_NOT_OK(ReadMatrix(&in, &e.xf, remaining_doubles()));
+  }
+  if (mask & kHasXb) {
+    PANE_RETURN_NOT_OK(ReadMatrix(&in, &e.xb, remaining_doubles()));
+  }
+  if (mask & kHasY) {
+    PANE_RETURN_NOT_OK(ReadMatrix(&in, &e.y, remaining_doubles()));
+  }
+  PANE_RETURN_NOT_OK(e.Check());
+  return e;
+}
+
+}  // namespace pane

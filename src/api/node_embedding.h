@@ -1,0 +1,82 @@
+// The common embedding artifact of the unified api layer: every algorithm —
+// PANE and all baselines — trains into a NodeEmbedding, and every downstream
+// consumer (link prediction, attribute inference, node classification, the
+// CLI save/load workflow) reads one, regardless of which method produced it.
+//
+// The artifact is a primary per-node feature matrix plus optional factor
+// blocks (PANE's forward / backward node factors and its attribute factor),
+// tagged with the scoring conventions the producer is evaluated under in the
+// paper. One binary format serializes all of it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+
+/// How a method's pairwise link score is computed from the artifact
+/// (Section 5.3 evaluates every competitor under its best convention).
+enum class LinkConvention : int8_t {
+  /// Inner product over `features` rows; the adapter also tries cosine and
+  /// keeps the best, mirroring the paper's best-of protocol.
+  kInnerProduct = 0,
+  /// Negated Hamming distance of sign patterns (binary codes, BANE).
+  kHamming = 1,
+  /// PANE's Equation 22 over the xf / xb / y factor blocks.
+  kForwardBackward = 2,
+  /// Xf[u] . Xb[w] over the node factor blocks (NRP's score; no attribute
+  /// factor involved).
+  kAsymmetricDot = 3,
+};
+
+/// How an attribute-inference score p(v, r) is computed.
+enum class AttributeConvention : int8_t {
+  /// Generic fallback: dot(features[v], centroid[r]) with per-attribute
+  /// centroids fitted on the training graph by the adapter.
+  kCentroid = 0,
+  /// `features` is itself an n x d attribute-score matrix (BLA).
+  kDirect = 1,
+  /// PANE's Equation 21 over the xf / xb / y factor blocks.
+  kFactors = 2,
+};
+
+const char* LinkConventionToString(LinkConvention c);
+const char* AttributeConventionToString(AttributeConvention c);
+
+/// \brief Method-agnostic trained embedding.
+///
+/// `features` is always present (n rows, one per node). The factor blocks
+/// are optional (empty when absent): xf / xb are n x k/2 forward / backward
+/// node factors, y is the d x k/2 attribute factor.
+struct NodeEmbedding {
+  /// Registry name of the producer ("pane", "nrp", ...).
+  std::string method;
+
+  DenseMatrix features;
+  DenseMatrix xf;
+  DenseMatrix xb;
+  DenseMatrix y;
+
+  LinkConvention link_convention = LinkConvention::kInnerProduct;
+  AttributeConvention attribute_convention = AttributeConvention::kCentroid;
+
+  int64_t num_nodes() const { return features.rows(); }
+  int64_t dim() const { return features.cols(); }
+  bool has_node_factors() const { return !xf.empty() && !xb.empty(); }
+  bool has_attribute_factors() const { return has_node_factors() && !y.empty(); }
+
+  /// Shape / convention consistency checks (called by Save and by the
+  /// adapters before they consume the artifact).
+  Status Check() const;
+
+  /// One binary file: magic, version, method, conventions, presence mask,
+  /// then the present matrices. Stable across save/load round-trips
+  /// byte-for-byte.
+  Status Save(const std::string& path) const;
+  static Result<NodeEmbedding> Load(const std::string& path);
+};
+
+}  // namespace pane

@@ -1,0 +1,51 @@
+#include "src/api/registry.h"
+
+#include <map>
+
+#include "src/api/embedders.h"
+#include "src/common/string_util.h"
+
+namespace pane {
+namespace {
+
+using FactoryFn =
+    Result<std::unique_ptr<Embedder>> (*)(const EmbedderConfig&);
+
+const std::map<std::string, FactoryFn>& Table() {
+  static const std::map<std::string, FactoryFn> table = {
+      {"pane", &NewPaneEmbedder},     {"pane-seq", &NewPaneSeqEmbedder},
+      {"tadw", &NewTadwEmbedder},     {"nrp", &NewNrpEmbedder},
+      {"bane", &NewBaneEmbedder},     {"lqanr", &NewLqanrEmbedder},
+      {"bla", &NewBlaEmbedder},
+  };
+  return table;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Embedder>> EmbedderRegistry::Create(
+    const std::string& name, const EmbedderConfig& config) {
+  const std::string key = ToLower(name);
+  auto it = Table().find(key);
+  if (it == Table().end()) {
+    return Status::NotFound("unknown embedder '" + name + "' (registered: " +
+                            Join(Names(), ", ") + ")");
+  }
+  PANE_ASSIGN_OR_RETURN(std::unique_ptr<Embedder> embedder,
+                        it->second(config));
+  PANE_RETURN_NOT_OK(embedder->Validate());
+  return embedder;
+}
+
+std::vector<std::string> EmbedderRegistry::Names() {
+  std::vector<std::string> names;
+  names.reserve(Table().size());
+  for (const auto& [name, factory] : Table()) names.push_back(name);
+  return names;
+}
+
+bool EmbedderRegistry::Contains(const std::string& name) {
+  return Table().count(ToLower(name)) != 0;
+}
+
+}  // namespace pane

@@ -1,0 +1,32 @@
+// String-keyed factory for the unified Embedder surface: one Create() call
+// turns ("pane" | "pane-seq" | "tadw" | "nrp" | "bane" | "lqanr" | "bla",
+// EmbedderConfig) into a validated trainer. This is the single entry point
+// the CLI, the task drivers, and the table / figure benches select methods
+// through.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/embedder.h"
+#include "src/common/status.h"
+
+namespace pane {
+
+class EmbedderRegistry {
+ public:
+  /// Builds the named embedder from the config. Name matching is
+  /// case-insensitive. Returns NotFound (listing the registered names) for
+  /// an unknown name, and InvalidArgument when the config fails to parse or
+  /// the resulting options fail Validate().
+  static Result<std::unique_ptr<Embedder>> Create(
+      const std::string& name, const EmbedderConfig& config);
+
+  /// All registered names, sorted ("bane", "bla", "lqanr", ...).
+  static std::vector<std::string> Names();
+
+  static bool Contains(const std::string& name);
+};
+
+}  // namespace pane

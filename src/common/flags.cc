@@ -163,6 +163,27 @@ std::string FlagSet::Usage(const std::string& program) const {
   return out;
 }
 
+std::map<std::string, std::string> FlagSet::ValueMap() const {
+  std::map<std::string, std::string> out;
+  for (const auto& [name, flag] : flags_) {
+    switch (flag.type) {
+      case Type::kInt:
+        out[name] = StrFormat("%lld", static_cast<long long>(flag.int_value));
+        break;
+      case Type::kDouble:
+        out[name] = StrFormat("%.17g", flag.double_value);
+        break;
+      case Type::kString:
+        out[name] = flag.string_value;
+        break;
+      case Type::kBool:
+        out[name] = flag.bool_value ? "true" : "false";
+        break;
+    }
+  }
+  return out;
+}
+
 double EnvDoubleOr(const char* name, double fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;

@@ -42,6 +42,10 @@ class FlagSet {
   /// Rendered --help text.
   std::string Usage(const std::string& program) const;
 
+  /// All flags rendered to strings, e.g. {"k": "128", "alpha": "0.5"}.
+  /// This is the bridge into the api layer's string-keyed EmbedderConfig.
+  std::map<std::string, std::string> ValueMap() const;
+
  private:
   enum class Type { kInt, kDouble, kString, kBool };
   struct Flag {

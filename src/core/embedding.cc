@@ -69,11 +69,16 @@ Result<PaneEmbedding> PaneEmbedding::Load(const std::string& path) {
   return e;
 }
 
-EdgeScorer::EdgeScorer(const PaneEmbedding& embedding) : xf_(&embedding.xf) {
+EdgeScorer::EdgeScorer(const PaneEmbedding& embedding)
+    : EdgeScorer(embedding.xf, embedding.xb, embedding.y) {}
+
+EdgeScorer::EdgeScorer(const DenseMatrix& xf, const DenseMatrix& xb,
+                       const DenseMatrix& y)
+    : xf_(xf) {
   // Gram = Y^T Y (k/2 x k/2), then Z = Xb Gram.
   DenseMatrix gram;
-  GemmTransA(embedding.y, embedding.y, &gram);
-  Gemm(embedding.xb, gram, &xb_gram_);
+  GemmTransA(y, y, &gram);
+  Gemm(xb, gram, &xb_gram_);
 }
 
 }  // namespace pane

@@ -40,15 +40,20 @@ struct PaneEmbedding {
 /// Precomputes Z = Xb (Y^T Y) once so each pair costs one k/2-dot:
 /// p(u, w) = Xf[u] . Z[w]. For undirected graphs use ScoreUndirected.
 ///
-/// Holds a reference to the embedding's Xf: the embedding must outlive
-/// the scorer.
+/// Owns copies of the data it scores with, so the scorer stays valid after
+/// the source embedding is destroyed.
 class EdgeScorer {
  public:
   explicit EdgeScorer(const PaneEmbedding& embedding);
 
+  /// Builds the scorer directly from factor matrices (xf, xb: n x k/2,
+  /// y: d x k/2) — the api-layer NodeEmbedding path.
+  EdgeScorer(const DenseMatrix& xf, const DenseMatrix& xb,
+             const DenseMatrix& y);
+
   /// Directed-edge score p(u -> w).
   double Score(int64_t u, int64_t w) const {
-    return Dot(xf_->Row(u), xb_gram_.Row(w), xf_->cols());
+    return Dot(xf_.Row(u), xb_gram_.Row(w), xf_.cols());
   }
 
   /// p(u, w) + p(w, u), the paper's undirected-edge score.
@@ -57,7 +62,7 @@ class EdgeScorer {
   }
 
  private:
-  const DenseMatrix* xf_;
+  DenseMatrix xf_;       // copy of the forward factor, n x k/2
   DenseMatrix xb_gram_;  // Xb (Y^T Y), n x k/2
 };
 

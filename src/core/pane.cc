@@ -13,21 +13,29 @@
 
 namespace pane {
 
+Status ValidatePaneOptions(const PaneOptions& options) {
+  if (options.k < 2 || options.k % 2 != 0) {
+    return Status::InvalidArgument("k must be even and >= 2");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (options.epsilon <= 0.0 || options.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options.ccd_iterations < 0) {
+    return Status::InvalidArgument("ccd_iterations must be >= 0");
+  }
+  return Status::OK();
+}
+
 Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
                                   PaneStats* stats) const {
   const PaneOptions& opt = options_;
-  if (opt.k < 2 || opt.k % 2 != 0) {
-    return Status::InvalidArgument("k must be even and >= 2");
-  }
-  if (opt.alpha <= 0.0 || opt.alpha >= 1.0) {
-    return Status::InvalidArgument("alpha must be in (0, 1)");
-  }
-  if (opt.epsilon <= 0.0 || opt.epsilon >= 1.0) {
-    return Status::InvalidArgument("epsilon must be in (0, 1)");
-  }
-  if (opt.num_threads < 1) {
-    return Status::InvalidArgument("num_threads must be >= 1");
-  }
+  PANE_RETURN_NOT_OK(ValidatePaneOptions(opt));
   if (graph.num_nodes() == 0 || graph.num_attributes() == 0) {
     return Status::InvalidArgument("graph must have nodes and attributes");
   }

@@ -32,6 +32,11 @@ struct PaneOptions {
   uint64_t seed = 42;
 };
 
+/// \brief Checks a PaneOptions for validity: k even and > 0, alpha and
+/// epsilon in (0, 1), num_threads >= 1, ccd_iterations >= 0. Called up front
+/// by Pane::Train and by the api layer's option validation.
+Status ValidatePaneOptions(const PaneOptions& options);
+
 /// \brief Phase timings and diagnostics from one Train() run.
 struct PaneStats {
   int t = 0;                      ///< derived iteration count

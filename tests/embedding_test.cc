@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include "src/common/random.h"
 #include "src/core/pane.h"
@@ -66,6 +68,28 @@ TEST(EdgeScorerTest, UndirectedIsSymmetricSum) {
                   scorer.Score(u, w) + scorer.Score(w, u), 1e-12);
       EXPECT_NEAR(scorer.ScoreUndirected(u, w), scorer.ScoreUndirected(w, u),
                   1e-12);
+    }
+  }
+}
+
+TEST(EdgeScorerTest, OutlivesTheSourceEmbedding) {
+  // The scorer owns copies of everything it scores with: destroying the
+  // embedding it was built from must not invalidate it.
+  auto embedding = std::make_unique<PaneEmbedding>(RandomEmbedding(6, 4, 2, 5));
+  const EdgeScorer scorer(*embedding);
+  const double before = scorer.Score(1, 2);
+  embedding.reset();
+  EXPECT_DOUBLE_EQ(scorer.Score(1, 2), before);
+  EXPECT_TRUE(std::isfinite(scorer.ScoreUndirected(3, 4)));
+}
+
+TEST(EdgeScorerTest, FactorMatrixConstructorMatchesEmbeddingConstructor) {
+  const PaneEmbedding e = RandomEmbedding(7, 5, 3, 6);
+  const EdgeScorer from_embedding(e);
+  const EdgeScorer from_factors(e.xf, e.xb, e.y);
+  for (int64_t u = 0; u < 7; ++u) {
+    for (int64_t w = 0; w < 7; ++w) {
+      EXPECT_DOUBLE_EQ(from_embedding.Score(u, w), from_factors.Score(u, w));
     }
   }
 }

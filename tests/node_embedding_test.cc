@@ -1,0 +1,185 @@
+// Tests for the unified NodeEmbedding artifact: shape / convention checks
+// and the single binary format, including byte-for-byte save/load round
+// trips with and without the optional factor blocks.
+#include "src/api/node_embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/common/random.h"
+
+namespace pane {
+namespace {
+
+NodeEmbedding FeatureOnlyEmbedding(int64_t n, int64_t dim, uint64_t seed) {
+  Rng rng(seed);
+  NodeEmbedding e;
+  e.method = "tadw";
+  e.features.Resize(n, dim);
+  e.features.FillGaussian(&rng);
+  e.link_convention = LinkConvention::kInnerProduct;
+  e.attribute_convention = AttributeConvention::kCentroid;
+  return e;
+}
+
+NodeEmbedding FactorEmbedding(int64_t n, int64_t d, int64_t h, uint64_t seed) {
+  Rng rng(seed);
+  NodeEmbedding e;
+  e.method = "pane";
+  e.xf.Resize(n, h);
+  e.xb.Resize(n, h);
+  e.y.Resize(d, h);
+  e.xf.FillGaussian(&rng);
+  e.xb.FillGaussian(&rng);
+  e.y.FillGaussian(&rng);
+  e.features.Resize(n, 2 * h);
+  e.features.SetBlock(0, 0, e.xf);
+  e.features.SetBlock(0, h, e.xb);
+  e.link_convention = LinkConvention::kForwardBackward;
+  e.attribute_convention = AttributeConvention::kFactors;
+  return e;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class NodeEmbeddingIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto dir = std::filesystem::temp_directory_path();
+    path_ = (dir / ("node_emb_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+    path2_ = path_ + ".resaved";
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path2_);
+  }
+  std::string path_;
+  std::string path2_;
+};
+
+TEST(NodeEmbeddingTest, CheckAcceptsWellFormedArtifacts) {
+  EXPECT_TRUE(FeatureOnlyEmbedding(10, 8, 1).Check().ok());
+  EXPECT_TRUE(FactorEmbedding(10, 6, 4, 2).Check().ok());
+}
+
+TEST(NodeEmbeddingTest, CheckRejectsMissingFeatures) {
+  NodeEmbedding e;
+  e.method = "broken";
+  EXPECT_TRUE(e.Check().IsInvalidArgument());
+}
+
+TEST(NodeEmbeddingTest, CheckRejectsMismatchedFactorBlocks) {
+  NodeEmbedding e = FactorEmbedding(10, 6, 4, 3);
+  e.xb.Resize(10, 3);  // xf is 10 x 4
+  EXPECT_TRUE(e.Check().IsInvalidArgument());
+}
+
+TEST(NodeEmbeddingTest, CheckRejectsConventionWithoutFactors) {
+  NodeEmbedding e = FeatureOnlyEmbedding(10, 8, 4);
+  e.link_convention = LinkConvention::kForwardBackward;
+  EXPECT_TRUE(e.Check().IsInvalidArgument());
+
+  NodeEmbedding e2 = FeatureOnlyEmbedding(10, 8, 5);
+  e2.attribute_convention = AttributeConvention::kFactors;
+  EXPECT_TRUE(e2.Check().IsInvalidArgument());
+}
+
+TEST_F(NodeEmbeddingIoTest, FeatureOnlyRoundTripIsByteForByte) {
+  const NodeEmbedding e = FeatureOnlyEmbedding(20, 12, 6);
+  ASSERT_TRUE(e.Save(path_).ok());
+  const auto loaded = NodeEmbedding::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->method, "tadw");
+  EXPECT_EQ(loaded->link_convention, LinkConvention::kInnerProduct);
+  EXPECT_EQ(loaded->attribute_convention, AttributeConvention::kCentroid);
+  EXPECT_TRUE(loaded->xf.empty());
+  EXPECT_TRUE(loaded->y.empty());
+  EXPECT_EQ(e.features.MaxAbsDiff(loaded->features), 0.0);
+
+  ASSERT_TRUE(loaded->Save(path2_).ok());
+  EXPECT_EQ(ReadFileBytes(path_), ReadFileBytes(path2_));
+}
+
+TEST_F(NodeEmbeddingIoTest, FactorRoundTripIsByteForByte) {
+  const NodeEmbedding e = FactorEmbedding(15, 9, 4, 7);
+  ASSERT_TRUE(e.Save(path_).ok());
+  const auto loaded = NodeEmbedding::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->method, "pane");
+  EXPECT_EQ(loaded->link_convention, LinkConvention::kForwardBackward);
+  EXPECT_EQ(loaded->attribute_convention, AttributeConvention::kFactors);
+  EXPECT_EQ(e.features.MaxAbsDiff(loaded->features), 0.0);
+  EXPECT_EQ(e.xf.MaxAbsDiff(loaded->xf), 0.0);
+  EXPECT_EQ(e.xb.MaxAbsDiff(loaded->xb), 0.0);
+  EXPECT_EQ(e.y.MaxAbsDiff(loaded->y), 0.0);
+
+  ASSERT_TRUE(loaded->Save(path2_).ok());
+  EXPECT_EQ(ReadFileBytes(path_), ReadFileBytes(path2_));
+}
+
+TEST_F(NodeEmbeddingIoTest, SaveRejectsInconsistentArtifacts) {
+  NodeEmbedding e = FactorEmbedding(10, 6, 4, 8);
+  e.y.Resize(6, 3);  // column count no longer matches xf
+  EXPECT_TRUE(e.Save(path_).IsInvalidArgument());
+}
+
+TEST_F(NodeEmbeddingIoTest, LoadRejectsGarbageAndMissingFiles) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "definitely not an embedding";
+  }
+  EXPECT_TRUE(NodeEmbedding::Load(path_).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      NodeEmbedding::Load("/nonexistent/file.bin").status().IsIOError());
+}
+
+TEST_F(NodeEmbeddingIoTest, LoadRejectsImplausibleMatrixShapes) {
+  // Corrupt the features row count to claim ~2^31 rows: Load must return a
+  // Status instead of attempting a multi-gigabyte allocation.
+  const NodeEmbedding e = FeatureOnlyEmbedding(10, 4, 10);
+  ASSERT_TRUE(e.Save(path_).ok());
+  std::string bytes = ReadFileBytes(path_);
+  // Layout: magic(8) version(4) method_len(4) method(4: "tadw") link(1)
+  // attr(1) mask(1) then the features rows int64.
+  const size_t rows_offset = 8 + 4 + 4 + e.method.size() + 1 + 1 + 1;
+  const int64_t huge_rows = int64_t{1} << 31;
+  bytes.replace(rows_offset, sizeof(huge_rows),
+                reinterpret_cast<const char*>(&huge_rows),
+                sizeof(huge_rows));
+  {
+    std::ofstream out(path2_, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto loaded = NodeEmbedding::Load(path2_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST(NodeEmbeddingTest, CheckRejectsOverlongMethodNames) {
+  NodeEmbedding e = FeatureOnlyEmbedding(5, 3, 11);
+  e.method = std::string(300, 'x');
+  EXPECT_TRUE(e.Check().IsInvalidArgument());
+}
+
+TEST_F(NodeEmbeddingIoTest, LoadRejectsTruncatedFiles) {
+  const NodeEmbedding e = FactorEmbedding(12, 5, 4, 9);
+  ASSERT_TRUE(e.Save(path_).ok());
+  const std::string bytes = ReadFileBytes(path_);
+  {
+    std::ofstream out(path2_, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(NodeEmbedding::Load(path2_).ok());
+}
+
+}  // namespace
+}  // namespace pane
