@@ -29,7 +29,14 @@ void Run() {
     for (const int nb : {1, 2, 5, 10, 20}) {
       const auto run = bench::TrainPaneOrDie(g, 128, nb);
       if (nb == 1) base = run.stats.total_seconds;
-      cells.push_back(bench::Cell(base / run.stats.total_seconds));
+      // At small bench scale a run can finish in ~0s; a ratio against that
+      // prints inf/nan, so emit n/a instead.
+      constexpr double kMinMeasurable = 1e-6;
+      if (base < kMinMeasurable || run.stats.total_seconds < kMinMeasurable) {
+        cells.push_back("n/a");
+      } else {
+        cells.push_back(bench::Cell(base / run.stats.total_seconds));
+      }
     }
     bench::PrintRow(name, cells);
   }

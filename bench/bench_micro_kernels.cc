@@ -5,11 +5,17 @@
 // against naive recomputation.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <sstream>
+
+#include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/core/apmi.h"
 #include "src/core/ccd.h"
 #include "src/core/greedy_init.h"
 #include "src/graph/generators.h"
+#include "src/graph/graph_io.h"
+#include "src/graph/text_parser.h"
 #include "src/matrix/gemm.h"
 #include "src/matrix/rand_svd.h"
 #include "src/matrix/spmm.h"
@@ -60,6 +66,86 @@ void BM_SpMMParallel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpMMParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SpMV(benchmark::State& state) {
+  const int64_t n = 8000;
+  const AttributedGraph g = BenchGraph(n);
+  const CsrMatrix p = g.RandomWalkMatrix();
+  std::vector<double> x(static_cast<size_t>(n), 1.0);
+  std::vector<double> y;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SpMV(p, x, &y, &pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(1)->Arg(4);
+
+// --- Ingestion kernels -----------------------------------------------------
+
+// ~200k-line "u v" edge text, the input shape of LoadGraphText / the SNAP
+// edge-list reader.
+std::string EdgeText(int64_t lines) {
+  const AttributedGraph g = ErdosRenyi(lines / 8, lines, /*seed=*/5);
+  std::string text;
+  for (int64_t u = 0; u < g.num_nodes(); ++u) {
+    const CsrMatrix::RowView row = g.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      text += std::to_string(u) + ' ' + std::to_string(row.cols[p]) + '\n';
+    }
+  }
+  return text;
+}
+
+// Baseline: the legacy `istream >>` token loop the chunked parser replaced.
+void BM_ParseEdgeTextIstream(benchmark::State& state) {
+  const std::string text = EdgeText(200000);
+  for (auto _ : state) {
+    std::istringstream in(text);
+    std::vector<Triplet> triplets;
+    int64_t u = 0, v = 0;
+    while (in >> u >> v) triplets.push_back(Triplet{u, v, 1.0});
+    benchmark::DoNotOptimize(triplets.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseEdgeTextIstream);
+
+void BM_ParseEdgeTextChunked(benchmark::State& state) {
+  const std::string text = EdgeText(200000);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  TripletParseOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    auto triplets = ParseTriplets(text, options);
+    benchmark::DoNotOptimize(triplets.ValueOrDie().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseEdgeTextChunked)->Arg(1)->Arg(4)->Arg(10);
+
+// Binary snapshot reload: bounded reads + direct CSR adoption (no per-edge
+// rebuild).
+void BM_LoadGraphBinary(benchmark::State& state) {
+  const AttributedGraph g = BenchGraph(20000);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pane_micro_graph.bin")
+          .string();
+  PANE_CHECK_OK(SaveGraphBinary(g, path));
+  const int64_t bytes =
+      static_cast<int64_t>(std::filesystem::file_size(path));
+  for (auto _ : state) {
+    auto loaded = LoadGraphBinary(path);
+    benchmark::DoNotOptimize(loaded.ValueOrDie().num_edges());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+BENCHMARK(BM_LoadGraphBinary);
 
 void BM_Gemm(benchmark::State& state) {
   const int64_t n = state.range(0);

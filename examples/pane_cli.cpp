@@ -1,8 +1,8 @@
 // Command-line front-end on the unified Embedder API: pick any registered
 // method with --method (PANE or a baseline), train on a graph stored on disk
-// (the text layout documented in src/graph/graph_io.h) and write the common
-// NodeEmbedding artifact; or evaluate the method on the three downstream
-// tasks. There is no per-algorithm branching here — EmbedderRegistry and
+// (text-layout directory, binary snapshot, or raw edge list — see
+// src/graph/graph_io.h) and write the common NodeEmbedding artifact; or
+// evaluate the method on the three downstream tasks. There is no per-algorithm branching here — EmbedderRegistry and
 // the NodeEmbedding adapters do all the dispatch.
 //
 //   # train (writes embedding.bin in the unified artifact format)
@@ -25,12 +25,17 @@
 #include "src/common/timer.h"
 #include "src/datasets/registry.h"
 #include "src/graph/graph_io.h"
+#include "src/parallel/thread_pool.h"
 
 namespace {
 
-pane::AttributedGraph LoadOrDemo(const std::string& graph_arg) {
+// Dispatches on the path: text-layout directory, binary snapshot, or raw
+// edge list (SNAP-style). Text parsing is chunked across `num_threads`.
+pane::AttributedGraph LoadOrDemo(const std::string& graph_arg,
+                                 int num_threads) {
   if (graph_arg != "demo") {
-    auto loaded = pane::LoadGraphText(graph_arg);
+    pane::ThreadPool pool(num_threads);
+    auto loaded = pane::LoadGraphAuto(graph_arg, &pool);
     PANE_CHECK(loaded.ok()) << loaded.status();
     return loaded.MoveValueUnsafe();
   }
@@ -51,7 +56,9 @@ int main(int argc, char** argv) {
                   "embedder to run: " + pane::Join(
                       pane::EmbedderRegistry::Names(), " | "));
   flags.AddString("mode", "eval", "train | eval");
-  flags.AddString("graph", "demo", "graph directory (text layout) or 'demo'");
+  flags.AddString("graph", "demo",
+                  "graph to load: text-layout directory, binary snapshot "
+                  "(.bin), raw edge-list file, or 'demo'");
   flags.AddString("out", "/tmp/pane_embedding.bin", "embedding output path");
   flags.AddInt("k", 128, "space budget");
   flags.AddDouble("alpha", 0.5, "random-walk stopping probability (PANE)");
@@ -79,7 +86,8 @@ int main(int argc, char** argv) {
   const auto embedder = pane::EmbedderRegistry::Create(method, config);
   PANE_CHECK(embedder.ok()) << embedder.status();
 
-  const pane::AttributedGraph graph = LoadOrDemo(flags.GetString("graph"));
+  const pane::AttributedGraph graph =
+      LoadOrDemo(flags.GetString("graph"), flags.GetInt("threads"));
   std::printf("loaded %s\n", graph.Summary().c_str());
 
   if (flags.GetString("mode") == "train") {

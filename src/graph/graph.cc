@@ -1,10 +1,88 @@
 #include "src/graph/graph.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/string_util.h"
 
 namespace pane {
+namespace {
+
+// Sorts and deduplicates each node's label list and returns the class count
+// (max label + 1, 0 when unlabeled); negative ids are OutOfRange. Shared by
+// the builder and the zero-copy adoption path so the semantics cannot drift.
+Result<int32_t> NormalizeLabels(std::vector<std::vector<int32_t>>* labels) {
+  int32_t max_label = -1;
+  for (auto& node_labels : *labels) {
+    std::sort(node_labels.begin(), node_labels.end());
+    node_labels.erase(std::unique(node_labels.begin(), node_labels.end()),
+                      node_labels.end());
+    if (node_labels.empty()) continue;
+    if (node_labels.front() < 0) {
+      return Status::OutOfRange("negative label id");
+    }
+    max_label = std::max(max_label, node_labels.back());
+  }
+  return max_label + 1;
+}
+
+}  // namespace
+
+Result<AttributedGraph> AttributedGraph::FromCsr(
+    CsrMatrix adjacency, CsrMatrix attributes,
+    std::vector<std::vector<int32_t>> labels, bool undirected) {
+  if (adjacency.rows() != adjacency.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("adjacency must be square, got %lld x %lld",
+                  static_cast<long long>(adjacency.rows()),
+                  static_cast<long long>(adjacency.cols())));
+  }
+  if (attributes.rows() != adjacency.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("attribute rows (%lld) must match node count (%lld)",
+                  static_cast<long long>(attributes.rows()),
+                  static_cast<long long>(adjacency.rows())));
+  }
+  // Domain checks the per-edge builder path used to enforce: the adjacency
+  // is an unweighted simple digraph (unit values, no self-loops) and
+  // attribute weights are positive and finite. One O(nnz) pass each —
+  // negligible next to the transpose below.
+  for (int64_t u = 0; u < adjacency.rows(); ++u) {
+    const CsrMatrix::RowView row = adjacency.Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      if (row.cols[p] == u) {
+        return Status::InvalidArgument(
+            StrFormat("adjacency has a self-loop at node %lld",
+                      static_cast<long long>(u)));
+      }
+      if (row.vals[p] != 1.0) {
+        return Status::InvalidArgument(
+            "adjacency values must all be 1.0 (unweighted graph)");
+      }
+    }
+  }
+  for (const double w : attributes.values()) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "attribute weights must be positive and finite");
+    }
+  }
+  const size_t n = static_cast<size_t>(adjacency.rows());
+  if (labels.empty()) {
+    labels.resize(n);
+  } else if (labels.size() != n) {
+    return Status::InvalidArgument("label vector must have one entry per node");
+  }
+  PANE_ASSIGN_OR_RETURN(const int32_t num_classes, NormalizeLabels(&labels));
+  AttributedGraph g;
+  g.adjacency_ = std::move(adjacency);
+  g.adjacency_t_ = g.adjacency_.Transposed();
+  g.attributes_ = std::move(attributes);
+  g.labels_ = std::move(labels);
+  g.num_label_classes_ = num_classes;
+  g.undirected_ = undirected;
+  return g;
+}
 
 CsrMatrix AttributedGraph::RandomWalkMatrix() const {
   const int64_t n = num_nodes();
@@ -66,6 +144,23 @@ GraphBuilder& GraphBuilder::AddEdge(int64_t from, int64_t to) {
   return *this;
 }
 
+GraphBuilder& GraphBuilder::AddEdges(const std::vector<Triplet>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const Triplet& t : edges) AddEdge(t.row, t.col);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddEdges(
+    const std::vector<std::vector<Triplet>>& chunks) {
+  size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  edges_.reserve(edges_.size() + total);
+  for (const auto& chunk : chunks) {
+    for (const Triplet& t : chunk) AddEdge(t.row, t.col);
+  }
+  return *this;
+}
+
 GraphBuilder& GraphBuilder::AddUndirectedEdge(int64_t u, int64_t v) {
   AddEdge(u, v);
   AddEdge(v, u);
@@ -74,8 +169,10 @@ GraphBuilder& GraphBuilder::AddUndirectedEdge(int64_t u, int64_t v) {
 
 GraphBuilder& GraphBuilder::AddNodeAttribute(int64_t v, int64_t r,
                                              double weight) {
+  // !(> 0) rather than <= 0 so NaN weights (parsable from corrupt attrs
+  // files) are rejected too; infinities are caught explicitly.
   if (v < 0 || v >= num_nodes_ || r < 0 || r >= num_attributes_ ||
-      weight <= 0.0) {
+      !(weight > 0.0) || !std::isfinite(weight)) {
     if (deferred_error_.ok()) {
       deferred_error_ = Status::OutOfRange(
           StrFormat("attribute entry (%lld, %lld, %f) invalid",
@@ -85,6 +182,23 @@ GraphBuilder& GraphBuilder::AddNodeAttribute(int64_t v, int64_t r,
     return *this;
   }
   attr_entries_.push_back(Triplet{v, r, weight});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddNodeAttributes(const std::vector<Triplet>& entries) {
+  attr_entries_.reserve(attr_entries_.size() + entries.size());
+  for (const Triplet& t : entries) AddNodeAttribute(t.row, t.col, t.value);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::AddNodeAttributes(
+    const std::vector<std::vector<Triplet>>& chunks) {
+  size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  attr_entries_.reserve(attr_entries_.size() + total);
+  for (const auto& chunk : chunks) {
+    for (const Triplet& t : chunk) AddNodeAttribute(t.row, t.col, t.value);
+  }
   return *this;
 }
 
@@ -118,15 +232,8 @@ Result<AttributedGraph> GraphBuilder::Build(bool undirected) {
   PANE_ASSIGN_OR_RETURN(g.attributes_,
                         CsrMatrix::FromTriplets(num_nodes_, num_attributes_,
                                                 attr_entries_));
-  int32_t max_label = -1;
-  for (auto& node_labels : labels_) {
-    std::sort(node_labels.begin(), node_labels.end());
-    node_labels.erase(std::unique(node_labels.begin(), node_labels.end()),
-                      node_labels.end());
-    if (!node_labels.empty()) max_label = std::max(max_label, node_labels.back());
-  }
+  PANE_ASSIGN_OR_RETURN(g.num_label_classes_, NormalizeLabels(&labels_));
   g.labels_ = std::move(labels_);
-  g.num_label_classes_ = max_label + 1;
   g.undirected_ = undirected;
   return g;
 }

@@ -17,6 +17,18 @@ class AttributedGraph {
  public:
   AttributedGraph() = default;
 
+  /// Adopts already-structurally-valid CSR matrices directly — the zero-copy
+  /// load path for binary snapshots. Per-array structure (indptr shape,
+  /// index ranges, sorted columns) is CsrMatrix::FromCsrArrays's job; this
+  /// checks cross-matrix consistency (adjacency square, attribute row count
+  /// matching, labels sized n with non-negative ids) plus the domain rules
+  /// GraphBuilder enforces per entry: no self-loops, unit adjacency values,
+  /// positive finite attribute weights. Labels are sorted/deduplicated; the
+  /// adjacency transpose is computed here.
+  static Result<AttributedGraph> FromCsr(
+      CsrMatrix adjacency, CsrMatrix attributes,
+      std::vector<std::vector<int32_t>> labels, bool undirected);
+
   int64_t num_nodes() const { return adjacency_.rows(); }
   int64_t num_edges() const { return adjacency_.nnz(); }
   int64_t num_attributes() const { return attributes_.cols(); }
@@ -83,12 +95,27 @@ class GraphBuilder {
   /// Adds directed edge (from -> to). Self-loops are dropped.
   GraphBuilder& AddEdge(int64_t from, int64_t to);
 
+  /// Bulk AddEdge over parsed (row=from, col=to) triplets (values ignored);
+  /// one reserve up front. Used by the chunked text loaders.
+  GraphBuilder& AddEdges(const std::vector<Triplet>& edges);
+
+  /// Same, over the per-chunk vectors the parallel parser produces; the
+  /// total is reserved once so appending chunks never reallocates.
+  GraphBuilder& AddEdges(const std::vector<std::vector<Triplet>>& chunks);
+
   /// Adds both (u -> v) and (v -> u) per the undirected-graph convention of
   /// Section 2.1.
   GraphBuilder& AddUndirectedEdge(int64_t u, int64_t v);
 
   /// Associates node v with attribute r at weight w (> 0).
   GraphBuilder& AddNodeAttribute(int64_t v, int64_t r, double weight = 1.0);
+
+  /// Bulk AddNodeAttribute over parsed (row=v, col=r, value=w) triplets.
+  GraphBuilder& AddNodeAttributes(const std::vector<Triplet>& entries);
+
+  /// Same, over per-chunk vectors (one up-front reserve).
+  GraphBuilder& AddNodeAttributes(
+      const std::vector<std::vector<Triplet>>& chunks);
 
   /// Adds a class label to node v.
   GraphBuilder& AddLabel(int64_t v, int32_t label);

@@ -4,11 +4,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/string_util.h"
+#include "src/graph/text_parser.h"
+#include "src/parallel/thread_pool.h"
 
 namespace pane {
 namespace {
@@ -23,6 +24,12 @@ Status WriteAll(const std::string& path, const std::string& contents) {
   return Status::OK();
 }
 
+/// Re-labels an error status with the file it came from.
+Status AnnotateError(const Status& s, const std::string& path) {
+  if (s.ok()) return s;
+  return Status(s.code(), path + ": " + s.message());
+}
+
 template <typename T>
 void AppendPod(std::string* buf, const T& value) {
   buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
@@ -34,23 +41,77 @@ void AppendVector(std::string* buf, const std::vector<T>& v) {
   buf->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
 }
 
-template <typename T>
-Status ReadPod(std::istream* in, T* value) {
-  in->read(reinterpret_cast<char*>(value), sizeof(T));
-  if (!*in) return Status::IOError("truncated binary graph file");
-  return Status::OK();
-}
+/// All binary reads go through this wrapper, which tracks the bytes left in
+/// the file so a corrupt length field fails with an IOError before any
+/// allocation instead of triggering a multi-GB resize.
+class BoundedReader {
+ public:
+  static Result<BoundedReader> Open(const std::string& path) {
+    BoundedReader r;
+    r.in_.open(path, std::ios::binary);
+    if (!r.in_) return Status::IOError("cannot open: " + path);
+    r.in_.seekg(0, std::ios::end);
+    const std::streamoff size = r.in_.tellg();
+    if (size < 0) return Status::IOError("cannot stat: " + path);
+    r.remaining_ = static_cast<int64_t>(size);
+    r.in_.seekg(0, std::ios::beg);
+    return r;
+  }
 
-template <typename T>
-Status ReadVector(std::istream* in, std::vector<T>* v) {
-  uint64_t size = 0;
-  PANE_RETURN_NOT_OK(ReadPod(in, &size));
-  v->resize(size);
-  in->read(reinterpret_cast<char*>(v->data()),
-           static_cast<std::streamsize>(size * sizeof(T)));
-  if (!*in) return Status::IOError("truncated binary graph file");
-  return Status::OK();
-}
+  int64_t remaining() const { return remaining_; }
+
+  template <typename T>
+  Status ReadPod(T* value) {
+    if (remaining_ < static_cast<int64_t>(sizeof(T))) {
+      return Status::IOError("truncated binary graph file");
+    }
+    in_.read(reinterpret_cast<char*>(value), sizeof(T));
+    if (!in_) return Status::IOError("truncated binary graph file");
+    remaining_ -= static_cast<int64_t>(sizeof(T));
+    return Status::OK();
+  }
+
+  /// Reads a u64 length header + payload. The declared length is checked
+  /// against the remaining file size before the vector is resized.
+  template <typename T>
+  Status ReadVector(std::vector<T>* v, const char* what) {
+    uint64_t size = 0;
+    PANE_RETURN_NOT_OK(ReadPod(&size));
+    PANE_RETURN_NOT_OK(CheckFits(size, sizeof(T), what));
+    v->resize(size);
+    const int64_t bytes = static_cast<int64_t>(size * sizeof(T));
+    in_.read(reinterpret_cast<char*>(v->data()),
+             static_cast<std::streamsize>(bytes));
+    if (!in_) return Status::IOError("truncated binary graph file");
+    remaining_ -= bytes;
+    return Status::OK();
+  }
+
+  /// Reads `bytes` raw bytes; the caller has already bounded them via
+  /// CheckFits.
+  Status ReadRaw(void* dst, int64_t bytes) {
+    if (bytes > remaining_) return Status::IOError("truncated binary graph file");
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+    if (!in_) return Status::IOError("truncated binary graph file");
+    remaining_ -= bytes;
+    return Status::OK();
+  }
+
+  /// Fails unless `count` elements of `elem_size` bytes fit in the file's
+  /// remaining bytes. Division keeps the comparison overflow-free.
+  Status CheckFits(uint64_t count, size_t elem_size, const char* what) const {
+    if (count > static_cast<uint64_t>(remaining_) / elem_size) {
+      return Status::IOError(
+          StrFormat("%s length %llu exceeds the bytes remaining in the file",
+                    what, static_cast<unsigned long long>(count)));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::ifstream in_;
+  int64_t remaining_ = 0;
+};
 
 void AppendCsr(std::string* buf, const CsrMatrix& m) {
   AppendPod<int64_t>(buf, m.rows());
@@ -60,18 +121,37 @@ void AppendCsr(std::string* buf, const CsrMatrix& m) {
   AppendVector(buf, m.values());
 }
 
-Result<CsrMatrix> ReadCsr(std::istream* in) {
+Result<CsrMatrix> ReadCsr(BoundedReader* reader) {
   int64_t rows = 0, cols = 0;
-  PANE_RETURN_NOT_OK(ReadPod(in, &rows));
-  PANE_RETURN_NOT_OK(ReadPod(in, &cols));
+  PANE_RETURN_NOT_OK(reader->ReadPod(&rows));
+  PANE_RETURN_NOT_OK(reader->ReadPod(&cols));
+  if (rows < 0 || cols < 0) {
+    return Status::IOError("negative matrix shape in binary graph file");
+  }
   std::vector<int64_t> indptr;
   std::vector<int32_t> indices;
   std::vector<double> values;
-  PANE_RETURN_NOT_OK(ReadVector(in, &indptr));
-  PANE_RETURN_NOT_OK(ReadVector(in, &indices));
-  PANE_RETURN_NOT_OK(ReadVector(in, &values));
+  PANE_RETURN_NOT_OK(reader->ReadVector(&indptr, "indptr"));
+  if (static_cast<int64_t>(indptr.size()) != rows + 1) {
+    return Status::IOError("indptr length does not match the stored row count");
+  }
+  PANE_RETURN_NOT_OK(reader->ReadVector(&indices, "indices"));
+  PANE_RETURN_NOT_OK(reader->ReadVector(&values, "values"));
   return CsrMatrix::FromCsrArrays(rows, cols, std::move(indptr),
                                   std::move(indices), std::move(values));
+}
+
+Result<std::vector<std::vector<Triplet>>> ParseGraphFile(
+    const std::string& path, TripletLayout layout, bool allow_comments,
+    ThreadPool* pool) {
+  PANE_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  TripletParseOptions options;
+  options.layout = layout;
+  options.allow_comments = allow_comments;
+  options.pool = pool;
+  auto parsed = ParseTripletChunks(text, options);
+  if (!parsed.ok()) return AnnotateError(parsed.status(), path);
+  return parsed;
 }
 
 }  // namespace
@@ -117,43 +197,76 @@ Status SaveGraphText(const AttributedGraph& graph, const std::string& dir) {
   return WriteAll(dir + "/labels.txt", labels);
 }
 
-Result<AttributedGraph> LoadGraphText(const std::string& dir) {
-  std::ifstream meta(dir + "/meta.txt");
-  if (!meta) return Status::IOError("cannot open " + dir + "/meta.txt");
-  int64_t n = 0, d = 0;
-  int directed = 1;
-  meta >> n >> d >> directed;
-  if (!meta) return Status::IOError("malformed meta.txt");
+Result<AttributedGraph> LoadGraphText(const std::string& dir,
+                                      ThreadPool* pool) {
+  const std::string meta_path = dir + "/meta.txt";
+  PANE_ASSIGN_OR_RETURN(const std::string meta, ReadFileToString(meta_path));
+  const std::vector<std::string_view> fields = SplitWhitespace(meta);
+  if (fields.size() != 3) {
+    return Status::InvalidArgument(meta_path +
+                                   ": expected 'nodes attributes directed'");
+  }
+  auto n = ParseInt64(fields[0]);
+  auto d = ParseInt64(fields[1]);
+  auto directed = ParseInt64(fields[2]);
+  if (!n.ok() || !d.ok() || !directed.ok() || *n < 0 || *d < 0 ||
+      (*directed != 0 && *directed != 1)) {
+    return Status::InvalidArgument(meta_path + ": malformed header '" +
+                                   std::string(Trim(meta)) + "'");
+  }
+  // Column indices are 32-bit; a larger count can only be a corrupt header,
+  // and must not size the builder's allocations.
+  constexpr int64_t kMaxCount = int64_t{1} << 31;
+  if (*n > kMaxCount || *d > kMaxCount) {
+    return Status::InvalidArgument(
+        meta_path + ": node/attribute count exceeds the 2^31 format limit");
+  }
 
-  GraphBuilder builder(n, d);
-
+  GraphBuilder builder(*n, *d);
   {
-    std::ifstream edges(dir + "/edges.txt");
-    if (!edges) return Status::IOError("cannot open " + dir + "/edges.txt");
-    int64_t u = 0, v = 0;
-    while (edges >> u >> v) builder.AddEdge(u, v);
+    PANE_ASSIGN_OR_RETURN(
+        const std::vector<std::vector<Triplet>> edges,
+        ParseGraphFile(dir + "/edges.txt", TripletLayout::kPair,
+                       /*allow_comments=*/false, pool));
+    builder.AddEdges(edges);
   }
   {
-    std::ifstream attrs(dir + "/attrs.txt");
-    if (!attrs) return Status::IOError("cannot open " + dir + "/attrs.txt");
-    int64_t v = 0, r = 0;
-    double w = 0.0;
-    while (attrs >> v >> r >> w) builder.AddNodeAttribute(v, r, w);
+    PANE_ASSIGN_OR_RETURN(
+        const std::vector<std::vector<Triplet>> attrs,
+        ParseGraphFile(dir + "/attrs.txt", TripletLayout::kTriple,
+                       /*allow_comments=*/false, pool));
+    builder.AddNodeAttributes(attrs);
   }
   {
-    std::ifstream labels(dir + "/labels.txt");
-    if (labels) {
+    const std::string labels_path = dir + "/labels.txt";
+    std::ifstream labels(labels_path);
+    if (labels) {  // optional file
       std::string line;
+      int64_t line_number = 0;
       while (std::getline(labels, line)) {
-        std::istringstream ls(line);
-        int64_t v = 0;
-        if (!(ls >> v)) continue;
-        int32_t label = 0;
-        while (ls >> label) builder.AddLabel(v, label);
+        ++line_number;
+        const std::vector<std::string_view> tokens = SplitWhitespace(line);
+        if (tokens.empty()) continue;
+        const auto node = ParseInt64(tokens[0]);
+        const int64_t v = node.ok() ? *node : -1;
+        bool ok = node.ok();
+        for (size_t i = 1; ok && i < tokens.size(); ++i) {
+          const auto label = ParseInt64(tokens[i]);
+          // Range-check before the int32 narrowing so 2^32 cannot silently
+          // wrap to class 0.
+          ok = label.ok() && *label >= 0 && *label <= INT32_MAX;
+          if (ok) builder.AddLabel(v, static_cast<int32_t>(*label));
+        }
+        if (!ok) {
+          return Status::InvalidArgument(
+              StrFormat("%s: malformed line %lld: '%s'", labels_path.c_str(),
+                        static_cast<long long>(line_number),
+                        std::string(Trim(line)).substr(0, 60).c_str()));
+        }
       }
     }
   }
-  return builder.Build(directed == 0);
+  return builder.Build(*directed == 0);
 }
 
 Status SaveGraphBinary(const AttributedGraph& graph, const std::string& path) {
@@ -173,44 +286,145 @@ Status SaveGraphBinary(const AttributedGraph& graph, const std::string& path) {
 }
 
 Result<AttributedGraph> LoadGraphBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open: " + path);
+  PANE_ASSIGN_OR_RETURN(BoundedReader reader, BoundedReader::Open(path));
   uint64_t magic = 0;
-  PANE_RETURN_NOT_OK(ReadPod(&in, &magic));
+  PANE_RETURN_NOT_OK(reader.ReadPod(&magic));
   if (magic != kBinaryMagic) {
     return Status::InvalidArgument("not a PANE binary graph file: " + path);
   }
   uint8_t undirected = 0;
-  PANE_RETURN_NOT_OK(ReadPod(&in, &undirected));
-  PANE_ASSIGN_OR_RETURN(CsrMatrix adjacency, ReadCsr(&in));
-  PANE_ASSIGN_OR_RETURN(CsrMatrix attributes, ReadCsr(&in));
+  PANE_RETURN_NOT_OK(reader.ReadPod(&undirected));
+  auto adjacency = ReadCsr(&reader);
+  if (!adjacency.ok()) return AnnotateError(adjacency.status(), path);
+  auto attributes = ReadCsr(&reader);
+  if (!attributes.ok()) return AnnotateError(attributes.status(), path);
   int64_t n = 0;
-  PANE_RETURN_NOT_OK(ReadPod(&in, &n));
-  if (n != adjacency.rows()) {
-    return Status::InvalidArgument("label count mismatch in binary graph");
+  PANE_RETURN_NOT_OK(reader.ReadPod(&n));
+  if (n != adjacency->rows()) {
+    return Status::InvalidArgument("label count mismatch in " + path);
   }
-
-  GraphBuilder builder(adjacency.rows(), attributes.cols());
-  for (int64_t u = 0; u < adjacency.rows(); ++u) {
-    const CsrMatrix::RowView row = adjacency.Row(u);
-    for (int64_t p = 0; p < row.length; ++p) builder.AddEdge(u, row.cols[p]);
-  }
-  for (int64_t v = 0; v < attributes.rows(); ++v) {
-    const CsrMatrix::RowView row = attributes.Row(v);
-    for (int64_t p = 0; p < row.length; ++p) {
-      builder.AddNodeAttribute(v, row.cols[p], row.vals[p]);
-    }
-  }
+  std::vector<std::vector<int32_t>> labels(static_cast<size_t>(n));
   for (int64_t v = 0; v < n; ++v) {
     uint32_t count = 0;
-    PANE_RETURN_NOT_OK(ReadPod(&in, &count));
-    for (uint32_t i = 0; i < count; ++i) {
-      int32_t label = 0;
-      PANE_RETURN_NOT_OK(ReadPod(&in, &label));
-      builder.AddLabel(v, label);
+    PANE_RETURN_NOT_OK(reader.ReadPod(&count));
+    PANE_RETURN_NOT_OK(AnnotateError(
+        reader.CheckFits(count, sizeof(int32_t), "label list"), path));
+    auto& node_labels = labels[static_cast<size_t>(v)];
+    node_labels.resize(count);
+    PANE_RETURN_NOT_OK(reader.ReadRaw(
+        node_labels.data(), static_cast<int64_t>(count) * sizeof(int32_t)));
+  }
+  // The validated CSR arrays are adopted directly — no per-edge rebuild.
+  auto graph =
+      AttributedGraph::FromCsr(adjacency.MoveValueUnsafe(),
+                               attributes.MoveValueUnsafe(), std::move(labels),
+                               undirected == 1);
+  if (!graph.ok()) return AnnotateError(graph.status(), path);
+  return graph;
+}
+
+// Parses "key=value" integer fields from a SaveEdgeList header line
+// ("# PANE edge list: nodes=N edges=M directed=D"); returns -1 when absent.
+int64_t HeaderField(std::string_view line, std::string_view key) {
+  const size_t pos = line.find(key);
+  if (pos == std::string_view::npos) return -1;
+  std::string_view rest = line.substr(pos + key.size());
+  const size_t end = rest.find_first_not_of("0123456789");
+  const auto value = ParseInt64(rest.substr(0, end));
+  return value.ok() ? *value : -1;
+}
+
+Result<AttributedGraph> LoadEdgeList(const std::string& path,
+                                     const EdgeListOptions& options) {
+  PANE_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  TripletParseOptions parse_options;
+  parse_options.layout = TripletLayout::kWeightedPair;
+  parse_options.allow_comments = true;
+  parse_options.pool = options.pool;
+  auto parsed = ParseTripletChunks(text, parse_options);
+  if (!parsed.ok()) return AnnotateError(parsed.status(), path);
+  const std::vector<std::vector<Triplet>>& edges = *parsed;
+
+  // A file written by SaveEdgeList carries the node count and directedness
+  // in its header; honor them so the round trip preserves trailing isolated
+  // nodes and the undirected flag. Explicit options still win.
+  int64_t header_nodes = -1;
+  bool header_undirected = false;
+  {
+    const std::string_view first_line =
+        std::string_view(text).substr(0, text.find('\n'));
+    if (StartsWith(first_line, "# PANE edge list:")) {
+      header_nodes = HeaderField(first_line, "nodes=");
+      header_undirected = HeaderField(first_line, "directed=") == 0;
     }
   }
-  return builder.Build(undirected == 1);
+
+  int64_t n = options.num_nodes >= 0 ? options.num_nodes : header_nodes;
+  if (n < 0) {
+    n = 0;
+    for (const auto& chunk : edges) {
+      for (const Triplet& t : chunk) n = std::max({n, t.row + 1, t.col + 1});
+    }
+  }
+  // Column indices are 32-bit, so a node id >= 2^31 can only be a corrupt
+  // file; reject it here instead of attempting a multi-GB builder
+  // allocation sized by the bogus id.
+  constexpr int64_t kMaxNodes = int64_t{1} << 31;
+  if (n > kMaxNodes) {
+    return Status::InvalidArgument(
+        StrFormat("%s: node id %lld exceeds the 2^31 format limit",
+                  path.c_str(), static_cast<long long>(n - 1)));
+  }
+
+  GraphBuilder builder(n, /*num_attributes=*/0);
+  if (options.undirected) {
+    // The file stores one direction per line; mirror while adding.
+    for (const auto& chunk : edges) {
+      for (const Triplet& t : chunk) builder.AddUndirectedEdge(t.row, t.col);
+    }
+  } else {
+    // An undirected header means both directions are already present.
+    builder.AddEdges(edges);
+  }
+  auto graph = builder.Build(options.undirected || header_undirected);
+  if (!graph.ok()) return AnnotateError(graph.status(), path);
+  return graph;
+}
+
+Status SaveEdgeList(const AttributedGraph& graph, const std::string& path) {
+  std::string buf = StrFormat(
+      "# PANE edge list: nodes=%lld edges=%lld directed=%d\n",
+      static_cast<long long>(graph.num_nodes()),
+      static_cast<long long>(graph.num_edges()), graph.undirected() ? 0 : 1);
+  for (int64_t u = 0; u < graph.num_nodes(); ++u) {
+    const CsrMatrix::RowView row = graph.adjacency().Row(u);
+    for (int64_t p = 0; p < row.length; ++p) {
+      buf += StrFormat("%lld %d\n", static_cast<long long>(u), row.cols[p]);
+    }
+  }
+  return WriteAll(path, buf);
+}
+
+Result<AttributedGraph> LoadGraphAuto(const std::string& path,
+                                      ThreadPool* pool) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return LoadGraphText(path, pool);
+  }
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    return Status::IOError("no such graph file or directory: " + path);
+  }
+  uint64_t magic = 0;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return Status::IOError("cannot open: " + path);
+    probe.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (!probe) magic = 0;  // shorter than a magic header: not binary
+  }
+  if (magic == kBinaryMagic) return LoadGraphBinary(path);
+  EdgeListOptions options;
+  options.pool = pool;
+  return LoadEdgeList(path, options);
 }
 
 }  // namespace pane

@@ -1,16 +1,32 @@
-// Text and binary persistence for attributed graphs. The text layout mirrors
-// the edge-list / attribute-triple / label-list files that public ANE
-// datasets (Cora, Citeseer, TWeibo, ...) ship as, so real data drops in when
-// available; the binary format exists for fast reload of large synthetic
-// instances.
+// Text, binary, and edge-list persistence for attributed graphs. The text
+// layout mirrors the edge-list / attribute-triple / label-list files that
+// public ANE datasets (Cora, Citeseer, TWeibo, ...) ship as, so real data
+// drops in when available; the binary format exists for fast reload of large
+// instances; the raw edge-list reader ingests SNAP-style downloads without
+// conversion.
 //
 // Text directory layout:
 //   meta.txt    "num_nodes num_attributes directed(0|1)"
 //   edges.txt   one "from to" pair per line
 //   attrs.txt   one "node attr weight" triple per line
 //   labels.txt  one "node label1 label2 ..." line per labeled node (optional)
+//
+// Binary snapshot layout (little-endian):
+//   magic "PANEGR01" (u64), undirected flag (u8),
+//   adjacency CSR  { rows i64, cols i64, indptr/indices/values each as
+//                    u64 length + payload },
+//   attribute CSR  { same },
+//   label block    { n i64, then per node: u32 count + count * i32 ids }
+// Every length field is validated against the bytes remaining in the file
+// before any allocation, and the CSR arrays are adopted zero-copy after
+// structural validation (no per-edge rebuild).
+//
+// Edge-list input: plain whitespace/TSV "u v" pairs, one per line, optional
+// third numeric weight column (ignored — PANE's adjacency is binary), and
+// '#'/'%' comment lines (SNAP / KONECT headers).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "src/common/status.h"
@@ -18,16 +34,49 @@
 
 namespace pane {
 
+class ThreadPool;
+
 /// Writes the graph as the four text files under `dir` (created if needed).
 Status SaveGraphText(const AttributedGraph& graph, const std::string& dir);
 
-/// Loads a graph from the text layout above.
-Result<AttributedGraph> LoadGraphText(const std::string& dir);
+/// Loads a graph from the text layout above. Edge and attribute files are
+/// parsed in parallel chunks on `pool` when provided. Malformed lines yield
+/// InvalidArgument naming the file and 1-based line number.
+Result<AttributedGraph> LoadGraphText(const std::string& dir,
+                                      ThreadPool* pool = nullptr);
 
 /// Writes a single binary snapshot (magic + CSR arrays, little-endian).
 Status SaveGraphBinary(const AttributedGraph& graph, const std::string& path);
 
-/// Loads a binary snapshot written by SaveGraphBinary.
+/// Loads a binary snapshot written by SaveGraphBinary. All reads are bounded
+/// by the file size (a corrupt length field is an IOError, not a multi-GB
+/// allocation) and the stored CSR arrays are validated then adopted directly
+/// — no per-edge rebuild.
 Result<AttributedGraph> LoadGraphBinary(const std::string& path);
+
+struct EdgeListOptions {
+  /// Mirror every (u, v) as (v, u) — most SNAP graphs are undirected.
+  bool undirected = false;
+  /// Node count; -1 infers max node id + 1 (trailing isolated nodes need an
+  /// explicit count).
+  int64_t num_nodes = -1;
+  /// Parse chunks on this pool (nullptr = sequential).
+  ThreadPool* pool = nullptr;
+};
+
+/// Loads a raw edge list (format above). The graph has no attributes or
+/// labels; node ids must be non-negative.
+Result<AttributedGraph> LoadEdgeList(const std::string& path,
+                                     const EdgeListOptions& options = {});
+
+/// Writes the adjacency as a "# nodes=<n> edges=<m>" header plus one
+/// "u v" line per edge — re-loadable with LoadEdgeList.
+Status SaveEdgeList(const AttributedGraph& graph, const std::string& path);
+
+/// Dispatches on `path`: a directory loads the text layout, a file starting
+/// with the binary magic loads the binary snapshot, anything else is parsed
+/// as a raw edge list.
+Result<AttributedGraph> LoadGraphAuto(const std::string& path,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace pane

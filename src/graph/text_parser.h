@@ -1,0 +1,59 @@
+// Chunked parallel parsing for whitespace-separated numeric graph files
+// (edges.txt, attrs.txt, SNAP-style edge lists). The file is read into one
+// large buffer, split on line boundaries into per-thread chunks, and each
+// chunk is parsed on the ThreadPool into its own triplet vector; the vectors
+// are concatenated afterwards. Parsing is strict: a malformed token, a wrong
+// field count, or trailing garbage yields InvalidArgument naming the 1-based
+// line number instead of silently truncating the input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/matrix/csr_matrix.h"
+
+namespace pane {
+
+class ThreadPool;
+
+/// Reads a whole file into a string sized from the file length (one
+/// allocation, large sequential reads). IOError if the file cannot be
+/// opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// How ParseTriplets interprets each non-blank, non-comment line.
+enum class TripletLayout {
+  kPair,          // "u v"     -> Triplet{u, v, 1.0}; a third field is an error
+  kWeightedPair,  // "u v [w]" -> Triplet{u, v, w or 1.0} (edge-list files)
+  kTriple,        // "u r w"   -> Triplet{u, r, w}; the weight is required
+};
+
+struct TripletParseOptions {
+  TripletLayout layout = TripletLayout::kPair;
+  /// Skip lines whose first non-blank character is '#' or '%' (the comment
+  /// headers SNAP / KONECT edge lists ship with).
+  bool allow_comments = false;
+  /// Parse chunks on this pool; nullptr (or a 1-thread pool) parses inline.
+  ThreadPool* pool = nullptr;
+};
+
+/// Parses the whole text into per-chunk triplet vectors, one per parallel
+/// chunk (a single vector when sequential). Blank lines are ignored; '\r'
+/// before a newline is tolerated (CRLF files). The first malformed line in
+/// file order aborts the parse with
+/// InvalidArgument("malformed line <n>: '<content>'").
+///
+/// This is the zero-copy primitive: consumers that bulk-append (GraphBuilder)
+/// iterate the chunks directly and skip the concatenation.
+Result<std::vector<std::vector<Triplet>>> ParseTripletChunks(
+    std::string_view text, const TripletParseOptions& options);
+
+/// Convenience wrapper over ParseTripletChunks that concatenates the chunks
+/// into one vector.
+Result<std::vector<Triplet>> ParseTriplets(std::string_view text,
+                                           const TripletParseOptions& options);
+
+}  // namespace pane

@@ -95,6 +95,17 @@ Result<CsrMatrix> CsrMatrix::FromCsrArrays(int64_t rows, int64_t cols,
   for (int32_t c : indices) {
     if (c < 0 || c >= cols) return Status::OutOfRange("column index");
   }
+  // Rows must hold strictly increasing columns: At() / ColSlice() binary
+  // search inside rows, and duplicates would silently change semantics.
+  for (size_t r = 0; r + 1 < indptr.size(); ++r) {
+    for (int64_t p = indptr[r] + 1; p < indptr[r + 1]; ++p) {
+      if (indices[static_cast<size_t>(p)] <=
+          indices[static_cast<size_t>(p) - 1]) {
+        return Status::InvalidArgument(
+            "column indices must be strictly increasing within each row");
+      }
+    }
+  }
   CsrMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;

@@ -23,7 +23,9 @@ void SpMMAddScaled(const CsrMatrix& a, const DenseMatrix& x, double alpha,
                    ThreadPool* pool = nullptr);
 
 /// y = A * x for a dense vector x (length A.cols); y resized to A.rows.
+/// Row-parallel across the pool's workers when pool is non-null, matching
+/// the SpMM partitioning.
 void SpMV(const CsrMatrix& a, const std::vector<double>& x,
-          std::vector<double>* y);
+          std::vector<double>* y, ThreadPool* pool = nullptr);
 
 }  // namespace pane

@@ -1,5 +1,9 @@
 #include "src/parallel/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
 #include "src/common/logging.h"
 
 namespace pane {
@@ -61,12 +65,33 @@ void ThreadPool::RunBlocks(int num_blocks, const std::function<void(int)>& fn) {
     for (int b = 0; b < num_blocks; ++b) fn(b);
     return;
   }
+  // Work-conserving barrier: blocks are claimed from a shared counter and
+  // the calling thread drains alongside the workers instead of sleeping on
+  // futures. On machines with fewer cores than workers this removes almost
+  // all handoff cost (the caller just runs every block itself).
+  auto next = std::make_shared<std::atomic<int>>(0);
+  const auto drain = [next, num_blocks](const std::function<void(int)>& f) {
+    int b;
+    while ((b = next->fetch_add(1, std::memory_order_relaxed)) < num_blocks) {
+      f(b);
+    }
+  };
+  const int num_helpers = std::min(num_threads_, num_blocks - 1);
   std::vector<std::future<void>> futures;
-  futures.reserve(static_cast<size_t>(num_blocks));
-  for (int b = 0; b < num_blocks; ++b) {
-    futures.push_back(Submit([&fn, b] { fn(b); }));
+  futures.reserve(static_cast<size_t>(num_helpers));
+  for (int h = 0; h < num_helpers; ++h) {
+    // Each helper owns a copy of fn so nothing dangles if the caller's
+    // inline drain throws while helpers are still running.
+    futures.push_back(Submit([drain, fn] { drain(fn); }));
+  }
+  std::exception_ptr caller_error;
+  try {
+    drain(fn);
+  } catch (...) {
+    caller_error = std::current_exception();
   }
   for (auto& f : futures) f.get();  // rethrows any worker exception
+  if (caller_error) std::rethrow_exception(caller_error);
 }
 
 std::vector<Range> PartitionRange(int64_t n, int nb) {

@@ -37,7 +37,9 @@ class ThreadPool {
 
   /// Runs fn(0), ..., fn(num_blocks - 1) across the pool and blocks until
   /// all complete. This is the "parallel for Vi in V" primitive of
-  /// Algorithms 6-8. Tasks may outnumber workers; they queue.
+  /// Algorithms 6-8. Tasks may outnumber workers; they queue. The calling
+  /// thread participates in the work instead of sleeping, so a barrier on
+  /// an oversubscribed machine costs almost nothing.
   void RunBlocks(int num_blocks, const std::function<void(int)>& fn);
 
  private:

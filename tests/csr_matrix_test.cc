@@ -61,6 +61,16 @@ TEST(CsrMatrixTest, FromCsrArraysValidation) {
   EXPECT_FALSE(CsrMatrix::FromCsrArrays(2, 2, {0, 2, 1}, {1, 0}, {1.0, 2.0}).ok());
   // column out of range
   EXPECT_FALSE(CsrMatrix::FromCsrArrays(2, 2, {0, 1, 2}, {1, 5}, {1.0, 2.0}).ok());
+  // unsorted columns within a row (At / ColSlice binary search rows)
+  EXPECT_FALSE(
+      CsrMatrix::FromCsrArrays(2, 3, {0, 2, 2}, {2, 0}, {1.0, 2.0}).ok());
+  // duplicate column within a row
+  EXPECT_FALSE(
+      CsrMatrix::FromCsrArrays(2, 3, {0, 2, 2}, {1, 1}, {1.0, 2.0}).ok());
+  // sorted rows pass
+  EXPECT_TRUE(
+      CsrMatrix::FromCsrArrays(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0})
+          .ok());
 }
 
 TEST(CsrMatrixTest, RowColSums) {

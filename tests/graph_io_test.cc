@@ -1,12 +1,18 @@
-// Round-trip tests for the graph text / binary persistence layer.
+// Round-trip and corrupt-input tests for the graph text / binary / edge-list
+// persistence layer.
 #include "src/graph/graph_io.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "src/graph/generators.h"
+#include "src/parallel/thread_pool.h"
 
 namespace pane {
 namespace {
@@ -19,6 +25,34 @@ class GraphIoTest : public ::testing::Test {
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  void WriteFile(const std::string& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open());
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open());
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  // Writes a minimal text-layout graph directory with the given edges /
+  // attrs file contents.
+  void WriteTextGraph(const std::string& dir, const std::string& edges,
+                      const std::string& attrs,
+                      const std::string& meta = "4 3 1\n") {
+    std::filesystem::create_directories(dir);
+    WriteFile(dir + "/meta.txt", meta);
+    WriteFile(dir + "/edges.txt", edges);
+    WriteFile(dir + "/attrs.txt", attrs);
+  }
 
   std::filesystem::path dir_;
 };
@@ -86,6 +120,375 @@ TEST_F(GraphIoTest, LoadBinaryRejectsGarbage) {
   }
   const auto loaded = LoadGraphBinary(path);
   EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(GraphIoTest, TextParallelLoadMatchesSequential) {
+  const AttributedGraph g = SampleGraph();
+  const std::string dir = Path("text_par");
+  ASSERT_TRUE(SaveGraphText(g, dir).ok());
+  ThreadPool pool(4);
+  auto loaded = LoadGraphText(dir, &pool);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectGraphsEqual(g, *loaded);
+}
+
+TEST_F(GraphIoTest, TextRejectsMalformedEdgeLineWithLineNumber) {
+  const std::string dir = Path("bad_edges");
+  WriteTextGraph(dir, "0 1\n1 zzz\n2 3\n", "");
+  const auto loaded = LoadGraphText(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("edges.txt"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status();
+}
+
+TEST_F(GraphIoTest, TextRejectsTrailingGarbageOnEdgeLine) {
+  const std::string dir = Path("bad_edges2");
+  WriteTextGraph(dir, "0 1\n1 2 stray\n", "");
+  const auto loaded = LoadGraphText(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, TextRejectsMalformedAttrLine) {
+  const std::string dir = Path("bad_attrs");
+  WriteTextGraph(dir, "0 1\n", "0 0 0.5\n1 2 nope\n");
+  const auto loaded = LoadGraphText(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("attrs.txt"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status();
+}
+
+TEST_F(GraphIoTest, TextRejectsMalformedLabelLine) {
+  const std::string dir = Path("bad_labels");
+  WriteTextGraph(dir, "0 1\n", "");
+  WriteFile(dir + "/labels.txt", "0 1\n1 oops\n");
+  const auto loaded = LoadGraphText(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("labels.txt"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, TextRejectsMalformedMeta) {
+  const std::string dir = Path("bad_meta");
+  WriteTextGraph(dir, "0 1\n", "", "4 three 1\n");
+  EXPECT_TRUE(LoadGraphText(dir).status().IsInvalidArgument());
+  const std::string dir2 = Path("bad_meta2");
+  WriteTextGraph(dir2, "0 1\n", "", "4 3 7\n");  // directed must be 0|1
+  EXPECT_TRUE(LoadGraphText(dir2).status().IsInvalidArgument());
+}
+
+TEST_F(GraphIoTest, TextRejectsHugeMetaCountsWithoutAllocating) {
+  const std::string dir = Path("huge_meta");
+  WriteTextGraph(dir, "0 1\n", "", "999999999999999 1 1\n");
+  const auto loaded = LoadGraphText(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("2^31"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, TextRejectsNanAttributeWeight) {
+  const std::string dir = Path("nan_attrs");
+  WriteTextGraph(dir, "0 1\n", "0 0 nan\n");
+  EXPECT_FALSE(LoadGraphText(dir).ok());
+}
+
+TEST_F(GraphIoTest, TextRejectsOutOfRangeEdge) {
+  const std::string dir = Path("oob_edges");
+  WriteTextGraph(dir, "0 9\n", "");  // node 9 outside n=4
+  const auto loaded = LoadGraphText(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange)
+      << loaded.status();
+}
+
+// --- corrupt binary snapshots --------------------------------------------
+
+TEST_F(GraphIoTest, BinaryTruncatedAtEveryPrefixFailsCleanly) {
+  const AttributedGraph g = SampleGraph();
+  const std::string path = Path("good.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  const std::string bytes = ReadFile(path);
+  // Every strict prefix must produce a Status error (never a crash or a
+  // graph). Step through a spread of cut points including all short ones.
+  for (size_t cut = 0; cut < bytes.size();
+       cut += (cut < 64 ? 1 : bytes.size() / 37)) {
+    const std::string truncated_path = Path("truncated.bin");
+    WriteFile(truncated_path, bytes.substr(0, cut));
+    const auto loaded = LoadGraphBinary(truncated_path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST_F(GraphIoTest, BinaryOversizedLengthFieldIsErrorNotAllocation) {
+  // magic + flag + rows/cols + a 2^60 indptr length: must fail fast on the
+  // bounds check, not attempt an 8 EiB resize.
+  const AttributedGraph g = SampleGraph();
+  const std::string seed_path = Path("seed.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, seed_path).ok());
+  std::string bytes = ReadFile(seed_path);
+  const size_t indptr_len_offset = 8 + 1 + 8 + 8;
+  const uint64_t huge = uint64_t{1} << 60;
+  std::memcpy(&bytes[indptr_len_offset], &huge, sizeof(huge));
+  const std::string path = Path("oversized.bin");
+  WriteFile(path, bytes);
+  const auto loaded = LoadGraphBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, BinaryOutOfRangeColumnIndexRejected) {
+  const AttributedGraph g = SampleGraph();
+  const std::string path = Path("oob.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  std::string bytes = ReadFile(path);
+  // Layout: magic(8) flag(1) rows(8) cols(8) indptr_len(8)
+  //         indptr[(n+1) * 8] indices_len(8) indices[0]...
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  const size_t first_index_offset = 8 + 1 + 8 + 8 + 8 + (n + 1) * 8 + 8;
+  const int32_t bad = 0x7fffffff;
+  std::memcpy(&bytes[first_index_offset], &bad, sizeof(bad));
+  WriteFile(path, bytes);
+  const auto loaded = LoadGraphBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange)
+      << loaded.status();
+}
+
+TEST_F(GraphIoTest, BinaryNonMonotoneIndptrRejected) {
+  const AttributedGraph g = SampleGraph();
+  const std::string path = Path("indptr.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  std::string bytes = ReadFile(path);
+  const size_t second_indptr_offset = 8 + 1 + 8 + 8 + 8 + 8;
+  const int64_t bad = -5;
+  std::memcpy(&bytes[second_indptr_offset], &bad, sizeof(bad));
+  WriteFile(path, bytes);
+  EXPECT_FALSE(LoadGraphBinary(path).ok());
+}
+
+TEST_F(GraphIoTest, BinaryOversizedLabelCountRejected) {
+  SbmParams params;
+  params.num_nodes = 20;
+  params.num_edges = 40;
+  params.num_attributes = 5;
+  params.num_attr_entries = 20;
+  params.num_communities = 2;
+  const AttributedGraph g = GenerateAttributedSbm(params);
+  const std::string path = Path("labels.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  std::string bytes = ReadFile(path);
+  // The label block trails the file: n(8) then per-node u32 counts. Corrupt
+  // the first count, located right after the stored node count, by scanning
+  // from the end: the block is 8 + sum(4 + 4 * count). Easier: rewrite the
+  // first count field directly — it sits 8 bytes after the label-block
+  // start, which we find by reconstructing the front sections' sizes.
+  const auto csr_bytes = [](const CsrMatrix& m) {
+    return 8 + 8 + 8 + m.indptr().size() * 8 + 8 + m.indices().size() * 4 +
+           8 + m.values().size() * 8;
+  };
+  const size_t first_count_offset = 8 + 1 + csr_bytes(g.adjacency()) +
+                                    csr_bytes(g.attributes()) + 8;
+  const uint32_t huge = 0xffffffffu;
+  std::memcpy(&bytes[first_count_offset], &huge, sizeof(huge));
+  WriteFile(path, bytes);
+  const auto loaded = LoadGraphBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+}
+
+TEST_F(GraphIoTest, BinarySelfLoopAndWeightedAdjacencyRejected) {
+  AttributedGraph g =
+      GraphBuilder(2, 1).AddEdge(0, 1).Build().ValueOrDie();
+  const std::string path = Path("selfloop.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  const std::string original = ReadFile(path);
+  // Layout: magic(8) flag(1) rows(8) cols(8) indptr_len(8) indptr[3*8]
+  //         indices_len(8) indices[0]...
+  const size_t first_index_offset = 8 + 1 + 8 + 8 + 8 + 3 * 8 + 8;
+  {
+    std::string bytes = original;
+    const int32_t self = 0;  // edge (0, 0)
+    std::memcpy(&bytes[first_index_offset], &self, sizeof(self));
+    WriteFile(path, bytes);
+    const auto loaded = LoadGraphBinary(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("self-loop"), std::string::npos)
+        << loaded.status();
+  }
+  {
+    std::string bytes = original;
+    const size_t first_value_offset = first_index_offset + 4 + 8;
+    const double heavy = 2.0;
+    std::memcpy(&bytes[first_value_offset], &heavy, sizeof(heavy));
+    WriteFile(path, bytes);
+    EXPECT_FALSE(LoadGraphBinary(path).ok());
+  }
+}
+
+TEST_F(GraphIoTest, BinaryNanAttributeWeightRejected) {
+  AttributedGraph g = GraphBuilder(2, 1)
+                          .AddEdge(0, 1)
+                          .AddNodeAttribute(0, 0, 0.5)
+                          .Build()
+                          .ValueOrDie();
+  const std::string path = Path("nan_attr.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  std::string bytes = ReadFile(path);
+  // The attribute values block is the last 8 bytes before the label block
+  // (n i64 + two empty-label u32 counts): patch it to NaN.
+  const size_t attr_value_offset = bytes.size() - (8 + 2 * 4) - 8;
+  const double nan_value = std::nan("");
+  std::memcpy(&bytes[attr_value_offset], &nan_value, sizeof(nan_value));
+  WriteFile(path, bytes);
+  const auto loaded = LoadGraphBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("attribute"), std::string::npos)
+      << loaded.status();
+}
+
+// --- edge lists ------------------------------------------------------------
+
+TEST_F(GraphIoTest, EdgeListRoundTrip) {
+  const AttributedGraph g = SampleGraph();
+  const std::string path = Path("graph.el");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  EdgeListOptions options;
+  options.num_nodes = g.num_nodes();
+  auto loaded = LoadEdgeList(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_EQ(loaded->adjacency().ToDense().MaxAbsDiff(
+                g.adjacency().ToDense()),
+            0.0);
+  EXPECT_EQ(loaded->num_attributes(), 0);
+}
+
+TEST_F(GraphIoTest, EdgeListInfersNodeCountSkipsCommentsAndWeights) {
+  const std::string path = Path("snap.el");
+  WriteFile(path,
+            "# SNAP-style header\n% konect too\n0 1\n1 2 0.5\n\n3 4\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), 5);
+  EXPECT_EQ(loaded->num_edges(), 3);
+}
+
+TEST_F(GraphIoTest, EdgeListUndirectedMirrorsEdges) {
+  const std::string path = Path("undirected.el");
+  WriteFile(path, "0 1\n1 2\n");
+  EdgeListOptions options;
+  options.undirected = true;
+  auto loaded = LoadEdgeList(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->undirected());
+  EXPECT_EQ(loaded->num_edges(), 4);
+  EXPECT_EQ(loaded->adjacency().At(1, 0), 1.0);
+  EXPECT_EQ(loaded->adjacency().At(2, 1), 1.0);
+}
+
+TEST_F(GraphIoTest, EdgeListMalformedLineReportsNumber) {
+  const std::string path = Path("bad.el");
+  WriteFile(path, "# header\n0 1\nnope nope\n");
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos)
+      << loaded.status();
+}
+
+TEST_F(GraphIoTest, EdgeListNegativeIdRejected) {
+  const std::string path = Path("negative.el");
+  WriteFile(path, "0 1\n-2 1\n");
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+}
+
+TEST_F(GraphIoTest, EdgeListHugeIdIsErrorNotAllocation) {
+  // A single corrupt id must not size the builder: 1e18 nodes of label
+  // vectors is an instant OOM if it reaches the allocation.
+  const std::string path = Path("huge.el");
+  WriteFile(path, "0 1\n999999999999999999 0\n");
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("2^31"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, EdgeListHeaderPreservesNodeCountAndUndirectedFlag) {
+  // An undirected graph with a trailing isolated node survives the
+  // SaveEdgeList -> LoadEdgeList round trip via the header fields.
+  GraphBuilder builder(4, 1);
+  builder.AddUndirectedEdge(0, 1).AddUndirectedEdge(1, 2);  // node 3 isolated
+  const AttributedGraph g = builder.Build(/*undirected=*/true).ValueOrDie();
+  const std::string path = Path("header.el");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), 4);
+  EXPECT_TRUE(loaded->undirected());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+}
+
+TEST_F(GraphIoTest, TextRejectsLabelAboveInt32Range) {
+  const std::string dir = Path("wrap_labels");
+  WriteTextGraph(dir, "0 1\n", "");
+  WriteFile(dir + "/labels.txt", "0 4294967296\n");  // would wrap to 0
+  const auto loaded = LoadGraphText(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+}
+
+// --- format equivalence and dispatch ---------------------------------------
+
+TEST_F(GraphIoTest, TextBinaryEdgeListLoadsAgree) {
+  const AttributedGraph g = SampleGraph();
+  const std::string text_dir = Path("eq_text");
+  const std::string bin_path = Path("eq.bin");
+  const std::string el_path = Path("eq.el");
+  ASSERT_TRUE(SaveGraphText(g, text_dir).ok());
+  ASSERT_TRUE(SaveGraphBinary(g, bin_path).ok());
+  ASSERT_TRUE(SaveEdgeList(g, el_path).ok());
+
+  ThreadPool pool(3);
+  auto from_text = LoadGraphText(text_dir, &pool);
+  auto from_binary = LoadGraphBinary(bin_path);
+  ASSERT_TRUE(from_text.ok()) << from_text.status();
+  ASSERT_TRUE(from_binary.ok()) << from_binary.status();
+  ExpectGraphsEqual(*from_text, *from_binary);
+
+  EdgeListOptions options;
+  options.num_nodes = g.num_nodes();
+  options.pool = &pool;
+  auto from_edge_list = LoadEdgeList(el_path, options);
+  ASSERT_TRUE(from_edge_list.ok()) << from_edge_list.status();
+  EXPECT_EQ(from_edge_list->adjacency().ToDense().MaxAbsDiff(
+                from_binary->adjacency().ToDense()),
+            0.0);
+}
+
+TEST_F(GraphIoTest, LoadGraphAutoDispatchesOnPathKind) {
+  const AttributedGraph g = SampleGraph();
+  const std::string text_dir = Path("auto_text");
+  const std::string bin_path = Path("auto.bin");
+  const std::string el_path = Path("auto.el");
+  ASSERT_TRUE(SaveGraphText(g, text_dir).ok());
+  ASSERT_TRUE(SaveGraphBinary(g, bin_path).ok());
+  ASSERT_TRUE(SaveEdgeList(g, el_path).ok());
+
+  auto from_dir = LoadGraphAuto(text_dir);
+  ASSERT_TRUE(from_dir.ok()) << from_dir.status();
+  ExpectGraphsEqual(g, *from_dir);
+  auto from_bin = LoadGraphAuto(bin_path);
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status();
+  ExpectGraphsEqual(g, *from_bin);
+  auto from_el = LoadGraphAuto(el_path);
+  ASSERT_TRUE(from_el.ok()) << from_el.status();
+  EXPECT_EQ(from_el->num_edges(), g.num_edges());
+
+  EXPECT_TRUE(LoadGraphAuto(Path("missing")).status().IsIOError());
 }
 
 TEST_F(GraphIoTest, UndirectedFlagSurvivesRoundTrip) {

@@ -87,6 +87,21 @@ TEST(SpMVTest, MatchesDense) {
   }
 }
 
+TEST(SpMVTest, ParallelMatchesSequential) {
+  Rng rng(6);
+  const CsrMatrix a = RandomSparse(63, 40, 500, &rng);
+  std::vector<double> x(40);
+  for (double& v : x) v = rng.Gaussian();
+  std::vector<double> sequential, parallel;
+  SpMV(a, x, &sequential);
+  ThreadPool pool(4);
+  SpMV(a, x, &parallel, &pool);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sequential[i], parallel[i]) << i;
+  }
+}
+
 TEST(GemmTest, MatchesNaive) {
   Rng rng(5);
   DenseMatrix a(17, 23), b(23, 11);

@@ -1,0 +1,173 @@
+// Tests for the chunked parallel text parser: layouts, strictness (line
+// numbers in errors), CRLF/blank/comment handling, and sequential/parallel
+// equivalence across chunk boundaries.
+#include "src/graph/text_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace {
+
+Result<std::vector<Triplet>> ParsePairs(std::string_view text,
+                                        ThreadPool* pool = nullptr) {
+  TripletParseOptions options;
+  options.pool = pool;
+  return ParseTriplets(text, options);
+}
+
+TEST(TextParserTest, ParsesPairs) {
+  const auto parsed = ParsePairs("0 1\n2 3\n10 20\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0].row, 0);
+  EXPECT_EQ((*parsed)[0].col, 1);
+  EXPECT_DOUBLE_EQ((*parsed)[0].value, 1.0);
+  EXPECT_EQ((*parsed)[2].row, 10);
+  EXPECT_EQ((*parsed)[2].col, 20);
+}
+
+TEST(TextParserTest, ToleratesBlankLinesTabsCrlfAndMissingFinalNewline) {
+  const auto parsed = ParsePairs("\n0\t1\r\n\n  2   3  \r\n4 5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[1].row, 2);
+  EXPECT_EQ((*parsed)[2].col, 5);
+}
+
+TEST(TextParserTest, RejectsMalformedTokenWithLineNumber) {
+  const auto parsed = ParsePairs("0 1\n1 2\nx 3\n4 5\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos)
+      << parsed.status();
+  EXPECT_NE(parsed.status().message().find("x 3"), std::string::npos);
+}
+
+TEST(TextParserTest, RejectsTrailingGarbage) {
+  const auto parsed = ParsePairs("0 1\n1 2 extra\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(TextParserTest, RejectsMissingField) {
+  const auto parsed = ParsePairs("0 1\n7\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TextParserTest, RejectsGluedToken) {
+  // "12x" must not silently parse as 12.
+  const auto parsed = ParsePairs("12x 3\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(TextParserTest, PairLayoutRejectsThirdColumn) {
+  EXPECT_FALSE(ParsePairs("0 1 0.5\n").ok());
+}
+
+TEST(TextParserTest, CommentsOnlySkippedWhenEnabled) {
+  TripletParseOptions options;
+  options.allow_comments = true;
+  const auto parsed = ParseTriplets("# header\n% konect\n0 1\n", options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_FALSE(ParsePairs("# header\n0 1\n").ok());
+}
+
+TEST(TextParserTest, WeightedPairLayout) {
+  TripletParseOptions options;
+  options.layout = TripletLayout::kWeightedPair;
+  const auto parsed = ParseTriplets("0 1\n1 2 0.25\n", options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_DOUBLE_EQ((*parsed)[0].value, 1.0);
+  EXPECT_DOUBLE_EQ((*parsed)[1].value, 0.25);
+}
+
+TEST(TextParserTest, TripleLayoutRequiresWeight) {
+  TripletParseOptions options;
+  options.layout = TripletLayout::kTriple;
+  const auto parsed = ParseTriplets("3 7 0.5\n1 2 1e-3\n", options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ((*parsed)[0].value, 0.5);
+  EXPECT_DOUBLE_EQ((*parsed)[1].value, 1e-3);
+  EXPECT_FALSE(ParseTriplets("3 7\n", options).ok());
+}
+
+TEST(TextParserTest, EmptyInputYieldsNoTriplets) {
+  const auto parsed = ParsePairs("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+// Build a text large enough to engage the parallel chunking path (>= 1 MiB)
+// and check the parallel result matches the sequential one exactly, in
+// order — chunk boundaries must not drop, duplicate, or reorder lines.
+TEST(TextParserTest, ParallelMatchesSequentialAcrossChunkBoundaries) {
+  std::string text;
+  const int64_t lines = 120000;
+  text.reserve(static_cast<size_t>(lines) * 12);
+  for (int64_t i = 0; i < lines; ++i) {
+    text += std::to_string(i * 7919 % 100000);
+    text += ' ';
+    text += std::to_string(i);
+    text += '\n';
+  }
+  ASSERT_GE(text.size(), size_t{1} << 20);
+  const auto sequential = ParsePairs(text);
+  ASSERT_TRUE(sequential.ok());
+  ThreadPool pool(4);
+  const auto parallel = ParsePairs(text, &pool);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ASSERT_EQ(sequential->size(), parallel->size());
+  for (size_t i = 0; i < sequential->size(); ++i) {
+    EXPECT_EQ((*sequential)[i].row, (*parallel)[i].row) << i;
+    EXPECT_EQ((*sequential)[i].col, (*parallel)[i].col) << i;
+  }
+}
+
+TEST(TextParserTest, ParallelErrorReportsEarliestLine) {
+  // Two malformed lines in different chunks: the reported line must be the
+  // earliest one in file order.
+  std::string text;
+  for (int64_t i = 0; i < 300000; ++i) {
+    if (i == 1000 || i == 290000) {
+      text += "bad line\n";
+    } else {
+      text += "10 20\n";
+    }
+  }
+  ASSERT_GE(text.size(), size_t{1} << 20);
+  ThreadPool pool(4);
+  const auto parsed = ParsePairs(text, &pool);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 1001"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(TextParserTest, ReadFileToStringRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("pane_text_parser_test_" + std::to_string(::getpid()));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("0 1\n2 3\n", f);
+    std::fclose(f);
+  }
+  const auto contents = ReadFileToString(path.string());
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "0 1\n2 3\n");
+  std::filesystem::remove(path);
+  EXPECT_TRUE(ReadFileToString(path.string()).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace pane

@@ -75,6 +75,19 @@ TEST(ThreadPoolTest, RunBlocksCoversAllBlocks) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, RunBlocksExactlyOnceUnderHeavyOversubscription) {
+  // The work-conserving barrier claims blocks from a shared counter; with
+  // far more blocks than workers every block must still run exactly once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(500);
+  for (int round = 0; round < 5; ++round) {
+    pool.RunBlocks(500, [&hits](int b) {
+      hits[static_cast<size_t>(b)].fetch_add(1);
+    });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 5);
+}
+
 TEST(ThreadPoolTest, RunBlocksZeroIsNoop) {
   ThreadPool pool(2);
   pool.RunBlocks(0, [](int) { FAIL() << "should not run"; });
