@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apmi_test.dir/tests/apmi_test.cc.o"
+  "CMakeFiles/apmi_test.dir/tests/apmi_test.cc.o.d"
+  "apmi_test"
+  "apmi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_node_classification.dir/bench/bench_fig2_node_classification.cc.o"
+  "CMakeFiles/bench_fig2_node_classification.dir/bench/bench_fig2_node_classification.cc.o.d"
+  "bench_fig2_node_classification"
+  "bench_fig2_node_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_node_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_attr_params.dir/bench/bench_fig5_attr_params.cc.o"
+  "CMakeFiles/bench_fig5_attr_params.dir/bench/bench_fig5_attr_params.cc.o.d"
+  "bench_fig5_attr_params"
+  "bench_fig5_attr_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_attr_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

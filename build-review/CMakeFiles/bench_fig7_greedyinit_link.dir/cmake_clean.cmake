@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_greedyinit_link.dir/bench/bench_fig7_greedyinit_link.cc.o"
+  "CMakeFiles/bench_fig7_greedyinit_link.dir/bench/bench_fig7_greedyinit_link.cc.o.d"
+  "bench_fig7_greedyinit_link"
+  "bench_fig7_greedyinit_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_greedyinit_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

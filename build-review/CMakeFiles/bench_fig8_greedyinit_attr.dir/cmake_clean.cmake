@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_greedyinit_attr.dir/bench/bench_fig8_greedyinit_attr.cc.o"
+  "CMakeFiles/bench_fig8_greedyinit_attr.dir/bench/bench_fig8_greedyinit_attr.cc.o.d"
+  "bench_fig8_greedyinit_attr"
+  "bench_fig8_greedyinit_attr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_greedyinit_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_running_example.cc" "CMakeFiles/bench_table2_running_example.dir/bench/bench_table2_running_example.cc.o" "gcc" "CMakeFiles/bench_table2_running_example.dir/bench/bench_table2_running_example.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/pane_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_api.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_datasets.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

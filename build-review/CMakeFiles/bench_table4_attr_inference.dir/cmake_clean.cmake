@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_attr_inference.dir/bench/bench_table4_attr_inference.cc.o"
+  "CMakeFiles/bench_table4_attr_inference.dir/bench/bench_table4_attr_inference.cc.o.d"
+  "bench_table4_attr_inference"
+  "bench_table4_attr_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_attr_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccd_test.dir/tests/ccd_test.cc.o"
+  "CMakeFiles/ccd_test.dir/tests/ccd_test.cc.o.d"
+  "ccd_test"
+  "ccd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

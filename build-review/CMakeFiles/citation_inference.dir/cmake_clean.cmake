@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_inference.dir/examples/citation_inference.cpp.o"
+  "CMakeFiles/citation_inference.dir/examples/citation_inference.cpp.o.d"
+  "citation_inference"
+  "citation_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

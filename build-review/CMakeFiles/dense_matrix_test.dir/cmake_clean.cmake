@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_matrix_test.dir/tests/dense_matrix_test.cc.o"
+  "CMakeFiles/dense_matrix_test.dir/tests/dense_matrix_test.cc.o.d"
+  "dense_matrix_test"
+  "dense_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_timer_test.dir/tests/logging_timer_test.cc.o"
+  "CMakeFiles/logging_timer_test.dir/tests/logging_timer_test.cc.o.d"
+  "logging_timer_test"
+  "logging_timer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

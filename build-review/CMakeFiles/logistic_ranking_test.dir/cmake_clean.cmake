@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistic_ranking_test.dir/tests/logistic_ranking_test.cc.o"
+  "CMakeFiles/logistic_ranking_test.dir/tests/logistic_ranking_test.cc.o.d"
+  "logistic_ranking_test"
+  "logistic_ranking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistic_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

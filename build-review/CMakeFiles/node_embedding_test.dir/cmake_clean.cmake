@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_embedding_test.dir/tests/node_embedding_test.cc.o"
+  "CMakeFiles/node_embedding_test.dir/tests/node_embedding_test.cc.o.d"
+  "node_embedding_test"
+  "node_embedding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

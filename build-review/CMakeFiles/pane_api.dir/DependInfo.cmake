@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/adapters.cc" "CMakeFiles/pane_api.dir/src/api/adapters.cc.o" "gcc" "CMakeFiles/pane_api.dir/src/api/adapters.cc.o.d"
+  "/root/repo/src/api/embedder.cc" "CMakeFiles/pane_api.dir/src/api/embedder.cc.o" "gcc" "CMakeFiles/pane_api.dir/src/api/embedder.cc.o.d"
+  "/root/repo/src/api/embedders.cc" "CMakeFiles/pane_api.dir/src/api/embedders.cc.o" "gcc" "CMakeFiles/pane_api.dir/src/api/embedders.cc.o.d"
+  "/root/repo/src/api/evaluate.cc" "CMakeFiles/pane_api.dir/src/api/evaluate.cc.o" "gcc" "CMakeFiles/pane_api.dir/src/api/evaluate.cc.o.d"
+  "/root/repo/src/api/node_embedding.cc" "CMakeFiles/pane_api.dir/src/api/node_embedding.cc.o" "gcc" "CMakeFiles/pane_api.dir/src/api/node_embedding.cc.o.d"
+  "/root/repo/src/api/registry.cc" "CMakeFiles/pane_api.dir/src/api/registry.cc.o" "gcc" "CMakeFiles/pane_api.dir/src/api/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/pane_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_datasets.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

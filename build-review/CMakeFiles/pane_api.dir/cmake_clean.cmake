@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_api.dir/src/api/adapters.cc.o"
+  "CMakeFiles/pane_api.dir/src/api/adapters.cc.o.d"
+  "CMakeFiles/pane_api.dir/src/api/embedder.cc.o"
+  "CMakeFiles/pane_api.dir/src/api/embedder.cc.o.d"
+  "CMakeFiles/pane_api.dir/src/api/embedders.cc.o"
+  "CMakeFiles/pane_api.dir/src/api/embedders.cc.o.d"
+  "CMakeFiles/pane_api.dir/src/api/evaluate.cc.o"
+  "CMakeFiles/pane_api.dir/src/api/evaluate.cc.o.d"
+  "CMakeFiles/pane_api.dir/src/api/node_embedding.cc.o"
+  "CMakeFiles/pane_api.dir/src/api/node_embedding.cc.o.d"
+  "CMakeFiles/pane_api.dir/src/api/registry.cc.o"
+  "CMakeFiles/pane_api.dir/src/api/registry.cc.o.d"
+  "libpane_api.a"
+  "libpane_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bane.cc" "CMakeFiles/pane_baselines.dir/src/baselines/bane.cc.o" "gcc" "CMakeFiles/pane_baselines.dir/src/baselines/bane.cc.o.d"
+  "/root/repo/src/baselines/bla_like.cc" "CMakeFiles/pane_baselines.dir/src/baselines/bla_like.cc.o" "gcc" "CMakeFiles/pane_baselines.dir/src/baselines/bla_like.cc.o.d"
+  "/root/repo/src/baselines/lqanr.cc" "CMakeFiles/pane_baselines.dir/src/baselines/lqanr.cc.o" "gcc" "CMakeFiles/pane_baselines.dir/src/baselines/lqanr.cc.o.d"
+  "/root/repo/src/baselines/nrp.cc" "CMakeFiles/pane_baselines.dir/src/baselines/nrp.cc.o" "gcc" "CMakeFiles/pane_baselines.dir/src/baselines/nrp.cc.o.d"
+  "/root/repo/src/baselines/tadw.cc" "CMakeFiles/pane_baselines.dir/src/baselines/tadw.cc.o" "gcc" "CMakeFiles/pane_baselines.dir/src/baselines/tadw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/pane_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_baselines.dir/src/baselines/bane.cc.o"
+  "CMakeFiles/pane_baselines.dir/src/baselines/bane.cc.o.d"
+  "CMakeFiles/pane_baselines.dir/src/baselines/bla_like.cc.o"
+  "CMakeFiles/pane_baselines.dir/src/baselines/bla_like.cc.o.d"
+  "CMakeFiles/pane_baselines.dir/src/baselines/lqanr.cc.o"
+  "CMakeFiles/pane_baselines.dir/src/baselines/lqanr.cc.o.d"
+  "CMakeFiles/pane_baselines.dir/src/baselines/nrp.cc.o"
+  "CMakeFiles/pane_baselines.dir/src/baselines/nrp.cc.o.d"
+  "CMakeFiles/pane_baselines.dir/src/baselines/tadw.cc.o"
+  "CMakeFiles/pane_baselines.dir/src/baselines/tadw.cc.o.d"
+  "libpane_baselines.a"
+  "libpane_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

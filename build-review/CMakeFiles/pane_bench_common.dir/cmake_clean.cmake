@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/pane_bench_common.dir/bench/bench_common.cc.o.d"
+  "libpane_bench_common.a"
+  "libpane_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

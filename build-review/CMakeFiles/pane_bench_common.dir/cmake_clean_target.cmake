@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpane_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_cli.dir/examples/pane_cli.cpp.o"
+  "CMakeFiles/pane_cli.dir/examples/pane_cli.cpp.o.d"
+  "pane_cli"
+  "pane_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

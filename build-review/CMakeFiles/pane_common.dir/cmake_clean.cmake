@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_common.dir/src/common/flags.cc.o"
+  "CMakeFiles/pane_common.dir/src/common/flags.cc.o.d"
+  "CMakeFiles/pane_common.dir/src/common/logging.cc.o"
+  "CMakeFiles/pane_common.dir/src/common/logging.cc.o.d"
+  "CMakeFiles/pane_common.dir/src/common/random.cc.o"
+  "CMakeFiles/pane_common.dir/src/common/random.cc.o.d"
+  "CMakeFiles/pane_common.dir/src/common/status.cc.o"
+  "CMakeFiles/pane_common.dir/src/common/status.cc.o.d"
+  "CMakeFiles/pane_common.dir/src/common/string_util.cc.o"
+  "CMakeFiles/pane_common.dir/src/common/string_util.cc.o.d"
+  "CMakeFiles/pane_common.dir/src/common/timer.cc.o"
+  "CMakeFiles/pane_common.dir/src/common/timer.cc.o.d"
+  "libpane_common.a"
+  "libpane_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/affinity.cc" "CMakeFiles/pane_core.dir/src/core/affinity.cc.o" "gcc" "CMakeFiles/pane_core.dir/src/core/affinity.cc.o.d"
+  "/root/repo/src/core/apmi.cc" "CMakeFiles/pane_core.dir/src/core/apmi.cc.o" "gcc" "CMakeFiles/pane_core.dir/src/core/apmi.cc.o.d"
+  "/root/repo/src/core/ccd.cc" "CMakeFiles/pane_core.dir/src/core/ccd.cc.o" "gcc" "CMakeFiles/pane_core.dir/src/core/ccd.cc.o.d"
+  "/root/repo/src/core/embedding.cc" "CMakeFiles/pane_core.dir/src/core/embedding.cc.o" "gcc" "CMakeFiles/pane_core.dir/src/core/embedding.cc.o.d"
+  "/root/repo/src/core/greedy_init.cc" "CMakeFiles/pane_core.dir/src/core/greedy_init.cc.o" "gcc" "CMakeFiles/pane_core.dir/src/core/greedy_init.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "CMakeFiles/pane_core.dir/src/core/incremental.cc.o" "gcc" "CMakeFiles/pane_core.dir/src/core/incremental.cc.o.d"
+  "/root/repo/src/core/pane.cc" "CMakeFiles/pane_core.dir/src/core/pane.cc.o" "gcc" "CMakeFiles/pane_core.dir/src/core/pane.cc.o.d"
+  "/root/repo/src/core/papmi.cc" "CMakeFiles/pane_core.dir/src/core/papmi.cc.o" "gcc" "CMakeFiles/pane_core.dir/src/core/papmi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/pane_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_core.dir/src/core/affinity.cc.o"
+  "CMakeFiles/pane_core.dir/src/core/affinity.cc.o.d"
+  "CMakeFiles/pane_core.dir/src/core/apmi.cc.o"
+  "CMakeFiles/pane_core.dir/src/core/apmi.cc.o.d"
+  "CMakeFiles/pane_core.dir/src/core/ccd.cc.o"
+  "CMakeFiles/pane_core.dir/src/core/ccd.cc.o.d"
+  "CMakeFiles/pane_core.dir/src/core/embedding.cc.o"
+  "CMakeFiles/pane_core.dir/src/core/embedding.cc.o.d"
+  "CMakeFiles/pane_core.dir/src/core/greedy_init.cc.o"
+  "CMakeFiles/pane_core.dir/src/core/greedy_init.cc.o.d"
+  "CMakeFiles/pane_core.dir/src/core/incremental.cc.o"
+  "CMakeFiles/pane_core.dir/src/core/incremental.cc.o.d"
+  "CMakeFiles/pane_core.dir/src/core/pane.cc.o"
+  "CMakeFiles/pane_core.dir/src/core/pane.cc.o.d"
+  "CMakeFiles/pane_core.dir/src/core/papmi.cc.o"
+  "CMakeFiles/pane_core.dir/src/core/papmi.cc.o.d"
+  "libpane_core.a"
+  "libpane_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/registry.cc" "CMakeFiles/pane_datasets.dir/src/datasets/registry.cc.o" "gcc" "CMakeFiles/pane_datasets.dir/src/datasets/registry.cc.o.d"
+  "/root/repo/src/datasets/running_example.cc" "CMakeFiles/pane_datasets.dir/src/datasets/running_example.cc.o" "gcc" "CMakeFiles/pane_datasets.dir/src/datasets/running_example.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/pane_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_datasets.dir/src/datasets/registry.cc.o"
+  "CMakeFiles/pane_datasets.dir/src/datasets/registry.cc.o.d"
+  "CMakeFiles/pane_datasets.dir/src/datasets/running_example.cc.o"
+  "CMakeFiles/pane_datasets.dir/src/datasets/running_example.cc.o.d"
+  "libpane_datasets.a"
+  "libpane_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "CMakeFiles/pane_graph.dir/src/graph/algorithms.cc.o" "gcc" "CMakeFiles/pane_graph.dir/src/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/pane_graph.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/pane_graph.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/pane_graph.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/pane_graph.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "CMakeFiles/pane_graph.dir/src/graph/graph_io.cc.o" "gcc" "CMakeFiles/pane_graph.dir/src/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/random_walk.cc" "CMakeFiles/pane_graph.dir/src/graph/random_walk.cc.o" "gcc" "CMakeFiles/pane_graph.dir/src/graph/random_walk.cc.o.d"
+  "/root/repo/src/graph/text_parser.cc" "CMakeFiles/pane_graph.dir/src/graph/text_parser.cc.o" "gcc" "CMakeFiles/pane_graph.dir/src/graph/text_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/pane_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

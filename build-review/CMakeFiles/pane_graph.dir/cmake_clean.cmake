@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_graph.dir/src/graph/algorithms.cc.o"
+  "CMakeFiles/pane_graph.dir/src/graph/algorithms.cc.o.d"
+  "CMakeFiles/pane_graph.dir/src/graph/generators.cc.o"
+  "CMakeFiles/pane_graph.dir/src/graph/generators.cc.o.d"
+  "CMakeFiles/pane_graph.dir/src/graph/graph.cc.o"
+  "CMakeFiles/pane_graph.dir/src/graph/graph.cc.o.d"
+  "CMakeFiles/pane_graph.dir/src/graph/graph_io.cc.o"
+  "CMakeFiles/pane_graph.dir/src/graph/graph_io.cc.o.d"
+  "CMakeFiles/pane_graph.dir/src/graph/random_walk.cc.o"
+  "CMakeFiles/pane_graph.dir/src/graph/random_walk.cc.o.d"
+  "CMakeFiles/pane_graph.dir/src/graph/text_parser.cc.o"
+  "CMakeFiles/pane_graph.dir/src/graph/text_parser.cc.o.d"
+  "libpane_graph.a"
+  "libpane_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

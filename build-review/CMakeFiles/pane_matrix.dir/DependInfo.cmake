@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/csr_matrix.cc" "CMakeFiles/pane_matrix.dir/src/matrix/csr_matrix.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/csr_matrix.cc.o.d"
+  "/root/repo/src/matrix/dense_matrix.cc" "CMakeFiles/pane_matrix.dir/src/matrix/dense_matrix.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/dense_matrix.cc.o.d"
+  "/root/repo/src/matrix/gemm.cc" "CMakeFiles/pane_matrix.dir/src/matrix/gemm.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/gemm.cc.o.d"
+  "/root/repo/src/matrix/qr.cc" "CMakeFiles/pane_matrix.dir/src/matrix/qr.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/qr.cc.o.d"
+  "/root/repo/src/matrix/rand_svd.cc" "CMakeFiles/pane_matrix.dir/src/matrix/rand_svd.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/rand_svd.cc.o.d"
+  "/root/repo/src/matrix/rand_svd_sparse.cc" "CMakeFiles/pane_matrix.dir/src/matrix/rand_svd_sparse.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/rand_svd_sparse.cc.o.d"
+  "/root/repo/src/matrix/spmm.cc" "CMakeFiles/pane_matrix.dir/src/matrix/spmm.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/spmm.cc.o.d"
+  "/root/repo/src/matrix/svd.cc" "CMakeFiles/pane_matrix.dir/src/matrix/svd.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/svd.cc.o.d"
+  "/root/repo/src/matrix/vector_ops.cc" "CMakeFiles/pane_matrix.dir/src/matrix/vector_ops.cc.o" "gcc" "CMakeFiles/pane_matrix.dir/src/matrix/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/pane_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

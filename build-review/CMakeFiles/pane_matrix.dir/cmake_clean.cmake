@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_matrix.dir/src/matrix/csr_matrix.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/csr_matrix.cc.o.d"
+  "CMakeFiles/pane_matrix.dir/src/matrix/dense_matrix.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/dense_matrix.cc.o.d"
+  "CMakeFiles/pane_matrix.dir/src/matrix/gemm.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/gemm.cc.o.d"
+  "CMakeFiles/pane_matrix.dir/src/matrix/qr.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/qr.cc.o.d"
+  "CMakeFiles/pane_matrix.dir/src/matrix/rand_svd.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/rand_svd.cc.o.d"
+  "CMakeFiles/pane_matrix.dir/src/matrix/rand_svd_sparse.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/rand_svd_sparse.cc.o.d"
+  "CMakeFiles/pane_matrix.dir/src/matrix/spmm.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/spmm.cc.o.d"
+  "CMakeFiles/pane_matrix.dir/src/matrix/svd.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/svd.cc.o.d"
+  "CMakeFiles/pane_matrix.dir/src/matrix/vector_ops.cc.o"
+  "CMakeFiles/pane_matrix.dir/src/matrix/vector_ops.cc.o.d"
+  "libpane_matrix.a"
+  "libpane_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_parallel.dir/src/parallel/thread_pool.cc.o"
+  "CMakeFiles/pane_parallel.dir/src/parallel/thread_pool.cc.o.d"
+  "libpane_parallel.a"
+  "libpane_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/attribute_inference.cc" "CMakeFiles/pane_tasks.dir/src/tasks/attribute_inference.cc.o" "gcc" "CMakeFiles/pane_tasks.dir/src/tasks/attribute_inference.cc.o.d"
+  "/root/repo/src/tasks/link_prediction.cc" "CMakeFiles/pane_tasks.dir/src/tasks/link_prediction.cc.o" "gcc" "CMakeFiles/pane_tasks.dir/src/tasks/link_prediction.cc.o.d"
+  "/root/repo/src/tasks/logistic.cc" "CMakeFiles/pane_tasks.dir/src/tasks/logistic.cc.o" "gcc" "CMakeFiles/pane_tasks.dir/src/tasks/logistic.cc.o.d"
+  "/root/repo/src/tasks/metrics.cc" "CMakeFiles/pane_tasks.dir/src/tasks/metrics.cc.o" "gcc" "CMakeFiles/pane_tasks.dir/src/tasks/metrics.cc.o.d"
+  "/root/repo/src/tasks/node_classification.cc" "CMakeFiles/pane_tasks.dir/src/tasks/node_classification.cc.o" "gcc" "CMakeFiles/pane_tasks.dir/src/tasks/node_classification.cc.o.d"
+  "/root/repo/src/tasks/ranking.cc" "CMakeFiles/pane_tasks.dir/src/tasks/ranking.cc.o" "gcc" "CMakeFiles/pane_tasks.dir/src/tasks/ranking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/pane_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/pane_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

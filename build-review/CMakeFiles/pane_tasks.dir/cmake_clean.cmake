@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_tasks.dir/src/tasks/attribute_inference.cc.o"
+  "CMakeFiles/pane_tasks.dir/src/tasks/attribute_inference.cc.o.d"
+  "CMakeFiles/pane_tasks.dir/src/tasks/link_prediction.cc.o"
+  "CMakeFiles/pane_tasks.dir/src/tasks/link_prediction.cc.o.d"
+  "CMakeFiles/pane_tasks.dir/src/tasks/logistic.cc.o"
+  "CMakeFiles/pane_tasks.dir/src/tasks/logistic.cc.o.d"
+  "CMakeFiles/pane_tasks.dir/src/tasks/metrics.cc.o"
+  "CMakeFiles/pane_tasks.dir/src/tasks/metrics.cc.o.d"
+  "CMakeFiles/pane_tasks.dir/src/tasks/node_classification.cc.o"
+  "CMakeFiles/pane_tasks.dir/src/tasks/node_classification.cc.o.d"
+  "CMakeFiles/pane_tasks.dir/src/tasks/ranking.cc.o"
+  "CMakeFiles/pane_tasks.dir/src/tasks/ranking.cc.o.d"
+  "libpane_tasks.a"
+  "libpane_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pane_test.dir/tests/pane_test.cc.o"
+  "CMakeFiles/pane_test.dir/tests/pane_test.cc.o.d"
+  "pane_test"
+  "pane_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papmi_test.dir/tests/papmi_test.cc.o"
+  "CMakeFiles/papmi_test.dir/tests/papmi_test.cc.o.d"
+  "papmi_test"
+  "papmi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_svd_test.dir/tests/qr_svd_test.cc.o"
+  "CMakeFiles/qr_svd_test.dir/tests/qr_svd_test.cc.o.d"
+  "qr_svd_test"
+  "qr_svd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rand_svd_test.dir/tests/rand_svd_test.cc.o"
+  "CMakeFiles/rand_svd_test.dir/tests/rand_svd_test.cc.o.d"
+  "rand_svd_test"
+  "rand_svd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rand_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_parallel.dir/examples/scale_parallel.cpp.o"
+  "CMakeFiles/scale_parallel.dir/examples/scale_parallel.cpp.o.d"
+  "scale_parallel"
+  "scale_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

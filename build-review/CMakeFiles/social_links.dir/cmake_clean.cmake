@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_links.dir/examples/social_links.cpp.o"
+  "CMakeFiles/social_links.dir/examples/social_links.cpp.o.d"
+  "social_links"
+  "social_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

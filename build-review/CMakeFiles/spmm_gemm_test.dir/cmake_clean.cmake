@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_gemm_test.dir/tests/spmm_gemm_test.cc.o"
+  "CMakeFiles/spmm_gemm_test.dir/tests/spmm_gemm_test.cc.o.d"
+  "spmm_gemm_test"
+  "spmm_gemm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_parser_test.dir/tests/text_parser_test.cc.o"
+  "CMakeFiles/text_parser_test.dir/tests/text_parser_test.cc.o.d"
+  "text_parser_test"
+  "text_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
