@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
@@ -43,9 +46,28 @@ std::string TimeCell(double seconds) {
   return StrFormat("%.0fms", seconds * 1e3);
 }
 
+int64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) return -1;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    int64_t kb = -1;
+    fields >> kb;
+    return kb < 0 ? -1 : kb * 1024;
+  }
+  return -1;
+}
+
+std::string MegabyteCell(double bytes) {
+  if (bytes < 0.0) return "-";
+  return StrFormat("%.1fMB", bytes / (1024.0 * 1024.0));
+}
+
 PaneRun TrainPaneOrDie(const AttributedGraph& graph, int k, int num_threads,
                        double alpha, double epsilon, bool greedy_init,
-                       int ccd_iterations) {
+                       int ccd_iterations, int64_t affinity_memory_mb) {
   PaneOptions options;
   options.k = k;
   options.num_threads = num_threads;
@@ -53,6 +75,7 @@ PaneRun TrainPaneOrDie(const AttributedGraph& graph, int k, int num_threads,
   options.epsilon = epsilon;
   options.greedy_init = greedy_init;
   options.ccd_iterations = ccd_iterations;
+  options.affinity_memory_mb = affinity_memory_mb;
   PaneRun run;
   auto result = Pane(options).Train(graph, &run.stats);
   PANE_CHECK(result.ok()) << result.status();

@@ -30,6 +30,15 @@ std::string Cell(double value);
 /// Duration cell ("1.23s" / "456ms"), or "-" for negative (not run).
 std::string TimeCell(double seconds);
 
+/// Lifetime peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or -1 where unavailable. Monotone: to compare the
+/// footprint of several configurations in one process, run the smallest
+/// first and watch the high-water mark move.
+int64_t PeakRssBytes();
+
+/// "123.4MB" cell, or "-" for negative (unavailable).
+std::string MegabyteCell(double bytes);
+
 /// Trains PANE with paper-default alpha / epsilon.
 struct PaneRun {
   PaneEmbedding embedding;
@@ -37,7 +46,8 @@ struct PaneRun {
 };
 PaneRun TrainPaneOrDie(const AttributedGraph& graph, int k, int num_threads,
                        double alpha = 0.5, double epsilon = 0.015,
-                       bool greedy_init = true, int ccd_iterations = 0);
+                       bool greedy_init = true, int ccd_iterations = 0,
+                       int64_t affinity_memory_mb = 0);
 
 }  // namespace bench
 }  // namespace pane

@@ -5,14 +5,112 @@
 //   4c. running time vs error threshold eps in {0.001 ... 0.25}
 // Expected shape: 4a near-linear until the physical core count saturates;
 // 4b flat-ish slow growth; 4c time dropping ~10x from eps=0.001 to 0.25.
+//   4d (extension): affinity-phase peak RSS and throughput under the
+//       --affinity-memory-mb panel budget — tight budgets must hold the
+//       process high-water mark below the unbounded run at equal threads.
+#include <algorithm>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/common/timer.h"
+#include "src/core/apmi.h"
 #include "src/datasets/registry.h"
+#include "src/parallel/thread_pool.h"
 
 namespace pane {
 namespace {
+
+// Affinity phase only, budgets tightest-first (VmHWM is monotone: each row's
+// peak-RSS increase is attributable to that row's larger scratch; the
+// unbounded run goes last so a budget violation is visible as the final
+// jump).
+void RunMemoryBudgetSection(double scale) {
+  bench::PrintHeader(
+      "Figure 4d (extension): affinity phase vs --affinity-memory-mb",
+      "panel-streamed engine; peak RSS is the process high-water mark "
+      "(monotone), throughput counts streamed series cells");
+  // Default shape follows the google+ stand-in at bench scale; the
+  // acceptance-scale run (n >= 100k, d >= 1k) is reachable directly with
+  // PANE_BENCH_AFFINITY_N=100000 PANE_BENCH_AFFINITY_D=1000 without also
+  // inflating the earlier figure sections.
+  const int64_t env_n =
+      static_cast<int64_t>(EnvDoubleOr("PANE_BENCH_AFFINITY_N", 0.0));
+  const int64_t env_d =
+      static_cast<int64_t>(EnvDoubleOr("PANE_BENCH_AFFINITY_D", 1000.0));
+  AttributedGraph g;
+  if (env_n > 0) {
+    SbmParams params;
+    params.num_nodes = env_n;
+    params.num_edges = 10 * env_n;
+    params.num_attributes = env_d;
+    params.num_attr_entries = 10 * env_n;
+    params.num_communities = 20;
+    params.seed = 4242;
+    g = GenerateAttributedSbm(params);
+  } else {
+    g = *MakeDatasetByName("google+", scale);
+  }
+  const int64_t n = g.num_nodes();
+  const int64_t d = g.num_attributes();
+  const int nb = 10;
+  ThreadPool pool(nb);
+  const int t = ComputeIterationCount(0.015, 0.5);
+  // The unbounded pooled path keeps ~2 n d doubles of panel scratch in
+  // flight; sweep budgets at fractions of that, tightest first.
+  const int64_t unbounded_mb =
+      (2 * static_cast<int64_t>(sizeof(double)) * n * d) >> 20;
+  std::printf("%s: n=%lld d=%lld t=%d nb=%d, output slabs %s, unbounded "
+              "scratch ~%lldMB\n",
+              env_n > 0 ? "generated sbm" : "google+ at bench scale",
+              static_cast<long long>(n), static_cast<long long>(d), t, nb,
+              bench::MegabyteCell(16.0 * n * d).c_str(),
+              static_cast<long long>(unbounded_mb));
+  // Fractions of the unbounded scratch, deduplicated (at tiny bench scales
+  // they all collapse to the 1 MiB floor), unbounded last.
+  std::vector<int64_t> budgets_mb;
+  for (const int64_t divisor : {8, 4, 2}) {
+    const int64_t budget = std::max<int64_t>(1, unbounded_mb / divisor);
+    if (budgets_mb.empty() || budgets_mb.back() != budget) {
+      budgets_mb.push_back(budget);
+    }
+  }
+  budgets_mb.push_back(0);
+  bench::PrintRow("budget", {"width", "panels", "scratch", "peak RSS",
+                             "dRSS", "time", "Mcell/s"});
+  for (const int64_t budget : budgets_mb) {
+    // VmHWM is process-lifetime monotone (and already includes the earlier
+    // figure sections), so the per-row delta is what attributes growth to
+    // this row's scratch; rows that fit under the existing high-water mark
+    // report a 0 delta.
+    const int64_t rss_before = bench::PeakRssBytes();
+    WallTimer timer;
+    AffinityEngineStats stats;
+    const auto affinity = ComputeAffinity(g, 0.5, 0.015, &pool, budget, &stats);
+    PANE_CHECK(affinity.ok()) << affinity.status();
+    const double seconds = timer.ElapsedSeconds();
+    const int64_t rss_after = bench::PeakRssBytes();
+    const double cells = 2.0 * n * d * (t + 1);
+    constexpr double kMinMeasurable = 1e-6;
+    bench::PrintRow(
+        budget == 0 ? "unbounded" : StrFormat("%lldMiB",
+                                              static_cast<long long>(budget)),
+        {StrFormat("%lld", static_cast<long long>(stats.panel_width)),
+         StrFormat("%lld", static_cast<long long>(stats.num_panels)),
+         bench::MegabyteCell(static_cast<double>(stats.scratch_bytes)),
+         bench::MegabyteCell(static_cast<double>(rss_after)),
+         rss_before < 0 || rss_after < 0
+             ? "-"
+             : bench::MegabyteCell(static_cast<double>(rss_after - rss_before)),
+         bench::TimeCell(seconds),
+         seconds < kMinMeasurable ? "n/a"
+                                  : bench::Cell(cells / seconds / 1e6)});
+  }
+}
 
 void Run() {
   const double scale = bench::BenchScale();
@@ -68,6 +166,8 @@ void Run() {
     }
     bench::PrintRow(name, cells);
   }
+
+  RunMemoryBudgetSection(scale);
 }
 
 }  // namespace

@@ -64,6 +64,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("alpha", 0.5, "random-walk stopping probability (PANE)");
   flags.AddDouble("epsilon", 0.015, "affinity error threshold (PANE)");
   flags.AddInt("threads", 4, "worker threads (1 = Algorithm 1)");
+  flags.AddInt("affinity-memory-mb", 0,
+               "affinity-phase panel scratch budget in MiB (PANE; 0 = "
+               "unbounded; see README \"Memory model & tuning\")");
   flags.AddInt("seed", 42, "random seed");
   flags.AddString("opt", "",
                   "extra method-specific config entries, comma-separated "

@@ -1,16 +1,31 @@
 #include "src/api/embedder.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/flags.h"
 #include "src/common/string_util.h"
 
 namespace pane {
+namespace {
+
+// Dashed spellings (--affinity-memory-mb) are normalized to the underscore
+// spelling every config key uses, on every write path (FromMap, FromFlags,
+// Set — including the CLI's --opt merge), so embedders read one key
+// regardless of how the value arrived.
+std::string NormalizeKey(std::string key) {
+  std::replace(key.begin(), key.end(), '-', '_');
+  return key;
+}
+
+}  // namespace
 
 EmbedderConfig EmbedderConfig::FromMap(
     std::map<std::string, std::string> values) {
   EmbedderConfig config;
-  config.values_ = std::move(values);
+  for (auto& [key, value] : values) {
+    config.values_[NormalizeKey(key)] = std::move(value);
+  }
   return config;
 }
 
@@ -20,7 +35,7 @@ EmbedderConfig EmbedderConfig::FromFlags(const FlagSet& flags) {
 
 EmbedderConfig& EmbedderConfig::Set(const std::string& key,
                                     std::string value) {
-  values_[key] = std::move(value);
+  values_[NormalizeKey(key)] = std::move(value);
   return *this;
 }
 

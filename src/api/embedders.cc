@@ -72,6 +72,10 @@ Result<std::unique_ptr<Embedder>> MakePane(const EmbedderConfig& config,
   options.ccd_iterations = static_cast<int>(ccd);
   PANE_ASSIGN_OR_RETURN(options.greedy_init,
                         config.GetBool("greedy_init", true));
+  // --affinity-memory-mb arrives as this key: FromFlags normalizes dashed
+  // flag names to the underscore spelling.
+  PANE_ASSIGN_OR_RETURN(options.affinity_memory_mb,
+                        config.GetInt("affinity_memory_mb", 0));
   PANE_ASSIGN_OR_RETURN(const int64_t seed, config.GetInt("seed", 42));
   options.seed = static_cast<uint64_t>(seed);
   if (parallel) {

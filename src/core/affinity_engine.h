@@ -1,0 +1,74 @@
+// Panel-streamed affinity engine: the unified production path behind APMI
+// (Algorithm 2) and PAPMI (Algorithm 6). The attribute matrix R is
+// partitioned into column panels; for each panel the truncated series of
+// Equation (6) is evaluated with the fused SpMMPanelStep kernel — the
+// running series accumulates directly into the output slab, so each
+// in-flight panel needs only two n x panel_width scratch buffers — and the
+// SPMI transform (Equation 7) is applied in place: fully fused per panel on
+// the forward side (column sums are panel-local), and as one in-place
+// row-parallel pass over the backward slab once all panels have landed (row
+// sums span every panel).
+//
+// Peak memory is 2 n d doubles for the outputs plus
+// O(n x panel_width x in-flight panels) scratch; the panel width is derived
+// from a caller-supplied memory budget. Column blocks of a sparse-dense
+// product are independent (Lemma 4.1), and the engine preserves per-element
+// summation order, so its output is bitwise identical to the historical
+// serial APMI path for every panel decomposition and thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/core/affinity.h"
+#include "src/graph/graph.h"
+#include "src/matrix/csr_matrix.h"
+
+namespace pane {
+
+class ThreadPool;
+
+struct AffinityEngineOptions {
+  /// Random-walk stopping probability, in (0, 1).
+  double alpha = 0.5;
+  /// Truncation depth of the series (>= 1).
+  int t = 5;
+  /// Worker pool; nullptr or size 1 => serial.
+  ThreadPool* pool = nullptr;
+  /// Scratch budget in MiB for the panel buffers (the outputs and the
+  /// normalized copies of R are not counted — they are fixed costs of the
+  /// result itself). 0 => unbounded: the panel width defaults to the whole
+  /// attribute set when serial and ceil(d / num_threads) when pooled, which
+  /// reproduces the historical APMI / PAPMI memory shapes.
+  int64_t memory_budget_mb = 0;
+  /// Explicit panel-width override (tests, benches). 0 => derive from the
+  /// budget. Values > d are clamped to d.
+  int64_t panel_width = 0;
+};
+
+/// \brief How one engine run decomposed the problem; filled analytically
+/// before the panels execute, so tests can assert the budget is respected.
+struct AffinityEngineStats {
+  int64_t panel_width = 0;   ///< columns per panel (last panel may be narrower)
+  int64_t num_panels = 0;    ///< panels per direction
+  int64_t scratch_bytes = 0; ///< peak panel scratch: in-flight x 2 x 8 x n x w
+  int64_t output_bytes = 0;  ///< the two n x d output slabs
+  bool budget_clamped = false;  ///< budget < one width-1 panel; ran at width 1
+  bool panel_parallel = false;  ///< true: panels across workers;
+                                ///< false: row blocks within a panel
+};
+
+/// \brief Runs the engine on prebuilt P, P^T and attribute matrix R.
+/// Returns (F', B'); bitwise equal to Apmi() on the same inputs.
+Result<AffinityMatrices> ComputeAffinityPanels(
+    const CsrMatrix& p, const CsrMatrix& p_transposed, const CsrMatrix& r,
+    const AffinityEngineOptions& options,
+    AffinityEngineStats* stats = nullptr);
+
+/// \brief Graph-level entry: builds P and P^T exactly once (the single
+/// construction point per embedding run) and runs the engine.
+Result<AffinityMatrices> ComputeGraphAffinity(
+    const AttributedGraph& graph, const AffinityEngineOptions& options,
+    AffinityEngineStats* stats = nullptr);
+
+}  // namespace pane

@@ -22,8 +22,9 @@ Status ValidateInputs(const ApmiInputs& in) {
   return Status::OK();
 }
 
-// acc = alpha * sum_{l=0..t} (1-alpha)^l M^l R0 using the recurrence
-// term <- (1-alpha) * M * term; one SpMM per iteration.
+// Reference path: acc = alpha * sum_{l=0..t} (1-alpha)^l M^l R0 with dense
+// term / next / acc intermediates — the memory shape the panel-streamed
+// engine exists to avoid. Kept for ApmiProbabilities (Lemma 3.1 tests).
 void TruncatedSeries(const CsrMatrix& m, const CsrMatrix& r0, double alpha,
                      int t, DenseMatrix* acc) {
   DenseMatrix term = r0.ToDense();
@@ -35,6 +36,16 @@ void TruncatedSeries(const CsrMatrix& m, const CsrMatrix& r0, double alpha,
     std::swap(term, next);
     acc->Axpy(alpha, term);
   }
+}
+
+AffinityEngineOptions EngineOptions(const ApmiInputs& inputs,
+                                    ThreadPool* pool) {
+  AffinityEngineOptions options;
+  options.alpha = inputs.alpha;
+  options.t = inputs.t;
+  options.pool = pool;
+  options.memory_budget_mb = inputs.memory_budget_mb;
+  return options;
 }
 
 }  // namespace
@@ -50,21 +61,22 @@ Result<ProbabilityMatrices> ApmiProbabilities(const ApmiInputs& inputs) {
 }
 
 Result<AffinityMatrices> Apmi(const ApmiInputs& inputs) {
-  PANE_ASSIGN_OR_RETURN(ProbabilityMatrices probs, ApmiProbabilities(inputs));
-  return SpmiFromProbabilities(probs);
+  PANE_RETURN_NOT_OK(ValidateInputs(inputs));
+  return ComputeAffinityPanels(*inputs.p, *inputs.p_transposed, *inputs.r,
+                               EngineOptions(inputs, /*pool=*/nullptr));
 }
 
 Result<AffinityMatrices> ComputeAffinity(const AttributedGraph& graph,
-                                         double alpha, double epsilon) {
-  const CsrMatrix p = graph.RandomWalkMatrix();
-  const CsrMatrix pt = p.Transposed();
-  ApmiInputs inputs;
-  inputs.p = &p;
-  inputs.p_transposed = &pt;
-  inputs.r = &graph.attributes();
-  inputs.alpha = alpha;
-  inputs.t = ComputeIterationCount(epsilon, alpha);
-  return Apmi(inputs);
+                                         double alpha, double epsilon,
+                                         ThreadPool* pool,
+                                         int64_t memory_budget_mb,
+                                         AffinityEngineStats* stats) {
+  AffinityEngineOptions options;
+  options.alpha = alpha;
+  options.t = ComputeIterationCount(epsilon, alpha);
+  options.pool = pool;
+  options.memory_budget_mb = memory_budget_mb;
+  return ComputeGraphAffinity(graph, options, stats);
 }
 
 }  // namespace pane

@@ -3,9 +3,9 @@
 #include <memory>
 
 #include "src/common/timer.h"
+#include "src/core/affinity_engine.h"
 #include "src/core/ccd.h"
 #include "src/core/greedy_init.h"
-#include "src/core/papmi.h"
 #include "src/matrix/gemm.h"
 #include "src/parallel/thread_pool.h"
 
@@ -39,20 +39,18 @@ Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
 
-  // Fresh affinity on the updated graph (the linear-time part).
+  // Fresh affinity on the updated graph (the linear-time part); P and P^T
+  // are built once inside the engine.
   AffinityMatrices affinity;
   {
     ScopedTimer timer(&out->affinity_seconds);
-    const CsrMatrix p = updated_graph.RandomWalkMatrix();
-    const CsrMatrix pt = p.Transposed();
-    PapmiInputs inputs;
-    inputs.p = &p;
-    inputs.p_transposed = &pt;
-    inputs.r = &updated_graph.attributes();
-    inputs.alpha = options.alpha;
-    inputs.t = ComputeIterationCount(options.epsilon, options.alpha);
-    inputs.pool = pool.get();
-    PANE_ASSIGN_OR_RETURN(affinity, Papmi(inputs));
+    AffinityEngineOptions engine_options;
+    engine_options.alpha = options.alpha;
+    engine_options.t = ComputeIterationCount(options.epsilon, options.alpha);
+    engine_options.pool = pool.get();
+    engine_options.memory_budget_mb = options.affinity_memory_mb;
+    PANE_ASSIGN_OR_RETURN(affinity,
+                          ComputeGraphAffinity(updated_graph, engine_options));
   }
 
   // Warm seed: old rows keep their embeddings; new nodes get the

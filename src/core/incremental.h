@@ -23,6 +23,9 @@ struct RefreshOptions {
   double alpha = 0.5;
   double epsilon = 0.015;
   int num_threads = 1;
+  /// Scratch budget in MiB for the affinity engine's streamed panels
+  /// (0 => unbounded); see src/core/affinity_engine.h.
+  int64_t affinity_memory_mb = 0;
 };
 
 /// \brief Statistics from one refresh.

@@ -5,10 +5,9 @@
 
 #include "src/common/logging.h"
 #include "src/common/timer.h"
-#include "src/core/apmi.h"
+#include "src/core/affinity_engine.h"
 #include "src/core/ccd.h"
 #include "src/core/greedy_init.h"
-#include "src/core/papmi.h"
 #include "src/parallel/thread_pool.h"
 
 namespace pane {
@@ -28,6 +27,9 @@ Status ValidatePaneOptions(const PaneOptions& options) {
   }
   if (options.ccd_iterations < 0) {
     return Status::InvalidArgument("ccd_iterations must be >= 0");
+  }
+  if (options.affinity_memory_mb < 0) {
+    return Status::InvalidArgument("affinity_memory_mb must be >= 0");
   }
   return Status::OK();
 }
@@ -58,20 +60,19 @@ Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
     pool = std::make_unique<ThreadPool>(opt.num_threads);
   }
 
-  // Phase 1: affinity approximation (Algorithm 2 / 6).
+  // Phase 1: affinity approximation (Algorithm 2 / 6) via the
+  // panel-streamed engine; P and P^T are built once inside it.
   AffinityMatrices affinity;
   {
     ScopedTimer timer(&out_stats->affinity_seconds);
-    const CsrMatrix p = graph.RandomWalkMatrix();
-    const CsrMatrix pt = p.Transposed();
-    PapmiInputs inputs;
-    inputs.p = &p;
-    inputs.p_transposed = &pt;
-    inputs.r = &graph.attributes();
-    inputs.alpha = opt.alpha;
-    inputs.t = t;
-    inputs.pool = pool.get();
-    PANE_ASSIGN_OR_RETURN(affinity, Papmi(inputs));
+    AffinityEngineOptions engine_options;
+    engine_options.alpha = opt.alpha;
+    engine_options.t = t;
+    engine_options.pool = pool.get();
+    engine_options.memory_budget_mb = opt.affinity_memory_mb;
+    PANE_ASSIGN_OR_RETURN(
+        affinity,
+        ComputeGraphAffinity(graph, engine_options, &out_stats->affinity));
   }
 
   // Phase 2a: seeding (Algorithm 3 / 7, or random for PANE-R).

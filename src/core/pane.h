@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "src/common/status.h"
+#include "src/core/affinity_engine.h"
 #include "src/core/embedding.h"
 #include "src/graph/graph.h"
 
@@ -26,6 +27,10 @@ struct PaneOptions {
   /// CCD sweeps; 0 => use the derived t (Algorithm 1 behaviour). The
   /// Figures 7-8 experiments sweep this explicitly.
   int ccd_iterations = 0;
+  /// Scratch budget in MiB for the affinity engine's streamed attribute
+  /// panels (--affinity-memory-mb). 0 => unbounded: historical APMI / PAPMI
+  /// panel shapes. See src/core/affinity_engine.h for what is counted.
+  int64_t affinity_memory_mb = 0;
   /// false => PANE-R: random instead of greedy initialization (Section 5.7).
   bool greedy_init = true;
   /// Seed for RandSVD sketches / random init.
@@ -41,6 +46,7 @@ Status ValidatePaneOptions(const PaneOptions& options);
 struct PaneStats {
   int t = 0;                      ///< derived iteration count
   double affinity_seconds = 0.0;  ///< APMI / PAPMI phase
+  AffinityEngineStats affinity;   ///< panel decomposition + scratch bytes
   double init_seconds = 0.0;      ///< GreedyInit / SMGreedyInit phase
   double ccd_seconds = 0.0;       ///< CCD refinement phase
   double total_seconds = 0.0;

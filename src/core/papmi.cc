@@ -1,90 +1,19 @@
 #include "src/core/papmi.h"
 
-#include <cmath>
-
-#include "src/matrix/spmm.h"
-#include "src/parallel/thread_pool.h"
-
 namespace pane {
-namespace {
-
-// Per-block series accumulation: identical arithmetic to APMI's
-// TruncatedSeries restricted to the attribute columns [col_begin, col_end).
-void BlockSeries(const CsrMatrix& m, const CsrMatrix& r0_slice, double alpha,
-                 int t, DenseMatrix* acc) {
-  DenseMatrix term = r0_slice.ToDense();
-  acc->Resize(term.rows(), term.cols());
-  acc->Axpy(alpha, term);
-  DenseMatrix next;
-  for (int l = 1; l <= t; ++l) {
-    SpMMAddScaled(m, term, 1.0 - alpha, term, 0.0, &next);
-    std::swap(term, next);
-    acc->Axpy(alpha, term);
-  }
-}
-
-}  // namespace
 
 Result<AffinityMatrices> Papmi(const PapmiInputs& inputs) {
-  if (inputs.pool == nullptr || inputs.pool->num_threads() == 1) {
-    return Apmi(inputs);
-  }
   if (inputs.p == nullptr || inputs.p_transposed == nullptr ||
       inputs.r == nullptr) {
     return Status::InvalidArgument("PAPMI inputs must be non-null");
   }
-  ThreadPool* pool = inputs.pool;
-  const int nb = pool->num_threads();
-  const int64_t n = inputs.r->rows();
-  const int64_t d = inputs.r->cols();
-
-  const CsrMatrix rr = inputs.r->RowNormalized();
-  const CsrMatrix rc = inputs.r->ColNormalized();
-
-  // Lines 2-8: each worker iterates its own attribute-column block of
-  // Pf / Pb; results are concatenated into the full n x d panels.
-  const std::vector<Range> attr_blocks = PartitionRange(d, nb);
-  ProbabilityMatrices probs;
-  probs.pf.Resize(n, d);
-  probs.pb.Resize(n, d);
-  pool->RunBlocks(nb, [&](int b) {
-    const Range& blk = attr_blocks[static_cast<size_t>(b)];
-    if (blk.size() == 0) return;
-    const CsrMatrix rr_slice = rr.ColSlice(blk.begin, blk.end);
-    const CsrMatrix rc_slice = rc.ColSlice(blk.begin, blk.end);
-    DenseMatrix pf_block, pb_block;
-    BlockSeries(*inputs.p, rr_slice, inputs.alpha, inputs.t, &pf_block);
-    BlockSeries(*inputs.p_transposed, rc_slice, inputs.alpha, inputs.t,
-                &pb_block);
-    probs.pf.SetBlock(0, blk.begin, pf_block);
-    probs.pb.SetBlock(0, blk.begin, pb_block);
-  });
-
-  // Lines 9-10: normalization denominators over the full matrices.
-  const std::vector<double> pf_col_sums = probs.pf.ColumnSums();
-  const std::vector<double> pb_row_sums = probs.pb.RowSums();
-
-  // Lines 11-13: SPMI transform, parallel over node row blocks.
-  AffinityMatrices out;
-  out.forward.Resize(n, d);
-  out.backward.Resize(n, d);
-  const std::vector<Range> node_blocks = PartitionRange(n, nb);
-  pool->RunBlocks(nb, [&](int b) {
-    const Range& blk = node_blocks[static_cast<size_t>(b)];
-    for (int64_t i = blk.begin; i < blk.end; ++i) {
-      const double* pf_row = probs.pf.Row(i);
-      const double* pb_row = probs.pb.Row(i);
-      double* f_row = out.forward.Row(i);
-      double* b_row = out.backward.Row(i);
-      const double rs = pb_row_sums[static_cast<size_t>(i)];
-      for (int64_t j = 0; j < d; ++j) {
-        const double cs = pf_col_sums[static_cast<size_t>(j)];
-        f_row[j] = cs > 0.0 ? std::log1p(n * pf_row[j] / cs) : 0.0;
-        b_row[j] = rs > 0.0 ? std::log1p(d * pb_row[j] / rs) : 0.0;
-      }
-    }
-  });
-  return out;
+  AffinityEngineOptions options;
+  options.alpha = inputs.alpha;
+  options.t = inputs.t;
+  options.pool = inputs.pool;
+  options.memory_budget_mb = inputs.memory_budget_mb;
+  return ComputeAffinityPanels(*inputs.p, *inputs.p_transposed, *inputs.r,
+                               options);
 }
 
 }  // namespace pane

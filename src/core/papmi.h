@@ -1,10 +1,11 @@
-// PAPMI (Algorithm 6): block-parallel affinity approximation. The attribute
-// set R is partitioned into nb column blocks; each worker runs the APMI
-// iteration on its own n x |Ri| panel (column blocks of a sparse-dense
-// product are independent). The SPMI transform then runs parallel over node
-// row blocks. Lemma 4.1: output is identical to single-thread APMI — our
-// implementation preserves per-element summation order, so the equality is
-// bitwise and tested as such.
+// PAPMI (Algorithm 6): block-parallel affinity approximation, now a thin
+// wrapper over the panel-streamed affinity engine
+// (src/core/affinity_engine.h). The attribute set R is partitioned into
+// column panels (column blocks of a sparse-dense product are independent);
+// with no memory budget the panel width is ceil(d / nb), reproducing the
+// paper's one-block-per-worker shape. Lemma 4.1: output is identical to
+// single-thread APMI — the engine preserves per-element summation order, so
+// the equality is bitwise and tested as such.
 #pragma once
 
 #include "src/common/status.h"
@@ -19,8 +20,8 @@ struct PapmiInputs : ApmiInputs {
   ThreadPool* pool = nullptr;
 };
 
-/// \brief Runs Algorithm 6; returns (F', B') equal to Apmi() on the same
-/// inputs.
+/// \brief Runs Algorithm 6 through the engine; returns (F', B') equal to
+/// Apmi() on the same inputs.
 Result<AffinityMatrices> Papmi(const PapmiInputs& inputs);
 
 }  // namespace pane

@@ -54,6 +54,20 @@ TEST(EmbedderConfigTest, BridgesFromFlagSet) {
   EXPECT_FALSE(*config.GetBool("greedy_init", true));
 }
 
+TEST(EmbedderConfigTest, DashedKeysNormalizeToUnderscores) {
+  // Every write path normalizes, so the --affinity-memory-mb flag bridge
+  // and a raw --opt=affinity-memory-mb=64 entry both land on the one key
+  // embedders read.
+  FlagSet flags;
+  flags.AddInt("affinity-memory-mb", 48, "budget");
+  const EmbedderConfig bridged = EmbedderConfig::FromFlags(flags);
+  EXPECT_EQ(*bridged.GetInt("affinity_memory_mb", 0), 48);
+  const EmbedderConfig set =
+      EmbedderConfig().Set("affinity-memory-mb", "64");
+  EXPECT_EQ(*set.GetInt("affinity_memory_mb", 0), 64);
+  EXPECT_TRUE(set.Has("affinity_memory_mb"));
+}
+
 TEST(EmbedderRegistryTest, NamesCoverAllSevenMethods) {
   const std::vector<std::string> names = EmbedderRegistry::Names();
   ASSERT_EQ(names.size(), 7u);

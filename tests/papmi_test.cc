@@ -1,11 +1,14 @@
 // Tests for PAPMI (Algorithm 6) — most importantly Lemma 4.1: the parallel
-// block decomposition returns *the same* F', B' as single-thread APMI. Our
-// implementation preserves per-element summation order, so the equality is
-// checked bitwise.
+// block decomposition returns *the same* F', B' as single-thread APMI. The
+// engine preserves per-element summation order, so the equality is checked
+// bitwise. Papmi and Apmi now share the affinity engine, so the serial side
+// of every comparison is computed with the independent unfused path
+// (ApmiProbabilities + SpmiFromProbabilities) to keep the anchor meaningful.
 #include "src/core/papmi.h"
 
 #include <gtest/gtest.h>
 
+#include "src/core/affinity.h"
 #include "src/core/apmi.h"
 #include "src/parallel/thread_pool.h"
 #include "test_util.h"
@@ -37,7 +40,8 @@ AffinityMatrices RunApmiSerial(const AttributedGraph& g, double alpha, int t) {
   inputs.r = &g.attributes();
   inputs.alpha = alpha;
   inputs.t = t;
-  return Apmi(inputs).ValueOrDie();
+  // Unfused reference, independent of the panel-streamed engine.
+  return SpmiFromProbabilities(ApmiProbabilities(inputs).ValueOrDie());
 }
 
 // Lemma 4.1 as a parameterized sweep over the thread count nb.
