@@ -39,7 +39,9 @@ int64_t PeakRssBytes();
 /// "123.4MB" cell, or "-" for negative (unavailable).
 std::string MegabyteCell(double bytes);
 
-/// Trains PANE with paper-default alpha / epsilon.
+/// Trains PANE with paper-default alpha / epsilon. `memory_budget_mb` is
+/// the whole-pipeline budget of PaneOptions; `slab_policy` can force the
+/// factor backing for in-RAM vs mmap-spill comparisons at a fixed budget.
 struct PaneRun {
   PaneEmbedding embedding;
   PaneStats stats;
@@ -47,7 +49,8 @@ struct PaneRun {
 PaneRun TrainPaneOrDie(const AttributedGraph& graph, int k, int num_threads,
                        double alpha = 0.5, double epsilon = 0.015,
                        bool greedy_init = true, int ccd_iterations = 0,
-                       int64_t affinity_memory_mb = 0);
+                       int64_t memory_budget_mb = 0,
+                       SlabPolicy slab_policy = SlabPolicy::kAuto);
 
 }  // namespace bench
 }  // namespace pane

@@ -5,9 +5,13 @@
 //   4c. running time vs error threshold eps in {0.001 ... 0.25}
 // Expected shape: 4a near-linear until the physical core count saturates;
 // 4b flat-ish slow growth; 4c time dropping ~10x from eps=0.001 to 0.25.
-//   4d (extension): affinity-phase peak RSS and throughput under the
-//       --affinity-memory-mb panel budget — tight budgets must hold the
-//       process high-water mark below the unbounded run at equal threads.
+//   4d (extension): peak RSS and throughput under --memory-budget-mb —
+//       first the affinity phase alone across budgets, then the whole
+//       pipeline (affinity + init + CCD) comparing the in-RAM and
+//       mmap-spill slab backings at one fixed budget against the unbounded
+//       run. Tight budgets must hold the process high-water mark below the
+//       unbounded run at equal threads; the spill backing must hold it
+//       near budget + the output-slab floor.
 #include <algorithm>
 #include <cstdio>
 #include <thread>
@@ -29,9 +33,59 @@ namespace {
 // peak-RSS increase is attributable to that row's larger scratch; the
 // unbounded run goes last so a budget violation is visible as the final
 // jump).
+// Whole-pipeline rows for the 4d extension: affinity + init + CCD at one
+// fixed budget, spill-forced first (smallest footprint; VmHWM is monotone),
+// then the in-RAM backing at the same budget, then unbounded last. The
+// spill row's delta is the bounded-memory claim: scratch + streaming floors
+// instead of the 4 n d factor set.
+void RunWholePipelineBudgetSection(const AttributedGraph& g,
+                                   int64_t budget_mb) {
+  bench::PrintHeader(
+      "Figure 4d (extension): whole pipeline vs --memory-budget-mb",
+      "full Train (affinity + init + CCD), k=64, nb=10; in-RAM vs "
+      "mmap-spill at one fixed budget, unbounded last (VmHWM monotone)");
+  struct Config {
+    const char* name;
+    int64_t budget_mb;
+    SlabPolicy policy;
+  };
+  const Config configs[] = {
+      {"spill @budget", budget_mb, SlabPolicy::kMmap},
+      {"in-RAM @budget", budget_mb, SlabPolicy::kInRam},
+      {"unbounded", 0, SlabPolicy::kInRam},
+  };
+  bench::PrintRow("config", {"width", "panels", "scratch", "slabs",
+                             "overlap", "peak RSS", "dRSS", "time"});
+  for (const Config& config : configs) {
+    const int64_t rss_before = bench::PeakRssBytes();
+    const auto run = bench::TrainPaneOrDie(g, /*k=*/64, /*num_threads=*/10,
+                                           0.5, 0.015, /*greedy_init=*/true,
+                                           /*ccd_iterations=*/0,
+                                           config.budget_mb, config.policy);
+    const int64_t rss_after = bench::PeakRssBytes();
+    bench::PrintRow(
+        config.name,
+        {StrFormat("%lld", static_cast<long long>(
+                               run.stats.affinity.panel_width)),
+         StrFormat("%lld",
+                   static_cast<long long>(run.stats.affinity.num_panels)),
+         bench::MegabyteCell(
+             static_cast<double>(run.stats.affinity.scratch_bytes +
+                                 run.stats.ccd.scratch_bytes)),
+         run.stats.slabs_spilled ? "mmap" : "RAM",
+         StrFormat("%d", run.stats.init_blocks_overlapped),
+         bench::MegabyteCell(static_cast<double>(rss_after)),
+         rss_before < 0 || rss_after < 0
+             ? "-"
+             : bench::MegabyteCell(
+                   static_cast<double>(rss_after - rss_before)),
+         bench::TimeCell(run.stats.total_seconds)});
+  }
+}
+
 void RunMemoryBudgetSection(double scale) {
   bench::PrintHeader(
-      "Figure 4d (extension): affinity phase vs --affinity-memory-mb",
+      "Figure 4d (extension): affinity phase vs --memory-budget-mb",
       "panel-streamed engine; peak RSS is the process high-water mark "
       "(monotone), throughput counts streamed series cells");
   // Default shape follows the google+ stand-in at bench scale; the
@@ -110,6 +164,8 @@ void RunMemoryBudgetSection(double scale) {
          seconds < kMinMeasurable ? "n/a"
                                   : bench::Cell(cells / seconds / 1e6)});
   }
+
+  RunWholePipelineBudgetSection(g, std::max<int64_t>(1, unbounded_mb / 4));
 }
 
 void Run() {

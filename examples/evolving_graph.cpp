@@ -5,6 +5,7 @@
 // instead of retraining from scratch, comparing cost and quality.
 //
 //   ./examples/evolving_graph [--scale=0.5] [--rounds=3]
+//                             [--memory-budget-mb=64]
 #include <cstdio>
 
 #include "src/common/flags.h"
@@ -42,7 +43,11 @@ int main(int argc, char** argv) {
   pane::FlagSet flags;
   flags.AddDouble("scale", 0.5, "dataset scale factor");
   flags.AddInt("rounds", 3, "number of update rounds");
+  flags.AddInt("memory-budget-mb", 0,
+               "whole-pipeline memory budget in MiB for training and every "
+               "refresh (0 = unbounded)");
   PANE_CHECK_OK(flags.Parse(argc, argv));
+  const int64_t budget_mb = flags.GetInt("memory-budget-mb");
 
   pane::AttributedGraph graph =
       *pane::MakeDatasetByName("tweibo", flags.GetDouble("scale"));
@@ -51,19 +56,27 @@ int main(int argc, char** argv) {
   pane::PaneOptions options;
   options.k = 64;
   options.num_threads = 2;
+  options.memory_budget_mb = budget_mb;
   pane::PaneStats train_stats;
   pane::PaneEmbedding embedding =
       pane::Pane(options).Train(graph, &train_stats).ValueOrDie();
-  std::printf("initial full training: %.2fs (objective %.3e)\n\n",
-              train_stats.total_seconds, train_stats.objective_final);
+  std::printf(
+      "initial full training: %.2fs (objective %.3e; engine width=%lld "
+      "panels=%lld scratch=%.1fMB, slabs %s)\n\n",
+      train_stats.total_seconds, train_stats.objective_final,
+      static_cast<long long>(train_stats.affinity.panel_width),
+      static_cast<long long>(train_stats.affinity.num_panels),
+      train_stats.affinity.scratch_bytes / 1048576.0,
+      train_stats.slabs_spilled ? "mmap-spill" : "in-RAM");
 
   const int64_t batch = graph.num_edges() / 50;  // ~2% new edges per round
   for (int round = 1; round <= flags.GetInt("rounds"); ++round) {
     graph = AddEdgeBatch(graph, batch, 1000 + static_cast<uint64_t>(round));
 
-    // Warm-start refresh.
+    // Warm-start refresh, under the same memory budget as training.
     pane::RefreshOptions refresh_options;
     refresh_options.num_threads = 2;
+    refresh_options.memory_budget_mb = budget_mb;
     pane::RefreshStats refresh_stats;
     embedding = pane::RefreshEmbedding(graph, embedding, refresh_options,
                                        &refresh_stats)
@@ -75,13 +88,17 @@ int main(int argc, char** argv) {
 
     std::printf(
         "round %d (+%lld edges): refresh %.2fs vs retrain %.2fs "
-        "(%.1fx faster); objective %.3e vs %.3e (%.1f%% gap)\n",
+        "(%.1fx faster); objective %.3e vs %.3e (%.1f%% gap); refresh "
+        "engine width=%lld scratch=%.1fMB slabs=%s\n",
         round, static_cast<long long>(batch), refresh_stats.total_seconds,
         full_stats.total_seconds,
         full_stats.total_seconds / refresh_stats.total_seconds,
         refresh_stats.objective_final, full_stats.objective_final,
         100.0 * (refresh_stats.objective_final - full_stats.objective_final) /
-            full_stats.objective_final);
+            full_stats.objective_final,
+        static_cast<long long>(refresh_stats.affinity.panel_width),
+        refresh_stats.affinity.scratch_bytes / 1048576.0,
+        refresh_stats.slabs_spilled ? "mmap-spill" : "in-RAM");
   }
   std::printf("\nembeddings stay serviceable at a fraction of retrain cost.\n");
   return 0;

@@ -64,9 +64,18 @@ int main(int argc, char** argv) {
   flags.AddDouble("alpha", 0.5, "random-walk stopping probability (PANE)");
   flags.AddDouble("epsilon", 0.015, "affinity error threshold (PANE)");
   flags.AddInt("threads", 4, "worker threads (1 = Algorithm 1)");
+  flags.AddInt("memory-budget-mb", 0,
+               "whole-pipeline memory budget in MiB (PANE): panel scratch, "
+               "CCD strips, and mmap-spill of the n x d factors when they "
+               "exceed it (0 = unbounded; see README \"Memory model & "
+               "tuning\")");
   flags.AddInt("affinity-memory-mb", 0,
-               "affinity-phase panel scratch budget in MiB (PANE; 0 = "
-               "unbounded; see README \"Memory model & tuning\")");
+               "DEPRECATED alias for --memory-budget-mb");
+  flags.AddString("spill-dir", "",
+                  "directory for factor spill files (default: temp dir)");
+  flags.AddBool("verbose", false,
+                "log the engine decomposition (panel width/panels/scratch, "
+                "slab backing, CCD strips) after training");
   flags.AddInt("seed", 42, "random seed");
   flags.AddString("opt", "",
                   "extra method-specific config entries, comma-separated "

@@ -4,6 +4,7 @@
 // the workflow for embedding a graph too large to re-train casually.
 //
 //   ./examples/scale_parallel [--scale=1.0] [--threads=4] [--out=emb.bin]
+//                             [--memory-budget-mb=256]
 #include <cstdio>
 
 #include "src/common/flags.h"
@@ -16,6 +17,8 @@ int main(int argc, char** argv) {
   pane::FlagSet flags;
   flags.AddDouble("scale", 1.0, "dataset scale factor");
   flags.AddInt("threads", 4, "worker threads for the parallel run");
+  flags.AddInt("memory-budget-mb", 0,
+               "whole-pipeline memory budget in MiB (0 = unbounded)");
   flags.AddString("out", "/tmp/pane_tweibo_embedding.bin",
                   "path to save the trained embedding");
   PANE_CHECK_OK(flags.Parse(argc, argv));
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
     pane::PaneOptions options;
     options.k = 128;
     options.num_threads = threads;
+    options.memory_budget_mb = flags.GetInt("memory-budget-mb");
     pane::PaneStats stats;
     auto embedding = pane::Pane(options).Train(graph, &stats).ValueOrDie();
     std::printf(
@@ -35,6 +39,15 @@ int main(int argc, char** argv) {
         "  objective %.3e\n",
         threads, stats.total_seconds, stats.affinity_seconds,
         stats.init_seconds, stats.ccd_seconds, stats.objective_final);
+    std::printf(
+        "       engine: width=%lld panels=%lld scratch=%.1fMB slabs=%s "
+        "(%.1fMB) init-overlap=%d ccd-strip=%lld\n",
+        static_cast<long long>(stats.affinity.panel_width),
+        static_cast<long long>(stats.affinity.num_panels),
+        stats.affinity.scratch_bytes / 1048576.0,
+        stats.slabs_spilled ? "mmap-spill" : "in-RAM",
+        stats.slab_bytes / 1048576.0, stats.init_blocks_overlapped,
+        static_cast<long long>(stats.ccd.strip_width));
     return std::make_pair(std::move(embedding), stats);
   };
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/baselines/bane.h"
+#include "src/common/logging.h"
 #include "src/baselines/bla_like.h"
 #include "src/baselines/lqanr.h"
 #include "src/baselines/nrp.h"
@@ -32,16 +33,36 @@ DenseMatrix ConcatFactors(const DenseMatrix& xf, const DenseMatrix& xb) {
 
 class PaneEmbedder : public Embedder {
  public:
-  PaneEmbedder(PaneOptions options, bool parallel)
-      : options_(options), parallel_(parallel) {}
+  PaneEmbedder(PaneOptions options, bool parallel, bool verbose)
+      : options_(options), parallel_(parallel), verbose_(verbose) {}
 
   const char* name() const override { return parallel_ ? "pane" : "pane-seq"; }
 
   Status Validate() const override { return ValidatePaneOptions(options_); }
 
   Result<NodeEmbedding> Train(const AttributedGraph& graph) const override {
+    PaneStats stats;
     PANE_ASSIGN_OR_RETURN(PaneEmbedding trained,
-                          Pane(options_).Train(graph));
+                          Pane(options_).Train(graph, &stats));
+    if (verbose_) {
+      // The one stats sink every entry point shares (pane_cli --verbose):
+      // how the memory budget decomposed the run.
+      PANE_LOG(INFO) << name() << " affinity engine: width="
+                     << stats.affinity.panel_width
+                     << " panels=" << stats.affinity.num_panels
+                     << " scratch=" << stats.affinity.scratch_bytes
+                     << "B outputs=" << stats.affinity.output_bytes << "B"
+                     << (stats.affinity.panel_parallel ? " panel-parallel"
+                                                       : " row-parallel")
+                     << (stats.affinity.budget_clamped ? " (clamped)" : "");
+      PANE_LOG(INFO) << name() << " slabs: "
+                     << (stats.slabs_spilled ? "mmap-spill" : "in-RAM")
+                     << " total=" << stats.slab_bytes
+                     << "B; init blocks overlapped="
+                     << stats.init_blocks_overlapped
+                     << "; ccd strip=" << stats.ccd.strip_width
+                     << " scratch=" << stats.ccd.scratch_bytes << "B";
+    }
     NodeEmbedding e;
     e.method = name();
     e.features = ConcatFactors(trained.xf, trained.xb);
@@ -56,6 +77,7 @@ class PaneEmbedder : public Embedder {
  private:
   PaneOptions options_;
   bool parallel_;
+  bool verbose_;
 };
 
 Result<std::unique_ptr<Embedder>> MakePane(const EmbedderConfig& config,
@@ -72,10 +94,16 @@ Result<std::unique_ptr<Embedder>> MakePane(const EmbedderConfig& config,
   options.ccd_iterations = static_cast<int>(ccd);
   PANE_ASSIGN_OR_RETURN(options.greedy_init,
                         config.GetBool("greedy_init", true));
-  // --affinity-memory-mb arrives as this key: FromFlags normalizes dashed
-  // flag names to the underscore spelling.
+  // --memory-budget-mb arrives as this key: FromFlags normalizes dashed
+  // flag names to the underscore spelling. --affinity-memory-mb is the
+  // deprecated alias; Pane::Train falls back to it when the new key is 0.
+  PANE_ASSIGN_OR_RETURN(options.memory_budget_mb,
+                        config.GetInt("memory_budget_mb", 0));
   PANE_ASSIGN_OR_RETURN(options.affinity_memory_mb,
                         config.GetInt("affinity_memory_mb", 0));
+  options.spill_dir = config.GetString("spill_dir", "");
+  PANE_ASSIGN_OR_RETURN(const bool verbose,
+                        config.GetBool("verbose", false));
   PANE_ASSIGN_OR_RETURN(const int64_t seed, config.GetInt("seed", 42));
   options.seed = static_cast<uint64_t>(seed);
   if (parallel) {
@@ -84,7 +112,8 @@ Result<std::unique_ptr<Embedder>> MakePane(const EmbedderConfig& config,
   } else {
     options.num_threads = 1;
   }
-  return std::unique_ptr<Embedder>(new PaneEmbedder(options, parallel));
+  return std::unique_ptr<Embedder>(
+      new PaneEmbedder(options, parallel, verbose));
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 #include "src/common/status.h"
 #include "src/graph/graph.h"
 #include "src/matrix/dense_matrix.h"
+#include "src/matrix/factor_slab.h"
 
 namespace pane {
 
@@ -15,6 +16,15 @@ namespace pane {
 struct AffinityMatrices {
   DenseMatrix forward;   // F (or its approximation F')
   DenseMatrix backward;  // B (or B')
+};
+
+/// \brief The pair (F', B') as FactorSlabs — the pipeline's native shape.
+/// Under the in-RAM backing this is AffinityMatrices with a different coat;
+/// under the mmap backing the factors live in spill files and consumers
+/// stream row blocks. See src/matrix/factor_slab.h.
+struct AffinitySlabs {
+  FactorSlab forward;
+  FactorSlab backward;
 };
 
 /// \brief Iteration count t = ceil(log(eps) / log(1 - alpha) - 1), clamped

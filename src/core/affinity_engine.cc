@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,10 @@ namespace {
 
 // term + next, doubles.
 constexpr int64_t kScratchBuffersPerPanel = 2;
+
+// Row granularity at which spilled slabs give pages back during streaming
+// passes (release calls are no-ops for in-RAM slabs).
+constexpr int64_t kSpillReleaseRows = 4096;
 
 Status ValidateEngineInputs(const CsrMatrix& p, const CsrMatrix& pt,
                             const CsrMatrix& r,
@@ -60,9 +65,12 @@ int64_t NumPanels(int64_t d, int64_t width) {
 // drains alongside them, so up to num_workers + 1 panels hold scratch at
 // once and the budget is divided accordingly; when panels run in sequence
 // (row-parallel SpMM inside each), a single panel owns all the scratch and
-// gets the whole budget.
+// gets the whole budget. Spilled runs force the sequential shape: finished
+// panels immediately return their slab pages, so exactly one panel's pages
+// plus one panel's scratch are resident at a time.
 PanelDecomposition DecomposePanels(int64_t n, int64_t d, int64_t num_workers,
-                                   const AffinityEngineOptions& options) {
+                                   const AffinityEngineOptions& options,
+                                   bool allow_panel_parallel) {
   PanelDecomposition out;
   const int64_t bytes_per_column =
       kScratchBuffersPerPanel * static_cast<int64_t>(sizeof(double)) * n;
@@ -71,8 +79,8 @@ PanelDecomposition DecomposePanels(int64_t n, int64_t d, int64_t num_workers,
   const auto finish = [&](int64_t width) {
     out.width = width;
     out.num_panels = NumPanels(d, width);
-    out.panel_parallel =
-        num_workers > 1 && 2 * out.num_panels >= num_workers;
+    out.panel_parallel = allow_panel_parallel && num_workers > 1 &&
+                         2 * out.num_panels >= num_workers;
     out.in_flight = out.panel_parallel
                         ? std::min(max_in_flight, 2 * out.num_panels)
                         : 1;
@@ -96,24 +104,32 @@ PanelDecomposition DecomposePanels(int64_t n, int64_t d, int64_t num_workers,
   // occupy the pool does the engine try panel-parallel execution, which
   // re-divides the budget across the concurrent panels.
   const int64_t solo_width = std::min(budget_bytes / bytes_per_column, d);
-  if (num_workers > 1 && solo_width >= 1 &&
-      2 * NumPanels(d, solo_width) < num_workers) {
-    finish(solo_width);
-    return out;
-  }
-  const int64_t divided_width =
-      budget_bytes / (bytes_per_column * max_in_flight);
-  if (divided_width >= 1) {
-    finish(std::min(divided_width, d));
-    return out;
-  }
-  // The budget admits sequential panels but not one panel per in-flight
-  // worker: respect the budget and keep the parallelism at the row level
-  // inside each panel.
-  if (solo_width >= 1) {
-    out.width = std::min(solo_width, d);
-    out.num_panels = NumPanels(d, out.width);
-    return out;
+  if (!allow_panel_parallel) {
+    if (solo_width >= 1) {
+      out.width = solo_width;
+      out.num_panels = NumPanels(d, out.width);
+      return out;
+    }
+  } else {
+    if (num_workers > 1 && solo_width >= 1 &&
+        2 * NumPanels(d, solo_width) < num_workers) {
+      finish(solo_width);
+      return out;
+    }
+    const int64_t divided_width =
+        budget_bytes / (bytes_per_column * max_in_flight);
+    if (divided_width >= 1) {
+      finish(std::min(divided_width, d));
+      return out;
+    }
+    // The budget admits sequential panels but not one panel per in-flight
+    // worker: respect the budget and keep the parallelism at the row level
+    // inside each panel.
+    if (solo_width >= 1) {
+      out.width = std::min(solo_width, d);
+      out.num_panels = NumPanels(d, out.width);
+      return out;
+    }
   }
   // Below even one sequential width-1 panel: clamp, and run sequentially so
   // the overshoot is a single panel's scratch, not max_in_flight of them.
@@ -136,22 +152,36 @@ struct PanelTask {
 
 }  // namespace
 
-Result<AffinityMatrices> ComputeAffinityPanels(
-    const CsrMatrix& p, const CsrMatrix& p_transposed, const CsrMatrix& r,
-    const AffinityEngineOptions& options, AffinityEngineStats* stats) {
+Status ComputeAffinityIntoSlabs(const CsrMatrix& p,
+                                const CsrMatrix& p_transposed,
+                                const CsrMatrix& r,
+                                const AffinityEngineOptions& options,
+                                AffinitySlabs* out,
+                                AffinityEngineStats* stats) {
+  if (out == nullptr) return Status::InvalidArgument("null output slabs");
   PANE_RETURN_NOT_OK(ValidateEngineInputs(p, p_transposed, r, options));
   const int64_t n = r.rows();
   const int64_t d = r.cols();
   const double alpha = options.alpha;
 
-  AffinityMatrices out;
-  out.forward.Resize(n, d);
-  out.backward.Resize(n, d);
+  // Accept caller-created slabs (pre-created so a consumer can hold a
+  // stable pointer during the run) or create them here.
+  for (FactorSlab* slab : {&out->forward, &out->backward}) {
+    if (slab->empty() && (slab->rows() != n || slab->cols() != d)) {
+      PANE_ASSIGN_OR_RETURN(
+          *slab, FactorSlab::Create(n, d, options.backing, options.spill_dir));
+    } else if (slab->rows() != n || slab->cols() != d) {
+      return Status::InvalidArgument("output slab shape must be n x d");
+    }
+  }
+  const bool spilled = out->forward.spilled() || out->backward.spilled();
+
   AffinityEngineStats local_stats;
   AffinityEngineStats* st = stats != nullptr ? stats : &local_stats;
   *st = AffinityEngineStats{};
   st->output_bytes = 2 * n * d * static_cast<int64_t>(sizeof(double));
-  if (n == 0 || d == 0) return out;
+  st->spilled = spilled;
+  if (n == 0 || d == 0) return Status::OK();
 
   ThreadPool* pool =
       (options.pool != nullptr && options.pool->num_threads() > 1)
@@ -164,8 +194,11 @@ Result<AffinityMatrices> ComputeAffinityPanels(
   // otherwise panels run in sequence and the pool row-partitions the SpMM
   // inside each panel. Either way each output element is produced by exactly
   // one thread with unchanged per-element summation order, so the result is
-  // bitwise independent of the decomposition.
-  const PanelDecomposition decomp = DecomposePanels(n, d, nb, options);
+  // bitwise independent of the decomposition — including the spilled shape,
+  // which always runs panels sequentially so it can return each finished
+  // panel's pages before starting the next.
+  const PanelDecomposition decomp =
+      DecomposePanels(n, d, nb, options, /*allow_panel_parallel=*/!spilled);
   const int64_t width = decomp.width;
   const bool panel_parallel = decomp.panel_parallel;
   ThreadPool* row_pool = panel_parallel ? nullptr : pool;
@@ -188,10 +221,29 @@ Result<AffinityMatrices> ComputeAffinityPanels(
     }
   }
 
+  // Panel-completion bookkeeping for the consumer callback.
+  std::mutex consumer_mutex;
+  int64_t forward_done = 0;
+  int64_t backward_done = 0;
+  const auto notify = [&](const PanelTask& task) {
+    if (!options.panel_consumer) return;
+    std::lock_guard<std::mutex> lock(consumer_mutex);
+    AffinityPanelEvent event;
+    event.forward = task.forward;
+    event.col_begin = task.begin;
+    event.col_end = task.end;
+    event.num_panels = decomp.num_panels;
+    int64_t& done = task.forward ? forward_done : backward_done;
+    event.panels_done = ++done;
+    event.forward_complete =
+        task.forward && event.panels_done == decomp.num_panels;
+    options.panel_consumer(event);
+  };
+
   const auto run_panel = [&](const PanelTask& task) {
     const CsrMatrix& m = task.forward ? p : p_transposed;
     const CsrMatrix& r0 = task.forward ? rr : rc;
-    DenseMatrix* slab = task.forward ? &out.forward : &out.backward;
+    FactorSlab* slab = task.forward ? &out->forward : &out->backward;
     const int64_t w = task.end - task.begin;
 
     // Scratch: the panel's current series term and the next-iteration
@@ -217,8 +269,8 @@ Result<AffinityMatrices> ComputeAffinityPanels(
     // Lines 4-5 of Algorithm 2, fused: term <- (1-alpha) * M * term and
     // stripe += alpha * term in one pass per iteration.
     for (int l = 1; l <= options.t; ++l) {
-      SpMMPanelStep(m, term, 1.0 - alpha, &next, alpha, slab, task.begin,
-                    row_pool);
+      SpMMPanelStep(m, term, 1.0 - alpha, &next, alpha, slab->data(),
+                    slab->cols(), task.begin, row_pool);
       std::swap(term, next);
     }
 
@@ -248,6 +300,14 @@ Result<AffinityMatrices> ComputeAffinityPanels(
         transform_rows(0, n);
       }
     }
+
+    // Spilled panels run sequentially, so the finished panel can hand every
+    // resident page of its slab back before the next panel starts — this is
+    // what keeps affinity-phase RSS near the scratch budget instead of
+    // 2 n d. (The pages stay authoritative in the page cache; later panels
+    // and the backward SPMI pass refault what they touch.)
+    DropResidencyOrWarn(*slab);
+    notify(task);
   };
 
   if (panel_parallel) {
@@ -259,19 +319,29 @@ Result<AffinityMatrices> ComputeAffinityPanels(
 
   // SPMI transform, backward side: row sums span every panel, so B' is
   // finished with one in-place row-parallel pass over the completed slab.
+  // Rows are contiguous, so a spilled slab streams this pass in chunks that
+  // release their pages as they finish.
   const auto backward_rows = [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      double* row = out.backward.Row(i);
-      double rs = 0.0;
-      for (int64_t j = 0; j < d; ++j) rs += row[j];
-      if (rs > 0.0) {
-        for (int64_t j = 0; j < d; ++j) row[j] = std::log1p(d * row[j] / rs);
-      } else {
-        // A row can sum to <= 0 with nonzero entries when attribute weights
-        // carry mixed signs; the unfused reference defines B' as all-zero
-        // there, and the raw accumulated probabilities must not leak out.
-        std::fill(row, row + d, 0.0);
+    for (int64_t chunk = row_begin; chunk < row_end;
+         chunk += kSpillReleaseRows) {
+      const int64_t chunk_end = std::min(chunk + kSpillReleaseRows, row_end);
+      for (int64_t i = chunk; i < chunk_end; ++i) {
+        double* row = out->backward.Row(i);
+        double rs = 0.0;
+        for (int64_t j = 0; j < d; ++j) rs += row[j];
+        if (rs > 0.0) {
+          for (int64_t j = 0; j < d; ++j) {
+            row[j] = std::log1p(d * row[j] / rs);
+          }
+        } else {
+          // A row can sum to <= 0 with nonzero entries when attribute
+          // weights carry mixed signs; the unfused reference defines B' as
+          // all-zero there, and the raw accumulated probabilities must not
+          // leak out.
+          std::fill(row, row + d, 0.0);
+        }
       }
+      ReleaseRowsOrWarn(out->backward, chunk, chunk_end, /*dirty=*/true);
     }
   };
   if (pool != nullptr) {
@@ -279,14 +349,49 @@ Result<AffinityMatrices> ComputeAffinityPanels(
   } else {
     backward_rows(0, n);
   }
+  return Status::OK();
+}
+
+Result<AffinitySlabs> ComputeAffinitySlabs(const CsrMatrix& p,
+                                           const CsrMatrix& p_transposed,
+                                           const CsrMatrix& r,
+                                           const AffinityEngineOptions& options,
+                                           AffinityEngineStats* stats) {
+  AffinitySlabs out;
+  PANE_RETURN_NOT_OK(
+      ComputeAffinityIntoSlabs(p, p_transposed, r, options, &out, stats));
   return out;
+}
+
+Result<AffinityMatrices> ComputeAffinityPanels(
+    const CsrMatrix& p, const CsrMatrix& p_transposed, const CsrMatrix& r,
+    const AffinityEngineOptions& options, AffinityEngineStats* stats) {
+  AffinityEngineOptions in_ram = options;
+  in_ram.backing = FactorSlab::Backing::kInRam;
+  PANE_ASSIGN_OR_RETURN(
+      AffinitySlabs slabs,
+      ComputeAffinitySlabs(p, p_transposed, r, in_ram, stats));
+  AffinityMatrices out;
+  out.forward = slabs.forward.TakeDense();
+  out.backward = slabs.backward.TakeDense();
+  return out;
+}
+
+Status ComputeGraphAffinityIntoSlabs(const AttributedGraph& graph,
+                                     const AffinityEngineOptions& options,
+                                     AffinitySlabs* out,
+                                     AffinityEngineStats* stats) {
+  // The one place P and P^T are constructed per embedding run; every caller
+  // that used to build its own transposed copy now funnels through here.
+  const CsrMatrix p = graph.RandomWalkMatrix();
+  const CsrMatrix pt = p.Transposed();
+  return ComputeAffinityIntoSlabs(p, pt, graph.attributes(), options, out,
+                                  stats);
 }
 
 Result<AffinityMatrices> ComputeGraphAffinity(const AttributedGraph& graph,
                                               const AffinityEngineOptions& options,
                                               AffinityEngineStats* stats) {
-  // The one place P and P^T are constructed per embedding run; every caller
-  // that used to build its own transposed copy now funnels through here.
   const CsrMatrix p = graph.RandomWalkMatrix();
   const CsrMatrix pt = p.Transposed();
   return ComputeAffinityPanels(p, pt, graph.attributes(), options, stats);

@@ -9,24 +9,50 @@
 // row-parallel pass over the backward slab once all panels have landed (row
 // sums span every panel).
 //
-// Peak memory is 2 n d doubles for the outputs plus
-// O(n x panel_width x in-flight panels) scratch; the panel width is derived
-// from a caller-supplied memory budget. Column blocks of a sparse-dense
-// product are independent (Lemma 4.1), and the engine preserves per-element
+// The outputs are FactorSlabs (src/matrix/factor_slab.h): in-RAM for the
+// historical shape, or memory-mapped spill files when the caller's memory
+// budget cannot hold the factors — panels then run sequentially and each
+// finished panel's pages are dropped from the resident set, so peak RSS
+// tracks the scratch budget rather than 2 n d. A consumer callback fires as
+// panels land; the engine-aware greedy init uses the forward-complete event
+// to start RandSVD-ing F' row blocks while the backward panels are still
+// streaming.
+//
+// Peak scratch is O(n x panel_width x in-flight panels), derived from the
+// caller-supplied memory budget. Column blocks of a sparse-dense product
+// are independent (Lemma 4.1), and the engine preserves per-element
 // summation order, so its output is bitwise identical to the historical
-// serial APMI path for every panel decomposition and thread count.
+// serial APMI path for every panel decomposition, thread count, and slab
+// backing.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "src/common/status.h"
 #include "src/core/affinity.h"
 #include "src/graph/graph.h"
 #include "src/matrix/csr_matrix.h"
+#include "src/matrix/factor_slab.h"
 
 namespace pane {
 
 class ThreadPool;
+
+/// \brief One finished column panel, reported to the consumer callback.
+struct AffinityPanelEvent {
+  bool forward = true;       ///< which direction's slab the panel landed in
+  int64_t col_begin = 0;     ///< attribute column range of the panel
+  int64_t col_end = 0;
+  int64_t panels_done = 0;   ///< finished panels in this direction so far
+  int64_t num_panels = 0;    ///< total panels per direction
+  /// True on the event that completes the forward direction: F' (including
+  /// its fused SPMI transform) is final and may be consumed while the
+  /// backward panels are still streaming. B' is final only when the engine
+  /// returns (its SPMI row pass spans every panel).
+  bool forward_complete = false;
+};
 
 struct AffinityEngineOptions {
   /// Random-walk stopping probability, in (0, 1).
@@ -35,15 +61,24 @@ struct AffinityEngineOptions {
   int t = 5;
   /// Worker pool; nullptr or size 1 => serial.
   ThreadPool* pool = nullptr;
-  /// Scratch budget in MiB for the panel buffers (the outputs and the
-  /// normalized copies of R are not counted — they are fixed costs of the
-  /// result itself). 0 => unbounded: the panel width defaults to the whole
-  /// attribute set when serial and ceil(d / num_threads) when pooled, which
-  /// reproduces the historical APMI / PAPMI memory shapes.
+  /// Memory budget in MiB for the panel scratch buffers (the output slabs
+  /// and the normalized copies of R are not counted — they are fixed costs
+  /// of the result itself; spilled slabs barely dent RSS at all). 0 =>
+  /// unbounded: the panel width defaults to the whole attribute set when
+  /// serial and ceil(d / num_threads) when pooled, which reproduces the
+  /// historical APMI / PAPMI memory shapes.
   int64_t memory_budget_mb = 0;
   /// Explicit panel-width override (tests, benches). 0 => derive from the
   /// budget. Values > d are clamped to d.
   int64_t panel_width = 0;
+  /// Backing for slabs the engine creates itself (the Result-returning
+  /// entry points). ComputeAffinityIntoSlabs honors the caller's slabs.
+  FactorSlab::Backing backing = FactorSlab::Backing::kInRam;
+  /// Spill-file directory for engine-created mmap slabs ("" => temp dir).
+  std::string spill_dir;
+  /// Optional panel consumer; invoked under an engine mutex (events are
+  /// serialized) from whichever thread finished the panel.
+  std::function<void(const AffinityPanelEvent&)> panel_consumer;
 };
 
 /// \brief How one engine run decomposed the problem; filled analytically
@@ -56,17 +91,45 @@ struct AffinityEngineStats {
   bool budget_clamped = false;  ///< budget < one width-1 panel; ran at width 1
   bool panel_parallel = false;  ///< true: panels across workers;
                                 ///< false: row blocks within a panel
+  bool spilled = false;         ///< outputs went to memory-mapped slabs
 };
 
-/// \brief Runs the engine on prebuilt P, P^T and attribute matrix R.
-/// Returns (F', B'); bitwise equal to Apmi() on the same inputs.
+/// \brief Core entry: runs the engine on prebuilt P, P^T and attribute
+/// matrix R, writing into caller-owned slabs. The slabs must either be
+/// empty (they are created with options.backing) or already shaped n x d —
+/// pre-creating them is what lets a consumer callback observe them while
+/// the run is in flight. Bitwise equal to Apmi() on the same inputs.
+Status ComputeAffinityIntoSlabs(const CsrMatrix& p,
+                                const CsrMatrix& p_transposed,
+                                const CsrMatrix& r,
+                                const AffinityEngineOptions& options,
+                                AffinitySlabs* out,
+                                AffinityEngineStats* stats = nullptr);
+
+/// \brief Slab-returning convenience over ComputeAffinityIntoSlabs.
+Result<AffinitySlabs> ComputeAffinitySlabs(const CsrMatrix& p,
+                                           const CsrMatrix& p_transposed,
+                                           const CsrMatrix& r,
+                                           const AffinityEngineOptions& options,
+                                           AffinityEngineStats* stats = nullptr);
+
+/// \brief Legacy dense-output form: runs the engine into in-RAM slabs and
+/// moves them out as (F', B') DenseMatrices; bitwise equal to Apmi() on the
+/// same inputs.
 Result<AffinityMatrices> ComputeAffinityPanels(
     const CsrMatrix& p, const CsrMatrix& p_transposed, const CsrMatrix& r,
     const AffinityEngineOptions& options,
     AffinityEngineStats* stats = nullptr);
 
 /// \brief Graph-level entry: builds P and P^T exactly once (the single
-/// construction point per embedding run) and runs the engine.
+/// construction point per embedding run) and runs the engine into
+/// caller-owned slabs.
+Status ComputeGraphAffinityIntoSlabs(const AttributedGraph& graph,
+                                     const AffinityEngineOptions& options,
+                                     AffinitySlabs* out,
+                                     AffinityEngineStats* stats = nullptr);
+
+/// \brief Graph-level dense form (legacy surface).
 Result<AffinityMatrices> ComputeGraphAffinity(
     const AttributedGraph& graph, const AffinityEngineOptions& options,
     AffinityEngineStats* stats = nullptr);

@@ -60,10 +60,12 @@ Result<ProbabilityMatrices> ApmiProbabilities(const ApmiInputs& inputs) {
   return probs;
 }
 
-Result<AffinityMatrices> Apmi(const ApmiInputs& inputs) {
+Result<AffinityMatrices> Apmi(const ApmiInputs& inputs,
+                              AffinityEngineStats* stats) {
   PANE_RETURN_NOT_OK(ValidateInputs(inputs));
   return ComputeAffinityPanels(*inputs.p, *inputs.p_transposed, *inputs.r,
-                               EngineOptions(inputs, /*pool=*/nullptr));
+                               EngineOptions(inputs, /*pool=*/nullptr),
+                               stats);
 }
 
 Result<AffinityMatrices> ComputeAffinity(const AttributedGraph& graph,

@@ -37,8 +37,11 @@ struct ApmiInputs {
 
 /// \brief Runs Algorithm 2 through the affinity engine (serial, one panel
 /// unless a memory budget narrows it); returns the approximate pair
-/// (F', B').
-Result<AffinityMatrices> Apmi(const ApmiInputs& inputs);
+/// (F', B'). `stats` (optional) receives the engine's panel decomposition —
+/// width / panel count / scratch — so every entry point can report how the
+/// budget was spent (pane_cli --verbose).
+Result<AffinityMatrices> Apmi(const ApmiInputs& inputs,
+                              AffinityEngineStats* stats = nullptr);
 
 /// \brief The truncated probability matrices before the SPMI transform
 /// (Algorithm 2 up to line 5); exposed for the Lemma 3.1 tests. This is the

@@ -1,7 +1,9 @@
 #include "src/core/ccd.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/matrix/vector_ops.h"
 #include "src/parallel/thread_pool.h"
 
@@ -13,9 +15,29 @@ namespace {
 // column is identically zero.
 constexpr double kDenominatorFloor = 1e-300;
 
+// Row granularity for release-as-you-go streaming over spilled residuals.
+constexpr int64_t kStreamChunkRows = 4096;
+
+// Residual columns gathered per phase-2 strip: budget-derived, with a
+// cache-friendly default when unbounded. Pure residency/locality knob — the
+// per-column arithmetic is identical for every width.
+int64_t StripWidth(int64_t n, int64_t d, int64_t memory_budget_mb) {
+  if (d <= 0) return 1;
+  const int64_t bytes_per_column =
+      2 * static_cast<int64_t>(sizeof(double)) * std::max<int64_t>(n, 1);
+  // Unbounded runs still cap the strip scratch (32 MiB) so the buffers stay
+  // a rounding error next to the n x d residuals they stage.
+  const int64_t budget_bytes = memory_budget_mb > 0
+                                   ? (memory_budget_mb << 20)
+                                   : (int64_t{32} << 20);
+  return std::clamp<int64_t>(budget_bytes / bytes_per_column, 1, d);
+}
+
 // Phase 1 over node rows [begin, end): for each vi and l, the updates of
 // Equations (13), (14), (16), (18), (19). `yt` is Y^T (k/2 x d, rows
 // contiguous) and `y_denoms[l] = Y[:,l] . Y[:,l]`, both fixed this phase.
+// Residual rows are touched in place through the slab (zero-copy under
+// either backing).
 void UpdateNodeRows(EmbeddingState* state, const DenseMatrix& yt,
                     const std::vector<double>& y_denoms, int64_t begin,
                     int64_t end) {
@@ -40,29 +62,24 @@ void UpdateNodeRows(EmbeddingState* state, const DenseMatrix& yt,
   }
 }
 
-// Phase 2 over attribute rows [begin, end): updates of Equations (15),
-// (17), (20). `xft` / `xbt` are Xf^T / Xb^T (k/2 x n) and
-// `x_denoms[l] = Xf[:,l].Xf[:,l] + Xb[:,l].Xb[:,l]`, fixed this phase.
-// Residual columns are staged through contiguous scratch buffers.
-void UpdateAttributeRows(EmbeddingState* state, const DenseMatrix& xft,
-                         const DenseMatrix& xbt,
-                         const std::vector<double>& x_denoms, int64_t begin,
-                         int64_t end, std::vector<double>* sf_scratch,
-                         std::vector<double>* sb_scratch) {
+// Phase 2 updates for the strip's attribute rows [strip_begin, strip_end)
+// (local indices into the gathered buffers): Equations (15), (17), (20).
+// `xft` / `xbt` are Xf^T / Xb^T (k/2 x n) and
+// `x_denoms[l] = Xf[:,l].Xf[:,l] + Xb[:,l].Xb[:,l]`, fixed this phase. Each
+// gathered column is a contiguous length-n buffer, exactly the scratch
+// shape the unstreamed implementation staged per attribute row.
+void UpdateStripAttributeRows(EmbeddingState* state, const DenseMatrix& xft,
+                              const DenseMatrix& xbt,
+                              const std::vector<double>& x_denoms,
+                              int64_t col_begin, double* sf_strip,
+                              double* sb_strip, int64_t strip_begin,
+                              int64_t strip_end) {
   const int64_t h = state->y.cols();
   const int64_t n = state->sf.rows();
-  const int64_t d = state->sf.cols();
-  double* sf_col = sf_scratch->data();
-  double* sb_col = sb_scratch->data();
-  for (int64_t rj = begin; rj < end; ++rj) {
-    // Gather the residual columns Sf[:, rj], Sb[:, rj].
-    const double* sf_base = state->sf.data() + rj;
-    const double* sb_base = state->sb.data() + rj;
-    for (int64_t i = 0; i < n; ++i) {
-      sf_col[i] = sf_base[i * d];
-      sb_col[i] = sb_base[i * d];
-    }
-    double* y_row = state->y.Row(rj);
+  for (int64_t idx = strip_begin; idx < strip_end; ++idx) {
+    double* sf_col = sf_strip + idx * n;
+    double* sb_col = sb_strip + idx * n;
+    double* y_row = state->y.Row(col_begin + idx);
     for (int64_t l = 0; l < h; ++l) {
       const double denom = x_denoms[static_cast<size_t>(l)];
       if (denom < kDenominatorFloor) continue;
@@ -73,13 +90,6 @@ void UpdateAttributeRows(EmbeddingState* state, const DenseMatrix& xft,
       y_row[l] -= mu_y;                                         // Eq. (15)
       Axpy(-mu_y, xfl, sf_col, n);                              // Eq. (20)
       Axpy(-mu_y, xbl, sb_col, n);
-    }
-    // Scatter the updated columns back.
-    double* sf_out = state->sf.data() + rj;
-    double* sb_out = state->sb.data() + rj;
-    for (int64_t i = 0; i < n; ++i) {
-      sf_out[i * d] = sf_col[i];
-      sb_out[i * d] = sb_col[i];
     }
   }
 }
@@ -108,30 +118,50 @@ Status CcdRefine(EmbeddingState* state, const CcdOptions& options) {
   if (options.iterations < 0) {
     return Status::InvalidArgument("iterations must be >= 0");
   }
+  if (options.memory_budget_mb < 0) {
+    return Status::InvalidArgument("memory_budget_mb must be >= 0");
+  }
 
   ThreadPool* pool = options.pool;
   const int nb = pool != nullptr ? pool->num_threads() : 1;
   const std::vector<Range> node_blocks = PartitionRange(n, nb);
-  const std::vector<Range> attr_blocks = PartitionRange(d, nb);
+
+  const int64_t strip = StripWidth(n, d, options.memory_budget_mb);
+  if (options.stats != nullptr) {
+    options.stats->strip_width = strip;
+    options.stats->scratch_bytes =
+        2 * strip * n * static_cast<int64_t>(sizeof(double));
+  }
+  std::vector<double> sf_strip(static_cast<size_t>(strip * n));
+  std::vector<double> sb_strip(static_cast<size_t>(strip * n));
 
   for (int iter = 0; iter < options.iterations; ++iter) {
     // ----- Phase 1 (Algorithm 4 lines 3-9 / Algorithm 8 lines 3-10): Y
-    // fixed, sweep Xf / Xb rows.
+    // fixed, sweep Xf / Xb rows; spilled residual rows are released as each
+    // chunk finishes so phase-1 residency stays at the chunk level.
     const DenseMatrix yt = state->y.Transposed();
     const std::vector<double> y_denoms = ColumnSquaredNorms(yt);
+    const auto phase1_rows = [&](int64_t begin, int64_t end) {
+      for (int64_t chunk = begin; chunk < end; chunk += kStreamChunkRows) {
+        const int64_t chunk_end = std::min(chunk + kStreamChunkRows, end);
+        UpdateNodeRows(state, yt, y_denoms, chunk, chunk_end);
+        ReleaseRowsOrWarn(state->sf, chunk, chunk_end, /*dirty=*/true);
+        ReleaseRowsOrWarn(state->sb, chunk, chunk_end, /*dirty=*/true);
+      }
+    };
     if (nb == 1) {
-      UpdateNodeRows(state, yt, y_denoms, 0, n);
+      phase1_rows(0, n);
     } else {
       pool->RunBlocks(nb, [&](int b) {
         const Range& blk = node_blocks[static_cast<size_t>(b)];
-        if (blk.size() > 0) {
-          UpdateNodeRows(state, yt, y_denoms, blk.begin, blk.end);
-        }
+        if (blk.size() > 0) phase1_rows(blk.begin, blk.end);
       });
     }
 
     // ----- Phase 2 (Algorithm 4 lines 10-14 / Algorithm 8 lines 11-16):
-    // Xf / Xb fixed, sweep Y rows.
+    // Xf / Xb fixed, sweep Y rows. Residual columns are gathered a strip at
+    // a time with sequential row scans (slab-friendly), updated in the
+    // contiguous strip buffers, and scattered back.
     const DenseMatrix xft = state->xf.Transposed();
     const DenseMatrix xbt = state->xb.Transposed();
     std::vector<double> x_denoms = ColumnSquaredNorms(xft);
@@ -141,20 +171,56 @@ Status CcdRefine(EmbeddingState* state, const CcdOptions& options) {
         x_denoms[l] += xb_denoms[l];
       }
     }
-    if (nb == 1) {
-      std::vector<double> sf_scratch(static_cast<size_t>(n));
-      std::vector<double> sb_scratch(static_cast<size_t>(n));
-      UpdateAttributeRows(state, xft, xbt, x_denoms, 0, d, &sf_scratch,
-                          &sb_scratch);
-    } else {
-      pool->RunBlocks(nb, [&](int b) {
-        const Range& blk = attr_blocks[static_cast<size_t>(b)];
-        if (blk.size() == 0) return;
-        std::vector<double> sf_scratch(static_cast<size_t>(n));
-        std::vector<double> sb_scratch(static_cast<size_t>(n));
-        UpdateAttributeRows(state, xft, xbt, x_denoms, blk.begin, blk.end,
-                            &sf_scratch, &sb_scratch);
-      });
+    for (int64_t col_begin = 0; col_begin < d; col_begin += strip) {
+      const int64_t col_end = std::min(col_begin + strip, d);
+      const int64_t c = col_end - col_begin;
+      const auto gather_rows = [&](int64_t begin, int64_t end) {
+        for (int64_t chunk = begin; chunk < end; chunk += kStreamChunkRows) {
+          const int64_t chunk_end = std::min(chunk + kStreamChunkRows, end);
+          for (int64_t i = chunk; i < chunk_end; ++i) {
+            const double* sf_row = state->sf.Row(i) + col_begin;
+            const double* sb_row = state->sb.Row(i) + col_begin;
+            for (int64_t l = 0; l < c; ++l) {
+              sf_strip[static_cast<size_t>(l * n + i)] = sf_row[l];
+              sb_strip[static_cast<size_t>(l * n + i)] = sb_row[l];
+            }
+          }
+          ReleaseRowsOrWarn(state->sf, chunk, chunk_end, /*dirty=*/false);
+          ReleaseRowsOrWarn(state->sb, chunk, chunk_end, /*dirty=*/false);
+        }
+      };
+      const auto scatter_rows = [&](int64_t begin, int64_t end) {
+        for (int64_t chunk = begin; chunk < end; chunk += kStreamChunkRows) {
+          const int64_t chunk_end = std::min(chunk + kStreamChunkRows, end);
+          for (int64_t i = chunk; i < chunk_end; ++i) {
+            double* sf_row = state->sf.Row(i) + col_begin;
+            double* sb_row = state->sb.Row(i) + col_begin;
+            for (int64_t l = 0; l < c; ++l) {
+              sf_row[l] = sf_strip[static_cast<size_t>(l * n + i)];
+              sb_row[l] = sb_strip[static_cast<size_t>(l * n + i)];
+            }
+          }
+          ReleaseRowsOrWarn(state->sf, chunk, chunk_end, /*dirty=*/true);
+          ReleaseRowsOrWarn(state->sb, chunk, chunk_end, /*dirty=*/true);
+        }
+      };
+      if (nb == 1) {
+        gather_rows(0, n);
+        UpdateStripAttributeRows(state, xft, xbt, x_denoms, col_begin,
+                                 sf_strip.data(), sb_strip.data(), 0, c);
+        scatter_rows(0, n);
+      } else {
+        ParallelFor(pool, 0, n, gather_rows);
+        const std::vector<Range> strip_blocks = PartitionRange(c, nb);
+        pool->RunBlocks(nb, [&](int b) {
+          const Range& blk = strip_blocks[static_cast<size_t>(b)];
+          if (blk.size() == 0) return;
+          UpdateStripAttributeRows(state, xft, xbt, x_denoms, col_begin,
+                                   sf_strip.data(), sb_strip.data(),
+                                   blk.begin, blk.end);
+        });
+        ParallelFor(pool, 0, n, scatter_rows);
+      }
     }
 
     if (options.objective_trace != nullptr) {

@@ -3,7 +3,18 @@
 // sweeps the rows of Xf / Xb (updating residual rows Sf[vi], Sb[vi] in O(d),
 // Equations 13-14 / 16 / 18-19), then fixes Xf / Xb and sweeps the rows of Y
 // (updating residual columns in O(n), Equations 15 / 17 / 20).
+//
+// The residuals live in FactorSlabs. Phase 1 streams row blocks (zero-copy
+// under either backing, pages released as blocks finish when spilled).
+// Phase 2 needs residual columns, which are hostile to a row-major slab, so
+// it gathers a strip of columns per sequential scan over the rows, updates
+// every attribute row of the strip against the contiguous strip buffers,
+// and scatters the strip back — the strip width follows the memory budget,
+// and since gather/scatter is pure copying the results are bitwise
+// identical for every strip width, backing, and thread count.
 #pragma once
+
+#include <cstdint>
 
 #include "src/common/status.h"
 #include "src/core/greedy_init.h"
@@ -12,14 +23,28 @@ namespace pane {
 
 class ThreadPool;
 
+/// \brief How one CcdRefine call sized its streaming state.
+struct CcdStats {
+  int64_t strip_width = 0;    ///< residual columns gathered per strip
+  int64_t scratch_bytes = 0;  ///< the two strip buffers: 2 x 8 x n x strip
+};
+
 struct CcdOptions {
   /// Number of full CCD sweeps (the t of Algorithm 1 by default).
   int iterations = 5;
-  /// Worker pool: node-row blocks in phase 1, attribute-row blocks in
-  /// phase 2 (Algorithm 8). nullptr => serial Algorithm 4.
+  /// Worker pool: node-row blocks in phase 1; in phase 2 the pool
+  /// row-parallelizes the strip gather/scatter scans and splits the strip's
+  /// attribute rows across workers (Algorithm 8). nullptr => serial
+  /// Algorithm 4.
   ThreadPool* pool = nullptr;
+  /// Memory budget in MiB for the phase-2 strip buffers; 0 => a fixed
+  /// cache-friendly default width. Affects residency and locality only —
+  /// never the arithmetic.
+  int64_t memory_budget_mb = 0;
   /// Optional per-iteration objective trace (appended; Figures 7-8).
   std::vector<double>* objective_trace = nullptr;
+  /// Optional streaming diagnostics.
+  CcdStats* stats = nullptr;
 };
 
 /// \brief Refines `state` in place. The residuals sf / sb are maintained

@@ -1,41 +1,132 @@
 #include "src/core/greedy_init.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/matrix/gemm.h"
 #include "src/matrix/rand_svd.h"
+#include "src/matrix/vector_ops.h"
 #include "src/parallel/thread_pool.h"
 
 namespace pane {
 namespace {
 
-Status ValidateK(const AffinityMatrices& affinity, int k) {
-  if (k < 2 || k % 2 != 0) {
+// Row granularity for release-as-you-go streaming over spilled slabs.
+constexpr int64_t kStreamChunkRows = 4096;
+
+Status ValidateInit(const AffinitySlabs& affinity, const InitOptions& options) {
+  if (options.k < 2 || options.k % 2 != 0) {
     return Status::InvalidArgument("space budget k must be even and >= 2");
   }
   if (affinity.forward.rows() != affinity.backward.rows() ||
       affinity.forward.cols() != affinity.backward.cols()) {
     return Status::InvalidArgument("F' and B' shapes differ");
   }
+  if (options.memory_budget_mb < 0) {
+    return Status::InvalidArgument("memory_budget_mb must be >= 0");
+  }
   return Status::OK();
+}
+
+// Rows [begin, end) of out = F * y, the i-k-j skip-zero kernel of GemmRows
+// reading F from the slab — identical arithmetic whichever backing holds
+// the bytes. Consumed slab rows are released as each chunk finishes.
+void ProjectRows(const FactorSlab& f, const DenseMatrix& y, DenseMatrix* out,
+                 int64_t begin, int64_t end) {
+  const int64_t d = f.cols();
+  const int64_t h = y.cols();
+  for (int64_t chunk = begin; chunk < end; chunk += kStreamChunkRows) {
+    const int64_t chunk_end = std::min(chunk + kStreamChunkRows, end);
+    for (int64_t i = chunk; i < chunk_end; ++i) {
+      double* out_row = out->Row(i);
+      std::fill(out_row, out_row + h, 0.0);
+      const double* f_row = f.Row(i);
+      for (int64_t p = 0; p < d; ++p) {
+        const double v = f_row[p];
+        if (v == 0.0) continue;
+        const double* y_row = y.Row(p);
+        for (int64_t j = 0; j < h; ++j) out_row[j] += v * y_row[j];
+      }
+    }
+    ReleaseRowsOrWarn(f, chunk, chunk_end, /*dirty=*/false);
+  }
+}
+
+// Rows [begin, end) of s = x y^T - f, the GemmTransBAddScaledRows expression
+// (alpha = 1, beta = -1) with the wide operands streamed through slabs.
+void ResidualRows(const DenseMatrix& x, const DenseMatrix& y,
+                  const FactorSlab& f, FactorSlab* s, int64_t begin,
+                  int64_t end) {
+  const int64_t h = x.cols();
+  const int64_t d = f.cols();
+  for (int64_t chunk = begin; chunk < end; chunk += kStreamChunkRows) {
+    const int64_t chunk_end = std::min(chunk + kStreamChunkRows, end);
+    for (int64_t i = chunk; i < chunk_end; ++i) {
+      double* s_row = s->Row(i);
+      const double* x_row = x.Row(i);
+      const double* f_row = f.Row(i);
+      for (int64_t j = 0; j < d; ++j) {
+        s_row[j] = 1.0 * Dot(x_row, y.Row(j), h) + -1.0 * f_row[j];
+      }
+    }
+    ReleaseRowsOrWarn(f, chunk, chunk_end, /*dirty=*/false);
+    ReleaseRowsOrWarn(*s, chunk, chunk_end, /*dirty=*/true);
+  }
+}
+
+Result<FactorSlab> CreateResidualSlab(int64_t rows, int64_t cols,
+                                      const InitOptions& options) {
+  return FactorSlab::Create(rows, cols, options.residual_backing,
+                            options.spill_dir);
+}
+
+AffinitySlabs WrapDense(const AffinityMatrices& affinity) {
+  AffinitySlabs slabs;
+  slabs.forward = FactorSlab(affinity.forward);
+  slabs.backward = FactorSlab(affinity.backward);
+  return slabs;
 }
 
 }  // namespace
 
-Result<EmbeddingState> GreedyInit(const AffinityMatrices& affinity, int k,
-                                  int t, uint64_t seed) {
-  PANE_RETURN_NOT_OK(ValidateK(affinity, k));
-  const int h = k / 2;
+Status BuildResidualSlab(const DenseMatrix& x, const DenseMatrix& y,
+                         const FactorSlab& f, FactorSlab* s,
+                         ThreadPool* pool) {
+  if (s == nullptr) return Status::InvalidArgument("null residual slab");
+  if (x.rows() != f.rows() || y.rows() != f.cols() ||
+      x.cols() != y.cols() || s->rows() != f.rows() ||
+      s->cols() != f.cols()) {
+    return Status::InvalidArgument("residual shape mismatch");
+  }
+  if (pool == nullptr || pool->num_threads() == 1) {
+    ResidualRows(x, y, f, s, 0, f.rows());
+    return Status::OK();
+  }
+  ParallelFor(pool, 0, f.rows(), [&](int64_t begin, int64_t end) {
+    ResidualRows(x, y, f, s, begin, end);
+  });
+  return Status::OK();
+}
 
-  // Line 1: U, Sigma, V <- RandSVD(F', k/2, t).
+Result<EmbeddingState> GreedyInit(const AffinitySlabs& affinity,
+                                  const InitOptions& options) {
+  PANE_RETURN_NOT_OK(ValidateInit(affinity, options));
+  const int h = options.k / 2;
+  const int64_t n = affinity.forward.rows();
+  const int64_t d = affinity.forward.cols();
+
+  // Line 1: U, Sigma, V <- RandSVD(F', k/2, t), streamed from the slab.
   RandSvdOptions svd_options;
-  svd_options.power_iters = t;
-  svd_options.seed = seed;
+  svd_options.power_iters = options.t;
+  svd_options.seed = options.seed;
   DenseMatrix u;
   std::vector<double> sigma;
   DenseMatrix v;
-  PANE_RETURN_NOT_OK(RandSvd(affinity.forward, h, svd_options, &u, &sigma, &v));
+  PANE_RETURN_NOT_OK(
+      RandSvd(affinity.forward.View(), h, svd_options, &u, &sigma, &v));
 
   // Line 2: Y <- V, Xf <- U Sigma, Xb <- B' Y.
   EmbeddingState state;
@@ -45,64 +136,138 @@ Result<EmbeddingState> GreedyInit(const AffinityMatrices& affinity, int k,
     double* row = state.xf.Row(i);
     for (int j = 0; j < h; ++j) row[j] *= sigma[static_cast<size_t>(j)];
   }
-  Gemm(affinity.backward, state.y, &state.xb);
+  state.xb.Resize(n, h);
+  ProjectRows(affinity.backward, state.y, &state.xb, 0, n);
 
   // Line 3: Sf <- Xf Y^T - F', Sb <- Xb Y^T - B'.
-  GemmTransBAddScaled(state.xf, state.y, 1.0, affinity.forward, -1.0,
-                      &state.sf);
-  GemmTransBAddScaled(state.xb, state.y, 1.0, affinity.backward, -1.0,
-                      &state.sb);
+  PANE_ASSIGN_OR_RETURN(state.sf, CreateResidualSlab(n, d, options));
+  PANE_ASSIGN_OR_RETURN(state.sb, CreateResidualSlab(n, d, options));
+  ResidualRows(state.xf, state.y, affinity.forward, &state.sf, 0, n);
+  ResidualRows(state.xb, state.y, affinity.backward, &state.sb, 0, n);
   return state;
 }
 
-Result<EmbeddingState> SmGreedyInit(const AffinityMatrices& affinity, int k,
-                                    int t, ThreadPool* pool, uint64_t seed) {
-  if (pool == nullptr || pool->num_threads() == 1) {
-    return GreedyInit(affinity, k, t, seed);
+EngineAwareInit::EngineAwareInit(const AffinitySlabs* affinity,
+                                 const InitOptions& options)
+    : affinity_(affinity), options_(options) {
+  setup_status_ = affinity_ == nullptr
+                      ? Status::InvalidArgument("null affinity slabs")
+                      : ValidateInit(*affinity_, options_);
+  if (!setup_status_.ok()) return;
+  h_ = options_.k / 2;
+  nb_ = (options_.pool != nullptr && options_.pool->num_threads() > 1)
+            ? options_.pool->num_threads()
+            : 1;
+  if (nb_ == 1) return;  // serial: Finish delegates to GreedyInit
+  u_blocks_.resize(static_cast<size_t>(nb_));
+  v_blocks_.resize(static_cast<size_t>(nb_));
+  block_status_.resize(static_cast<size_t>(nb_));
+  if (affinity_->forward.spilled() && options_.memory_budget_mb > 0) {
+    // Residency cap: at most ceil(budget / block bytes) blocks of the
+    // spilled F' may hold pages at once (floor of one block). Affects the
+    // schedule only, never the arithmetic.
+    const int64_t n = affinity_->forward.rows();
+    const int64_t block_rows = (n + nb_ - 1) / nb_;
+    const int64_t block_bytes = std::max<int64_t>(
+        1, block_rows * affinity_->forward.cols() *
+               static_cast<int64_t>(sizeof(double)));
+    max_inflight_blocks_ = std::clamp<int64_t>(
+        (options_.memory_budget_mb << 20) / block_bytes, 1, nb_);
   }
-  PANE_RETURN_NOT_OK(ValidateK(affinity, k));
-  const int h = k / 2;
-  const int nb = pool->num_threads();
-  const int64_t n = affinity.forward.rows();
-  const int64_t d = affinity.forward.cols();
-  const std::vector<Range> node_blocks = PartitionRange(n, nb);
+}
 
-  // Lines 1-3: per-block RandSVD of F'[Vi]; Ui = Phi Sigma.
-  std::vector<DenseMatrix> u_blocks(static_cast<size_t>(nb));
-  std::vector<DenseMatrix> v_blocks(static_cast<size_t>(nb));
-  std::vector<Status> block_status(static_cast<size_t>(nb));
-  pool->RunBlocks(nb, [&](int b) {
-    const Range& blk = node_blocks[static_cast<size_t>(b)];
-    if (blk.size() == 0) {
-      u_blocks[static_cast<size_t>(b)].Resize(0, h);
-      v_blocks[static_cast<size_t>(b)].Resize(d, h);
-      return;
+EngineAwareInit::~EngineAwareInit() {
+  if (helper_.joinable()) helper_.join();
+}
+
+void EngineAwareInit::RunBlock(int b) {
+  const int64_t n = affinity_->forward.rows();
+  const int64_t d = affinity_->forward.cols();
+  const std::vector<Range> node_blocks = PartitionRange(n, nb_);
+  const Range& blk = node_blocks[static_cast<size_t>(b)];
+  if (blk.size() == 0) {
+    u_blocks_[static_cast<size_t>(b)].Resize(0, h_);
+    v_blocks_[static_cast<size_t>(b)].Resize(d, h_);
+    return;
+  }
+  // Lines 1-3 of Algorithm 7: RandSVD of F'[Vi]; Ui = Phi Sigma. The block
+  // is a zero-copy row view of the slab under either backing.
+  RandSvdOptions svd_options;
+  svd_options.power_iters = options_.t;
+  svd_options.seed = options_.seed + static_cast<uint64_t>(b) + 1;
+  DenseMatrix phi, vi;
+  std::vector<double> sg;
+  block_status_[static_cast<size_t>(b)] =
+      RandSvd(affinity_->forward.ViewRows(blk.begin, blk.end), h_,
+              svd_options, &phi, &sg, &vi);
+  if (!block_status_[static_cast<size_t>(b)].ok()) return;
+  for (int64_t i = 0; i < phi.rows(); ++i) {
+    double* row = phi.Row(i);
+    for (int j = 0; j < h_; ++j) row[j] *= sg[static_cast<size_t>(j)];
+  }
+  u_blocks_[static_cast<size_t>(b)] = std::move(phi);
+  v_blocks_[static_cast<size_t>(b)] = std::move(vi);
+  ReleaseRowsOrWarn(affinity_->forward, blk.begin, blk.end, /*dirty=*/false);
+}
+
+void EngineAwareInit::ClaimLoop(bool overlapped) {
+  for (;;) {
+    const int b = next_block_.fetch_add(1, std::memory_order_relaxed);
+    if (b >= nb_) return;
+    // A block counts as overlapped only when the helper claims it before
+    // Finish() starts draining — i.e. while the engine is still streaming
+    // backward panels. Claims the helper wins after that are ordinary
+    // drain-phase work and must not inflate the stat.
+    const bool count_overlapped =
+        overlapped && !draining_.load(std::memory_order_relaxed);
+    if (max_inflight_blocks_ > 0) {
+      std::unique_lock<std::mutex> lock(inflight_mutex_);
+      inflight_cv_.wait(
+          lock, [this] { return inflight_blocks_ < max_inflight_blocks_; });
+      ++inflight_blocks_;
     }
-    const DenseMatrix f_block =
-        affinity.forward.RowBlock(blk.begin, blk.end);
-    RandSvdOptions svd_options;
-    svd_options.power_iters = t;
-    svd_options.seed = seed + static_cast<uint64_t>(b) + 1;
-    DenseMatrix phi, vi;
-    std::vector<double> sg;
-    block_status[static_cast<size_t>(b)] =
-        RandSvd(f_block, h, svd_options, &phi, &sg, &vi);
-    if (!block_status[static_cast<size_t>(b)].ok()) return;
-    for (int64_t i = 0; i < phi.rows(); ++i) {
-      double* row = phi.Row(i);
-      for (int j = 0; j < h; ++j) row[j] *= sg[static_cast<size_t>(j)];
+    RunBlock(b);
+    if (max_inflight_blocks_ > 0) {
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        --inflight_blocks_;
+      }
+      inflight_cv_.notify_one();
     }
-    u_blocks[static_cast<size_t>(b)] = std::move(phi);
-    v_blocks[static_cast<size_t>(b)] = std::move(vi);
-  });
-  for (const Status& s : block_status) PANE_RETURN_NOT_OK(s);
+    if (count_overlapped) overlapped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EngineAwareInit::OnForwardSlabComplete() {
+  if (!setup_status_.ok() || nb_ == 1) return;
+  if (helper_started_.exchange(true)) return;
+  // One helper thread claims block SVDs while the engine's pool is still
+  // streaming the backward panels — the overlap Algorithm 7 leaves on the
+  // table when init waits for the whole affinity phase.
+  helper_ = std::thread([this] { ClaimLoop(/*overlapped=*/true); });
+}
+
+Result<EmbeddingState> EngineAwareInit::Finish() {
+  PANE_RETURN_NOT_OK(setup_status_);
+  if (nb_ == 1) return GreedyInit(*affinity_, options_);
+
+  const int64_t n = affinity_->forward.rows();
+  const int64_t d = affinity_->forward.cols();
+  const std::vector<Range> node_blocks = PartitionRange(n, nb_);
+
+  // Drain whatever the helper has not claimed; the caller and the pool
+  // workers pull from the same counter.
+  draining_.store(true, std::memory_order_relaxed);
+  options_.pool->RunBlocks(nb_, [this](int) { ClaimLoop(false); });
+  if (helper_.joinable()) helper_.join();
+  for (const Status& s : block_status_) PANE_RETURN_NOT_OK(s);
 
   // Line 4: V <- [V1 ... Vnb]^T, a (nb * k/2) x d stack of the per-block
   // right factors.
-  DenseMatrix v_stack(static_cast<int64_t>(nb) * h, d);
-  for (int b = 0; b < nb; ++b) {
-    const DenseMatrix vt = v_blocks[static_cast<size_t>(b)].Transposed();
-    v_stack.SetBlock(static_cast<int64_t>(b) * h, 0, vt);
+  DenseMatrix v_stack(static_cast<int64_t>(nb_) * h_, d);
+  for (int b = 0; b < nb_; ++b) {
+    const DenseMatrix vt = v_blocks_[static_cast<size_t>(b)].Transposed();
+    v_stack.SetBlock(static_cast<int64_t>(b) * h_, 0, vt);
   }
 
   // Lines 5-6: RandSVD of the stack; W = Phi Sigma, Y = right factor.
@@ -110,53 +275,52 @@ Result<EmbeddingState> SmGreedyInit(const AffinityMatrices& affinity, int k,
   DenseMatrix w;
   {
     RandSvdOptions svd_options;
-    svd_options.power_iters = t;
-    svd_options.seed = seed;
+    svd_options.power_iters = options_.t;
+    svd_options.seed = options_.seed;
     std::vector<double> sg;
-    PANE_RETURN_NOT_OK(RandSvd(v_stack, h, svd_options, &w, &sg, &state.y));
+    PANE_RETURN_NOT_OK(RandSvd(v_stack, h_, svd_options, &w, &sg, &state.y));
     for (int64_t i = 0; i < w.rows(); ++i) {
       double* row = w.Row(i);
-      for (int j = 0; j < h; ++j) row[j] *= sg[static_cast<size_t>(j)];
+      for (int j = 0; j < h_; ++j) row[j] *= sg[static_cast<size_t>(j)];
     }
   }
 
   // Lines 7-11: assemble per block: Xf[Vi] = Ui W[(i-1)k/2 : i k/2],
-  // Xb[Vi] = B'[Vi] Y, residuals from the assembled rows.
-  state.xf.Resize(n, h);
-  state.xb.Resize(n, h);
-  state.sf.Resize(n, d);
-  state.sb.Resize(n, d);
-  pool->RunBlocks(nb, [&](int b) {
+  // Xb[Vi] = B'[Vi] Y, residual rows streamed straight into the slabs.
+  state.xf.Resize(n, h_);
+  state.xb.Resize(n, h_);
+  PANE_ASSIGN_OR_RETURN(state.sf, CreateResidualSlab(n, d, options_));
+  PANE_ASSIGN_OR_RETURN(state.sb, CreateResidualSlab(n, d, options_));
+  options_.pool->RunBlocks(nb_, [&](int b) {
     const Range& blk = node_blocks[static_cast<size_t>(b)];
     if (blk.size() == 0) return;
-    const DenseMatrix w_block =
-        w.RowBlock(static_cast<int64_t>(b) * h, static_cast<int64_t>(b + 1) * h);
+    const DenseMatrix w_block = w.RowBlock(
+        static_cast<int64_t>(b) * h_, static_cast<int64_t>(b + 1) * h_);
     DenseMatrix xf_block;
-    Gemm(u_blocks[static_cast<size_t>(b)], w_block, &xf_block);
+    Gemm(u_blocks_[static_cast<size_t>(b)], w_block, &xf_block);
     state.xf.SetBlock(blk.begin, 0, xf_block);
-
-    const DenseMatrix b_block = affinity.backward.RowBlock(blk.begin, blk.end);
-    DenseMatrix xb_block;
-    Gemm(b_block, state.y, &xb_block);
-    state.xb.SetBlock(blk.begin, 0, xb_block);
-
-    const DenseMatrix f_block = affinity.forward.RowBlock(blk.begin, blk.end);
-    DenseMatrix sf_block, sb_block;
-    GemmTransBAddScaled(xf_block, state.y, 1.0, f_block, -1.0, &sf_block);
-    GemmTransBAddScaled(xb_block, state.y, 1.0, b_block, -1.0, &sb_block);
-    state.sf.SetBlock(blk.begin, 0, sf_block);
-    state.sb.SetBlock(blk.begin, 0, sb_block);
+    ProjectRows(affinity_->backward, state.y, &state.xb, blk.begin, blk.end);
+    ResidualRows(state.xf, state.y, affinity_->forward, &state.sf, blk.begin,
+                 blk.end);
+    ResidualRows(state.xb, state.y, affinity_->backward, &state.sb,
+                 blk.begin, blk.end);
   });
   return state;
 }
 
-Result<EmbeddingState> RandomInit(const AffinityMatrices& affinity, int k,
-                                  uint64_t seed, ThreadPool* pool) {
-  PANE_RETURN_NOT_OK(ValidateK(affinity, k));
-  const int h = k / 2;
+Result<EmbeddingState> SmGreedyInit(const AffinitySlabs& affinity,
+                                    const InitOptions& options) {
+  EngineAwareInit init(&affinity, options);
+  return init.Finish();
+}
+
+Result<EmbeddingState> RandomInit(const AffinitySlabs& affinity,
+                                  const InitOptions& options) {
+  PANE_RETURN_NOT_OK(ValidateInit(affinity, options));
+  const int h = options.k / 2;
   const int64_t n = affinity.forward.rows();
   const int64_t d = affinity.forward.cols();
-  Rng rng(seed);
+  Rng rng(options.seed);
   EmbeddingState state;
   state.xf.Resize(n, h);
   state.xb.Resize(n, h);
@@ -165,10 +329,12 @@ Result<EmbeddingState> RandomInit(const AffinityMatrices& affinity, int k,
   state.xf.FillGaussian(&rng, 0.0, scale);
   state.xb.FillGaussian(&rng, 0.0, scale);
   state.y.FillGaussian(&rng, 0.0, scale);
-  GemmTransBAddScaled(state.xf, state.y, 1.0, affinity.forward, -1.0,
-                      &state.sf, pool);
-  GemmTransBAddScaled(state.xb, state.y, 1.0, affinity.backward, -1.0,
-                      &state.sb, pool);
+  PANE_ASSIGN_OR_RETURN(state.sf, CreateResidualSlab(n, d, options));
+  PANE_ASSIGN_OR_RETURN(state.sb, CreateResidualSlab(n, d, options));
+  PANE_RETURN_NOT_OK(BuildResidualSlab(state.xf, state.y, affinity.forward,
+                                       &state.sf, options.pool));
+  PANE_RETURN_NOT_OK(BuildResidualSlab(state.xb, state.y, affinity.backward,
+                                       &state.sb, options.pool));
   return state;
 }
 
@@ -176,6 +342,34 @@ double Objective(const EmbeddingState& state) {
   const double sf_norm = state.sf.FrobeniusNorm();
   const double sb_norm = state.sb.FrobeniusNorm();
   return sf_norm * sf_norm + sb_norm * sb_norm;
+}
+
+Result<EmbeddingState> GreedyInit(const AffinityMatrices& affinity, int k,
+                                  int t, uint64_t seed) {
+  InitOptions options;
+  options.k = k;
+  options.t = t;
+  options.seed = seed;
+  return GreedyInit(WrapDense(affinity), options);
+}
+
+Result<EmbeddingState> SmGreedyInit(const AffinityMatrices& affinity, int k,
+                                    int t, ThreadPool* pool, uint64_t seed) {
+  InitOptions options;
+  options.k = k;
+  options.t = t;
+  options.seed = seed;
+  options.pool = pool;
+  return SmGreedyInit(WrapDense(affinity), options);
+}
+
+Result<EmbeddingState> RandomInit(const AffinityMatrices& affinity, int k,
+                                  uint64_t seed, ThreadPool* pool) {
+  InitOptions options;
+  options.k = k;
+  options.seed = seed;
+  options.pool = pool;
+  return RandomInit(WrapDense(affinity), options);
 }
 
 }  // namespace pane

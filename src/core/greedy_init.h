@@ -3,29 +3,68 @@
 // F' gives Xf = U Sigma, Y = V with Xf Y^T ~= F'; since V is (near)
 // unitary, Xb = B' Y immediately also approximates B' — so CCD starts close
 // to a joint optimum and needs few iterations (Section 5.7, Figures 7-8).
+//
+// The init layer consumes the affinity factors and produces the residuals
+// as FactorSlabs: every F' / B' access streams row blocks through one code
+// path whether the slab lives in RAM or in a memory-mapped spill file, so
+// spilled and in-RAM runs are bitwise identical. EngineAwareInit folds
+// Algorithm 7 into the affinity engine's panel stream: the per-block
+// RandSVDs of F' start the moment the engine reports the forward slab
+// final, overlapping with the backward panels still streaming.
 #pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/core/affinity.h"
 #include "src/matrix/dense_matrix.h"
+#include "src/matrix/factor_slab.h"
 
 namespace pane {
 
 class ThreadPool;
 
-/// \brief Embeddings plus the dynamically maintained CCD residuals.
+/// \brief Embeddings plus the dynamically maintained CCD residuals. The
+/// small factors stay dense; the n x d residuals are slabs so they follow
+/// the pipeline's memory budget (in-RAM or spilled).
 struct EmbeddingState {
   DenseMatrix xf;  // n x k/2 forward embeddings
   DenseMatrix xb;  // n x k/2 backward embeddings
   DenseMatrix y;   // d x k/2 attribute embeddings
-  DenseMatrix sf;  // n x d residual Sf = Xf Y^T - F'
-  DenseMatrix sb;  // n x d residual Sb = Xb Y^T - B'
+  FactorSlab sf;   // n x d residual Sf = Xf Y^T - F'
+  FactorSlab sb;   // n x d residual Sb = Xb Y^T - B'
 };
 
-/// \brief Algorithm 3: seeds (Xf, Xb, Y) from one RandSVD of F' and
-/// computes the residuals. `t` is the RandSVD power-iteration count.
-Result<EmbeddingState> GreedyInit(const AffinityMatrices& affinity, int k,
-                                  int t, uint64_t seed = 42);
+/// \brief Shared knobs of the init family.
+struct InitOptions {
+  /// Space budget k (must be even and >= 2); each side gets k/2.
+  int k = 128;
+  /// RandSVD power-iteration count (the paper passes its t).
+  int t = 5;
+  /// Seed for the RandSVD sketches / random init.
+  uint64_t seed = 42;
+  /// Worker pool; its size is the block count nb of Algorithm 7. nullptr or
+  /// size 1 => the serial Algorithm 3.
+  ThreadPool* pool = nullptr;
+  /// Backing for the residual slabs Sf / Sb this phase creates.
+  FactorSlab::Backing residual_backing = FactorSlab::Backing::kInRam;
+  /// Spill directory for mmap residuals ("" => temp dir).
+  std::string spill_dir;
+  /// Memory budget in MiB; bounds how many F' row blocks hold pages
+  /// concurrently when the affinity slabs are spilled (0 => no cap). Does
+  /// not affect the arithmetic — only residency.
+  int64_t memory_budget_mb = 0;
+};
+
+/// \brief Algorithm 3: seeds (Xf, Xb, Y) from one RandSVD of F' (streamed
+/// from the slab) and computes the residuals.
+Result<EmbeddingState> GreedyInit(const AffinitySlabs& affinity,
+                                  const InitOptions& options);
 
 /// \brief Algorithm 7: splits F' into row blocks (one per pool worker),
 /// RandSVDs each block, merges the per-block right factors with a second
@@ -33,17 +72,93 @@ Result<EmbeddingState> GreedyInit(const AffinityMatrices& affinity, int k,
 /// this matches GreedyInit exactly (Lemma 4.2); at finite t the extra
 /// factorization error is the parallel-vs-serial utility gap measured in
 /// Section 5.
-Result<EmbeddingState> SmGreedyInit(const AffinityMatrices& affinity, int k,
-                                    int t, ThreadPool* pool,
-                                    uint64_t seed = 42);
+Result<EmbeddingState> SmGreedyInit(const AffinitySlabs& affinity,
+                                    const InitOptions& options);
 
 /// \brief Random seeding (the PANE-R ablation of Section 5.7): Gaussian
 /// Xf, Xb, Y scaled by 1/sqrt(k/2), residuals computed from them.
-Result<EmbeddingState> RandomInit(const AffinityMatrices& affinity, int k,
-                                  uint64_t seed, ThreadPool* pool = nullptr);
+Result<EmbeddingState> RandomInit(const AffinitySlabs& affinity,
+                                  const InitOptions& options);
+
+/// \brief Engine-aware SMGreedyInit: Algorithm 7 whose per-block F'
+/// RandSVDs are driven by the affinity engine's panel stream.
+///
+/// Bind an instance to the (pre-created) affinity slabs, wire
+/// OnForwardSlabComplete into the engine's panel consumer, run the engine,
+/// then call Finish(). When the forward slab lands, a helper thread starts
+/// claiming block SVDs while the engine's pool is still streaming the
+/// backward panels; Finish() drains the remaining blocks on the pool and
+/// merges. Work is claimed from one atomic counter and every block's math
+/// is independent of who computes it, so the result is bitwise identical to
+/// SmGreedyInit — overlap changes the schedule, never the answer.
+class EngineAwareInit {
+ public:
+  EngineAwareInit(const AffinitySlabs* affinity, const InitOptions& options);
+  ~EngineAwareInit();  // joins the helper thread if Finish was never reached
+
+  EngineAwareInit(const EngineAwareInit&) = delete;
+  EngineAwareInit& operator=(const EngineAwareInit&) = delete;
+
+  /// Panel-consumer hook: start overlapped block SVDs. Thread-safe and
+  /// idempotent; a no-op for serial options (the Algorithm 1 path stays
+  /// single-threaded).
+  void OnForwardSlabComplete();
+
+  /// Drains unclaimed blocks, merges, assembles the state. Call once, after
+  /// the engine run has returned successfully.
+  Result<EmbeddingState> Finish();
+
+  /// Blocks whose SVD ran overlapped with the backward panel stream.
+  int blocks_overlapped() const {
+    return overlapped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ClaimLoop(bool overlapped);
+  void RunBlock(int b);
+
+  const AffinitySlabs* affinity_;
+  InitOptions options_;
+  Status setup_status_;
+  int nb_ = 1;
+  int h_ = 0;
+  int64_t max_inflight_blocks_ = 0;  // residency cap under spill (0 => none)
+  std::vector<DenseMatrix> u_blocks_;
+  std::vector<DenseMatrix> v_blocks_;
+  std::vector<Status> block_status_;
+  std::atomic<int> next_block_{0};
+  std::atomic<int> overlapped_{0};
+  std::atomic<bool> helper_started_{false};
+  std::atomic<bool> draining_{false};  // Finish() reached; engine is done
+  std::thread helper_;
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  int64_t inflight_blocks_ = 0;
+};
+
+/// \brief Streams S = X Y^T - F into the residual slab `s` (row blocks,
+/// release-as-you-go under spill). Shared by the init family and the
+/// incremental refresh path.
+Status BuildResidualSlab(const DenseMatrix& x, const DenseMatrix& y,
+                         const FactorSlab& f, FactorSlab* s,
+                         ThreadPool* pool = nullptr);
 
 /// \brief Objective of Equation (4) given maintained residuals:
 /// ||Sf||_F^2 + ||Sb||_F^2.
 double Objective(const EmbeddingState& state);
+
+/// \name Legacy dense-affinity adapters (tests / benches): wrap the
+/// matrices into in-RAM slabs and delegate. Each call copies both n x d
+/// matrices — fine for test-scale setup code, but production paths should
+/// hold AffinitySlabs and call the slab forms above.
+/// @{
+Result<EmbeddingState> GreedyInit(const AffinityMatrices& affinity, int k,
+                                  int t, uint64_t seed = 42);
+Result<EmbeddingState> SmGreedyInit(const AffinityMatrices& affinity, int k,
+                                    int t, ThreadPool* pool,
+                                    uint64_t seed = 42);
+Result<EmbeddingState> RandomInit(const AffinityMatrices& affinity, int k,
+                                  uint64_t seed, ThreadPool* pool = nullptr);
+/// @}
 
 }  // namespace pane

@@ -1,7 +1,9 @@
 #include "src/core/incremental.h"
 
 #include <memory>
+#include <utility>
 
+#include "src/common/logging.h"
 #include "src/common/timer.h"
 #include "src/core/affinity_engine.h"
 #include "src/core/ccd.h"
@@ -29,6 +31,9 @@ Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
   if (options.ccd_iterations < 0) {
     return Status::InvalidArgument("ccd_iterations must be >= 0");
   }
+  if (options.memory_budget_mb < 0 || options.affinity_memory_mb < 0) {
+    return Status::InvalidArgument("memory budgets must be >= 0");
+  }
   RefreshStats local;
   RefreshStats* out = stats != nullptr ? stats : &local;
   *out = RefreshStats{};
@@ -39,23 +44,37 @@ Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
 
+  // Same single-budget rule as Pane::Train: the refresh keeps four n x d
+  // factors resident (F', B', Sf, Sb); spill them when over budget.
+  const int64_t budget_mb = options.memory_budget_mb > 0
+                                ? options.memory_budget_mb
+                                : options.affinity_memory_mb;
+  const int64_t slab_bytes =
+      4 * n * d * static_cast<int64_t>(sizeof(double));
+  const FactorSlab::Backing backing =
+      ResolveSlabBacking(options.slab_policy, budget_mb, slab_bytes);
+  out->slabs_spilled = backing == FactorSlab::Backing::kMmap;
+
   // Fresh affinity on the updated graph (the linear-time part); P and P^T
   // are built once inside the engine.
-  AffinityMatrices affinity;
+  AffinitySlabs affinity;
   {
     ScopedTimer timer(&out->affinity_seconds);
     AffinityEngineOptions engine_options;
     engine_options.alpha = options.alpha;
     engine_options.t = ComputeIterationCount(options.epsilon, options.alpha);
     engine_options.pool = pool.get();
-    engine_options.memory_budget_mb = options.affinity_memory_mb;
-    PANE_ASSIGN_OR_RETURN(affinity,
-                          ComputeGraphAffinity(updated_graph, engine_options));
+    engine_options.memory_budget_mb = budget_mb;
+    engine_options.backing = backing;
+    engine_options.spill_dir = options.spill_dir;
+    PANE_RETURN_NOT_OK(ComputeGraphAffinityIntoSlabs(
+        updated_graph, engine_options, &affinity, &out->affinity));
   }
 
   // Warm seed: old rows keep their embeddings; new nodes get the
   // projection seed X[v] = Affinity[v] . Y (the Y^T Y ~ I rule GreedyInit
-  // uses for Xb, applied on both sides — no SVD needed).
+  // uses for Xb, applied on both sides — no SVD needed). The tails stream
+  // from the slabs as row views.
   EmbeddingState state;
   state.y = previous.y;
   state.xf.Resize(n, h);
@@ -64,18 +83,23 @@ Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
   state.xf.SetBlock(0, 0, previous.xf);
   state.xb.SetBlock(0, 0, previous.xb);
   if (n_prev < n) {
-    DenseMatrix f_tail = affinity.forward.RowBlock(n_prev, n);
-    DenseMatrix b_tail = affinity.backward.RowBlock(n_prev, n);
     DenseMatrix xf_tail, xb_tail;
-    Gemm(f_tail, state.y, &xf_tail, pool.get());
-    Gemm(b_tail, state.y, &xb_tail, pool.get());
+    Gemm(affinity.forward.ViewRows(n_prev, n), state.y, &xf_tail, pool.get());
+    Gemm(affinity.backward.ViewRows(n_prev, n), state.y, &xb_tail,
+         pool.get());
     state.xf.SetBlock(n_prev, 0, xf_tail);
     state.xb.SetBlock(n_prev, 0, xb_tail);
   }
-  GemmTransBAddScaled(state.xf, state.y, 1.0, affinity.forward, -1.0,
-                      &state.sf, pool.get());
-  GemmTransBAddScaled(state.xb, state.y, 1.0, affinity.backward, -1.0,
-                      &state.sb, pool.get());
+  PANE_ASSIGN_OR_RETURN(
+      state.sf, FactorSlab::Create(n, d, backing, options.spill_dir));
+  PANE_ASSIGN_OR_RETURN(
+      state.sb, FactorSlab::Create(n, d, backing, options.spill_dir));
+  PANE_RETURN_NOT_OK(BuildResidualSlab(state.xf, state.y, affinity.forward,
+                                       &state.sf, pool.get()));
+  PANE_RETURN_NOT_OK(BuildResidualSlab(state.xb, state.y, affinity.backward,
+                                       &state.sb, pool.get()));
+  // F' / B' are consumed; free them (and any spill files) before CCD.
+  affinity = AffinitySlabs{};
   out->objective_initial = Objective(state);
 
   {
@@ -83,6 +107,7 @@ Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
     CcdOptions ccd_options;
     ccd_options.iterations = options.ccd_iterations;
     ccd_options.pool = pool.get();
+    ccd_options.memory_budget_mb = budget_mb;
     PANE_RETURN_NOT_OK(CcdRefine(&state, ccd_options));
   }
   out->objective_final = Objective(state);

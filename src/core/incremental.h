@@ -6,14 +6,20 @@
 // graph and re-seeds CCD from the *previous* embedding, which for modest
 // update batches sits far closer to the new optimum than either a fresh
 // RandSVD or a random seed — so a handful of CCD sweeps suffices.
+//
+// The refresh rides the same FactorSlab storage as Pane::Train: one
+// --memory-budget-mb sizes the affinity panels and CCD strips and spills
+// the four n x d factors to memory-mapped files when they exceed it.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/common/status.h"
 #include "src/core/embedding.h"
 #include "src/core/pane.h"
 #include "src/graph/graph.h"
+#include "src/matrix/factor_slab.h"
 
 namespace pane {
 
@@ -23,9 +29,15 @@ struct RefreshOptions {
   double alpha = 0.5;
   double epsilon = 0.015;
   int num_threads = 1;
-  /// Scratch budget in MiB for the affinity engine's streamed panels
-  /// (0 => unbounded); see src/core/affinity_engine.h.
+  /// Whole-pipeline memory budget in MiB, as in PaneOptions: panel scratch,
+  /// CCD strips, and the slab spill decision. 0 => unbounded, all in RAM.
+  int64_t memory_budget_mb = 0;
+  /// DEPRECATED alias for memory_budget_mb; honored when it is 0.
   int64_t affinity_memory_mb = 0;
+  /// Slab backing decision (kAuto => spill when 4 n d exceeds the budget).
+  SlabPolicy slab_policy = SlabPolicy::kAuto;
+  /// Spill-file directory ("" => temp dir).
+  std::string spill_dir;
 };
 
 /// \brief Statistics from one refresh.
@@ -35,6 +47,8 @@ struct RefreshStats {
   double total_seconds = 0.0;
   double objective_initial = 0.0;  ///< Eq. 4 right after warm-seeding
   double objective_final = 0.0;
+  AffinityEngineStats affinity;    ///< panel decomposition + scratch bytes
+  bool slabs_spilled = false;      ///< factors lived in mmap spill slabs
 };
 
 /// \brief Refreshes `previous` onto `updated_graph`.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/timer.h"
@@ -28,10 +30,18 @@ Status ValidatePaneOptions(const PaneOptions& options) {
   if (options.ccd_iterations < 0) {
     return Status::InvalidArgument("ccd_iterations must be >= 0");
   }
+  if (options.memory_budget_mb < 0) {
+    return Status::InvalidArgument("memory_budget_mb must be >= 0");
+  }
   if (options.affinity_memory_mb < 0) {
     return Status::InvalidArgument("affinity_memory_mb must be >= 0");
   }
   return Status::OK();
+}
+
+int64_t ResolvedMemoryBudgetMb(const PaneOptions& options) {
+  if (options.memory_budget_mb > 0) return options.memory_budget_mb;
+  return options.affinity_memory_mb;
 }
 
 Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
@@ -45,6 +55,11 @@ Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
     PANE_LOG(WARNING) << "k/2 = " << opt.k / 2 << " exceeds d = "
                       << graph.num_attributes()
                       << "; surplus dimensions carry no signal";
+  }
+  const int64_t budget_mb = ResolvedMemoryBudgetMb(opt);
+  if (opt.memory_budget_mb == 0 && opt.affinity_memory_mb > 0) {
+    PANE_LOG(WARNING) << "affinity_memory_mb is deprecated; it now feeds the "
+                         "whole-pipeline budget — use memory_budget_mb";
   }
 
   const int t = ComputeIterationCount(opt.epsilon, opt.alpha);
@@ -60,19 +75,61 @@ Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
     pool = std::make_unique<ThreadPool>(opt.num_threads);
   }
 
+  // One budget, one backing decision: the pipeline's resident factor cost
+  // is the four n x d slabs (F', B' during affinity/init, Sf, Sb through
+  // CCD); when that exceeds the budget they all go to mmap spill files.
+  const int64_t n = graph.num_nodes();
+  const int64_t d = graph.num_attributes();
+  const int64_t slab_bytes =
+      4 * n * d * static_cast<int64_t>(sizeof(double));
+  const FactorSlab::Backing backing =
+      ResolveSlabBacking(opt.slab_policy, budget_mb, slab_bytes);
+  out_stats->slabs_spilled = backing == FactorSlab::Backing::kMmap;
+  out_stats->slab_bytes = slab_bytes;
+
   // Phase 1: affinity approximation (Algorithm 2 / 6) via the
-  // panel-streamed engine; P and P^T are built once inside it.
-  AffinityMatrices affinity;
+  // panel-streamed engine; P and P^T are built once inside it. The slabs
+  // are created up front so the engine-aware init can watch them fill.
+  AffinitySlabs affinity;
+  PANE_ASSIGN_OR_RETURN(affinity.forward,
+                        FactorSlab::Create(n, d, backing, opt.spill_dir));
+  PANE_ASSIGN_OR_RETURN(affinity.backward,
+                        FactorSlab::Create(n, d, backing, opt.spill_dir));
+
+  InitOptions init_options;
+  init_options.k = opt.k;
+  init_options.t = t;
+  init_options.seed = opt.seed;
+  init_options.pool = pool.get();
+  init_options.residual_backing = backing;
+  init_options.spill_dir = opt.spill_dir;
+  init_options.memory_budget_mb = budget_mb;
+
+  // Declared after `affinity` so its destructor (which joins the helper
+  // thread reading the slabs) runs first on every exit path.
+  std::optional<EngineAwareInit> streamed_init;
+  if (opt.greedy_init && pool != nullptr) {
+    streamed_init.emplace(&affinity, init_options);
+  }
+
   {
     ScopedTimer timer(&out_stats->affinity_seconds);
     AffinityEngineOptions engine_options;
     engine_options.alpha = opt.alpha;
     engine_options.t = t;
     engine_options.pool = pool.get();
-    engine_options.memory_budget_mb = opt.affinity_memory_mb;
-    PANE_ASSIGN_OR_RETURN(
-        affinity,
-        ComputeGraphAffinity(graph, engine_options, &out_stats->affinity));
+    engine_options.memory_budget_mb = budget_mb;
+    engine_options.spill_dir = opt.spill_dir;
+    if (streamed_init.has_value()) {
+      // Fold Algorithm 7's per-block F' SVDs into the panel stream: they
+      // start the moment the forward slab is final, while the backward
+      // panels are still running.
+      engine_options.panel_consumer = [&](const AffinityPanelEvent& event) {
+        if (event.forward_complete) streamed_init->OnForwardSlabComplete();
+      };
+    }
+    PANE_RETURN_NOT_OK(ComputeGraphAffinityIntoSlabs(
+        graph, engine_options, &affinity, &out_stats->affinity));
   }
 
   // Phase 2a: seeding (Algorithm 3 / 7, or random for PANE-R).
@@ -80,15 +137,18 @@ Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
   {
     ScopedTimer timer(&out_stats->init_seconds);
     if (!opt.greedy_init) {
-      PANE_ASSIGN_OR_RETURN(state,
-                            RandomInit(affinity, opt.k, opt.seed, pool.get()));
-    } else if (pool != nullptr) {
-      PANE_ASSIGN_OR_RETURN(
-          state, SmGreedyInit(affinity, opt.k, t, pool.get(), opt.seed));
+      PANE_ASSIGN_OR_RETURN(state, RandomInit(affinity, init_options));
+    } else if (streamed_init.has_value()) {
+      PANE_ASSIGN_OR_RETURN(state, streamed_init->Finish());
+      out_stats->init_blocks_overlapped = streamed_init->blocks_overlapped();
     } else {
-      PANE_ASSIGN_OR_RETURN(state, GreedyInit(affinity, opt.k, t, opt.seed));
+      PANE_ASSIGN_OR_RETURN(state, GreedyInit(affinity, init_options));
     }
   }
+  // F' / B' are fully consumed: free them (and their spill files) before
+  // CCD instead of carrying 2 n d dead weight through refinement.
+  streamed_init.reset();
+  affinity = AffinitySlabs{};
   out_stats->objective_initial = Objective(state);
 
   // Phase 2b: CCD refinement (Algorithm 4 / 8).
@@ -97,6 +157,8 @@ Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
     CcdOptions ccd_options;
     ccd_options.iterations = ccd_iters;
     ccd_options.pool = pool.get();
+    ccd_options.memory_budget_mb = budget_mb;
+    ccd_options.stats = &out_stats->ccd;
     PANE_RETURN_NOT_OK(CcdRefine(&state, ccd_options));
   }
   out_stats->objective_final = Objective(state);

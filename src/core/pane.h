@@ -1,15 +1,21 @@
 // Top-level PANE driver: Algorithm 1 (single thread) and Algorithm 5
 // (parallel), assembling affinity approximation (APMI / PAPMI), greedy
-// initialization (GreedyInit / SMGreedyInit) and CCD refinement
-// (SVDCCD / PSVDCCD) into one Train() call.
+// initialization (GreedyInit / engine-aware SMGreedyInit) and CCD
+// refinement (SVDCCD / PSVDCCD) into one Train() call, under one memory
+// budget: --memory-budget-mb sizes the affinity panel scratch and the CCD
+// strips, and decides whether the pipeline's four n x d factors (F', B',
+// Sf, Sb) live in RAM or in memory-mapped spill slabs.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/common/status.h"
 #include "src/core/affinity_engine.h"
+#include "src/core/ccd.h"
 #include "src/core/embedding.h"
 #include "src/graph/graph.h"
+#include "src/matrix/factor_slab.h"
 
 namespace pane {
 
@@ -27,10 +33,22 @@ struct PaneOptions {
   /// CCD sweeps; 0 => use the derived t (Algorithm 1 behaviour). The
   /// Figures 7-8 experiments sweep this explicitly.
   int ccd_iterations = 0;
-  /// Scratch budget in MiB for the affinity engine's streamed attribute
-  /// panels (--affinity-memory-mb). 0 => unbounded: historical APMI / PAPMI
-  /// panel shapes. See src/core/affinity_engine.h for what is counted.
+  /// Single whole-pipeline memory budget in MiB (--memory-budget-mb). Sizes
+  /// the affinity engine's panel scratch and CCD's phase-2 strips, and —
+  /// under SlabPolicy::kAuto — spills the four n x d factor slabs to
+  /// memory-mapped files whenever 4 n d doubles exceed the budget, so
+  /// graphs whose factors exceed RAM still run. 0 => unbounded, all in RAM.
+  /// Spilled and in-RAM runs produce bitwise-identical embeddings.
+  int64_t memory_budget_mb = 0;
+  /// DEPRECATED alias for memory_budget_mb (--affinity-memory-mb); honored
+  /// only when memory_budget_mb is 0. Remove after one release.
   int64_t affinity_memory_mb = 0;
+  /// Slab backing decision; kAuto applies the budget rule above, kInRam /
+  /// kMmap force one backing (benches, tests).
+  SlabPolicy slab_policy = SlabPolicy::kAuto;
+  /// Directory for spill files ("" => the system temp directory). Files are
+  /// removed when their slab is destroyed, including on error paths.
+  std::string spill_dir;
   /// false => PANE-R: random instead of greedy initialization (Section 5.7).
   bool greedy_init = true;
   /// Seed for RandSVD sketches / random init.
@@ -38,9 +56,13 @@ struct PaneOptions {
 };
 
 /// \brief Checks a PaneOptions for validity: k even and > 0, alpha and
-/// epsilon in (0, 1), num_threads >= 1, ccd_iterations >= 0. Called up front
-/// by Pane::Train and by the api layer's option validation.
+/// epsilon in (0, 1), num_threads >= 1, ccd_iterations >= 0, budgets >= 0.
+/// Called up front by Pane::Train and by the api layer's option validation.
 Status ValidatePaneOptions(const PaneOptions& options);
+
+/// \brief The budget actually in force: memory_budget_mb, falling back to
+/// the deprecated affinity_memory_mb alias.
+int64_t ResolvedMemoryBudgetMb(const PaneOptions& options);
 
 /// \brief Phase timings and diagnostics from one Train() run.
 struct PaneStats {
@@ -52,6 +74,10 @@ struct PaneStats {
   double total_seconds = 0.0;
   double objective_initial = 0.0;  ///< Equation (4) right after init
   double objective_final = 0.0;    ///< Equation (4) after refinement
+  bool slabs_spilled = false;      ///< factors lived in mmap spill slabs
+  int64_t slab_bytes = 0;          ///< the four n x d factors (F',B',Sf,Sb)
+  int init_blocks_overlapped = 0;  ///< init block SVDs run during affinity
+  CcdStats ccd;                    ///< phase-2 strip decomposition
 };
 
 /// \brief Trains PANE embeddings on an attributed graph.

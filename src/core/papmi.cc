@@ -2,7 +2,8 @@
 
 namespace pane {
 
-Result<AffinityMatrices> Papmi(const PapmiInputs& inputs) {
+Result<AffinityMatrices> Papmi(const PapmiInputs& inputs,
+                               AffinityEngineStats* stats) {
   if (inputs.p == nullptr || inputs.p_transposed == nullptr ||
       inputs.r == nullptr) {
     return Status::InvalidArgument("PAPMI inputs must be non-null");
@@ -13,7 +14,7 @@ Result<AffinityMatrices> Papmi(const PapmiInputs& inputs) {
   options.pool = inputs.pool;
   options.memory_budget_mb = inputs.memory_budget_mb;
   return ComputeAffinityPanels(*inputs.p, *inputs.p_transposed, *inputs.r,
-                               options);
+                               options, stats);
 }
 
 }  // namespace pane

@@ -21,7 +21,9 @@ struct PapmiInputs : ApmiInputs {
 };
 
 /// \brief Runs Algorithm 6 through the engine; returns (F', B') equal to
-/// Apmi() on the same inputs.
-Result<AffinityMatrices> Papmi(const PapmiInputs& inputs);
+/// Apmi() on the same inputs. `stats` (optional) receives the engine's
+/// panel decomposition, as on every other entry point.
+Result<AffinityMatrices> Papmi(const PapmiInputs& inputs,
+                               AffinityEngineStats* stats = nullptr);
 
 }  // namespace pane

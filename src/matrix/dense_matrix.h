@@ -13,6 +13,28 @@ namespace pane {
 
 class Rng;
 
+/// \brief Non-owning read-only view of contiguous row-major data. The
+/// bridge between DenseMatrix-shaped kernels (GEMM, RandSVD) and storage
+/// that is not a DenseMatrix — notably FactorSlab row ranges, whether
+/// RAM-resident or memory-mapped. Plain pointer + shape; the viewed storage
+/// must outlive the view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, int64_t rows, int64_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  const double* Row(int64_t i) const { return data_ + i * cols_; }
+  const double* data() const { return data_; }
+
+ private:
+  const double* data_ = nullptr;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+};
+
 /// \brief Contiguous row-major matrix of doubles.
 class DenseMatrix {
  public:
@@ -38,6 +60,11 @@ class DenseMatrix {
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
+
+  /// Read-only view of the whole matrix (see ConstMatrixView).
+  ConstMatrixView View() const {
+    return ConstMatrixView(data_.data(), rows_, cols_);
+  }
 
   /// Reshapes to rows x cols, discarding contents (zero-filled).
   void Resize(int64_t rows, int64_t cols);

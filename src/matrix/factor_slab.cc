@@ -1,0 +1,357 @@
+#include "src/matrix/factor_slab.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace pane {
+namespace {
+
+int64_t PageSize() {
+  static const int64_t page = static_cast<int64_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+FactorSlab::FactorSlab(DenseMatrix dense)
+    : backing_(Backing::kInRam),
+      rows_(dense.rows()),
+      cols_(dense.cols()),
+      dense_(std::move(dense)),
+      base_(dense_.data()) {}
+
+FactorSlab::FactorSlab(const FactorSlab& other) { *this = other; }
+
+FactorSlab& FactorSlab::operator=(const FactorSlab& other) {
+  if (this == &other) return *this;
+  Destroy();
+  if (other.backing_ == Backing::kInRam) {
+    dense_ = other.dense_;
+    backing_ = Backing::kInRam;
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    base_ = dense_.data();
+  } else {
+    // Deep copy into a fresh spill file next to the source's.
+    const std::string dir =
+        std::filesystem::path(other.spill_path_).parent_path().string();
+    auto copy = Create(other.rows_, other.cols_, Backing::kMmap, dir);
+    PANE_CHECK(copy.ok()) << "FactorSlab copy: " << copy.status();
+    *this = copy.MoveValueUnsafe();
+    if (!empty()) {
+      std::copy(other.base_, other.base_ + rows_ * cols_, base_);
+    }
+  }
+  return *this;
+}
+
+FactorSlab::FactorSlab(FactorSlab&& other) noexcept { *this = std::move(other); }
+
+FactorSlab& FactorSlab::operator=(FactorSlab&& other) noexcept {
+  if (this == &other) return *this;
+  Destroy();
+  backing_ = other.backing_;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  dense_ = std::move(other.dense_);
+  // A moved std::vector keeps its heap buffer, so the in-RAM base pointer
+  // stays valid; the mapping base is backing-owned and transfers as-is.
+  base_ = backing_ == Backing::kInRam ? dense_.data() : other.base_;
+  map_ = other.map_;
+  map_bytes_ = other.map_bytes_;
+  spill_path_ = std::move(other.spill_path_);
+  other.backing_ = Backing::kInRam;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.base_ = nullptr;
+  other.map_ = nullptr;
+  other.map_bytes_ = 0;
+  other.spill_path_.clear();
+  return *this;
+}
+
+FactorSlab& FactorSlab::operator=(DenseMatrix dense) {
+  Destroy();
+  backing_ = Backing::kInRam;
+  rows_ = dense.rows();
+  cols_ = dense.cols();
+  dense_ = std::move(dense);
+  base_ = dense_.data();
+  return *this;
+}
+
+FactorSlab::~FactorSlab() { Destroy(); }
+
+void FactorSlab::Destroy() {
+  if (map_ != nullptr) {
+    munmap(map_, static_cast<size_t>(map_bytes_));
+    map_ = nullptr;
+    map_bytes_ = 0;
+  }
+  if (!spill_path_.empty()) {
+    unlink(spill_path_.c_str());
+    spill_path_.clear();
+  }
+  dense_ = DenseMatrix();
+  base_ = nullptr;
+  rows_ = 0;
+  cols_ = 0;
+  backing_ = Backing::kInRam;
+}
+
+Status FactorSlab::InitMmap(int64_t rows, int64_t cols,
+                            const std::string& spill_dir) {
+  backing_ = Backing::kMmap;
+  rows_ = rows;
+  cols_ = cols;
+  const int64_t bytes = rows * cols * static_cast<int64_t>(sizeof(double));
+  if (bytes == 0) return Status::OK();  // empty: no file, no mapping
+
+  std::string dir = spill_dir;
+  if (dir.empty()) {
+    std::error_code ec;
+    dir = std::filesystem::temp_directory_path(ec).string();
+    if (ec) dir = "/tmp";
+  }
+  std::string tmpl = dir + "/pane_slab_XXXXXX";
+  std::vector<char> path(tmpl.begin(), tmpl.end());
+  path.push_back('\0');
+  const int fd = mkstemp(path.data());
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot create spill file in", dir));
+  }
+  spill_path_.assign(path.data());
+  if (ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const Status st =
+        Status::IOError(ErrnoMessage("cannot size spill file", spill_path_));
+    close(fd);
+    unlink(spill_path_.c_str());
+    spill_path_.clear();
+    return st;
+  }
+  void* map = mmap(nullptr, static_cast<size_t>(bytes),
+                   PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);  // the mapping keeps the file contents alive
+  if (map == MAP_FAILED) {
+    const Status st =
+        Status::IOError(ErrnoMessage("cannot map spill file", spill_path_));
+    unlink(spill_path_.c_str());
+    spill_path_.clear();
+    return st;
+  }
+  map_ = map;
+  map_bytes_ = bytes;
+  base_ = static_cast<double*>(map);
+  return Status::OK();
+}
+
+Result<FactorSlab> FactorSlab::Create(int64_t rows, int64_t cols,
+                                      Backing backing,
+                                      const std::string& spill_dir) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("FactorSlab shape must be non-negative");
+  }
+  FactorSlab slab;
+  if (backing == Backing::kInRam) {
+    slab = FactorSlab(DenseMatrix(rows, cols));
+    return slab;
+  }
+  PANE_RETURN_NOT_OK(slab.InitMmap(rows, cols, spill_dir));
+  return slab;
+}
+
+Result<FactorSlab> FactorSlab::FromDense(const DenseMatrix& dense,
+                                         Backing backing,
+                                         const std::string& spill_dir) {
+  if (backing == Backing::kInRam) return FactorSlab(dense);
+  PANE_ASSIGN_OR_RETURN(
+      FactorSlab slab,
+      Create(dense.rows(), dense.cols(), Backing::kMmap, spill_dir));
+  if (!slab.empty()) {
+    std::copy(dense.data(), dense.data() + dense.size(), slab.base_);
+  }
+  return slab;
+}
+
+ConstMatrixView FactorSlab::ViewRows(int64_t row_begin,
+                                     int64_t row_end) const {
+  PANE_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= rows_)
+      << "FactorSlab row view out of bounds";
+  return ConstMatrixView(base_ + row_begin * cols_, row_end - row_begin,
+                         cols_);
+}
+
+FactorSlab::RowBlock FactorSlab::AcquireRows(int64_t row_begin,
+                                             int64_t row_end) {
+  PANE_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= rows_)
+      << "FactorSlab row block out of bounds";
+  RowBlock block;
+  block.data = base_ + row_begin * cols_;
+  block.row_begin = row_begin;
+  block.row_end = row_end;
+  block.cols = cols_;
+  return block;
+}
+
+Status FactorSlab::ReleaseRows(const RowBlock& block, bool dirty) {
+  return ReleaseRowRange(block.row_begin, block.row_end, dirty);
+}
+
+Status FactorSlab::ReleaseRowRange(int64_t row_begin, int64_t row_end,
+                                   bool dirty) const {
+  if (backing_ == Backing::kInRam || map_ == nullptr ||
+      row_begin >= row_end) {
+    return Status::OK();
+  }
+  const int64_t page = PageSize();
+  const int64_t byte_begin =
+      row_begin * cols_ * static_cast<int64_t>(sizeof(double));
+  const int64_t byte_end =
+      row_end * cols_ * static_cast<int64_t>(sizeof(double));
+  char* map_base = static_cast<char*>(map_);
+  if (dirty) {
+    // Schedule write-back of the touched pages (outward rounding: msync
+    // needs a page-aligned start, and flushing a neighbor's bytes early is
+    // harmless).
+    const int64_t sync_begin = (byte_begin / page) * page;
+    const int64_t sync_end = std::min(
+        map_bytes_, ((byte_end + page - 1) / page) * page);
+    if (msync(map_base + sync_begin,
+              static_cast<size_t>(sync_end - sync_begin), MS_ASYNC) != 0) {
+      return Status::IOError(ErrnoMessage("msync failed on", spill_path_));
+    }
+  }
+  // Drop only pages fully inside the range: boundary pages may be under a
+  // concurrent neighbor's pen. (Dropping never loses data for a shared file
+  // mapping — it just unmaps this process's view — but inward rounding
+  // avoids refault churn at block seams.)
+  const int64_t drop_begin = ((byte_begin + page - 1) / page) * page;
+  const int64_t drop_end = (byte_end / page) * page;
+  if (drop_begin >= drop_end) return Status::OK();
+  if (madvise(map_base + drop_begin,
+              static_cast<size_t>(drop_end - drop_begin),
+              MADV_DONTNEED) != 0) {
+    return Status::IOError(ErrnoMessage("madvise failed on", spill_path_));
+  }
+  return Status::OK();
+}
+
+Status FactorSlab::DropResidency() const {
+  if (backing_ == Backing::kInRam || map_ == nullptr) return Status::OK();
+  if (msync(map_, static_cast<size_t>(map_bytes_), MS_ASYNC) != 0) {
+    return Status::IOError(ErrnoMessage("msync failed on", spill_path_));
+  }
+  if (madvise(map_, static_cast<size_t>(map_bytes_), MADV_DONTNEED) != 0) {
+    return Status::IOError(ErrnoMessage("madvise failed on", spill_path_));
+  }
+  return Status::OK();
+}
+
+void FactorSlab::Resize(int64_t rows, int64_t cols) {
+  PANE_CHECK(backing_ == Backing::kInRam)
+      << "FactorSlab::Resize is in-RAM only; spilled slabs are created at "
+         "final shape";
+  dense_.Resize(rows, cols);
+  rows_ = rows;
+  cols_ = cols;
+  base_ = dense_.data();
+}
+
+Result<DenseMatrix> FactorSlab::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  if (!empty()) std::copy(base_, base_ + rows_ * cols_, out.data());
+  return out;
+}
+
+DenseMatrix FactorSlab::TakeDense() {
+  PANE_CHECK(backing_ == Backing::kInRam)
+      << "FactorSlab::TakeDense requires the in-RAM backing";
+  DenseMatrix out = std::move(dense_);
+  dense_ = DenseMatrix();
+  rows_ = 0;
+  cols_ = 0;
+  base_ = nullptr;
+  return out;
+}
+
+double FactorSlab::FrobeniusNorm() const {
+  double sum = 0.0;
+  const double* end = base_ + rows_ * cols_;
+  for (const double* p = base_; p != end; ++p) sum += *p * *p;
+  return std::sqrt(sum);
+}
+
+double FactorSlab::MaxAbsDiff(const DenseMatrix& other) const {
+  PANE_CHECK(rows_ == other.rows() && cols_ == other.cols())
+      << "MaxAbsDiff shape mismatch";
+  double max_diff = 0.0;
+  const int64_t total = rows_ * cols_;
+  const double* o = other.data();
+  for (int64_t i = 0; i < total; ++i) {
+    max_diff = std::max(max_diff, std::abs(base_[i] - o[i]));
+  }
+  return max_diff;
+}
+
+double FactorSlab::MaxAbsDiff(const FactorSlab& other) const {
+  PANE_CHECK(rows_ == other.rows_ && cols_ == other.cols_)
+      << "MaxAbsDiff shape mismatch";
+  double max_diff = 0.0;
+  const int64_t total = rows_ * cols_;
+  for (int64_t i = 0; i < total; ++i) {
+    max_diff = std::max(max_diff, std::abs(base_[i] - other.base_[i]));
+  }
+  return max_diff;
+}
+
+void ReleaseRowsOrWarn(const FactorSlab& slab, int64_t row_begin,
+                       int64_t row_end, bool dirty) {
+  if (!slab.spilled()) return;
+  const Status released = slab.ReleaseRowRange(row_begin, row_end, dirty);
+  if (!released.ok()) {
+    PANE_LOG(WARNING) << "slab release failed: " << released;
+  }
+}
+
+void DropResidencyOrWarn(const FactorSlab& slab) {
+  if (!slab.spilled()) return;
+  const Status dropped = slab.DropResidency();
+  if (!dropped.ok()) {
+    PANE_LOG(WARNING) << "slab residency drop failed: " << dropped;
+  }
+}
+
+FactorSlab::Backing ResolveSlabBacking(SlabPolicy policy,
+                                       int64_t memory_budget_mb,
+                                       int64_t resident_slab_bytes) {
+  switch (policy) {
+    case SlabPolicy::kInRam:
+      return FactorSlab::Backing::kInRam;
+    case SlabPolicy::kMmap:
+      return FactorSlab::Backing::kMmap;
+    case SlabPolicy::kAuto:
+      break;
+  }
+  if (memory_budget_mb <= 0) return FactorSlab::Backing::kInRam;
+  return resident_slab_bytes > (memory_budget_mb << 20)
+             ? FactorSlab::Backing::kMmap
+             : FactorSlab::Backing::kInRam;
+}
+
+}  // namespace pane

@@ -10,7 +10,11 @@ namespace pane {
 namespace {
 
 // Rows [begin, end) of C = A * B, i-k-j order (unit-stride inner loop).
-void GemmRows(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+// Templated over the operand types (DenseMatrix or ConstMatrixView) so the
+// slab-streaming entry points share this exact kernel — one arithmetic
+// path, bitwise-identical results whichever container the bytes live in.
+template <typename MatA, typename MatB>
+void GemmRows(const MatA& a, const MatB& b, DenseMatrix* c,
               int64_t begin, int64_t end) {
   const int64_t inner = a.cols();
   const int64_t k = b.cols();
@@ -56,12 +60,35 @@ void GemmTransBAddScaledRows(const DenseMatrix& a, const DenseMatrix& b,
   }
 }
 
-}  // namespace
+// Columns [col_begin, col_end) of C = A^T * B without materializing A^T:
+// each row i of A contributes a_row[j] * b_row[:] to C row j, so for every
+// output element the additions arrive in ascending i — the same order the
+// transpose-then-GemmRows form produces (at row j, inner index p = i
+// ascending), with the same skip-zero guard. C must be pre-zeroed.
+template <typename MatA>
+void GemmTransAStreamCols(const MatA& a, const DenseMatrix& b, DenseMatrix* c,
+                          int64_t col_begin, int64_t col_end) {
+  const int64_t n = a.rows();
+  const int64_t k = b.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    const double* a_row = a.Row(i);
+    const double* b_row = b.Row(i);
+    for (int64_t j = col_begin; j < col_end; ++j) {
+      const double v = a_row[j];
+      if (v == 0.0) continue;
+      double* c_row = c->Row(j);
+      for (int64_t l = 0; l < k; ++l) c_row[l] += v * b_row[l];
+    }
+  }
+}
 
-void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
-          ThreadPool* pool) {
+// Shared resize + serial-vs-row-parallel dispatch for every Gemm operand
+// combination, so a tuning change (e.g. the single-row cutover) cannot
+// diverge between the DenseMatrix and view entry points.
+template <typename MatA, typename MatB>
+void GemmDispatch(const MatA& a, const MatB& b, DenseMatrix* c,
+                  ThreadPool* pool) {
   PANE_CHECK(a.cols() == b.rows()) << "Gemm shape mismatch";
-  PANE_CHECK(c != &a && c != &b) << "Gemm cannot run in place";
   c->Resize(a.rows(), b.cols());
   if (pool == nullptr || pool->num_threads() == 1 || a.rows() == 1) {
     GemmRows(a, b, c, 0, a.rows());
@@ -72,12 +99,52 @@ void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
   });
 }
 
+}  // namespace
+
+void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+          ThreadPool* pool) {
+  PANE_CHECK(c != &a && c != &b) << "Gemm cannot run in place";
+  GemmDispatch(a, b, c, pool);
+}
+
+void Gemm(ConstMatrixView a, const DenseMatrix& b, DenseMatrix* c,
+          ThreadPool* pool) {
+  GemmDispatch(a, b, c, pool);
+}
+
+void Gemm(const DenseMatrix& a, ConstMatrixView b, DenseMatrix* c,
+          ThreadPool* pool) {
+  GemmDispatch(a, b, c, pool);
+}
+
 void GemmTransA(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
                 ThreadPool* pool) {
   PANE_CHECK(a.rows() == b.rows()) << "GemmTransA shape mismatch";
   // A^T is small x large in our call sites (A is tall-skinny); an explicit
   // transpose keeps the kernel at unit stride and costs O(A) extra memory,
   // negligible next to the n x d matrices around it.
+  const DenseMatrix at = a.Transposed();
+  Gemm(at, b, c, pool);
+}
+
+void GemmTransA(ConstMatrixView a, const DenseMatrix& b, DenseMatrix* c,
+                ThreadPool* pool) {
+  PANE_CHECK(a.rows() == b.rows()) << "GemmTransA shape mismatch";
+  c->Resize(a.cols(), b.cols());  // zero-filled by Resize
+  if (pool == nullptr || pool->num_threads() == 1 || a.cols() == 1) {
+    GemmTransAStreamCols(a, b, c, 0, a.cols());
+    return;
+  }
+  // Output columns of A (= rows of C) are partitioned across workers; every
+  // worker streams all rows of A but writes a disjoint C row range.
+  ParallelFor(pool, 0, a.cols(), [&](int64_t begin, int64_t end) {
+    GemmTransAStreamCols(a, b, c, begin, end);
+  });
+}
+
+void GemmTransA(const DenseMatrix& a, ConstMatrixView b, DenseMatrix* c,
+                ThreadPool* pool) {
+  PANE_CHECK(a.rows() == b.rows()) << "GemmTransA shape mismatch";
   const DenseMatrix at = a.Transposed();
   Gemm(at, b, c, pool);
 }

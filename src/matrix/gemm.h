@@ -13,8 +13,29 @@ class ThreadPool;
 void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
           ThreadPool* pool = nullptr);
 
+/// View-A variant: streams rows of `a` (e.g. a FactorSlab row range)
+/// through the same kernel — per-element arithmetic identical to the
+/// DenseMatrix form.
+void Gemm(ConstMatrixView a, const DenseMatrix& b, DenseMatrix* c,
+          ThreadPool* pool = nullptr);
+
+/// View-B variant (B = Q^T A with A a slab view).
+void Gemm(const DenseMatrix& a, ConstMatrixView b, DenseMatrix* c,
+          ThreadPool* pool = nullptr);
+
 /// C = A^T * B. C resized to (A.cols, B.cols).
 void GemmTransA(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+                ThreadPool* pool = nullptr);
+
+/// View-A variant of C = A^T * B that streams rows of `a` instead of
+/// materializing the d x n transpose — the accumulation order per output
+/// element (ascending row index of A) matches the transpose-then-multiply
+/// form bitwise, so RandSVD produces identical factors through either.
+void GemmTransA(ConstMatrixView a, const DenseMatrix& b, DenseMatrix* c,
+                ThreadPool* pool = nullptr);
+
+/// View-B variant of C = A^T * B (A is small and still transposed).
+void GemmTransA(const DenseMatrix& a, ConstMatrixView b, DenseMatrix* c,
                 ThreadPool* pool = nullptr);
 
 /// C = A * B^T. C resized to (A.rows, B.rows).

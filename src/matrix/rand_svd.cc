@@ -9,7 +9,7 @@
 
 namespace pane {
 
-Status RandSvd(const DenseMatrix& a, int k, const RandSvdOptions& options,
+Status RandSvd(ConstMatrixView a, int k, const RandSvdOptions& options,
                DenseMatrix* u, std::vector<double>* sigma, DenseMatrix* v) {
   const int64_t n = a.rows();
   const int64_t d = a.cols();
@@ -79,4 +79,10 @@ Status RandSvd(const DenseMatrix& a, int k, const RandSvdOptions& options,
   return Status::OK();
 }
 
+Status RandSvd(const DenseMatrix& a, int k, const RandSvdOptions& options,
+               DenseMatrix* u, std::vector<double>* sigma, DenseMatrix* v) {
+  return RandSvd(a.View(), k, options, u, sigma, v);
+}
+
 }  // namespace pane
+

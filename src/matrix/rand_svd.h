@@ -35,6 +35,15 @@ struct RandSvdOptions {
 /// orthonormal directions and sigma entries are 0 — so downstream consumers
 /// (GreedyInit) can rely on U, V always having exactly k orthonormal
 /// columns regardless of input rank.
+///
+/// The view form is the primary entry point: `a` is only ever streamed
+/// row-wise (A Omega, A^T Q), so it accepts a FactorSlab view — including a
+/// memory-mapped spill slab — without materializing A or A^T. The
+/// DenseMatrix overload delegates to it, so both forms share one arithmetic
+/// path and produce bitwise-identical factors.
+Status RandSvd(ConstMatrixView a, int k, const RandSvdOptions& options,
+               DenseMatrix* u, std::vector<double>* sigma, DenseMatrix* v);
+
 Status RandSvd(const DenseMatrix& a, int k, const RandSvdOptions& options,
                DenseMatrix* u, std::vector<double>* sigma, DenseMatrix* v);
 

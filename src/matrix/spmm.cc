@@ -43,8 +43,9 @@ void SpMMAddScaledRows(const CsrMatrix& a, const DenseMatrix& x, double alpha,
 // Computes rows [row_begin, row_end) of next = scale * (A * X) and
 // slab[:, slab_col .. slab_col + k) += acc_scale * next.
 void SpMMPanelStepRows(const CsrMatrix& a, const DenseMatrix& x, double scale,
-                       DenseMatrix* next, double acc_scale, DenseMatrix* slab,
-                       int64_t slab_col, int64_t row_begin, int64_t row_end) {
+                       DenseMatrix* next, double acc_scale, double* slab,
+                       int64_t slab_cols, int64_t slab_col, int64_t row_begin,
+                       int64_t row_end) {
   const int64_t k = x.cols();
   for (int64_t i = row_begin; i < row_end; ++i) {
     double* next_row = next->Row(i);
@@ -55,7 +56,7 @@ void SpMMPanelStepRows(const CsrMatrix& a, const DenseMatrix& x, double scale,
       const double* x_row = x.Row(row.cols[p]);
       for (int64_t j = 0; j < k; ++j) next_row[j] += v * x_row[j];
     }
-    double* slab_row = slab->Row(i) + slab_col;
+    double* slab_row = slab + i * slab_cols + slab_col;
     for (int64_t j = 0; j < k; ++j) slab_row[j] += acc_scale * next_row[j];
   }
 }
@@ -94,24 +95,23 @@ void SpMMAddScaled(const CsrMatrix& a, const DenseMatrix& x, double alpha,
 }
 
 void SpMMPanelStep(const CsrMatrix& a, const DenseMatrix& x, double scale,
-                   DenseMatrix* next, double acc_scale, DenseMatrix* slab,
-                   int64_t slab_col, ThreadPool* pool) {
+                   DenseMatrix* next, double acc_scale, double* slab,
+                   int64_t slab_cols, int64_t slab_col, ThreadPool* pool) {
   PANE_CHECK(a.cols() == x.rows())
       << "SpMMPanelStep shape mismatch: " << a.cols() << " vs " << x.rows();
-  PANE_CHECK(next != &x && slab != &x && slab != next)
+  PANE_CHECK(next != &x && slab != next->data() && slab != x.data())
       << "SpMMPanelStep cannot run in place";
-  PANE_CHECK(slab->rows() == a.rows() &&
-             slab_col >= 0 && slab_col + x.cols() <= slab->cols())
+  PANE_CHECK(slab_col >= 0 && slab_col + x.cols() <= slab_cols)
       << "SpMMPanelStep slab panel out of bounds";
   next->Resize(a.rows(), x.cols());
   if (pool == nullptr || pool->num_threads() == 1) {
-    SpMMPanelStepRows(a, x, scale, next, acc_scale, slab, slab_col, 0,
-                      a.rows());
+    SpMMPanelStepRows(a, x, scale, next, acc_scale, slab, slab_cols, slab_col,
+                      0, a.rows());
     return;
   }
   ParallelFor(pool, 0, a.rows(), [&](int64_t begin, int64_t end) {
-    SpMMPanelStepRows(a, x, scale, next, acc_scale, slab, slab_col, begin,
-                      end);
+    SpMMPanelStepRows(a, x, scale, next, acc_scale, slab, slab_cols, slab_col,
+                      begin, end);
   });
 }
 

@@ -27,15 +27,18 @@ void SpMMAddScaled(const CsrMatrix& a, const DenseMatrix& x, double alpha,
 ///   next           = scale * (A * x)                       and
 ///   slab[:, slab_col .. slab_col + x.cols())  += acc_scale * next.
 /// `next` is a panel-width scratch matrix (resized to A.rows x x.cols);
-/// `slab` is the wide output matrix the panel's running series accumulates
-/// into — this is what lets the engine keep only O(n x panel_width) scratch
-/// instead of a third dense accumulator per panel. Per-element arithmetic is
-/// identical to SpMMAddScaled(beta=0) followed by slab.Axpy(acc_scale, next)
-/// restricted to the panel columns, so results are bitwise equal to the
-/// unfused path. Row-parallel across `pool` when non-null.
+/// the slab is addressed as a raw row-major base pointer with `slab_cols`
+/// columns so the engine can accumulate into either FactorSlab backing
+/// (RAM or memory-mapped spill) through one kernel — this is what lets the
+/// engine keep only O(n x panel_width) scratch instead of a third dense
+/// accumulator per panel. Per-element arithmetic is identical to
+/// SpMMAddScaled(beta=0) followed by slab.Axpy(acc_scale, next) restricted
+/// to the panel columns, so results are bitwise equal to the unfused path.
+/// Row-parallel across `pool` when non-null.
 void SpMMPanelStep(const CsrMatrix& a, const DenseMatrix& x, double scale,
-                   DenseMatrix* next, double acc_scale, DenseMatrix* slab,
-                   int64_t slab_col, ThreadPool* pool = nullptr);
+                   DenseMatrix* next, double acc_scale, double* slab,
+                   int64_t slab_cols, int64_t slab_col,
+                   ThreadPool* pool = nullptr);
 
 /// y = A * x for a dense vector x (length A.cols); y resized to A.rows.
 /// Row-parallel across the pool's workers when pool is non-null, matching

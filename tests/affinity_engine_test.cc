@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <mutex>
 
 #include "src/core/affinity.h"
 #include "src/core/apmi.h"
@@ -313,6 +314,87 @@ TEST(AffinityEngineTest, EmptyMatricesReturnEmptyOutputs) {
   EXPECT_EQ(out->forward.rows(), 0);
   EXPECT_EQ(out->forward.cols(), 3);
   EXPECT_EQ(out->backward.rows(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Slab outputs and the panel consumer.
+
+TEST(AffinityEngineTest, MmapSlabsBitwiseEqualToDensePath) {
+  const AttributedGraph g = testing::SmallSbm(48, 250);
+  const GraphInputs in = MakeInputs(g);
+  AffinityEngineOptions options;
+  options.alpha = 0.5;
+  options.t = 4;
+  const AffinityMatrices dense = RunEngine(in, options);
+  options.backing = FactorSlab::Backing::kMmap;
+  options.memory_budget_mb = 1;  // narrow panels + per-panel residency drops
+  AffinityEngineStats stats;
+  const AffinitySlabs slabs =
+      ComputeAffinitySlabs(in.p, in.pt, *in.r, options, &stats)
+          .ValueOrDie();
+  ASSERT_TRUE(slabs.forward.spilled());
+  EXPECT_TRUE(stats.spilled);
+  EXPECT_FALSE(stats.panel_parallel);  // spill forces sequential panels
+  EXPECT_EQ(slabs.forward.MaxAbsDiff(dense.forward), 0.0);
+  EXPECT_EQ(slabs.backward.MaxAbsDiff(dense.backward), 0.0);
+}
+
+TEST(AffinityEngineTest, PooledMmapSlabsBitwiseEqual) {
+  const AttributedGraph g = testing::SmallSbm(49, 250);
+  const GraphInputs in = MakeInputs(g);
+  AffinityEngineOptions options;
+  options.alpha = 0.5;
+  options.t = 4;
+  const AffinityMatrices dense = RunEngine(in, options);
+  ThreadPool pool(4);
+  options.pool = &pool;
+  options.backing = FactorSlab::Backing::kMmap;
+  const AffinitySlabs slabs =
+      ComputeAffinitySlabs(in.p, in.pt, *in.r, options).ValueOrDie();
+  EXPECT_EQ(slabs.forward.MaxAbsDiff(dense.forward), 0.0);
+  EXPECT_EQ(slabs.backward.MaxAbsDiff(dense.backward), 0.0);
+}
+
+TEST(AffinityEngineTest, PanelConsumerSeesEveryPanelOnce) {
+  const AttributedGraph g = testing::SmallSbm(50, 200);  // d = 80
+  const GraphInputs in = MakeInputs(g);
+  ThreadPool pool(4);
+  AffinityEngineOptions options;
+  options.alpha = 0.5;
+  options.t = 3;
+  options.panel_width = 16;  // 5 panels per direction
+  options.pool = &pool;
+  std::mutex mutex;
+  int64_t forward_events = 0;
+  int64_t backward_events = 0;
+  int64_t forward_complete_events = 0;
+  int64_t cols_seen = 0;
+  options.panel_consumer = [&](const AffinityPanelEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    (event.forward ? forward_events : backward_events) += 1;
+    if (event.forward_complete) {
+      ++forward_complete_events;
+      EXPECT_EQ(event.panels_done, event.num_panels);
+    }
+    if (event.forward) cols_seen += event.col_end - event.col_begin;
+  };
+  AffinityEngineStats stats;
+  ComputeAffinitySlabs(in.p, in.pt, *in.r, options, &stats).ValueOrDie();
+  EXPECT_EQ(forward_events, stats.num_panels);
+  EXPECT_EQ(backward_events, stats.num_panels);
+  EXPECT_EQ(forward_complete_events, 1);
+  EXPECT_EQ(cols_seen, in.r->cols());
+}
+
+TEST(AffinityEngineTest, IntoSlabsRejectsMisshapenSlabs) {
+  const AttributedGraph g = testing::Figure1Graph();
+  const GraphInputs in = MakeInputs(g);
+  AffinityEngineOptions options;
+  options.t = 2;
+  AffinitySlabs out;
+  out.forward = DenseMatrix(2, 2);  // wrong shape, non-empty
+  EXPECT_FALSE(
+      ComputeAffinityIntoSlabs(in.p, in.pt, *in.r, options, &out).ok());
 }
 
 TEST(AffinityEngineTest, InputValidation) {

@@ -1,0 +1,155 @@
+// Whole-pipeline tests for the FactorSlab storage layer: a spill-forced
+// Pane::Train must produce bitwise-identical embeddings to the in-RAM and
+// unbounded runs on the same seed, spill-mode scratch must respect the
+// budget, and spill files must vanish on success and on error paths.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/core/incremental.h"
+#include "src/core/pane.h"
+#include "test_util.h"
+
+namespace pane {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Big enough that a 1 MiB budget spills under the kAuto rule:
+// 4 n d doubles = 4 * 500 * 80 * 8 = 1.28 MB > 1 MiB.
+constexpr int64_t kNodes = 500;
+constexpr int64_t kBudgetMb = 1;
+
+PaneOptions BudgetedOptions(int threads, int64_t budget_mb,
+                            SlabPolicy policy) {
+  PaneOptions options;
+  options.k = 16;
+  options.num_threads = threads;
+  options.memory_budget_mb = budget_mb;
+  options.slab_policy = policy;
+  return options;
+}
+
+void ExpectBitwiseEqual(const PaneEmbedding& a, const PaneEmbedding& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.xf.MaxAbsDiff(b.xf), 0.0) << what << ": xf differs";
+  EXPECT_EQ(a.xb.MaxAbsDiff(b.xb), 0.0) << what << ": xb differs";
+  EXPECT_EQ(a.y.MaxAbsDiff(b.y), 0.0) << what << ": y differs";
+}
+
+TEST(SlabPipelineTest, SpillBitwiseIdenticalToInRamAndUnbounded) {
+  const AttributedGraph g = testing::SmallSbm(71, kNodes);
+  const auto unbounded =
+      Pane(BudgetedOptions(3, 0, SlabPolicy::kAuto)).Train(g).ValueOrDie();
+  const auto in_ram =
+      Pane(BudgetedOptions(3, kBudgetMb, SlabPolicy::kInRam))
+          .Train(g)
+          .ValueOrDie();
+  PaneStats spill_stats;
+  const auto spilled =
+      Pane(BudgetedOptions(3, kBudgetMb, SlabPolicy::kAuto))
+          .Train(g, &spill_stats)
+          .ValueOrDie();
+  ASSERT_TRUE(spill_stats.slabs_spilled)
+      << "budget " << kBudgetMb << " MiB should spill "
+      << spill_stats.slab_bytes << " slab bytes";
+  ExpectBitwiseEqual(spilled, in_ram, "mmap vs in-RAM at equal budget");
+  ExpectBitwiseEqual(spilled, unbounded, "mmap+budget vs unbounded");
+}
+
+TEST(SlabPipelineTest, SerialSpillMatchesSerialUnbounded) {
+  const AttributedGraph g = testing::SmallSbm(72, kNodes);
+  const auto unbounded =
+      Pane(BudgetedOptions(1, 0, SlabPolicy::kAuto)).Train(g).ValueOrDie();
+  const auto spilled =
+      Pane(BudgetedOptions(1, kBudgetMb, SlabPolicy::kMmap))
+          .Train(g)
+          .ValueOrDie();
+  ExpectBitwiseEqual(spilled, unbounded, "serial mmap vs serial unbounded");
+}
+
+TEST(SlabPipelineTest, RandomInitSpillMatches) {
+  const AttributedGraph g = testing::SmallSbm(73, kNodes);
+  PaneOptions base = BudgetedOptions(3, 0, SlabPolicy::kAuto);
+  base.greedy_init = false;
+  PaneOptions spill = BudgetedOptions(3, kBudgetMb, SlabPolicy::kMmap);
+  spill.greedy_init = false;
+  const auto unbounded = Pane(base).Train(g).ValueOrDie();
+  const auto spilled = Pane(spill).Train(g).ValueOrDie();
+  ExpectBitwiseEqual(spilled, unbounded, "PANE-R mmap vs unbounded");
+}
+
+TEST(SlabPipelineTest, SpillScratchStaysUnderBudget) {
+  const AttributedGraph g = testing::SmallSbm(74, kNodes);
+  PaneStats stats;
+  ASSERT_TRUE(Pane(BudgetedOptions(3, kBudgetMb, SlabPolicy::kAuto))
+                  .Train(g, &stats)
+                  .ok());
+  const int64_t budget_bytes = kBudgetMb << 20;
+  EXPECT_TRUE(stats.slabs_spilled);
+  EXPECT_FALSE(stats.affinity.budget_clamped);
+  EXPECT_LE(stats.affinity.scratch_bytes, budget_bytes);
+  EXPECT_LE(stats.ccd.scratch_bytes, budget_bytes);
+  EXPECT_TRUE(stats.affinity.spilled);
+}
+
+TEST(SlabPipelineTest, SpillFilesRemovedAfterTraining) {
+  const AttributedGraph g = testing::SmallSbm(75, kNodes);
+  const fs::path dir =
+      fs::temp_directory_path() / "pane_slab_pipeline_cleanup_test";
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directory(dir));
+  PaneOptions options = BudgetedOptions(3, kBudgetMb, SlabPolicy::kMmap);
+  options.spill_dir = dir.string();
+  ASSERT_TRUE(Pane(options).Train(g).ok());
+  // Every slab (F', B', Sf, Sb) unlinked its spill file on destruction.
+  EXPECT_TRUE(fs::is_empty(dir)) << "stray spill files left in " << dir;
+  fs::remove_all(dir);
+}
+
+TEST(SlabPipelineTest, MissingSpillDirFailsWithoutSideEffects) {
+  const AttributedGraph g = testing::SmallSbm(76, 200);
+  PaneOptions options = BudgetedOptions(2, kBudgetMb, SlabPolicy::kMmap);
+  options.spill_dir = "/nonexistent_pane_spill_dir_for_test";
+  const auto result = Pane(options).Train(g);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+  EXPECT_FALSE(fs::exists(options.spill_dir));
+}
+
+TEST(SlabPipelineTest, DeprecatedAliasFeedsTheBudget) {
+  const AttributedGraph g = testing::SmallSbm(77, kNodes);
+  PaneOptions alias = BudgetedOptions(3, 0, SlabPolicy::kAuto);
+  alias.affinity_memory_mb = kBudgetMb;
+  EXPECT_EQ(ResolvedMemoryBudgetMb(alias), kBudgetMb);
+  PaneStats stats;
+  const auto trained = Pane(alias).Train(g, &stats).ValueOrDie();
+  // The alias now drives the whole budget, including the spill decision.
+  EXPECT_TRUE(stats.slabs_spilled);
+  PaneOptions direct = BudgetedOptions(3, kBudgetMb, SlabPolicy::kAuto);
+  const auto expected = Pane(direct).Train(g).ValueOrDie();
+  ExpectBitwiseEqual(trained, expected, "alias vs memory_budget_mb");
+}
+
+TEST(SlabPipelineTest, RefreshRunsSpilledAndMatchesInRam) {
+  const AttributedGraph g = testing::SmallSbm(78, kNodes);
+  const auto base =
+      Pane(BudgetedOptions(2, 0, SlabPolicy::kAuto)).Train(g).ValueOrDie();
+  RefreshOptions in_ram;
+  in_ram.num_threads = 2;
+  RefreshOptions spill = in_ram;
+  spill.memory_budget_mb = kBudgetMb;
+  spill.slab_policy = SlabPolicy::kMmap;
+  RefreshStats spill_stats;
+  const auto refreshed_ram =
+      RefreshEmbedding(g, base, in_ram).ValueOrDie();
+  const auto refreshed_spill =
+      RefreshEmbedding(g, base, spill, &spill_stats).ValueOrDie();
+  EXPECT_TRUE(spill_stats.slabs_spilled);
+  ExpectBitwiseEqual(refreshed_spill, refreshed_ram,
+                     "refresh mmap vs in-RAM");
+}
+
+}  // namespace
+}  // namespace pane
