@@ -1,0 +1,134 @@
+// The serving front-end: opens a trained NodeEmbedding artifact through the
+// mmap-shared EmbeddingStore, builds a batched QueryEngine (exact, or
+// IVF-pruned with --pruned), and serves the line protocol of
+// src/serve/line_protocol.h over stdin/stdout (default) or TCP (--port).
+//
+//   # train an artifact first
+//   ./pane_cli --mode=train --method=pane --graph=/data/cora --out=emb.bin
+//   # serve it: one request per line, responses in request order
+//   printf 'attr 3 5\nlink 3 5\npair 0 7\n' | ./pane_server --embedding=emb.bin
+//   # recommendation mode (skip known attributes / existing edges)
+//   ./pane_server --embedding=emb.bin --graph=/data/cora
+//   # approximate mode with a recall knob
+//   ./pane_server --embedding=emb.bin --pruned --nprobe=8 --clusters=64
+//   # TCP instead of stdin (loopback)
+//   ./pane_server --embedding=emb.bin --port=7077
+//
+// Because the store maps the artifact read-only (MAP_SHARED), any number of
+// pane_server processes over the same file share one physical copy of the
+// embedding through the page cache.
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/graph/graph_io.h"
+#include "src/parallel/thread_pool.h"
+#include "src/serve/embedding_store.h"
+#include "src/serve/query_engine.h"
+#include "src/serve/server.h"
+
+int main(int argc, char** argv) {
+  pane::FlagSet flags;
+  flags.AddString("embedding", "", "NodeEmbedding artifact to serve");
+  flags.AddString("graph", "",
+                  "optional graph for recommendation mode: known attributes "
+                  "/ existing out-edges of the query node are skipped");
+  flags.AddInt("port", 0, "TCP port to listen on (0 = serve stdin/stdout; "
+                          "loopback only)");
+  flags.AddInt("threads", 4, "engine worker threads for batch execution");
+  flags.AddInt("batch-size", 64, "max requests per engine batch");
+  flags.AddInt("cache-size", 1024, "LRU result-cache entries (0 disables)");
+  flags.AddBool("pruned", false,
+                "serve top-k through the IVF cluster-pruned indexes "
+                "(approximate; see --nprobe)");
+  flags.AddInt("nprobe", 8, "clusters probed per pruned query (recall knob)");
+  flags.AddInt("clusters", 0,
+               "IVF clusters (0 = ceil(sqrt(#candidates)))");
+  flags.AddInt("kmeans-iters", 10, "k-means iterations for the IVF build");
+  flags.AddInt("seed", 42, "IVF build seed");
+  flags.AddInt("memory-budget-mb", 0,
+               "caps the engine's per-batch scoring scratch (0 = default)");
+  flags.AddBool("verbose", false, "log store / engine configuration");
+  PANE_CHECK_OK(flags.Parse(argc, argv));
+  PANE_CHECK(!flags.GetString("embedding").empty())
+      << "--embedding=<artifact> is required (train one with pane_cli)";
+
+  // No float copies: the IVF build makes its own single-precision
+  // candidate/centroid storage (the link index scores Z rows, which exist
+  // only post-derivation), and keeping the store copy-free preserves the
+  // MAP_SHARED one-physical-copy property across server processes.
+  const auto store =
+      pane::serve::EmbeddingStore::Open(flags.GetString("embedding"));
+  PANE_CHECK(store.ok()) << store.status();
+  if (flags.GetBool("verbose")) {
+    std::fprintf(stderr,
+                 "store: method=%s n=%lld dim=%lld attrs=%lld mapped=%lldB "
+                 "zero_copy=%d\n",
+                 store->method().c_str(),
+                 static_cast<long long>(store->num_nodes()),
+                 static_cast<long long>(store->dim()),
+                 static_cast<long long>(store->num_attributes()),
+                 static_cast<long long>(store->mapped_bytes()),
+                 store->zero_copy() ? 1 : 0);
+  }
+
+  pane::ThreadPool pool(static_cast<int>(flags.GetInt("threads")));
+  pane::serve::QueryEngineOptions engine_options;
+  engine_options.pool = &pool;
+  engine_options.memory_budget_mb = flags.GetInt("memory-budget-mb");
+  auto engine = pane::serve::QueryEngine::Create(*store, engine_options);
+  PANE_CHECK(engine.ok()) << engine.status();
+
+  if (flags.GetBool("pruned")) {
+    pane::serve::IvfOptions ivf;
+    ivf.num_clusters = flags.GetInt("clusters");
+    ivf.kmeans_iters = static_cast<int>(flags.GetInt("kmeans-iters"));
+    ivf.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    ivf.pool = &pool;
+    PANE_CHECK_OK(engine->BuildPrunedIndex(ivf));
+    if (flags.GetBool("verbose")) {
+      std::fprintf(stderr, "ivf: attr_clusters=%lld link_clusters=%lld\n",
+                   static_cast<long long>(engine->attr_index().num_clusters()),
+                   static_cast<long long>(engine->link_index().num_clusters()));
+    }
+  }
+
+  pane::AttributedGraph exclude_graph;
+  pane::serve::ServerOptions server_options;
+  if (!flags.GetString("graph").empty()) {
+    auto loaded = pane::LoadGraphAuto(flags.GetString("graph"), &pool);
+    PANE_CHECK(loaded.ok()) << loaded.status();
+    exclude_graph = loaded.MoveValueUnsafe();
+    PANE_CHECK(exclude_graph.num_nodes() == store->num_nodes())
+        << "graph / embedding node-count mismatch";
+    server_options.exclude = &exclude_graph;
+  }
+  server_options.batch_size = flags.GetInt("batch-size");
+  server_options.cache_capacity = flags.GetInt("cache-size");
+  server_options.pruned = flags.GetBool("pruned");
+  server_options.nprobe = flags.GetInt("nprobe");
+
+  pane::serve::PaneServer server(&*engine, server_options);
+  const int64_t port = flags.GetInt("port");
+  if (port == 0) {
+    server.ServeStream(std::cin, std::cout);
+  } else {
+    const auto bound = server.ListenTcp(static_cast<int>(port));
+    PANE_CHECK(bound.ok()) << bound.status();
+    std::fprintf(stderr, "pane_server listening on 127.0.0.1:%d\n", *bound);
+    server.AcceptLoop();
+  }
+  const auto counters = server.counters();
+  if (flags.GetBool("verbose")) {
+    std::fprintf(stderr,
+                 "served: requests=%llu batches=%llu dedup=%llu cache=%llu "
+                 "errors=%llu\n",
+                 static_cast<unsigned long long>(counters.requests),
+                 static_cast<unsigned long long>(counters.batches),
+                 static_cast<unsigned long long>(counters.dedup_hits),
+                 static_cast<unsigned long long>(counters.cache_hits),
+                 static_cast<unsigned long long>(counters.errors));
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Offline top-k reference client: answers the same line protocol as
+// pane_server, but through a direct, independent implementation of the
+// paper's two prediction scores — a full scan with Eq. 21 / Eq. 22 scoring
+// and deterministic nth_element selection, no serving engine involved.
+//
+// Its job is differential testing: feed the same request script to a
+// pane_server (exact mode) and to pane_topk over the same artifact and
+// `diff` the outputs — they must be byte-identical, since both paths
+// produce bitwise-equal scores and rank under the same (score desc, index
+// asc) order. The serve-smoke CI job does exactly that. Don't script
+// `stats` into a diffed run; it is server-side only.
+//
+//   ./pane_topk --embedding=emb.bin [--graph=/data/cora] < queries.txt
+#include <iostream>
+#include <string>
+
+#include "src/api/node_embedding.h"
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/topk.h"
+#include "src/core/embedding.h"
+#include "src/graph/graph_io.h"
+#include "src/parallel/thread_pool.h"
+#include "src/serve/line_protocol.h"
+
+namespace {
+
+using pane::serve::Request;
+
+// The pre-serving-subsystem per-query scan: score every candidate, keep
+// the k best under the deterministic ranking order.
+pane::Ranking ScanAttributes(const pane::PaneEmbedding& embedding, int64_t v,
+                             int64_t k, const pane::AttributedGraph* exclude) {
+  pane::Ranking candidates;
+  candidates.reserve(static_cast<size_t>(embedding.num_attributes()));
+  for (int64_t r = 0; r < embedding.num_attributes(); ++r) {
+    if (exclude != nullptr && exclude->attributes().At(v, r) != 0.0) continue;
+    candidates.emplace_back(r, embedding.AttributeScore(v, r));
+  }
+  return pane::SelectTopK(std::move(candidates), k);
+}
+
+pane::Ranking ScanTargets(const pane::PaneEmbedding& embedding,
+                          const pane::EdgeScorer& scorer, int64_t u, int64_t k,
+                          const pane::AttributedGraph* exclude) {
+  pane::Ranking candidates;
+  candidates.reserve(static_cast<size_t>(embedding.num_nodes()));
+  for (int64_t v = 0; v < embedding.num_nodes(); ++v) {
+    if (v == u) continue;
+    if (exclude != nullptr && exclude->adjacency().At(u, v) != 0.0) continue;
+    candidates.emplace_back(v, scorer.Score(u, v));
+  }
+  return pane::SelectTopK(std::move(candidates), k);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pane::FlagSet flags;
+  flags.AddString("embedding", "", "NodeEmbedding artifact to score");
+  flags.AddString("graph", "",
+                  "optional graph for recommendation mode (same semantics "
+                  "as pane_server --graph)");
+  PANE_CHECK_OK(flags.Parse(argc, argv));
+  PANE_CHECK(!flags.GetString("embedding").empty())
+      << "--embedding=<artifact> is required";
+
+  const auto artifact =
+      pane::NodeEmbedding::Load(flags.GetString("embedding"));
+  PANE_CHECK(artifact.ok()) << artifact.status();
+  PANE_CHECK(artifact->has_attribute_factors())
+      << "pane_topk needs the xf/xb/y factor blocks (method '"
+      << artifact->method << "' lacks them)";
+  pane::PaneEmbedding embedding;
+  embedding.xf = artifact->xf;
+  embedding.xb = artifact->xb;
+  embedding.y = artifact->y;
+  const pane::EdgeScorer scorer(embedding);
+
+  pane::AttributedGraph exclude_graph;
+  const pane::AttributedGraph* exclude = nullptr;
+  if (!flags.GetString("graph").empty()) {
+    pane::ThreadPool pool(2);
+    auto loaded = pane::LoadGraphAuto(flags.GetString("graph"), &pool);
+    PANE_CHECK(loaded.ok()) << loaded.status();
+    exclude_graph = loaded.MoveValueUnsafe();
+    PANE_CHECK(exclude_graph.num_nodes() == embedding.num_nodes())
+        << "graph / embedding node-count mismatch";
+    exclude = &exclude_graph;
+  }
+
+  const int64_t n = embedding.num_nodes();
+  const int64_t d = embedding.num_attributes();
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto parsed = pane::serve::ParseRequestLine(line);
+    if (!parsed.ok()) {
+      std::cout << pane::serve::FormatError(parsed.status().message())
+                << '\n';
+      continue;
+    }
+    const Request& r = *parsed;
+    if (r.type == Request::Type::kQuit) {
+      std::cout << "bye\n";
+      break;
+    }
+    if (r.type == Request::Type::kStats) {
+      std::cout << "stats ok offline\n";
+      continue;
+    }
+    if (r.a < 0 || r.a >= n) {
+      std::cout << pane::serve::FormatError("node out of range") << '\n';
+      continue;
+    }
+    switch (r.type) {
+      case Request::Type::kTopKAttributes:
+        std::cout << pane::serve::FormatRanking(
+                         r, ScanAttributes(embedding, r.a, r.k, exclude))
+                  << '\n';
+        break;
+      case Request::Type::kTopKTargets:
+        std::cout << pane::serve::FormatRanking(
+                         r, ScanTargets(embedding, scorer, r.a, r.k, exclude))
+                  << '\n';
+        break;
+      case Request::Type::kAttributePair:
+        if (r.b < 0 || r.b >= d) {
+          std::cout << pane::serve::FormatError("id out of range") << '\n';
+          break;
+        }
+        std::cout << pane::serve::FormatScore(
+                         r, embedding.AttributeScore(r.a, r.b))
+                  << '\n';
+        break;
+      case Request::Type::kLinkPair:
+        if (r.b < 0 || r.b >= n) {
+          std::cout << pane::serve::FormatError("id out of range") << '\n';
+          break;
+        }
+        std::cout << pane::serve::FormatScore(r, scorer.Score(r.a, r.b))
+                  << '\n';
+        break;
+      default:
+        break;
+    }
+  }
+  return 0;
+}

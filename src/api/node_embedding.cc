@@ -7,27 +7,11 @@
 namespace pane {
 namespace {
 
-// "PANENEB1": the unified NodeEmbedding artifact, distinct from the legacy
-// PaneEmbedding magic so old files fail loudly instead of misparsing.
-constexpr uint64_t kNodeEmbeddingMagic = 0x50414e454e454231ULL;
-constexpr uint32_t kFormatVersion = 1;
-
-constexpr size_t kMaxMethodNameLength = 256;
-
-constexpr uint8_t kHasXf = 1u << 0;
-constexpr uint8_t kHasXb = 1u << 1;
-constexpr uint8_t kHasY = 1u << 2;
+namespace fmt = embedding_format;
 
 template <typename T>
 void AppendPod(std::string* buf, const T& value) {
   buf->append(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-template <typename T>
-Status ReadPod(std::istream* in, T* value) {
-  in->read(reinterpret_cast<char*>(value), sizeof(*value));
-  if (!*in) return Status::IOError("truncated embedding file");
-  return Status::OK();
 }
 
 void AppendMatrix(std::string* buf, const DenseMatrix& m) {
@@ -37,26 +21,68 @@ void AppendMatrix(std::string* buf, const DenseMatrix& m) {
               static_cast<size_t>(m.size()) * sizeof(double));
 }
 
-/// \param max_doubles entry budget derived from the bytes remaining in the
-/// file, so a corrupt shape header yields a Status instead of a huge
-/// allocation (or rows * cols overflow).
-Status ReadMatrix(std::istream* in, DenseMatrix* m, int64_t max_doubles) {
-  int64_t rows = 0, cols = 0;
-  PANE_RETURN_NOT_OK(ReadPod(in, &rows));
-  PANE_RETURN_NOT_OK(ReadPod(in, &cols));
-  if (rows < 0 || cols < 0) {
-    return Status::IOError("negative matrix shape in embedding file");
+/// Stream reader that tracks the bytes left in the file, so every length
+/// and shape field is checked before it drives an allocation — the same
+/// BoundedReader discipline LoadGraphBinary uses.
+class BoundedReader {
+ public:
+  BoundedReader(std::istream* in, int64_t file_size)
+      : in_(in), remaining_(file_size) {}
+
+  int64_t remaining() const { return remaining_; }
+
+  template <typename T>
+  Status ReadPod(T* value) {
+    if (remaining_ < static_cast<int64_t>(sizeof(T))) {
+      return Status::IOError("truncated embedding file");
+    }
+    in_->read(reinterpret_cast<char*>(value), sizeof(*value));
+    if (!*in_) return Status::IOError("truncated embedding file");
+    remaining_ -= static_cast<int64_t>(sizeof(T));
+    return Status::OK();
   }
-  if (rows > 0 && cols > max_doubles / rows) {
-    return Status::IOError(
-        "matrix shape in embedding file exceeds the file's size");
+
+  Status ReadBytes(char* dst, int64_t count) {
+    if (remaining_ < count) {
+      return Status::IOError("truncated embedding file");
+    }
+    in_->read(dst, static_cast<std::streamsize>(count));
+    if (!*in_) return Status::IOError("truncated embedding file");
+    remaining_ -= count;
+    return Status::OK();
   }
-  m->Resize(rows, cols);
-  in->read(reinterpret_cast<char*>(m->data()),
-           static_cast<std::streamsize>(m->size() * sizeof(double)));
-  if (!*in) return Status::IOError("truncated embedding file");
-  return Status::OK();
-}
+
+  Status SkipPadding(int64_t count) {
+    std::vector<char> pad(static_cast<size_t>(count));
+    return ReadBytes(pad.data(), count);
+  }
+
+  /// Reads one (rows, cols, payload) matrix record. The shape is validated
+  /// against the remaining byte budget before Resize, so a corrupt header
+  /// can't request an implausible allocation (and rows * cols can't
+  /// overflow: cols is bounded by remaining / rows first).
+  Status ReadMatrix(DenseMatrix* m) {
+    int64_t rows = 0, cols = 0;
+    PANE_RETURN_NOT_OK(ReadPod(&rows));
+    PANE_RETURN_NOT_OK(ReadPod(&cols));
+    if (rows < 0 || cols < 0) {
+      return Status::IOError("negative matrix shape in embedding file");
+    }
+    const int64_t max_doubles =
+        remaining_ / static_cast<int64_t>(sizeof(double));
+    if (rows > 0 && cols > max_doubles / rows) {
+      return Status::IOError(
+          "matrix shape in embedding file exceeds the file's size");
+    }
+    m->Resize(rows, cols);
+    return ReadBytes(reinterpret_cast<char*>(m->data()),
+                     m->size() * static_cast<int64_t>(sizeof(double)));
+  }
+
+ private:
+  std::istream* in_;
+  int64_t remaining_;
+};
 
 }  // namespace
 
@@ -90,7 +116,7 @@ Status NodeEmbedding::Check() const {
   if (features.empty()) {
     return Status::InvalidArgument("NodeEmbedding has no feature matrix");
   }
-  if (method.size() > kMaxMethodNameLength) {
+  if (method.size() > fmt::kMaxMethodNameLength) {
     return Status::InvalidArgument(
         "NodeEmbedding method name exceeds the serializable length");
   }
@@ -129,18 +155,23 @@ Status NodeEmbedding::Check() const {
 Status NodeEmbedding::Save(const std::string& path) const {
   PANE_RETURN_NOT_OK(Check());
   std::string buf;
-  AppendPod(&buf, kNodeEmbeddingMagic);
-  AppendPod(&buf, kFormatVersion);
+  AppendPod(&buf, fmt::kMagic);
+  AppendPod(&buf, fmt::kVersionAligned);
   const uint32_t method_len = static_cast<uint32_t>(method.size());
   AppendPod(&buf, method_len);
   buf.append(method);
   AppendPod(&buf, static_cast<int8_t>(link_convention));
   AppendPod(&buf, static_cast<int8_t>(attribute_convention));
   uint8_t mask = 0;
-  if (!xf.empty()) mask |= kHasXf;
-  if (!xb.empty()) mask |= kHasXb;
-  if (!y.empty()) mask |= kHasY;
+  if (!xf.empty()) mask |= fmt::kHasXf;
+  if (!xb.empty()) mask |= fmt::kHasXb;
+  if (!y.empty()) mask |= fmt::kHasY;
   AppendPod(&buf, mask);
+  // Version 2: align the first matrix record to an 8-byte file offset so an
+  // mmap reader can point double views straight into the mapping.
+  buf.append(
+      static_cast<size_t>(fmt::PaddingFor(static_cast<int64_t>(buf.size()))),
+      '\0');
   AppendMatrix(&buf, features);
   if (!xf.empty()) AppendMatrix(&buf, xf);
   if (!xb.empty()) AppendMatrix(&buf, xb);
@@ -159,33 +190,31 @@ Result<NodeEmbedding> NodeEmbedding::Load(const std::string& path) {
   in.seekg(0, std::ios::end);
   const int64_t file_size = static_cast<int64_t>(in.tellg());
   in.seekg(0, std::ios::beg);
-  const auto remaining_doubles = [&in, file_size]() {
-    return (file_size - static_cast<int64_t>(in.tellg())) /
-           static_cast<int64_t>(sizeof(double));
-  };
+  if (file_size < 0) return Status::IOError("cannot size: " + path);
+  BoundedReader reader(&in, file_size);
+
   uint64_t magic = 0;
-  PANE_RETURN_NOT_OK(ReadPod(&in, &magic));
-  if (magic != kNodeEmbeddingMagic) {
+  PANE_RETURN_NOT_OK(reader.ReadPod(&magic));
+  if (magic != fmt::kMagic) {
     return Status::InvalidArgument("not a NodeEmbedding file: " + path);
   }
   uint32_t version = 0;
-  PANE_RETURN_NOT_OK(ReadPod(&in, &version));
-  if (version != kFormatVersion) {
+  PANE_RETURN_NOT_OK(reader.ReadPod(&version));
+  if (version != fmt::kVersionUnaligned && version != fmt::kVersionAligned) {
     return Status::InvalidArgument("unsupported NodeEmbedding version in " +
                                    path);
   }
   uint32_t method_len = 0;
-  PANE_RETURN_NOT_OK(ReadPod(&in, &method_len));
-  if (method_len > kMaxMethodNameLength) {
+  PANE_RETURN_NOT_OK(reader.ReadPod(&method_len));
+  if (method_len > fmt::kMaxMethodNameLength) {
     return Status::InvalidArgument("implausible method-name length in " + path);
   }
   NodeEmbedding e;
   e.method.resize(method_len);
-  in.read(e.method.data(), method_len);
-  if (!in) return Status::IOError("truncated embedding file");
+  PANE_RETURN_NOT_OK(reader.ReadBytes(e.method.data(), method_len));
   int8_t link = 0, attr = 0;
-  PANE_RETURN_NOT_OK(ReadPod(&in, &link));
-  PANE_RETURN_NOT_OK(ReadPod(&in, &attr));
+  PANE_RETURN_NOT_OK(reader.ReadPod(&link));
+  PANE_RETURN_NOT_OK(reader.ReadPod(&attr));
   if (link < 0 || link > static_cast<int8_t>(LinkConvention::kAsymmetricDot)) {
     return Status::InvalidArgument("bad link convention in " + path);
   }
@@ -195,16 +224,23 @@ Result<NodeEmbedding> NodeEmbedding::Load(const std::string& path) {
   e.link_convention = static_cast<LinkConvention>(link);
   e.attribute_convention = static_cast<AttributeConvention>(attr);
   uint8_t mask = 0;
-  PANE_RETURN_NOT_OK(ReadPod(&in, &mask));
-  PANE_RETURN_NOT_OK(ReadMatrix(&in, &e.features, remaining_doubles()));
-  if (mask & kHasXf) {
-    PANE_RETURN_NOT_OK(ReadMatrix(&in, &e.xf, remaining_doubles()));
+  PANE_RETURN_NOT_OK(reader.ReadPod(&mask));
+  if ((mask & ~fmt::kKnownMaskBits) != 0) {
+    return Status::InvalidArgument("unknown presence-mask bits in " + path);
   }
-  if (mask & kHasXb) {
-    PANE_RETURN_NOT_OK(ReadMatrix(&in, &e.xb, remaining_doubles()));
+  if (version == fmt::kVersionAligned) {
+    PANE_RETURN_NOT_OK(
+        reader.SkipPadding(fmt::PaddingFor(fmt::HeaderBytes(method_len))));
   }
-  if (mask & kHasY) {
-    PANE_RETURN_NOT_OK(ReadMatrix(&in, &e.y, remaining_doubles()));
+  PANE_RETURN_NOT_OK(reader.ReadMatrix(&e.features));
+  if (mask & fmt::kHasXf) {
+    PANE_RETURN_NOT_OK(reader.ReadMatrix(&e.xf));
+  }
+  if (mask & fmt::kHasXb) {
+    PANE_RETURN_NOT_OK(reader.ReadMatrix(&e.xb));
+  }
+  if (mask & fmt::kHasY) {
+    PANE_RETURN_NOT_OK(reader.ReadMatrix(&e.y));
   }
   PANE_RETURN_NOT_OK(e.Check());
   return e;

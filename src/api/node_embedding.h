@@ -12,36 +12,14 @@
 #include <cstdint>
 #include <string>
 
+#include "src/api/embedding_format.h"
 #include "src/common/status.h"
 #include "src/matrix/dense_matrix.h"
 
 namespace pane {
 
-/// How a method's pairwise link score is computed from the artifact
-/// (Section 5.3 evaluates every competitor under its best convention).
-enum class LinkConvention : int8_t {
-  /// Inner product over `features` rows; the adapter also tries cosine and
-  /// keeps the best, mirroring the paper's best-of protocol.
-  kInnerProduct = 0,
-  /// Negated Hamming distance of sign patterns (binary codes, BANE).
-  kHamming = 1,
-  /// PANE's Equation 22 over the xf / xb / y factor blocks.
-  kForwardBackward = 2,
-  /// Xf[u] . Xb[w] over the node factor blocks (NRP's score; no attribute
-  /// factor involved).
-  kAsymmetricDot = 3,
-};
-
-/// How an attribute-inference score p(v, r) is computed.
-enum class AttributeConvention : int8_t {
-  /// Generic fallback: dot(features[v], centroid[r]) with per-attribute
-  /// centroids fitted on the training graph by the adapter.
-  kCentroid = 0,
-  /// `features` is itself an n x d attribute-score matrix (BLA).
-  kDirect = 1,
-  /// PANE's Equation 21 over the xf / xb / y factor blocks.
-  kFactors = 2,
-};
+// LinkConvention / AttributeConvention live in src/api/embedding_format.h
+// (shared with the mmap-backed serving store) and are re-exported here.
 
 const char* LinkConventionToString(LinkConvention c);
 const char* AttributeConventionToString(AttributeConvention c);
@@ -73,9 +51,17 @@ struct NodeEmbedding {
   Status Check() const;
 
   /// One binary file: magic, version, method, conventions, presence mask,
-  /// then the present matrices. Stable across save/load round-trips
-  /// byte-for-byte.
+  /// then the present matrices (layout in src/api/embedding_format.h; Save
+  /// writes version 2, whose matrix payloads are 8-byte aligned so the
+  /// serving-side EmbeddingStore can mmap them zero-copy). Stable across
+  /// save/load round-trips byte-for-byte.
   Status Save(const std::string& path) const;
+
+  /// Reads version 1 or 2. Every shape and length field is validated
+  /// against the bytes remaining in the file before any allocation, so a
+  /// corrupt or truncated artifact yields a Status instead of an OOM. For
+  /// a shared read-only view of a large artifact (no per-process copy),
+  /// open it with serve::EmbeddingStore instead.
   static Result<NodeEmbedding> Load(const std::string& path);
 };
 

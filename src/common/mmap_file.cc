@@ -1,0 +1,64 @@
+#include "src/common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pane {
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+MappedFile::MappedFile(MappedFile&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (map_ != nullptr) munmap(map_, static_cast<size_t>(size_));
+  map_ = other.map_;
+  size_ = other.size_;
+  other.map_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (map_ != nullptr) munmap(map_, static_cast<size_t>(size_));
+}
+
+Result<MappedFile> MappedFile::OpenReadOnly(const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open", path));
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(ErrnoMessage("cannot stat", path));
+    close(fd);
+    return status;
+  }
+  MappedFile file;
+  file.size_ = static_cast<int64_t>(st.st_size);
+  if (file.size_ == 0) {
+    close(fd);
+    return file;
+  }
+  void* map = mmap(nullptr, static_cast<size_t>(file.size_), PROT_READ,
+                   MAP_SHARED, fd, 0);
+  close(fd);  // the mapping keeps the file contents alive
+  if (map == MAP_FAILED) {
+    return Status::IOError(ErrnoMessage("cannot map", path));
+  }
+  file.map_ = map;
+  return file;
+}
+
+}  // namespace pane

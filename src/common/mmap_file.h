@@ -1,0 +1,45 @@
+// Read-only memory-mapped file. The serving-side counterpart of
+// FactorSlab's read-write spill mapping (src/matrix/factor_slab.h): where a
+// slab owns a private scratch file, MappedFile shares an existing artifact
+// through the page cache — every process that maps the same file reads the
+// same physical pages, which is what makes N server processes over one
+// embedding cost one embedding's worth of RAM.
+//
+// The file descriptor is closed as soon as the mapping is established (the
+// mapping keeps the contents alive), so a MappedFile holds no fd for its
+// lifetime and survives the path being unlinked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace pane {
+
+class MappedFile {
+ public:
+  /// Empty (nothing mapped).
+  MappedFile() = default;
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  ~MappedFile();
+
+  /// Maps `path` read-only (PROT_READ, MAP_SHARED). An empty file maps to
+  /// size() == 0 with data() == nullptr.
+  static Result<MappedFile> OpenReadOnly(const std::string& path);
+
+  const char* data() const { return static_cast<const char*>(map_); }
+  int64_t size() const { return size_; }
+  bool mapped() const { return map_ != nullptr; }
+
+ private:
+  void* map_ = nullptr;
+  int64_t size_ = 0;
+};
+
+}  // namespace pane

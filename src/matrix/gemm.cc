@@ -65,8 +65,8 @@ void GemmTransBAddScaledRows(const DenseMatrix& a, const DenseMatrix& b,
 // output element the additions arrive in ascending i — the same order the
 // transpose-then-GemmRows form produces (at row j, inner index p = i
 // ascending), with the same skip-zero guard. C must be pre-zeroed.
-template <typename MatA>
-void GemmTransAStreamCols(const MatA& a, const DenseMatrix& b, DenseMatrix* c,
+template <typename MatA, typename MatB>
+void GemmTransAStreamCols(const MatA& a, const MatB& b, DenseMatrix* c,
                           int64_t col_begin, int64_t col_end) {
   const int64_t n = a.rows();
   const int64_t k = b.cols();
@@ -127,8 +127,12 @@ void GemmTransA(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
   Gemm(at, b, c, pool);
 }
 
-void GemmTransA(ConstMatrixView a, const DenseMatrix& b, DenseMatrix* c,
-                ThreadPool* pool) {
+namespace {
+
+// Shared driver for the streaming (no A^T materialization) forms.
+template <typename MatA, typename MatB>
+void GemmTransAStreamDispatch(const MatA& a, const MatB& b, DenseMatrix* c,
+                              ThreadPool* pool) {
   PANE_CHECK(a.rows() == b.rows()) << "GemmTransA shape mismatch";
   c->Resize(a.cols(), b.cols());  // zero-filled by Resize
   if (pool == nullptr || pool->num_threads() == 1 || a.cols() == 1) {
@@ -140,6 +144,18 @@ void GemmTransA(ConstMatrixView a, const DenseMatrix& b, DenseMatrix* c,
   ParallelFor(pool, 0, a.cols(), [&](int64_t begin, int64_t end) {
     GemmTransAStreamCols(a, b, c, begin, end);
   });
+}
+
+}  // namespace
+
+void GemmTransA(ConstMatrixView a, const DenseMatrix& b, DenseMatrix* c,
+                ThreadPool* pool) {
+  GemmTransAStreamDispatch(a, b, c, pool);
+}
+
+void GemmTransA(ConstMatrixView a, ConstMatrixView b, DenseMatrix* c,
+                ThreadPool* pool) {
+  GemmTransAStreamDispatch(a, b, c, pool);
 }
 
 void GemmTransA(const DenseMatrix& a, ConstMatrixView b, DenseMatrix* c,

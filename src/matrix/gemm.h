@@ -38,6 +38,12 @@ void GemmTransA(ConstMatrixView a, const DenseMatrix& b, DenseMatrix* c,
 void GemmTransA(const DenseMatrix& a, ConstMatrixView b, DenseMatrix* c,
                 ThreadPool* pool = nullptr);
 
+/// Both-views variant of C = A^T * B (e.g. Y^T Y over an mmap-backed
+/// artifact view); streams rows of A like the view-A form, same
+/// accumulation order.
+void GemmTransA(ConstMatrixView a, ConstMatrixView b, DenseMatrix* c,
+                ThreadPool* pool = nullptr);
+
 /// C = A * B^T. C resized to (A.rows, B.rows).
 void GemmTransB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
                 ThreadPool* pool = nullptr);

@@ -1,0 +1,50 @@
+// The serving engine's blocked dot-product kernel, behind a runtime ISA
+// dispatch. One translation unit compiles the shared implementation
+// (dot_block_impl.h) at the build's baseline ISA, a second compiles the
+// same code with AVX2 enabled (x86-64 only, no FMA — fused multiply-add
+// would change rounding and break the bitwise contract with
+// vector_ops::Dot); GetDotBlock() picks the widest variant the running CPU
+// supports, once, at first use.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace pane {
+namespace serve {
+
+/// Scores one candidate row against a transposed query block of width ld:
+/// writes the inner product of query q (column q of `qt`) with `cand`
+/// (length h) to out[q * out_stride] for every q in [0, ld). Per-pair
+/// accumulation is bitwise identical to vector_ops::Dot.
+using DotBlockFn = void (*)(const double* qt, int64_t h, int64_t ld,
+                            const double* cand, double* out,
+                            int64_t out_stride, bool add);
+
+/// The best variant for this CPU (resolved once; thread-safe).
+DotBlockFn GetDotBlock();
+
+/// Panel widths with fast compile-time kernels. Blocks are padded up to
+/// one of these (zero-filled query columns; their outputs are ignored) —
+/// an arbitrary runtime width falls back to a ~3x slower scalar path.
+inline int64_t PadDotBlockWidth(int64_t b) {
+  for (const int64_t w : {int64_t{1}, int64_t{2}, int64_t{4}, int64_t{8},
+                          int64_t{16}, int64_t{32}, int64_t{64}}) {
+    if (b <= w) return w;
+  }
+  return b;
+}
+
+namespace detail {
+void DotBlockGeneric(const double* qt, int64_t h, int64_t ld,
+                     const double* cand, double* out, int64_t out_stride,
+                     bool add);
+#if defined(__x86_64__)
+void DotBlockAvx2(const double* qt, int64_t h, int64_t ld,
+                  const double* cand, double* out, int64_t out_stride,
+                  bool add);
+#endif
+}  // namespace detail
+
+}  // namespace serve
+}  // namespace pane

@@ -1,0 +1,202 @@
+#include "src/serve/embedding_store.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace pane {
+namespace serve {
+namespace {
+
+namespace fmt = embedding_format;
+
+/// Bounds-checked cursor over the mapped bytes. All multi-byte fields go
+/// through memcpy: the mapping carries no alignment guarantee for the
+/// header fields, and a misaligned int64 load is UB even on x86.
+class MapCursor {
+ public:
+  MapCursor(const char* base, int64_t size) : p_(base), remaining_(size) {}
+
+  int64_t remaining() const { return remaining_; }
+  const char* position() const { return p_; }
+
+  template <typename T>
+  Status ReadPod(T* value) {
+    if (remaining_ < static_cast<int64_t>(sizeof(T))) {
+      return Status::IOError("truncated embedding artifact");
+    }
+    std::memcpy(value, p_, sizeof(T));
+    p_ += sizeof(T);
+    remaining_ -= static_cast<int64_t>(sizeof(T));
+    return Status::OK();
+  }
+
+  Status Skip(int64_t count) {
+    if (remaining_ < count) {
+      return Status::IOError("truncated embedding artifact");
+    }
+    p_ += count;
+    remaining_ -= count;
+    return Status::OK();
+  }
+
+ private:
+  const char* p_;
+  int64_t remaining_;
+};
+
+/// One matrix record: shape validated against the remaining mapped bytes,
+/// then either viewed in place (payload 8-byte aligned) or copied into
+/// `owned`. `*zero_copy` is cleared when any matrix needs the copy path.
+Status ParseMatrix(MapCursor* cursor, DenseMatrix* owned,
+                   ConstMatrixView* view, bool* zero_copy) {
+  int64_t rows = 0, cols = 0;
+  PANE_RETURN_NOT_OK(cursor->ReadPod(&rows));
+  PANE_RETURN_NOT_OK(cursor->ReadPod(&cols));
+  if (rows < 0 || cols < 0) {
+    return Status::IOError("negative matrix shape in embedding artifact");
+  }
+  const int64_t max_doubles =
+      cursor->remaining() / static_cast<int64_t>(sizeof(double));
+  if (rows > 0 && cols > max_doubles / rows) {
+    return Status::IOError(
+        "matrix shape in embedding artifact exceeds the mapped size");
+  }
+  const char* payload = cursor->position();
+  const int64_t bytes = rows * cols * static_cast<int64_t>(sizeof(double));
+  PANE_RETURN_NOT_OK(cursor->Skip(bytes));
+  if (reinterpret_cast<uintptr_t>(payload) % alignof(double) == 0) {
+    *view = ConstMatrixView(reinterpret_cast<const double*>(payload), rows,
+                            cols);
+    return Status::OK();
+  }
+  // Version-1 artifacts put payloads at odd offsets; copy once at open.
+  *zero_copy = false;
+  owned->Resize(rows, cols);
+  std::memcpy(owned->data(), payload, static_cast<size_t>(bytes));
+  *view = owned->View();
+  return Status::OK();
+}
+
+}  // namespace
+
+FloatMatrix ToFloatMatrix(ConstMatrixView m, bool l2_normalize) {
+  FloatMatrix out;
+  out.Resize(m.rows(), m.cols());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const double* src = m.Row(i);
+    float* dst = out.MutableRow(i);
+    double norm_sq = 0.0;
+    for (int64_t j = 0; j < m.cols(); ++j) norm_sq += src[j] * src[j];
+    const double inv =
+        (l2_normalize && norm_sq > 0.0) ? 1.0 / std::sqrt(norm_sq) : 1.0;
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      dst[j] = static_cast<float>(src[j] * inv);
+    }
+  }
+  return out;
+}
+
+Result<EmbeddingStore> EmbeddingStore::Open(
+    const std::string& path, const EmbeddingStoreOptions& options) {
+  EmbeddingStore store;
+  PANE_ASSIGN_OR_RETURN(store.map_, MappedFile::OpenReadOnly(path));
+  MapCursor cursor(store.map_.data(), store.map_.size());
+
+  uint64_t magic = 0;
+  PANE_RETURN_NOT_OK(cursor.ReadPod(&magic));
+  if (magic != fmt::kMagic) {
+    return Status::InvalidArgument("not a NodeEmbedding artifact: " + path);
+  }
+  uint32_t version = 0;
+  PANE_RETURN_NOT_OK(cursor.ReadPod(&version));
+  if (version != fmt::kVersionUnaligned && version != fmt::kVersionAligned) {
+    return Status::InvalidArgument("unsupported NodeEmbedding version in " +
+                                   path);
+  }
+  uint32_t method_len = 0;
+  PANE_RETURN_NOT_OK(cursor.ReadPod(&method_len));
+  if (method_len > fmt::kMaxMethodNameLength) {
+    return Status::InvalidArgument("implausible method-name length in " +
+                                   path);
+  }
+  if (cursor.remaining() < static_cast<int64_t>(method_len)) {
+    return Status::IOError("truncated embedding artifact");
+  }
+  store.method_.assign(cursor.position(), method_len);
+  PANE_RETURN_NOT_OK(cursor.Skip(method_len));
+
+  int8_t link = 0, attr = 0;
+  PANE_RETURN_NOT_OK(cursor.ReadPod(&link));
+  PANE_RETURN_NOT_OK(cursor.ReadPod(&attr));
+  if (link < 0 || link > static_cast<int8_t>(LinkConvention::kAsymmetricDot)) {
+    return Status::InvalidArgument("bad link convention in " + path);
+  }
+  if (attr < 0 || attr > static_cast<int8_t>(AttributeConvention::kFactors)) {
+    return Status::InvalidArgument("bad attribute convention in " + path);
+  }
+  store.link_convention_ = static_cast<LinkConvention>(link);
+  store.attribute_convention_ = static_cast<AttributeConvention>(attr);
+
+  uint8_t mask = 0;
+  PANE_RETURN_NOT_OK(cursor.ReadPod(&mask));
+  if ((mask & ~fmt::kKnownMaskBits) != 0) {
+    return Status::InvalidArgument("unknown presence-mask bits in " + path);
+  }
+  if (version == fmt::kVersionAligned) {
+    PANE_RETURN_NOT_OK(
+        cursor.Skip(fmt::PaddingFor(fmt::HeaderBytes(method_len))));
+  }
+
+  store.zero_copy_ = true;
+  PANE_RETURN_NOT_OK(ParseMatrix(&cursor, &store.owned_features_,
+                                 &store.features_, &store.zero_copy_));
+  if (mask & fmt::kHasXf) {
+    PANE_RETURN_NOT_OK(ParseMatrix(&cursor, &store.owned_xf_, &store.xf_,
+                                   &store.zero_copy_));
+  }
+  if (mask & fmt::kHasXb) {
+    PANE_RETURN_NOT_OK(ParseMatrix(&cursor, &store.owned_xb_, &store.xb_,
+                                   &store.zero_copy_));
+  }
+  if (mask & fmt::kHasY) {
+    PANE_RETURN_NOT_OK(ParseMatrix(&cursor, &store.owned_y_, &store.y_,
+                                   &store.zero_copy_));
+  }
+
+  // Cross-matrix consistency, mirroring NodeEmbedding::Check.
+  if (store.features_.rows() * store.features_.cols() == 0) {
+    return Status::InvalidArgument("embedding artifact has no features: " +
+                                   path);
+  }
+  const bool has_xf = store.xf_.rows() > 0;
+  const bool has_xb = store.xb_.rows() > 0;
+  if (has_xf != has_xb ||
+      (has_xf && (store.xf_.rows() != store.features_.rows() ||
+                  store.xf_.rows() != store.xb_.rows() ||
+                  store.xf_.cols() != store.xb_.cols()))) {
+    return Status::InvalidArgument(
+        "inconsistent factor blocks in embedding artifact: " + path);
+  }
+  if (store.y_.rows() > 0 &&
+      (!has_xf || store.y_.cols() != store.xf_.cols())) {
+    return Status::InvalidArgument(
+        "attribute factor inconsistent with node factors in: " + path);
+  }
+
+  if (options.float_copies) {
+    const bool norm = options.l2_normalize_floats;
+    if (store.has_node_factors()) {
+      store.xf_f32_ = ToFloatMatrix(store.xf_, norm);
+      store.xb_f32_ = ToFloatMatrix(store.xb_, norm);
+      if (store.y_.rows() > 0) {
+        store.y_f32_ = ToFloatMatrix(store.y_, norm);
+      }
+    } else {
+      store.features_f32_ = ToFloatMatrix(store.features_, norm);
+    }
+  }
+  return store;
+}
+
+}  // namespace serve
+}  // namespace pane

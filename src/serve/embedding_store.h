@@ -1,0 +1,128 @@
+// Immutable, memory-mapped view of a NodeEmbedding artifact — the serving
+// subsystem's storage layer. Where NodeEmbedding::Load copies the artifact
+// into private heap memory, an EmbeddingStore maps the file read-only
+// (PROT_READ, MAP_SHARED): the doubles are backed by the page cache, every
+// server process mapping the same artifact shares one physical copy, and
+// opening costs O(header) regardless of the embedding's size. The file
+// descriptor is closed at open time, so the store keeps working after the
+// path is unlinked or rotated from under it.
+//
+// Version-2 artifacts (what NodeEmbedding::Save writes) have 8-byte-aligned
+// matrix payloads, so the factor views point straight into the mapping.
+// Version-1 artifacts are unaligned; their matrices are copied out of the
+// mapping into owned storage once at open (zero_copy() reports which path
+// was taken).
+//
+// For bandwidth-bound scoring (the pruned IVF scan), the store can
+// additionally materialize single-precision copies of the factor blocks,
+// optionally L2-normalized per row (cosine scoring for inner-product
+// artifacts). Exact-mode scoring never touches these: it reads the mapped
+// doubles so served results stay bitwise identical to the offline path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/embedding_format.h"
+#include "src/common/mmap_file.h"
+#include "src/common/status.h"
+#include "src/matrix/dense_matrix.h"
+
+namespace pane {
+namespace serve {
+
+/// \brief Row-major single-precision matrix (the store's bandwidth-bound
+/// scoring copies; also the IVF index's candidate/centroid storage).
+struct FloatMatrix {
+  std::vector<float> data;
+  int64_t rows = 0;
+  int64_t cols = 0;
+
+  bool empty() const { return rows * cols == 0; }
+  const float* Row(int64_t i) const { return data.data() + i * cols; }
+  float* MutableRow(int64_t i) { return data.data() + i * cols; }
+  void Resize(int64_t r, int64_t c) {
+    rows = r;
+    cols = c;
+    data.assign(static_cast<size_t>(r * c), 0.0f);
+  }
+};
+
+struct EmbeddingStoreOptions {
+  /// Build single-precision copies of xf / xb / y (and features when no
+  /// factor blocks are present) at open.
+  bool float_copies = false;
+  /// L2-normalize each row of the float copies (unit vectors; inner product
+  /// becomes cosine). Zero rows are left zero.
+  bool l2_normalize_floats = false;
+};
+
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+  EmbeddingStore(const EmbeddingStore&) = delete;
+  EmbeddingStore& operator=(const EmbeddingStore&) = delete;
+  EmbeddingStore(EmbeddingStore&&) = default;
+  EmbeddingStore& operator=(EmbeddingStore&&) = default;
+
+  /// Maps and parses a NodeEmbedding artifact (format version 1 or 2).
+  /// Every shape / length field is validated against the mapped size, so a
+  /// corrupt artifact yields a Status, never an OOM or an out-of-bounds
+  /// read.
+  static Result<EmbeddingStore> Open(const std::string& path,
+                                     const EmbeddingStoreOptions& options =
+                                         EmbeddingStoreOptions());
+
+  const std::string& method() const { return method_; }
+  LinkConvention link_convention() const { return link_convention_; }
+  AttributeConvention attribute_convention() const {
+    return attribute_convention_;
+  }
+
+  /// Factor views (empty views when the artifact lacks the block). For a
+  /// version-2 artifact these point into the shared mapping.
+  ConstMatrixView features() const { return features_; }
+  ConstMatrixView xf() const { return xf_; }
+  ConstMatrixView xb() const { return xb_; }
+  ConstMatrixView y() const { return y_; }
+
+  int64_t num_nodes() const { return features_.rows(); }
+  int64_t dim() const { return features_.cols(); }
+  int64_t num_attributes() const { return y_.rows(); }
+  bool has_node_factors() const {
+    return xf_.rows() > 0 && xb_.rows() > 0;
+  }
+  bool has_attribute_factors() const {
+    return has_node_factors() && y_.rows() > 0;
+  }
+
+  /// True when the factor views point into the mapping (version-2
+  /// artifact); false when they were copied out (version 1).
+  bool zero_copy() const { return zero_copy_; }
+  int64_t mapped_bytes() const { return map_.size(); }
+
+  /// Single-precision copies (empty unless float_copies was requested).
+  const FloatMatrix& features_f32() const { return features_f32_; }
+  const FloatMatrix& xf_f32() const { return xf_f32_; }
+  const FloatMatrix& xb_f32() const { return xb_f32_; }
+  const FloatMatrix& y_f32() const { return y_f32_; }
+
+ private:
+  MappedFile map_;
+  // Owned fallback storage for unaligned (version-1) artifacts.
+  DenseMatrix owned_features_, owned_xf_, owned_xb_, owned_y_;
+  ConstMatrixView features_, xf_, xb_, y_;
+  std::string method_;
+  LinkConvention link_convention_ = LinkConvention::kInnerProduct;
+  AttributeConvention attribute_convention_ = AttributeConvention::kCentroid;
+  bool zero_copy_ = false;
+  FloatMatrix features_f32_, xf_f32_, xb_f32_, y_f32_;
+};
+
+/// \brief Single-precision copy of `m`, optionally L2-normalizing each row
+/// (norms computed in double). Exposed for tests and the IVF builder.
+FloatMatrix ToFloatMatrix(ConstMatrixView m, bool l2_normalize);
+
+}  // namespace serve
+}  // namespace pane

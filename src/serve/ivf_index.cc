@@ -1,0 +1,188 @@
+#include "src/serve/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "src/common/random.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace serve {
+namespace {
+
+float FloatDot(const float* x, const float* y, int64_t n) {
+  float s = 0.0f;
+  for (int64_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double SquaredL2(const float* x, const float* y, int64_t n) {
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) - static_cast<double>(y[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+/// Nearest centroid by L2; ties go to the lowest cluster id, so the
+/// assignment is deterministic whether it runs serially or in parallel.
+int64_t NearestCentroid(const FloatMatrix& centroids, const float* row) {
+  int64_t best = 0;
+  double best_dist = SquaredL2(centroids.Row(0), row, centroids.cols);
+  for (int64_t c = 1; c < centroids.rows; ++c) {
+    const double dist = SquaredL2(centroids.Row(c), row, centroids.cols);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<IvfIndex> IvfIndex::Build(ConstMatrixView candidates,
+                                 const IvfOptions& options) {
+  return Build(ToFloatMatrix(candidates, /*l2_normalize=*/false), options);
+}
+
+Result<IvfIndex> IvfIndex::Build(const FloatMatrix& candidates,
+                                 const IvfOptions& options) {
+  const int64_t n = candidates.rows;
+  const int64_t dim = candidates.cols;
+  if (n == 0 || dim == 0) {
+    return Status::InvalidArgument("IvfIndex needs a non-empty candidate set");
+  }
+  int64_t num_clusters = options.num_clusters;
+  if (num_clusters <= 0) {
+    num_clusters = static_cast<int64_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+  }
+  num_clusters = std::min(num_clusters, n);
+
+  IvfIndex index;
+  index.centroids_.Resize(num_clusters, dim);
+  // Seed centroids from distinct candidate rows.
+  Rng rng(options.seed);
+  const std::vector<int64_t> seeds =
+      SampleWithoutReplacement(n, num_clusters, &rng);
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    std::memcpy(index.centroids_.MutableRow(c), candidates.Row(seeds[c]),
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+
+  std::vector<int32_t> assignment(static_cast<size_t>(n), 0);
+  std::vector<double> sums;  // accumulate means in double
+  std::vector<int64_t> counts;
+  for (int iter = 0; iter < std::max(1, options.kmeans_iters); ++iter) {
+    const auto assign = [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        assignment[static_cast<size_t>(i)] = static_cast<int32_t>(
+            NearestCentroid(index.centroids_, candidates.Row(i)));
+      }
+    };
+    if (options.pool != nullptr && options.pool->num_threads() > 1) {
+      ParallelFor(options.pool, 0, n, assign);
+    } else {
+      assign(0, n);
+    }
+    sums.assign(static_cast<size_t>(num_clusters * dim), 0.0);
+    counts.assign(static_cast<size_t>(num_clusters), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = assignment[static_cast<size_t>(i)];
+      const float* row = candidates.Row(i);
+      double* sum = sums.data() + c * dim;
+      for (int64_t j = 0; j < dim; ++j) sum[j] += row[j];
+      ++counts[static_cast<size_t>(c)];
+    }
+    for (int64_t c = 0; c < num_clusters; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;  // keep old centroid
+      const double inv = 1.0 / static_cast<double>(counts[static_cast<size_t>(c)]);
+      const double* sum = sums.data() + c * dim;
+      float* centroid = index.centroids_.MutableRow(c);
+      for (int64_t j = 0; j < dim; ++j) {
+        centroid[j] = static_cast<float>(sum[j] * inv);
+      }
+    }
+  }
+
+  // Inverted lists: bucket-count, prefix-sum, then a stable fill in
+  // ascending candidate order (ids ascend within each list).
+  index.list_offsets_.assign(static_cast<size_t>(num_clusters + 1), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    ++index.list_offsets_[static_cast<size_t>(assignment[static_cast<size_t>(i)]) + 1];
+  }
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    index.list_offsets_[static_cast<size_t>(c) + 1] +=
+        index.list_offsets_[static_cast<size_t>(c)];
+  }
+  index.member_ids_.assign(static_cast<size_t>(n), 0);
+  index.members_.Resize(n, dim);
+  std::vector<int64_t> cursor(index.list_offsets_.begin(),
+                              index.list_offsets_.end() - 1);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = assignment[static_cast<size_t>(i)];
+    const int64_t slot = cursor[static_cast<size_t>(c)]++;
+    index.member_ids_[static_cast<size_t>(slot)] = static_cast<int32_t>(i);
+    std::memcpy(index.members_.MutableRow(slot), candidates.Row(i),
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+  return index;
+}
+
+Ranking IvfIndex::Search(const double* query, int64_t k, int64_t nprobe,
+                         const std::vector<int64_t>& excluded,
+                         int64_t skip_id) const {
+  const int64_t dim = centroids_.cols;
+  std::vector<float> q(static_cast<size_t>(dim));
+  for (int64_t j = 0; j < dim; ++j) q[static_cast<size_t>(j)] = static_cast<float>(query[j]);
+
+  // Probe order: centroid inner-product score, deterministic tie-break.
+  Ranking probes;
+  probes.reserve(static_cast<size_t>(centroids_.rows));
+  for (int64_t c = 0; c < centroids_.rows; ++c) {
+    probes.emplace_back(
+        c, static_cast<double>(FloatDot(q.data(), centroids_.Row(c), dim)));
+  }
+  probes = SelectTopK(std::move(probes), std::min(nprobe, centroids_.rows));
+
+  TopKHeap heap(k);
+  for (const auto& [cluster, centroid_score] : probes) {
+    (void)centroid_score;
+    const int64_t begin = list_offsets_[static_cast<size_t>(cluster)];
+    const int64_t end = list_offsets_[static_cast<size_t>(cluster) + 1];
+    for (int64_t slot = begin; slot < end; ++slot) {
+      const int64_t id = member_ids_[static_cast<size_t>(slot)];
+      if (id == skip_id) continue;
+      if (!excluded.empty() &&
+          std::binary_search(excluded.begin(), excluded.end(), id)) {
+        continue;
+      }
+      heap.Offer(id, static_cast<double>(
+                         FloatDot(q.data(), members_.Row(slot), dim)));
+    }
+  }
+  return heap.Take();
+}
+
+double RecallAtK(const Ranking& exact, const Ranking& approx) {
+  if (exact.empty()) return 1.0;
+  std::unordered_set<int64_t> truth;
+  truth.reserve(exact.size() * 2);
+  for (const auto& [id, score] : exact) {
+    (void)score;
+    truth.insert(id);
+  }
+  size_t hits = 0;
+  for (const auto& [id, score] : approx) {
+    (void)score;
+    hits += truth.count(id);
+  }
+  return static_cast<double>(hits) / static_cast<double>(exact.size());
+}
+
+}  // namespace serve
+}  // namespace pane

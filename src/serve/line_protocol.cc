@@ -1,0 +1,106 @@
+#include "src/serve/line_protocol.h"
+
+#include <cstdio>
+
+#include "src/common/string_util.h"
+
+namespace pane {
+namespace serve {
+namespace {
+
+/// Strict non-negative integer parse (the protocol's ids and counts).
+bool ParseId(std::string_view token, int64_t* out) {
+  if (token.empty() || token.size() > 18) return false;
+  int64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+void AppendScore(std::string* out, double score) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", score);
+  out->append(buf);
+}
+
+}  // namespace
+
+Result<Request> ParseRequestLine(std::string_view line) {
+  const std::vector<std::string_view> tokens = SplitWhitespace(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  Request request;
+  const std::string_view verb = tokens[0];
+  if (verb == "stats" || verb == "quit") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument(std::string(verb) +
+                                     " takes no arguments");
+    }
+    request.type =
+        verb == "stats" ? Request::Type::kStats : Request::Type::kQuit;
+    return request;
+  }
+  if (tokens.size() != 3) {
+    return Status::InvalidArgument(
+        "expected '<verb> <id> <id>', got: " + std::string(line));
+  }
+  int64_t first = 0, second = 0;
+  if (!ParseId(tokens[1], &first) || !ParseId(tokens[2], &second)) {
+    return Status::InvalidArgument("non-numeric id in: " + std::string(line));
+  }
+  if (verb == "attr" || verb == "link") {
+    request.type = verb == "attr" ? Request::Type::kTopKAttributes
+                                  : Request::Type::kTopKTargets;
+    request.a = first;
+    request.k = second;
+    if (request.k <= 0) {
+      return Status::InvalidArgument("k must be positive in: " +
+                                     std::string(line));
+    }
+    return request;
+  }
+  if (verb == "pattr" || verb == "pair") {
+    request.type = verb == "pattr" ? Request::Type::kAttributePair
+                                   : Request::Type::kLinkPair;
+    request.a = first;
+    request.b = second;
+    return request;
+  }
+  return Status::InvalidArgument("unknown verb: " + std::string(verb));
+}
+
+std::string FormatRanking(const Request& request, const Ranking& ranking) {
+  std::string out =
+      request.type == Request::Type::kTopKAttributes ? "attr " : "link ";
+  out += std::to_string(request.a);
+  out += " ok";
+  for (const auto& [index, score] : ranking) {
+    out += ' ';
+    out += std::to_string(index);
+    out += ':';
+    AppendScore(&out, score);
+  }
+  return out;
+}
+
+std::string FormatScore(const Request& request, double score) {
+  std::string out =
+      request.type == Request::Type::kAttributePair ? "pattr " : "pair ";
+  out += std::to_string(request.a);
+  out += ' ';
+  out += std::to_string(request.b);
+  out += " ok ";
+  AppendScore(&out, score);
+  return out;
+}
+
+std::string FormatError(const std::string& message) {
+  return "err " + message;
+}
+
+}  // namespace serve
+}  // namespace pane

@@ -1,0 +1,66 @@
+// The pane_server wire format: one request per line, one response line per
+// request, answered in request order (batching never reorders output).
+// Shared by the server, the scripted CI client, and the offline pane_topk
+// reference tool, so their outputs diff cleanly.
+//
+// Requests:
+//   attr <node> <k>     top-k attribute recommendation (Eq. 21)
+//   link <node> <k>     top-k link recommendation (Eq. 22)
+//   pattr <node> <attr> one attribute pair score
+//   pair <src> <dst>    one directed link pair score
+//   stats               server counters (never cached / deduplicated)
+//   quit                close the connection after responding "bye"
+//
+// Responses:
+//   attr <node> ok <idx>:<score> <idx>:<score> ...
+//   link <node> ok ...
+//   pattr <node> <attr> ok <score>
+//   pair <src> <dst> ok <score>
+//   err <message>
+//
+// Scores are printed with %.17g, enough digits to round-trip a double, so
+// two bitwise-equal scoring paths produce byte-equal responses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/topk.h"
+
+namespace pane {
+namespace serve {
+
+struct Request {
+  enum class Type : int8_t {
+    kTopKAttributes,
+    kTopKTargets,
+    kAttributePair,
+    kLinkPair,
+    kStats,
+    kQuit,
+  };
+  Type type = Type::kStats;
+  int64_t a = 0;  // node (top-k) or first pair id
+  int64_t b = 0;  // second pair id
+  int64_t k = 0;  // top-k size
+
+  /// Batch deduplication / cache identity.
+  bool operator==(const Request& other) const {
+    return type == other.type && a == other.a && b == other.b &&
+           k == other.k;
+  }
+};
+
+/// Parses one request line (leading / trailing whitespace tolerated; empty
+/// lines are the caller's batching signal and must not reach this).
+Result<Request> ParseRequestLine(std::string_view line);
+
+/// "<idx>:<score>" with %.17g scores.
+std::string FormatRanking(const Request& request, const Ranking& ranking);
+std::string FormatScore(const Request& request, double score);
+std::string FormatError(const std::string& message);
+
+}  // namespace serve
+}  // namespace pane

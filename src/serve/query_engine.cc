@@ -1,0 +1,446 @@
+#include "src/serve/query_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/matrix/gemm.h"
+#include "src/matrix/vector_ops.h"
+#include "src/parallel/thread_pool.h"
+#include "src/serve/dot_block.h"
+#include "src/serve/embedding_store.h"
+
+namespace pane {
+namespace serve {
+namespace {
+
+constexpr int64_t kDefaultQueryBlock = 64;
+constexpr int64_t kDefaultCandidateTile = 1024;
+constexpr int64_t kMinCandidateTile = 64;
+
+/// Copies query rows [begin, begin + b) of `factor` into the transposed
+/// panel layout the dot-block kernel consumes.
+/// Fills a width-`width` transposed panel with the b query rows; columns
+/// [b, width) are the zero padding the fast fixed-width kernels need.
+void GatherTransposed(ConstMatrixView factor,
+                      const std::vector<TopKQuery>& queries, int64_t begin,
+                      int64_t b, int64_t width, double* qt) {
+  if (b < width) {
+    std::fill(qt, qt + factor.cols() * width, 0.0);
+  }
+  for (int64_t q = 0; q < b; ++q) {
+    const double* row = factor.Row(queries[static_cast<size_t>(begin + q)].node);
+    for (int64_t t = 0; t < factor.cols(); ++t) qt[t * width + q] = row[t];
+  }
+}
+
+struct BlockShape {
+  int64_t query_block = kDefaultQueryBlock;
+  int64_t candidate_tile = kDefaultCandidateTile;
+};
+
+/// Applies explicit overrides, then shrinks the candidate tile and the
+/// query block (in that order) until every worker's scratch — two
+/// transposed panels plus the query-block x candidate-tile score buffer —
+/// fits the budget.
+BlockShape DeriveBlockShape(const QueryEngineOptions& options, int64_t h) {
+  BlockShape shape;
+  if (options.query_block > 0) shape.query_block = options.query_block;
+  if (options.candidate_tile > 0) shape.candidate_tile = options.candidate_tile;
+  if (options.memory_budget_mb > 0) {
+    const int64_t workers =
+        options.pool != nullptr ? options.pool->num_threads() : 1;
+    const int64_t budget =
+        (options.memory_budget_mb << 20) / std::max<int64_t>(1, workers);
+    const auto scratch_bytes = [h](const BlockShape& s) {
+      return (s.query_block * (2 * h + s.candidate_tile + 8)) *
+             static_cast<int64_t>(sizeof(double));
+    };
+    while (scratch_bytes(shape) > budget &&
+           shape.candidate_tile > kMinCandidateTile) {
+      shape.candidate_tile /= 2;
+    }
+    while (scratch_bytes(shape) > budget && shape.query_block > 1) {
+      shape.query_block /= 2;
+    }
+  }
+  shape.query_block = std::max<int64_t>(1, shape.query_block);
+  shape.candidate_tile = std::max<int64_t>(kMinCandidateTile,
+                                           shape.candidate_tile);
+  return shape;
+}
+
+/// Per-query selection state shared by the two top-k scans: the bounded
+/// heap plus the cached worst-kept pair used as a scan threshold
+/// (-infinity until the heap fills, so everything is offered).
+struct SelectState {
+  TopKHeap heap;
+  std::vector<int64_t> excluded;  // sorted ids to skip (incl. self for links)
+  size_t excl_pos = 0;
+  double thr_score = 0.0;
+  int64_t thr_index = 0;
+
+  explicit SelectState(int64_t k) : heap(k) {
+    thr_score = -std::numeric_limits<double>::infinity();
+    thr_index = std::numeric_limits<int64_t>::max();
+  }
+};
+
+/// Scans scores of candidates [c0, c0 + len) for one query (`row[j]` is
+/// candidate c0 + j), skipping excluded ids via segment bounds so the hot
+/// loop is one compare per candidate. The threshold mirrors the heap's
+/// accept rule exactly, so filtering never drops an acceptable candidate.
+void ScanTile(const double* row, int64_t c0, int64_t len, SelectState* st) {
+  double thr_score = st->thr_score;
+  int64_t thr_index = st->thr_index;
+  const std::vector<int64_t>& ex = st->excluded;
+  size_t pos = st->excl_pos;
+  int64_t j = 0;
+  while (j < len) {
+    while (pos < ex.size() && ex[pos] < c0 + j) ++pos;
+    int64_t seg_end = len;
+    bool skip_one = false;
+    if (pos < ex.size() && ex[pos] < c0 + len) {
+      seg_end = ex[pos] - c0;
+      skip_one = true;
+    }
+    for (; j < seg_end; ++j) {
+      const double s = row[j];
+      if (s > thr_score || (s == thr_score && c0 + j < thr_index)) {
+        st->heap.Offer(c0 + j, s);
+        if (st->heap.AtCapacity()) {
+          thr_score = st->heap.Worst().second;
+          thr_index = st->heap.Worst().first;
+        }
+      }
+    }
+    if (skip_one) {
+      ++j;
+      ++pos;
+    }
+  }
+  st->thr_score = thr_score;
+  st->thr_index = thr_index;
+  st->excl_pos = pos;
+}
+
+/// Sorted insert of the query node into its exclusion list (the link
+/// scan's always-skip-self rule, folded into the segment walk).
+void InsertSelf(std::vector<int64_t>* excluded, int64_t node) {
+  const auto it = std::lower_bound(excluded->begin(), excluded->end(), node);
+  if (it == excluded->end() || *it != node) excluded->insert(it, node);
+}
+
+}  // namespace
+
+std::vector<int64_t> ExcludedIds(const CsrMatrix& matrix, int64_t row) {
+  const CsrMatrix::RowView view = matrix.Row(row);
+  std::vector<int64_t> ids;
+  ids.reserve(static_cast<size_t>(view.length));
+  for (int64_t p = 0; p < view.length; ++p) {
+    if (view.vals[p] != 0.0) ids.push_back(view.cols[p]);
+  }
+  return ids;  // CSR columns are sorted, so the list is ascending
+}
+
+Result<QueryEngine> QueryEngine::Create(ConstMatrixView xf,
+                                        ConstMatrixView xb, ConstMatrixView y,
+                                        ConstMatrixView z,
+                                        const QueryEngineOptions& options) {
+  if (xf.rows() == 0 || xf.cols() == 0) {
+    return Status::InvalidArgument("QueryEngine requires a forward factor");
+  }
+  const int64_t h = xf.cols();
+  if (xb.rows() > 0 && (xb.rows() != xf.rows() || xb.cols() != h)) {
+    return Status::InvalidArgument("QueryEngine xb shape mismatch");
+  }
+  if (y.rows() > 0 && y.cols() != h) {
+    return Status::InvalidArgument("QueryEngine y shape mismatch");
+  }
+  if (z.rows() > 0 && (z.rows() != xf.rows() || z.cols() != h)) {
+    return Status::InvalidArgument("QueryEngine z shape mismatch");
+  }
+  QueryEngine engine;
+  engine.xf_ = xf;
+  engine.xb_ = xb;
+  engine.y_ = y;
+  engine.z_ = z;
+  engine.pool_ = options.pool;
+  const BlockShape shape = DeriveBlockShape(options, h);
+  engine.query_block_ = shape.query_block;
+  engine.candidate_tile_ = shape.candidate_tile;
+  if (z.rows() == 0 && options.precompute_link_gram && xb.rows() > 0 &&
+      y.rows() > 0) {
+    // Same two kernels EdgeScorer runs, so p(u, w) matches it bitwise.
+    DenseMatrix gram;
+    GemmTransA(y, y, &gram);
+    Gemm(xb, gram, &engine.z_owned_);
+    engine.z_ = engine.z_owned_.View();
+  }
+  return engine;
+}
+
+Result<QueryEngine> QueryEngine::Create(const EmbeddingStore& store,
+                                        const QueryEngineOptions& options) {
+  if (!store.has_attribute_factors()) {
+    return Status::InvalidArgument(
+        "serving engine requires the xf/xb/y factor blocks (artifact "
+        "method '" +
+        store.method() + "' lacks them)");
+  }
+  return Create(store.xf(), store.xb(), store.y(), ConstMatrixView(),
+                options);
+}
+
+void QueryEngine::ProcessAttributeRange(const std::vector<TopKQuery>& queries,
+                                        const AttributedGraph* exclude,
+                                        int64_t begin, int64_t end,
+                                        std::vector<Ranking>* results) const {
+  const int64_t h = xf_.cols();
+  const int64_t d = y_.rows();
+  const int64_t max_b = std::min(query_block_, end - begin);
+  const int64_t max_w = PadDotBlockWidth(max_b);
+  const int64_t tile = candidate_tile_;
+  const DotBlockFn dot_block = GetDotBlock();
+  std::vector<double> qtf(static_cast<size_t>(h * max_w));
+  std::vector<double> qtb(static_cast<size_t>(h * max_w));
+  std::vector<double> buf(static_cast<size_t>(max_w * tile));
+  std::vector<SelectState> states;
+
+  for (int64_t block = begin; block < end; block += max_b) {
+    const int64_t b = std::min(max_b, end - block);
+    const int64_t w = PadDotBlockWidth(b);
+    GatherTransposed(xf_, queries, block, b, w, qtf.data());
+    GatherTransposed(xb_, queries, block, b, w, qtb.data());
+    states.clear();
+    for (int64_t q = 0; q < b; ++q) {
+      const TopKQuery& query = queries[static_cast<size_t>(block + q)];
+      states.emplace_back(query.k);
+      if (exclude != nullptr) {
+        states.back().excluded = ExcludedIds(exclude->attributes(), query.node);
+      }
+    }
+    for (int64_t c0 = 0; c0 < d; c0 += tile) {
+      const int64_t len = std::min(tile, d - c0);
+      for (int64_t c = c0; c < c0 + len; ++c) {
+        // Score = Dot(xf, y) + Dot(xb, y), summed in that order (Eq. 21).
+        dot_block(qtf.data(), h, w, y_.Row(c), buf.data() + (c - c0), tile,
+                  /*add=*/false);
+        dot_block(qtb.data(), h, w, y_.Row(c), buf.data() + (c - c0), tile,
+                  /*add=*/true);
+      }
+      for (int64_t q = 0; q < b; ++q) {
+        ScanTile(buf.data() + q * tile, c0, len, &states[static_cast<size_t>(q)]);
+      }
+    }
+    for (int64_t q = 0; q < b; ++q) {
+      (*results)[static_cast<size_t>(block + q)] =
+          states[static_cast<size_t>(q)].heap.Take();
+    }
+  }
+}
+
+void QueryEngine::ProcessTargetRange(const std::vector<TopKQuery>& queries,
+                                     const AttributedGraph* exclude,
+                                     int64_t begin, int64_t end,
+                                     std::vector<Ranking>* results) const {
+  const int64_t h = xf_.cols();
+  const int64_t n = z_.rows();
+  const int64_t max_b = std::min(query_block_, end - begin);
+  const int64_t max_w = PadDotBlockWidth(max_b);
+  const int64_t tile = candidate_tile_;
+  const DotBlockFn dot_block = GetDotBlock();
+  std::vector<double> qtf(static_cast<size_t>(h * max_w));
+  std::vector<double> buf(static_cast<size_t>(max_w * tile));
+  std::vector<SelectState> states;
+
+  for (int64_t block = begin; block < end; block += max_b) {
+    const int64_t b = std::min(max_b, end - block);
+    const int64_t w = PadDotBlockWidth(b);
+    GatherTransposed(xf_, queries, block, b, w, qtf.data());
+    states.clear();
+    for (int64_t q = 0; q < b; ++q) {
+      const TopKQuery& query = queries[static_cast<size_t>(block + q)];
+      states.emplace_back(query.k);
+      if (exclude != nullptr) {
+        states.back().excluded = ExcludedIds(exclude->adjacency(), query.node);
+      }
+      InsertSelf(&states.back().excluded, query.node);
+    }
+    for (int64_t c0 = 0; c0 < n; c0 += tile) {
+      const int64_t len = std::min(tile, n - c0);
+      for (int64_t c = c0; c < c0 + len; ++c) {
+        dot_block(qtf.data(), h, w, z_.Row(c), buf.data() + (c - c0), tile,
+                  /*add=*/false);
+      }
+      for (int64_t q = 0; q < b; ++q) {
+        ScanTile(buf.data() + q * tile, c0, len, &states[static_cast<size_t>(q)]);
+      }
+    }
+    for (int64_t q = 0; q < b; ++q) {
+      (*results)[static_cast<size_t>(block + q)] =
+          states[static_cast<size_t>(q)].heap.Take();
+    }
+  }
+}
+
+namespace {
+
+/// Contiguous-range dispatch: queries are independent, so any partition
+/// yields identical per-query results.
+void RunRanges(ThreadPool* pool, int64_t count,
+               const std::function<void(int64_t, int64_t)>& fn) {
+  if (count == 0) return;
+  if (pool != nullptr && pool->num_threads() > 1 && count > 1) {
+    ParallelFor(pool, 0, count, fn);
+  } else {
+    fn(0, count);
+  }
+}
+
+}  // namespace
+
+std::vector<Ranking> QueryEngine::TopKAttributes(
+    const std::vector<TopKQuery>& queries,
+    const AttributedGraph* exclude) const {
+  PANE_CHECK(supports_attributes())
+      << "attribute queries need the xb and y factor blocks";
+  for (const TopKQuery& q : queries) {
+    PANE_CHECK(q.node >= 0 && q.node < num_nodes());
+    PANE_CHECK(q.k > 0);
+  }
+  std::vector<Ranking> results(queries.size());
+  RunRanges(pool_, static_cast<int64_t>(queries.size()),
+            [&](int64_t begin, int64_t end) {
+              ProcessAttributeRange(queries, exclude, begin, end, &results);
+            });
+  return results;
+}
+
+std::vector<Ranking> QueryEngine::TopKTargets(
+    const std::vector<TopKQuery>& queries,
+    const AttributedGraph* exclude) const {
+  PANE_CHECK(supports_links())
+      << "link queries need z (supply it or let Create derive it from "
+         "xb and y)";
+  for (const TopKQuery& q : queries) {
+    PANE_CHECK(q.node >= 0 && q.node < num_nodes());
+    PANE_CHECK(q.k > 0);
+  }
+  std::vector<Ranking> results(queries.size());
+  RunRanges(pool_, static_cast<int64_t>(queries.size()),
+            [&](int64_t begin, int64_t end) {
+              ProcessTargetRange(queries, exclude, begin, end, &results);
+            });
+  return results;
+}
+
+std::vector<double> QueryEngine::AttributeScores(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) const {
+  PANE_CHECK(supports_attributes());
+  const int64_t h = xf_.cols();
+  std::vector<double> scores(pairs.size());
+  RunRanges(pool_, static_cast<int64_t>(pairs.size()),
+            [&](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                const auto& [v, r] = pairs[static_cast<size_t>(i)];
+                PANE_CHECK(v >= 0 && v < num_nodes());
+                PANE_CHECK(r >= 0 && r < num_attributes());
+                const double* yr = y_.Row(r);
+                scores[static_cast<size_t>(i)] =
+                    Dot(xf_.Row(v), yr, h) + Dot(xb_.Row(v), yr, h);
+              }
+            });
+  return scores;
+}
+
+std::vector<double> QueryEngine::LinkScores(
+    const std::vector<std::pair<int64_t, int64_t>>& pairs) const {
+  PANE_CHECK(supports_links());
+  const int64_t h = xf_.cols();
+  std::vector<double> scores(pairs.size());
+  RunRanges(pool_, static_cast<int64_t>(pairs.size()),
+            [&](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                const auto& [u, w] = pairs[static_cast<size_t>(i)];
+                PANE_CHECK(u >= 0 && u < num_nodes());
+                PANE_CHECK(w >= 0 && w < num_nodes());
+                scores[static_cast<size_t>(i)] =
+                    Dot(xf_.Row(u), z_.Row(w), h);
+              }
+            });
+  return scores;
+}
+
+Status QueryEngine::BuildPrunedIndex(const IvfOptions& options) {
+  if (!supports_attributes() && !supports_links()) {
+    return Status::InvalidArgument(
+        "nothing to index: engine has neither attribute nor link scoring");
+  }
+  if (supports_attributes()) {
+    PANE_ASSIGN_OR_RETURN(attr_index_, IvfIndex::Build(y_, options));
+  }
+  if (supports_links()) {
+    PANE_ASSIGN_OR_RETURN(link_index_, IvfIndex::Build(z_, options));
+  }
+  return Status::OK();
+}
+
+std::vector<Ranking> QueryEngine::TopKAttributesPruned(
+    const std::vector<TopKQuery>& queries, int64_t nprobe,
+    const AttributedGraph* exclude) const {
+  PANE_CHECK(!attr_index_.empty())
+      << "call BuildPrunedIndex before pruned attribute queries";
+  const int64_t h = xf_.cols();
+  std::vector<Ranking> results(queries.size());
+  RunRanges(pool_, static_cast<int64_t>(queries.size()),
+            [&](int64_t begin, int64_t end) {
+              std::vector<double> qv(static_cast<size_t>(h));
+              for (int64_t i = begin; i < end; ++i) {
+                const TopKQuery& query = queries[static_cast<size_t>(i)];
+                PANE_CHECK(query.node >= 0 && query.node < num_nodes());
+                PANE_CHECK(query.k > 0);
+                const double* f = xf_.Row(query.node);
+                const double* bk = xb_.Row(query.node);
+                for (int64_t t = 0; t < h; ++t) {
+                  qv[static_cast<size_t>(t)] = f[t] + bk[t];
+                }
+                const std::vector<int64_t> ex =
+                    exclude != nullptr
+                        ? ExcludedIds(exclude->attributes(), query.node)
+                        : std::vector<int64_t>();
+                results[static_cast<size_t>(i)] = attr_index_.Search(
+                    qv.data(), query.k, nprobe, ex, /*skip_id=*/-1);
+              }
+            });
+  return results;
+}
+
+std::vector<Ranking> QueryEngine::TopKTargetsPruned(
+    const std::vector<TopKQuery>& queries, int64_t nprobe,
+    const AttributedGraph* exclude) const {
+  PANE_CHECK(!link_index_.empty())
+      << "call BuildPrunedIndex before pruned link queries";
+  std::vector<Ranking> results(queries.size());
+  RunRanges(pool_, static_cast<int64_t>(queries.size()),
+            [&](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                const TopKQuery& query = queries[static_cast<size_t>(i)];
+                PANE_CHECK(query.node >= 0 && query.node < num_nodes());
+                PANE_CHECK(query.k > 0);
+                const std::vector<int64_t> ex =
+                    exclude != nullptr
+                        ? ExcludedIds(exclude->adjacency(), query.node)
+                        : std::vector<int64_t>();
+                results[static_cast<size_t>(i)] =
+                    link_index_.Search(xf_.Row(query.node), query.k, nprobe,
+                                       ex, /*skip_id=*/query.node);
+              }
+            });
+  return results;
+}
+
+}  // namespace serve
+}  // namespace pane

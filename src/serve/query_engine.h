@@ -1,0 +1,165 @@
+// Batched execution of PANE's two prediction queries (attribute
+// recommendation, Eq. 21; link recommendation, Eq. 22) plus pair scoring —
+// the serving subsystem's compute layer.
+//
+// Exact mode scores query blocks against candidate tiles with a blocked
+// dot-product kernel that reproduces vector_ops::Dot's accumulation
+// pattern per (query, candidate) pair exactly (four stride-4 partial sums
+// combined as (s0+s1)+(s2+s3), then the ascending tail) while vectorizing
+// across the queries of a block — so a served batch returns bitwise the
+// same scores as the offline per-query helpers in src/tasks/ranking.h
+// (which are themselves thin wrappers over this engine), independent of
+// batch size, block width, or thread count. Selection is a per-query
+// bounded heap under the deterministic ranking order of src/common/topk.h
+// instead of a sort over all candidates.
+//
+// Pruned mode routes the same queries through per-candidate-set IVF
+// indexes (src/serve/ivf_index.h) for sublinear approximate retrieval
+// with `nprobe` as the measured-recall knob.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/topk.h"
+#include "src/graph/graph.h"
+#include "src/matrix/dense_matrix.h"
+#include "src/serve/ivf_index.h"
+
+namespace pane {
+
+class ThreadPool;
+
+namespace serve {
+
+class EmbeddingStore;
+
+struct QueryEngineOptions {
+  /// Parallelizes batches across queries (each query stays sequential, so
+  /// results are identical at any thread count). Null => serial.
+  ThreadPool* pool = nullptr;
+  /// Caps the per-worker scoring scratch (transposed query panels + the
+  /// query-block x candidate-tile score buffer + heaps): the candidate
+  /// tile, then the query-block width, are reduced until workers x
+  /// per-worker scratch fits the budget. 0 = unbounded (default shapes).
+  int64_t memory_budget_mb = 0;
+  /// Explicit query-block width override (tests); 0 = derive from the
+  /// budget.
+  int64_t query_block = 0;
+  /// Explicit candidate-tile override (tests); 0 = derive from the budget.
+  int64_t candidate_tile = 0;
+  /// Precompute Z = Xb (Y^T Y) at Create when no `z` view is supplied
+  /// (required for link queries; skip for attribute-only engines).
+  bool precompute_link_gram = true;
+};
+
+/// \brief One top-k request: the query node and how many results to keep.
+struct TopKQuery {
+  int64_t node = 0;
+  int64_t k = 0;
+};
+
+class QueryEngine {
+ public:
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+
+  /// Builds an engine over factor views (xf / xb: n x h, y: d x h, z: n x
+  /// h or empty). The viewed storage must outlive the engine. When `z` is
+  /// empty and xb / y are present and precompute_link_gram is set, Z is
+  /// derived here with the same kernels EdgeScorer uses, so link scores
+  /// match it bitwise; when `z` is supplied (e.g. EdgeScorer::z()) it is
+  /// used as-is.
+  static Result<QueryEngine> Create(ConstMatrixView xf, ConstMatrixView xb,
+                                    ConstMatrixView y, ConstMatrixView z,
+                                    const QueryEngineOptions& options);
+
+  /// Engine over a mapped artifact (factor blocks required; the store must
+  /// outlive the engine).
+  static Result<QueryEngine> Create(const EmbeddingStore& store,
+                                    const QueryEngineOptions& options);
+
+  // ---- Exact mode -------------------------------------------------------
+
+  /// Batched Eq. 21 top-k attributes. `exclude` skips attributes already
+  /// associated with the query node in that graph. Results per query are
+  /// identical to the offline TopKAttributes helper.
+  std::vector<Ranking> TopKAttributes(
+      const std::vector<TopKQuery>& queries,
+      const AttributedGraph* exclude = nullptr) const;
+
+  /// Batched Eq. 22 top-k link targets. The query node itself is always
+  /// skipped; `exclude` also skips its existing out-neighbors.
+  std::vector<Ranking> TopKTargets(
+      const std::vector<TopKQuery>& queries,
+      const AttributedGraph* exclude = nullptr) const;
+
+  /// Batched pair scores: p(v, r) of Eq. 21 for (node, attribute) pairs.
+  std::vector<double> AttributeScores(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs) const;
+
+  /// Batched pair scores: p(u, w) of Eq. 22 for (source, target) pairs.
+  std::vector<double> LinkScores(
+      const std::vector<std::pair<int64_t, int64_t>>& pairs) const;
+
+  // ---- Pruned (IVF) mode ------------------------------------------------
+
+  /// Builds the cluster-pruned indexes (attributes over Y rows; links over
+  /// Z rows when link scoring is available).
+  Status BuildPrunedIndex(const IvfOptions& options);
+  bool has_pruned_index() const {
+    return !attr_index_.empty() || !link_index_.empty();
+  }
+  const IvfIndex& attr_index() const { return attr_index_; }
+  const IvfIndex& link_index() const { return link_index_; }
+
+  /// Approximate top-k through the IVF indexes; same exclusion / self-skip
+  /// semantics as the exact calls, scores computed in single precision.
+  std::vector<Ranking> TopKAttributesPruned(
+      const std::vector<TopKQuery>& queries, int64_t nprobe,
+      const AttributedGraph* exclude = nullptr) const;
+  std::vector<Ranking> TopKTargetsPruned(
+      const std::vector<TopKQuery>& queries, int64_t nprobe,
+      const AttributedGraph* exclude = nullptr) const;
+
+  // ---- Introspection ----------------------------------------------------
+
+  int64_t num_nodes() const { return xf_.rows(); }
+  int64_t num_attributes() const { return y_.rows(); }
+  bool supports_attributes() const {
+    return xb_.rows() > 0 && y_.rows() > 0;
+  }
+  bool supports_links() const { return z_.rows() > 0; }
+  /// The realized blocking (after the budget cap).
+  int64_t query_block() const { return query_block_; }
+  int64_t candidate_tile() const { return candidate_tile_; }
+
+ private:
+  QueryEngine() = default;
+
+  void ProcessAttributeRange(const std::vector<TopKQuery>& queries,
+                             const AttributedGraph* exclude, int64_t begin,
+                             int64_t end, std::vector<Ranking>* results) const;
+  void ProcessTargetRange(const std::vector<TopKQuery>& queries,
+                          const AttributedGraph* exclude, int64_t begin,
+                          int64_t end, std::vector<Ranking>* results) const;
+
+  ConstMatrixView xf_, xb_, y_, z_;
+  DenseMatrix z_owned_;  // backs z_ when derived at Create
+  ThreadPool* pool_ = nullptr;
+  int64_t query_block_ = 0;
+  int64_t candidate_tile_ = 0;
+  IvfIndex attr_index_, link_index_;
+};
+
+/// \brief Sorted ids to skip for one query: the non-zero columns of
+/// `row` (the same entries CsrMatrix::At reports non-zero). Exposed for
+/// the pruned path and tests.
+std::vector<int64_t> ExcludedIds(const CsrMatrix& matrix, int64_t row);
+
+}  // namespace serve
+}  // namespace pane

@@ -1,0 +1,418 @@
+#include "src/serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/parallel/thread_pool.h"
+
+namespace pane {
+namespace serve {
+namespace {
+
+bool IsBlank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+/// Minimal read/write streambuf over a connected socket, so the TCP path
+/// reuses ServeStream verbatim.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    ssize_t got;
+    do {
+      got = read(fd_, in_, sizeof(in_));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + got);
+    return traits_type::to_int_type(in_[0]);
+  }
+
+  int_type overflow(int_type ch) override {
+    if (FlushOut() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return FlushOut(); }
+
+ private:
+  int FlushOut() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t sent = write(fd_, p, static_cast<size_t>(pptr() - p));
+      if (sent <= 0) return -1;
+      p += sent;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+size_t PaneServer::RequestHash::operator()(const Request& r) const {
+  size_t h = static_cast<size_t>(r.type);
+  const auto mix = [&h](uint64_t v) {
+    h ^= static_cast<size_t>(v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  mix(static_cast<uint64_t>(r.a));
+  mix(static_cast<uint64_t>(r.b));
+  mix(static_cast<uint64_t>(r.k));
+  return h;
+}
+
+PaneServer::PaneServer(const QueryEngine* engine, const ServerOptions& options)
+    : engine_(engine), options_(options) {
+  PANE_CHECK(engine_ != nullptr);
+  PANE_CHECK(options_.batch_size > 0);
+  if (options_.pruned) {
+    PANE_CHECK(engine_->has_pruned_index())
+        << "pruned serving mode needs BuildPrunedIndex on the engine";
+  }
+}
+
+PaneServer::~PaneServer() {
+  Shutdown();
+  conn_pool_.reset();  // joins in-flight connection handlers
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+bool PaneServer::CacheLookup(const Request& key, std::string* response) {
+  if (options_.cache_capacity <= 0) return false;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  *response = it->second->second;
+  return true;
+}
+
+void PaneServer::CacheInsert(const Request& key, const std::string& response) {
+  if (options_.cache_capacity <= 0) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = response;
+    return;
+  }
+  lru_.emplace_front(key, response);
+  cache_[key] = lru_.begin();
+  if (static_cast<int64_t>(lru_.size()) > options_.cache_capacity) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::string PaneServer::StatsResponse() const {
+  std::string out = "stats ok";
+  const auto field = [&out](const char* name, uint64_t value) {
+    out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("requests", requests_.load());
+  field("batches", batches_.load());
+  field("dedup_hits", dedup_hits_.load());
+  field("cache_hits", cache_hits_.load());
+  field("errors", errors_.load());
+  out += options_.pruned ? " mode=pruned nprobe=" + std::to_string(options_.nprobe)
+                         : std::string(" mode=exact");
+  return out;
+}
+
+void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
+                              bool* quit) {
+  if (batch->empty()) return;
+  const size_t count = batch->size();
+  std::vector<std::string> responses(count);
+  // Key -> index of the entry that owns the engine work for it.
+  std::unordered_map<Request, size_t, RequestHash> first_seen;
+  std::vector<size_t> duplicates;  // entries answered by an earlier twin
+  std::vector<TopKQuery> attr_queries, link_queries;
+  std::vector<size_t> attr_owner, link_owner;
+  std::vector<std::pair<int64_t, int64_t>> attr_pairs, link_pairs;
+  std::vector<size_t> attr_pair_owner, link_pair_owner;
+  bool ran_engine = false;
+
+  const int64_t n = engine_->num_nodes();
+  const int64_t d = engine_->num_attributes();
+  for (size_t i = 0; i < count; ++i) {
+    Entry& entry = (*batch)[i];
+    if (entry.parse_error) {
+      responses[i] = FormatError(entry.error);
+      errors_.fetch_add(1);
+      continue;
+    }
+    const Request& r = entry.request;
+    requests_.fetch_add(1);
+    if (r.type == Request::Type::kQuit) {
+      responses[i] = "bye";
+      *quit = true;
+      continue;
+    }
+    if (r.type == Request::Type::kStats) {
+      continue;  // formatted at emit time, after this batch's engine work
+    }
+    // Range validation up front: the engine PANE_CHECKs its inputs, and a
+    // served request must never abort the process.
+    const bool attr_like = r.type == Request::Type::kTopKAttributes ||
+                           r.type == Request::Type::kAttributePair;
+    if (r.a < 0 || r.a >= n) {
+      responses[i] = FormatError("node out of range");
+      errors_.fetch_add(1);
+      continue;
+    }
+    if ((r.type == Request::Type::kAttributePair && (r.b < 0 || r.b >= d)) ||
+        (r.type == Request::Type::kLinkPair && (r.b < 0 || r.b >= n))) {
+      responses[i] = FormatError("id out of range");
+      errors_.fetch_add(1);
+      continue;
+    }
+    if (attr_like && !engine_->supports_attributes()) {
+      responses[i] = FormatError("attribute scoring unavailable");
+      errors_.fetch_add(1);
+      continue;
+    }
+    if (!attr_like && !engine_->supports_links()) {
+      responses[i] = FormatError("link scoring unavailable");
+      errors_.fetch_add(1);
+      continue;
+    }
+    std::string cached;
+    if (CacheLookup(r, &cached)) {
+      responses[i] = std::move(cached);
+      cache_hits_.fetch_add(1);
+      continue;
+    }
+    const auto [it, inserted] = first_seen.emplace(r, i);
+    if (!inserted) {
+      duplicates.push_back(i);
+      dedup_hits_.fetch_add(1);
+      continue;
+    }
+    switch (r.type) {
+      case Request::Type::kTopKAttributes:
+        attr_queries.push_back({r.a, r.k});
+        attr_owner.push_back(i);
+        break;
+      case Request::Type::kTopKTargets:
+        link_queries.push_back({r.a, r.k});
+        link_owner.push_back(i);
+        break;
+      case Request::Type::kAttributePair:
+        attr_pairs.emplace_back(r.a, r.b);
+        attr_pair_owner.push_back(i);
+        break;
+      case Request::Type::kLinkPair:
+        link_pairs.emplace_back(r.a, r.b);
+        link_pair_owner.push_back(i);
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (!attr_queries.empty()) {
+    const std::vector<Ranking> results =
+        options_.pruned
+            ? engine_->TopKAttributesPruned(attr_queries, options_.nprobe,
+                                            options_.exclude)
+            : engine_->TopKAttributes(attr_queries, options_.exclude);
+    for (size_t j = 0; j < results.size(); ++j) {
+      const size_t i = attr_owner[j];
+      responses[i] = FormatRanking((*batch)[i].request, results[j]);
+      CacheInsert((*batch)[i].request, responses[i]);
+    }
+    ran_engine = true;
+  }
+  if (!link_queries.empty()) {
+    const std::vector<Ranking> results =
+        options_.pruned
+            ? engine_->TopKTargetsPruned(link_queries, options_.nprobe,
+                                         options_.exclude)
+            : engine_->TopKTargets(link_queries, options_.exclude);
+    for (size_t j = 0; j < results.size(); ++j) {
+      const size_t i = link_owner[j];
+      responses[i] = FormatRanking((*batch)[i].request, results[j]);
+      CacheInsert((*batch)[i].request, responses[i]);
+    }
+    ran_engine = true;
+  }
+  if (!attr_pairs.empty()) {
+    const std::vector<double> scores = engine_->AttributeScores(attr_pairs);
+    for (size_t j = 0; j < scores.size(); ++j) {
+      const size_t i = attr_pair_owner[j];
+      responses[i] = FormatScore((*batch)[i].request, scores[j]);
+      CacheInsert((*batch)[i].request, responses[i]);
+    }
+    ran_engine = true;
+  }
+  if (!link_pairs.empty()) {
+    const std::vector<double> scores = engine_->LinkScores(link_pairs);
+    for (size_t j = 0; j < scores.size(); ++j) {
+      const size_t i = link_pair_owner[j];
+      responses[i] = FormatScore((*batch)[i].request, scores[j]);
+      CacheInsert((*batch)[i].request, responses[i]);
+    }
+    ran_engine = true;
+  }
+  if (ran_engine) batches_.fetch_add(1);
+
+  for (const size_t i : duplicates) {
+    const auto it = first_seen.find((*batch)[i].request);
+    PANE_CHECK(it != first_seen.end());
+    responses[i] = responses[it->second];
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if ((*batch)[i].parse_error) {
+      out << responses[i] << '\n';
+      continue;
+    }
+    if ((*batch)[i].request.type == Request::Type::kStats) {
+      out << StatsResponse() << '\n';
+      continue;
+    }
+    out << responses[i] << '\n';
+  }
+  out.flush();
+  batch->clear();
+}
+
+void PaneServer::ServeStream(std::istream& in, std::ostream& out) {
+  std::vector<Entry> batch;
+  batch.reserve(static_cast<size_t>(options_.batch_size));
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    if (IsBlank(line)) {  // explicit flush marker
+      ExecuteBatch(&batch, out, &quit);
+      continue;
+    }
+    Entry entry;
+    const auto parsed = ParseRequestLine(line);
+    if (parsed.ok()) {
+      entry.request = *parsed;
+    } else {
+      entry.parse_error = true;
+      entry.error = parsed.status().message();
+    }
+    const bool is_quit =
+        !entry.parse_error && entry.request.type == Request::Type::kQuit;
+    batch.push_back(std::move(entry));
+    // Flush when the batch is full, on quit, or when the input has no more
+    // buffered bytes (keeps latency low without a timer; under load the
+    // stream stays ahead and batches fill up).
+    if (static_cast<int64_t>(batch.size()) >= options_.batch_size ||
+        is_quit || in.rdbuf()->in_avail() <= 0) {
+      ExecuteBatch(&batch, out, &quit);
+    }
+  }
+  ExecuteBatch(&batch, out, &quit);
+}
+
+Result<int> PaneServer::ListenTcp(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, 64) != 0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status st =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  listen_fd_ = fd;
+  conn_pool_ = std::make_unique<ThreadPool>(
+      std::max(1, options_.connection_threads));
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+void PaneServer::AcceptLoop() {
+  PANE_CHECK(listen_fd_ >= 0) << "ListenTcp first";
+  while (!shutdown_.load()) {
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // shutdown() on the listening socket lands here
+    }
+    conn_pool_->Submit([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void PaneServer::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    // Wakes a blocked accept (Linux returns EINVAL after shutdown()).
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+}
+
+void PaneServer::HandleConnection(int fd) {
+  FdStreambuf buf(fd);
+  std::istream in(&buf);
+  std::ostream out(&buf);
+  ServeStream(in, out);
+  out.flush();
+  close(fd);
+}
+
+PaneServer::Counters PaneServer::counters() const {
+  Counters c;
+  c.requests = requests_.load();
+  c.batches = batches_.load();
+  c.dedup_hits = dedup_hits_.load();
+  c.cache_hits = cache_hits_.load();
+  c.errors = errors_.load();
+  return c;
+}
+
+}  // namespace serve
+}  // namespace pane

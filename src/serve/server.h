@@ -1,0 +1,122 @@
+// The pane_server core: reads line-protocol requests from a stream or TCP
+// connection, executes them in batches on a QueryEngine, and answers in
+// request order. Batching is what turns the engine's blocked kernels on:
+// consecutive buffered requests (up to batch_size, or until the input
+// drains or a blank line forces a flush) become one engine batch.
+// Identical requests inside a batch are deduplicated, and a small LRU
+// cache short-circuits repeats across batches — an immutable store means
+// a cached response never goes stale.
+//
+// One PaneServer may serve a stdin/stdout session and any number of TCP
+// connections concurrently: the engine is read-only, and the cache and
+// counters are the only shared mutable state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/line_protocol.h"
+#include "src/serve/query_engine.h"
+
+namespace pane {
+
+class ThreadPool;
+
+namespace serve {
+
+struct ServerOptions {
+  /// Max requests executed as one engine batch.
+  int64_t batch_size = 64;
+  /// LRU result-cache entries (0 disables caching).
+  int64_t cache_capacity = 1024;
+  /// Answer top-k requests through the pruned IVF indexes (the engine must
+  /// have BuildPrunedIndex'd) instead of the exact scan.
+  bool pruned = false;
+  int64_t nprobe = 8;
+  /// Recommendation mode: skip attributes / out-neighbors the query node
+  /// already has in this graph (must outlive the server).
+  const AttributedGraph* exclude = nullptr;
+  /// Worker threads for TCP connection handling (the engine's own pool is
+  /// configured separately via QueryEngineOptions).
+  int connection_threads = 4;
+};
+
+class PaneServer {
+ public:
+  /// The engine (and anything its views borrow) must outlive the server.
+  PaneServer(const QueryEngine* engine, const ServerOptions& options);
+  ~PaneServer();
+
+  PaneServer(const PaneServer&) = delete;
+  PaneServer& operator=(const PaneServer&) = delete;
+
+  /// Serves one request stream until EOF or `quit`, flushing `out` after
+  /// every batch. Thread-safe: may run concurrently with TCP connections.
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  /// Binds a loopback listening socket (`port` 0 picks an ephemeral port)
+  /// and returns the bound port.
+  Result<int> ListenTcp(int port);
+
+  /// Accepts connections until Shutdown(), handing each to the connection
+  /// pool. Blocks the calling thread.
+  void AcceptLoop();
+
+  /// Wakes AcceptLoop and refuses new connections; in-flight connections
+  /// finish on the pool.
+  void Shutdown();
+
+  struct Counters {
+    uint64_t requests = 0;    ///< well-formed requests handled
+    uint64_t batches = 0;     ///< engine batches flushed
+    uint64_t dedup_hits = 0;  ///< duplicates folded inside a batch
+    uint64_t cache_hits = 0;  ///< answered from the LRU cache
+    uint64_t errors = 0;      ///< malformed / out-of-range requests
+  };
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    Request request;
+    bool parse_error = false;
+    std::string error;
+  };
+
+  struct RequestHash {
+    size_t operator()(const Request& r) const;
+  };
+
+  void ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
+                    bool* quit);
+  bool CacheLookup(const Request& key, std::string* response);
+  void CacheInsert(const Request& key, const std::string& response);
+  std::string StatsResponse() const;
+  void HandleConnection(int fd);
+
+  const QueryEngine* engine_;
+  ServerOptions options_;
+
+  mutable std::mutex cache_mutex_;
+  std::list<std::pair<Request, std::string>> lru_;  // most recent at front
+  std::unordered_map<Request, std::list<std::pair<Request, std::string>>::iterator,
+                     RequestHash>
+      cache_;
+
+  std::atomic<uint64_t> requests_{0}, batches_{0}, dedup_hits_{0},
+      cache_hits_{0}, errors_{0};
+
+  int listen_fd_ = -1;
+  std::atomic<bool> shutdown_{false};
+  std::unique_ptr<ThreadPool> conn_pool_;
+};
+
+}  // namespace serve
+}  // namespace pane

@@ -1,50 +1,38 @@
+// Thin single-query wrappers over the serving engine's exact mode: one
+// code path scores offline calls and served batches, so both return the
+// same indices and bitwise the same scores under the deterministic
+// (score desc, index asc) order of src/common/topk.h.
 #include "src/tasks/ranking.h"
 
-#include <algorithm>
-
 #include "src/common/logging.h"
+#include "src/serve/query_engine.h"
 
 namespace pane {
-namespace {
-
-// Keeps the k best (index, score) pairs out of a scored stream.
-Ranking SelectTopK(Ranking candidates, int64_t k) {
-  const int64_t kk = std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
-  std::partial_sort(candidates.begin(), candidates.begin() + kk,
-                    candidates.end(), [](const auto& a, const auto& b) {
-                      return a.second > b.second;
-                    });
-  candidates.resize(static_cast<size_t>(kk));
-  return candidates;
-}
-
-}  // namespace
 
 Ranking TopKAttributes(const PaneEmbedding& embedding, int64_t v, int64_t k,
                        const AttributedGraph* exclude) {
   PANE_CHECK(v >= 0 && v < embedding.num_nodes());
   PANE_CHECK(k > 0);
-  Ranking candidates;
-  candidates.reserve(static_cast<size_t>(embedding.num_attributes()));
-  for (int64_t r = 0; r < embedding.num_attributes(); ++r) {
-    if (exclude != nullptr && exclude->attributes().At(v, r) != 0.0) continue;
-    candidates.emplace_back(r, embedding.AttributeScore(v, r));
-  }
-  return SelectTopK(std::move(candidates), k);
+  serve::QueryEngineOptions options;
+  options.precompute_link_gram = false;  // attribute-only: Z is not needed
+  auto engine = serve::QueryEngine::Create(
+      embedding.xf.View(), embedding.xb.View(), embedding.y.View(),
+      ConstMatrixView(), options);
+  PANE_CHECK(engine.ok()) << engine.status();
+  return engine->TopKAttributes({{v, k}}, exclude)[0];
 }
 
 Ranking TopKTargets(const PaneEmbedding& embedding, const EdgeScorer& scorer,
                     int64_t u, int64_t k, const AttributedGraph* exclude) {
   PANE_CHECK(u >= 0 && u < embedding.num_nodes());
   PANE_CHECK(k > 0);
-  Ranking candidates;
-  candidates.reserve(static_cast<size_t>(embedding.num_nodes()));
-  for (int64_t v = 0; v < embedding.num_nodes(); ++v) {
-    if (v == u) continue;
-    if (exclude != nullptr && exclude->adjacency().At(u, v) != 0.0) continue;
-    candidates.emplace_back(v, scorer.Score(u, v));
-  }
-  return SelectTopK(std::move(candidates), k);
+  // The scorer's precomputed Z = Xb (Y^T Y) is the scoring operand, so a
+  // wrapped call costs no more than the historical loop.
+  serve::QueryEngineOptions options;
+  auto engine = serve::QueryEngine::Create(
+      scorer.xf(), ConstMatrixView(), ConstMatrixView(), scorer.z(), options);
+  PANE_CHECK(engine.ok()) << engine.status();
+  return engine->TopKTargets({{u, k}}, exclude)[0];
 }
 
 }  // namespace pane

@@ -5,16 +5,19 @@
 #pragma once
 
 #include <cstdint>
-#include <utility>
-#include <vector>
 
+#include "src/common/topk.h"
 #include "src/core/embedding.h"
 #include "src/graph/graph.h"
 
 namespace pane {
 
-/// \brief (index, score) pairs sorted by descending score.
-using Ranking = std::vector<std::pair<int64_t, double>>;
+// Ranking (and the deterministic score-desc / index-asc order these helpers
+// rank by) lives in src/common/topk.h, shared with the serving engine.
+// Both functions below are thin single-query wrappers over
+// serve::QueryEngine's exact mode, so an offline call and a served batch
+// return identical results — same indices, same bitwise scores,
+// reproducible across thread counts.
 
 /// \brief Top-k attributes for node v by the Eq. 21 score. If `exclude` is
 /// non-null, attributes already associated with v in that graph are

@@ -141,15 +141,20 @@ TEST_F(NodeEmbeddingIoTest, LoadRejectsGarbageAndMissingFiles) {
       NodeEmbedding::Load("/nonexistent/file.bin").status().IsIOError());
 }
 
+// First matrix record's file offset in a version-2 artifact: the padded
+// header (see src/api/embedding_format.h).
+size_t FirstMatrixOffset(const NodeEmbedding& e) {
+  const int64_t header = embedding_format::HeaderBytes(e.method.size());
+  return static_cast<size_t>(header + embedding_format::PaddingFor(header));
+}
+
 TEST_F(NodeEmbeddingIoTest, LoadRejectsImplausibleMatrixShapes) {
   // Corrupt the features row count to claim ~2^31 rows: Load must return a
   // Status instead of attempting a multi-gigabyte allocation.
   const NodeEmbedding e = FeatureOnlyEmbedding(10, 4, 10);
   ASSERT_TRUE(e.Save(path_).ok());
   std::string bytes = ReadFileBytes(path_);
-  // Layout: magic(8) version(4) method_len(4) method(4: "tadw") link(1)
-  // attr(1) mask(1) then the features rows int64.
-  const size_t rows_offset = 8 + 4 + 4 + e.method.size() + 1 + 1 + 1;
+  const size_t rows_offset = FirstMatrixOffset(e);
   const int64_t huge_rows = int64_t{1} << 31;
   bytes.replace(rows_offset, sizeof(huge_rows),
                 reinterpret_cast<const char*>(&huge_rows),
@@ -179,6 +184,94 @@ TEST_F(NodeEmbeddingIoTest, LoadRejectsTruncatedFiles) {
               static_cast<std::streamsize>(bytes.size() / 2));
   }
   EXPECT_FALSE(NodeEmbedding::Load(path2_).ok());
+}
+
+TEST_F(NodeEmbeddingIoTest, TruncationSweepNeverSucceeds) {
+  // Every strict prefix — mid-header, mid-padding, mid-shape, mid-payload —
+  // must yield a Status, never a crash, OOM attempt, or silent success.
+  const NodeEmbedding e = FactorEmbedding(7, 4, 3, 13);
+  ASSERT_TRUE(e.Save(path_).ok());
+  const std::string bytes = ReadFileBytes(path_);
+  for (size_t len = 0; len < bytes.size(); len += 3) {
+    std::ofstream out(path2_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(len));
+    out.close();
+    EXPECT_FALSE(NodeEmbedding::Load(path2_).ok()) << "prefix " << len;
+  }
+}
+
+TEST_F(NodeEmbeddingIoTest, SaveAlignsMatrixPayloadsToEightBytes) {
+  // Version-2 guarantee behind the zero-copy mmap store: every matrix
+  // payload (16 bytes past its record start) sits at an 8-byte offset.
+  for (const std::string method : {"pane", "pane-seq", "x"}) {
+    NodeEmbedding e = FactorEmbedding(6, 4, 3, 17);
+    e.method = method;
+    ASSERT_TRUE(e.Save(path_).ok());
+    const size_t record = FirstMatrixOffset(e);
+    EXPECT_EQ((record + 16) % 8, 0u) << method;
+    // The record starts right after magic/version/method/conventions/mask
+    // plus padding; re-load to prove the padding round-trips.
+    const auto loaded = NodeEmbedding::Load(path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(loaded->method, method);
+    EXPECT_EQ(e.xf.MaxAbsDiff(loaded->xf), 0.0);
+  }
+}
+
+TEST_F(NodeEmbeddingIoTest, LoadRejectsUnknownMaskBits) {
+  // A future-format or corrupt presence mask must fail loudly instead of
+  // silently misplacing payloads.
+  const NodeEmbedding e = FeatureOnlyEmbedding(4, 3, 23);
+  ASSERT_TRUE(e.Save(path_).ok());
+  std::string bytes = ReadFileBytes(path_);
+  const size_t mask_offset = 8 + 4 + 4 + e.method.size() + 1 + 1;
+  bytes[mask_offset] = static_cast<char>(0x88);
+  {
+    std::ofstream out(path2_, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_TRUE(NodeEmbedding::Load(path2_).status().IsInvalidArgument());
+}
+
+TEST_F(NodeEmbeddingIoTest, LoadsHandWrittenVersion1Artifacts) {
+  // Backward compatibility: version 1 files (no header padding) written by
+  // the pre-serving format must still load.
+  const NodeEmbedding e = FeatureOnlyEmbedding(3, 2, 21);
+  std::string v1;
+  const auto append = [&v1](const void* p, size_t n) {
+    v1.append(reinterpret_cast<const char*>(p), n);
+  };
+  const uint64_t magic = 0x50414e454e454231ULL;
+  const uint32_t version = 1;
+  const uint32_t method_len = static_cast<uint32_t>(e.method.size());
+  append(&magic, 8);
+  append(&version, 4);
+  append(&method_len, 4);
+  v1 += e.method;
+  const int8_t link = 0, attr = 0;
+  const uint8_t mask = 0;
+  append(&link, 1);
+  append(&attr, 1);
+  append(&mask, 1);
+  const int64_t rows = e.features.rows(), cols = e.features.cols();
+  append(&rows, 8);
+  append(&cols, 8);
+  append(e.features.data(),
+         static_cast<size_t>(e.features.size()) * sizeof(double));
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out.write(v1.data(), static_cast<std::streamsize>(v1.size()));
+  }
+  const auto loaded = NodeEmbedding::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->method, e.method);
+  EXPECT_EQ(e.features.MaxAbsDiff(loaded->features), 0.0);
+  // Re-saving writes version 2; the artifact must round-trip unchanged in
+  // content even though the bytes differ (new padding).
+  ASSERT_TRUE(loaded->Save(path2_).ok());
+  const auto resaved = NodeEmbedding::Load(path2_);
+  ASSERT_TRUE(resaved.ok()) << resaved.status();
+  EXPECT_EQ(e.features.MaxAbsDiff(resaved->features), 0.0);
 }
 
 }  // namespace
