@@ -68,7 +68,7 @@ std::string MegabyteCell(double bytes) {
 PaneRun TrainPaneOrDie(const AttributedGraph& graph, int k, int num_threads,
                        double alpha, double epsilon, bool greedy_init,
                        int ccd_iterations, int64_t memory_budget_mb,
-                       SlabPolicy slab_policy) {
+                       SlabPolicy slab_policy, SpillMode spill_mode) {
   PaneOptions options;
   options.k = k;
   options.num_threads = num_threads;
@@ -78,6 +78,7 @@ PaneRun TrainPaneOrDie(const AttributedGraph& graph, int k, int num_threads,
   options.ccd_iterations = ccd_iterations;
   options.memory_budget_mb = memory_budget_mb;
   options.slab_policy = slab_policy;
+  options.spill_mode = spill_mode;
   PaneRun run;
   auto result = Pane(options).Train(graph, &run.stats);
   PANE_CHECK(result.ok()) << result.status();

@@ -48,11 +48,14 @@ void RunWholePipelineBudgetSection(const AttributedGraph& g,
     const char* name;
     int64_t budget_mb;
     SlabPolicy policy;
+    SpillMode spill_mode;
   };
   const Config configs[] = {
-      {"spill @budget", budget_mb, SlabPolicy::kMmap},
-      {"in-RAM @budget", budget_mb, SlabPolicy::kInRam},
-      {"unbounded", 0, SlabPolicy::kInRam},
+      {"pooled spill @budget", budget_mb, SlabPolicy::kMmap,
+       SpillMode::kPooled},
+      {"flat spill @budget", budget_mb, SlabPolicy::kMmap, SpillMode::kFlat},
+      {"in-RAM @budget", budget_mb, SlabPolicy::kInRam, SpillMode::kPooled},
+      {"unbounded", 0, SlabPolicy::kInRam, SpillMode::kPooled},
   };
   bench::PrintRow("config", {"width", "panels", "scratch", "slabs",
                              "overlap", "peak RSS", "dRSS", "time"});
@@ -61,7 +64,8 @@ void RunWholePipelineBudgetSection(const AttributedGraph& g,
     const auto run = bench::TrainPaneOrDie(g, /*k=*/64, /*num_threads=*/10,
                                            0.5, 0.015, /*greedy_init=*/true,
                                            /*ccd_iterations=*/0,
-                                           config.budget_mb, config.policy);
+                                           config.budget_mb, config.policy,
+                                           config.spill_mode);
     const int64_t rss_after = bench::PeakRssBytes();
     bench::PrintRow(
         config.name,
@@ -72,7 +76,8 @@ void RunWholePipelineBudgetSection(const AttributedGraph& g,
          bench::MegabyteCell(
              static_cast<double>(run.stats.affinity.scratch_bytes +
                                  run.stats.ccd.scratch_bytes)),
-         run.stats.slabs_spilled ? "mmap" : "RAM",
+         !run.stats.slabs_spilled ? "RAM"
+                                  : (run.stats.pooled_spill ? "pool" : "mmap"),
          StrFormat("%d", run.stats.init_blocks_overlapped),
          bench::MegabyteCell(static_cast<double>(rss_after)),
          rss_before < 0 || rss_after < 0

@@ -73,6 +73,16 @@ int main(int argc, char** argv) {
                "DEPRECATED alias for --memory-budget-mb");
   flags.AddString("spill-dir", "",
                   "directory for factor spill files (default: temp dir)");
+  flags.AddString("spill-mode", "pooled",
+                  "spill flavor once over budget (PANE): 'pooled' evicts "
+                  "page-granular through the shared buffer pool, 'flat' "
+                  "drops whole panels (the pre-pool path)");
+  flags.AddString("output-format", "legacy",
+                  "artifact layout for --mode=train: 'legacy' (one-pass "
+                  "binary) or 'container' (paged, CRC32C-checksummed "
+                  "single-file container; see README \"Artifact "
+                  "container\"). Load dispatches on the file magic either "
+                  "way");
   flags.AddBool("verbose", false,
                 "log the engine decomposition (panel width/panels/scratch, "
                 "slab backing, CCD strips) after training");
@@ -103,10 +113,17 @@ int main(int argc, char** argv) {
   std::printf("loaded %s\n", graph.Summary().c_str());
 
   if (flags.GetString("mode") == "train") {
+    const std::string output_format = flags.GetString("output-format");
+    PANE_CHECK(output_format == "legacy" || output_format == "container")
+        << "unknown --output-format (use legacy or container)";
     pane::WallTimer timer;
     const auto embedding = (*embedder)->Train(graph);
     PANE_CHECK(embedding.ok()) << embedding.status();
-    PANE_CHECK_OK(embedding->Save(flags.GetString("out")));
+    if (output_format == "container") {
+      PANE_CHECK_OK(embedding->SaveContainer(flags.GetString("out")));
+    } else {
+      PANE_CHECK_OK(embedding->Save(flags.GetString("out")));
+    }
     std::printf(
         "trained %s embedding (n=%lld, dim=%lld, link=%s, attr=%s) in %.2fs; "
         "wrote %s\n",

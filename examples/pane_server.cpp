@@ -18,10 +18,12 @@
 // pane_server processes over the same file share one physical copy of the
 // embedding through the page cache.
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
+#include "src/common/timer.h"
 #include "src/graph/graph_io.h"
 #include "src/parallel/thread_pool.h"
 #include "src/serve/embedding_store.h"
@@ -47,6 +49,11 @@ int main(int argc, char** argv) {
                "IVF clusters (0 = ceil(sqrt(#candidates)))");
   flags.AddInt("kmeans-iters", 10, "k-means iterations for the IVF build");
   flags.AddInt("seed", 42, "IVF build seed");
+  flags.AddString("ivf", "",
+                  "pruned-index container path: when the file exists the "
+                  "indexes are loaded from it (skipping the k-means build); "
+                  "when it does not, they are built and saved there for the "
+                  "next start");
   flags.AddInt("memory-budget-mb", 0,
                "caps the engine's per-batch scoring scratch (0 = default)");
   flags.AddBool("verbose", false, "log store / engine configuration");
@@ -81,12 +88,29 @@ int main(int argc, char** argv) {
   PANE_CHECK(engine.ok()) << engine.status();
 
   if (flags.GetBool("pruned")) {
-    pane::serve::IvfOptions ivf;
-    ivf.num_clusters = flags.GetInt("clusters");
-    ivf.kmeans_iters = static_cast<int>(flags.GetInt("kmeans-iters"));
-    ivf.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-    ivf.pool = &pool;
-    PANE_CHECK_OK(engine->BuildPrunedIndex(ivf));
+    const std::string ivf_path = flags.GetString("ivf");
+    std::error_code ec;
+    if (!ivf_path.empty() && std::filesystem::exists(ivf_path, ec)) {
+      // Restart path: adopt the saved indexes instead of re-running k-means.
+      pane::WallTimer timer;
+      PANE_CHECK_OK(engine->LoadPrunedIndex(ivf_path));
+      std::fprintf(stderr, "ivf: loaded %s in %.3fs (k-means skipped)\n",
+                   ivf_path.c_str(), timer.ElapsedSeconds());
+    } else {
+      pane::serve::IvfOptions ivf;
+      ivf.num_clusters = flags.GetInt("clusters");
+      ivf.kmeans_iters = static_cast<int>(flags.GetInt("kmeans-iters"));
+      ivf.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+      ivf.pool = &pool;
+      pane::WallTimer timer;
+      PANE_CHECK_OK(engine->BuildPrunedIndex(ivf));
+      std::fprintf(stderr, "ivf: built in %.3fs\n", timer.ElapsedSeconds());
+      if (!ivf_path.empty()) {
+        PANE_CHECK_OK(engine->SavePrunedIndex(ivf_path));
+        std::fprintf(stderr, "ivf: saved to %s (next start loads it)\n",
+                     ivf_path.c_str());
+      }
+    }
     if (flags.GetBool("verbose")) {
       std::fprintf(stderr, "ivf: attr_clusters=%lld link_clusters=%lld\n",
                    static_cast<long long>(engine->attr_index().num_clusters()),

@@ -4,10 +4,65 @@
 #include <fstream>
 #include <vector>
 
+#include "src/common/atomic_file.h"
+#include "src/store/container.h"
+#include "src/store/embedding_pages.h"
+
 namespace pane {
 namespace {
 
 namespace fmt = embedding_format;
+
+store::MatrixExtent ExtentOf(const DenseMatrix& m) {
+  store::MatrixExtent extent;
+  if (!m.empty()) {
+    extent.data = m.data();
+    extent.rows = m.rows();
+    extent.cols = m.cols();
+  }
+  return extent;
+}
+
+void CopyExtent(const store::MatrixExtent& extent, DenseMatrix* out) {
+  out->Resize(extent.rows, extent.cols);
+  if (extent.present()) {
+    std::memcpy(out->data(), extent.data,
+                static_cast<size_t>(extent.payload_bytes()));
+  }
+}
+
+Result<NodeEmbedding> LoadFromContainer(const std::string& path) {
+  PANE_ASSIGN_OR_RETURN(store::Container container,
+                        store::Container::Open(path));
+  if (!store::HasEmbeddingStreams(container)) {
+    return Status::InvalidArgument(
+        "container " + path + " holds no embedding artifact");
+  }
+  PANE_ASSIGN_OR_RETURN(
+      store::EmbeddingExtents extents,
+      store::ReadEmbeddingStreams(container, /*verify_payloads=*/true));
+  if (extents.link_convention < 0 ||
+      extents.link_convention >
+          static_cast<int8_t>(LinkConvention::kAsymmetricDot)) {
+    return Status::InvalidArgument("bad link convention in " + path);
+  }
+  if (extents.attribute_convention < 0 ||
+      extents.attribute_convention >
+          static_cast<int8_t>(AttributeConvention::kFactors)) {
+    return Status::InvalidArgument("bad attribute convention in " + path);
+  }
+  NodeEmbedding e;
+  e.method = std::move(extents.method);
+  e.link_convention = static_cast<LinkConvention>(extents.link_convention);
+  e.attribute_convention =
+      static_cast<AttributeConvention>(extents.attribute_convention);
+  CopyExtent(extents.features, &e.features);
+  CopyExtent(extents.xf, &e.xf);
+  CopyExtent(extents.xb, &e.xb);
+  CopyExtent(extents.y, &e.y);
+  PANE_RETURN_NOT_OK(e.Check());
+  return e;
+}
 
 template <typename T>
 void AppendPod(std::string* buf, const T& value) {
@@ -177,11 +232,24 @@ Status NodeEmbedding::Save(const std::string& path) const {
   if (!xb.empty()) AppendMatrix(&buf, xb);
   if (!y.empty()) AppendMatrix(&buf, y);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, buf);
+}
+
+Status NodeEmbedding::SaveContainer(const std::string& path) const {
+  PANE_RETURN_NOT_OK(Check());
+  store::EmbeddingExtents extents;
+  extents.method = method;
+  extents.link_convention = static_cast<int8_t>(link_convention);
+  extents.attribute_convention = static_cast<int8_t>(attribute_convention);
+  extents.features = ExtentOf(features);
+  extents.xf = ExtentOf(xf);
+  extents.xb = ExtentOf(xb);
+  extents.y = ExtentOf(y);
+  store::ContainerWriter writer;
+  std::string meta_buf;
+  PANE_RETURN_NOT_OK(
+      store::AppendEmbeddingStreams(extents, &meta_buf, &writer));
+  return writer.WriteTo(path);
 }
 
 Result<NodeEmbedding> NodeEmbedding::Load(const std::string& path) {
@@ -195,6 +263,10 @@ Result<NodeEmbedding> NodeEmbedding::Load(const std::string& path) {
 
   uint64_t magic = 0;
   PANE_RETURN_NOT_OK(reader.ReadPod(&magic));
+  if (store::Container::HasContainerMagic(&magic)) {
+    in.close();
+    return LoadFromContainer(path);
+  }
   if (magic != fmt::kMagic) {
     return Status::InvalidArgument("not a NodeEmbedding file: " + path);
   }

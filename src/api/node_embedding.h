@@ -54,14 +54,24 @@ struct NodeEmbedding {
   /// then the present matrices (layout in src/api/embedding_format.h; Save
   /// writes version 2, whose matrix payloads are 8-byte aligned so the
   /// serving-side EmbeddingStore can mmap them zero-copy). Stable across
-  /// save/load round-trips byte-for-byte.
+  /// save/load round-trips byte-for-byte, and crash-safe: the file is
+  /// written to a temp name and atomically renamed into place.
   Status Save(const std::string& path) const;
 
-  /// Reads version 1 or 2. Every shape and length field is validated
-  /// against the bytes remaining in the file before any allocation, so a
-  /// corrupt or truncated artifact yields a Status instead of an OOM. For
-  /// a shared read-only view of a large artifact (no per-process copy),
-  /// open it with serve::EmbeddingStore instead.
+  /// The same artifact as a paged, checksummed store:: container
+  /// (src/store/container.h): each matrix is its own page-aligned stream,
+  /// every page CRC32C-guarded, committed via temp + fsync + rename.
+  /// The pane_cli writes this with --output-format=container.
+  Status SaveContainer(const std::string& path) const;
+
+  /// Reads either format, dispatching on the leading magic: the legacy
+  /// layout (version 1 or 2) or a container written by SaveContainer (whose
+  /// page checksums are verified during the load, so a single flipped bit
+  /// anywhere in the file is reported). Every shape and length field is
+  /// validated against the bytes remaining in the file before any
+  /// allocation, so a corrupt or truncated artifact yields a Status instead
+  /// of an OOM. For a shared read-only view of a large artifact (no
+  /// per-process copy), open it with serve::EmbeddingStore instead.
   static Result<NodeEmbedding> Load(const std::string& path);
 };
 

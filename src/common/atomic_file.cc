@@ -1,0 +1,148 @@
+#include "src/common/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+namespace pane {
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+Status WriteFully(int fd, const char* p, int64_t bytes,
+                  const std::string& path) {
+  while (bytes > 0) {
+    const ssize_t written = write(fd, p, static_cast<size_t>(bytes));
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write failed on", path));
+    }
+    p += written;
+    bytes -= written;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept {
+  *this = std::move(other);
+}
+
+AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
+  if (this == &other) return *this;
+  Abandon();
+  fd_ = other.fd_;
+  appended_ = other.appended_;
+  tmp_path_ = std::move(other.tmp_path_);
+  final_path_ = std::move(other.final_path_);
+  other.fd_ = -1;
+  other.appended_ = 0;
+  other.tmp_path_.clear();
+  other.final_path_.clear();
+  return *this;
+}
+
+AtomicFile::~AtomicFile() { Abandon(); }
+
+void AtomicFile::Abandon() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  if (!tmp_path_.empty()) unlink(tmp_path_.c_str());
+  tmp_path_.clear();
+  final_path_.clear();
+}
+
+Result<AtomicFile> AtomicFile::Create(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("AtomicFile needs a non-empty path");
+  }
+  std::string tmpl = path + ".tmp.XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const int fd = mkstemp(buf.data());
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot create temp file for", path));
+  }
+  AtomicFile file;
+  file.fd_ = fd;
+  file.tmp_path_.assign(buf.data());
+  file.final_path_ = path;
+  return file;
+}
+
+Status AtomicFile::Append(const void* data, int64_t bytes) {
+  if (fd_ < 0) return Status::Internal("AtomicFile is not open");
+  if (bytes < 0) return Status::InvalidArgument("negative append length");
+  PANE_RETURN_NOT_OK(
+      WriteFully(fd_, static_cast<const char*>(data), bytes, tmp_path_));
+  appended_ += bytes;
+  return Status::OK();
+}
+
+Status AtomicFile::WriteAt(int64_t offset, const void* data, int64_t bytes) {
+  if (fd_ < 0) return Status::Internal("AtomicFile is not open");
+  if (offset < 0 || bytes < 0) {
+    return Status::InvalidArgument("negative offset or length");
+  }
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t written =
+        pwrite(fd_, p, static_cast<size_t>(bytes), static_cast<off_t>(offset));
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwrite failed on", tmp_path_));
+    }
+    p += written;
+    offset += written;
+    bytes -= written;
+  }
+  return Status::OK();
+}
+
+Status AtomicFile::Commit() {
+  if (fd_ < 0) return Status::Internal("AtomicFile is not open");
+  if (fsync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed on", tmp_path_));
+  }
+  if (close(fd_) != 0) {
+    fd_ = -1;  // the descriptor is gone even on error
+    return Status::IOError(ErrnoMessage("close failed on", tmp_path_));
+  }
+  fd_ = -1;
+  if (rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage(
+        "cannot rename over", final_path_ + " from " + tmp_path_));
+  }
+  tmp_path_.clear();  // renamed away; nothing to unlink
+  // Durability of the rename itself: fsync the parent directory.
+  // Best-effort — some filesystems refuse O_RDONLY on directories.
+  const std::string dir =
+      std::filesystem::path(final_path_).parent_path().string();
+  const int dir_fd = open(dir.empty() ? "." : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    close(dir_fd);
+  }
+  final_path_.clear();
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  PANE_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path));
+  PANE_RETURN_NOT_OK(
+      file.Append(contents.data(), static_cast<int64_t>(contents.size())));
+  return file.Commit();
+}
+
+}  // namespace pane

@@ -169,7 +169,8 @@ Status ComputeAffinityIntoSlabs(const CsrMatrix& p,
   for (FactorSlab* slab : {&out->forward, &out->backward}) {
     if (slab->empty() && (slab->rows() != n || slab->cols() != d)) {
       PANE_ASSIGN_OR_RETURN(
-          *slab, FactorSlab::Create(n, d, options.backing, options.spill_dir));
+          *slab, FactorSlab::Create(n, d, options.backing, options.spill_dir,
+                                    options.buffer_pool));
     } else if (slab->rows() != n || slab->cols() != d) {
       return Status::InvalidArgument("output slab shape must be n x d");
     }

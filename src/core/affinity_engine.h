@@ -76,6 +76,9 @@ struct AffinityEngineOptions {
   FactorSlab::Backing backing = FactorSlab::Backing::kInRam;
   /// Spill-file directory for engine-created mmap slabs ("" => temp dir).
   std::string spill_dir;
+  /// Residency pool for engine-created kPooled slabs (not owned; must
+  /// outlive them). Required when backing == kPooled.
+  store::BufferPool* buffer_pool = nullptr;
   /// Optional panel consumer; invoked under an engine mutex (events are
   /// serialized) from whichever thread finished the panel.
   std::function<void(const AffinityPanelEvent&)> panel_consumer;

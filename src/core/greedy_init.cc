@@ -80,7 +80,7 @@ void ResidualRows(const DenseMatrix& x, const DenseMatrix& y,
 Result<FactorSlab> CreateResidualSlab(int64_t rows, int64_t cols,
                                       const InitOptions& options) {
   return FactorSlab::Create(rows, cols, options.residual_backing,
-                            options.spill_dir);
+                            options.spill_dir, options.buffer_pool);
 }
 
 AffinitySlabs WrapDense(const AffinityMatrices& affinity) {

@@ -55,6 +55,9 @@ struct InitOptions {
   FactorSlab::Backing residual_backing = FactorSlab::Backing::kInRam;
   /// Spill directory for mmap residuals ("" => temp dir).
   std::string spill_dir;
+  /// Residency pool for kPooled residuals (not owned; must outlive the
+  /// returned EmbeddingState). Required when residual_backing == kPooled.
+  store::BufferPool* buffer_pool = nullptr;
   /// Memory budget in MiB; bounds how many F' row blocks hold pages
   /// concurrently when the affinity slabs are spilled (0 => no cap). Does
   /// not affect the arithmetic — only residency.

@@ -51,9 +51,17 @@ Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
                                 : options.affinity_memory_mb;
   const int64_t slab_bytes =
       4 * n * d * static_cast<int64_t>(sizeof(double));
-  const FactorSlab::Backing backing =
+  FactorSlab::Backing backing =
       ResolveSlabBacking(options.slab_policy, budget_mb, slab_bytes);
-  out->slabs_spilled = backing == FactorSlab::Backing::kMmap;
+  std::unique_ptr<store::BufferPool> buffer_pool;
+  if (backing == FactorSlab::Backing::kMmap &&
+      options.spill_mode == SpillMode::kPooled) {
+    store::BufferPool::Options pool_options;
+    pool_options.budget_bytes = (budget_mb << 20) / 2;
+    buffer_pool = std::make_unique<store::BufferPool>(pool_options);
+    backing = FactorSlab::Backing::kPooled;
+  }
+  out->slabs_spilled = backing != FactorSlab::Backing::kInRam;
 
   // Fresh affinity on the updated graph (the linear-time part); P and P^T
   // are built once inside the engine.
@@ -67,6 +75,7 @@ Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
     engine_options.memory_budget_mb = budget_mb;
     engine_options.backing = backing;
     engine_options.spill_dir = options.spill_dir;
+    engine_options.buffer_pool = buffer_pool.get();
     PANE_RETURN_NOT_OK(ComputeGraphAffinityIntoSlabs(
         updated_graph, engine_options, &affinity, &out->affinity));
   }
@@ -90,10 +99,12 @@ Result<PaneEmbedding> RefreshEmbedding(const AttributedGraph& updated_graph,
     state.xf.SetBlock(n_prev, 0, xf_tail);
     state.xb.SetBlock(n_prev, 0, xb_tail);
   }
-  PANE_ASSIGN_OR_RETURN(
-      state.sf, FactorSlab::Create(n, d, backing, options.spill_dir));
-  PANE_ASSIGN_OR_RETURN(
-      state.sb, FactorSlab::Create(n, d, backing, options.spill_dir));
+  PANE_ASSIGN_OR_RETURN(state.sf,
+                        FactorSlab::Create(n, d, backing, options.spill_dir,
+                                           buffer_pool.get()));
+  PANE_ASSIGN_OR_RETURN(state.sb,
+                        FactorSlab::Create(n, d, backing, options.spill_dir,
+                                           buffer_pool.get()));
   PANE_RETURN_NOT_OK(BuildResidualSlab(state.xf, state.y, affinity.forward,
                                        &state.sf, pool.get()));
   PANE_RETURN_NOT_OK(BuildResidualSlab(state.xb, state.y, affinity.backward,

@@ -36,6 +36,9 @@ struct RefreshOptions {
   int64_t affinity_memory_mb = 0;
   /// Slab backing decision (kAuto => spill when 4 n d exceeds the budget).
   SlabPolicy slab_policy = SlabPolicy::kAuto;
+  /// Spill flavor once spilling: pooled (shared BufferPool, default) or the
+  /// flat self-managed path — see PaneOptions::spill_mode.
+  SpillMode spill_mode = SpillMode::kPooled;
   /// Spill-file directory ("" => temp dir).
   std::string spill_dir;
 };

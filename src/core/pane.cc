@@ -77,24 +77,38 @@ Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
 
   // One budget, one backing decision: the pipeline's resident factor cost
   // is the four n x d slabs (F', B' during affinity/init, Sf, Sb through
-  // CCD); when that exceeds the budget they all go to mmap spill files.
+  // CCD); when that exceeds the budget they all go to mmap spill files —
+  // by default through a shared BufferPool whose residency budget is half
+  // the pipeline budget (the other half stays with the panel scratch and
+  // CCD strips).
   const int64_t n = graph.num_nodes();
   const int64_t d = graph.num_attributes();
   const int64_t slab_bytes =
       4 * n * d * static_cast<int64_t>(sizeof(double));
-  const FactorSlab::Backing backing =
+  FactorSlab::Backing backing =
       ResolveSlabBacking(opt.slab_policy, budget_mb, slab_bytes);
-  out_stats->slabs_spilled = backing == FactorSlab::Backing::kMmap;
+  std::unique_ptr<store::BufferPool> buffer_pool;
+  if (backing == FactorSlab::Backing::kMmap &&
+      opt.spill_mode == SpillMode::kPooled) {
+    store::BufferPool::Options pool_options;
+    pool_options.budget_bytes = (budget_mb << 20) / 2;
+    buffer_pool = std::make_unique<store::BufferPool>(pool_options);
+    backing = FactorSlab::Backing::kPooled;
+  }
+  out_stats->slabs_spilled = backing != FactorSlab::Backing::kInRam;
+  out_stats->pooled_spill = buffer_pool != nullptr;
   out_stats->slab_bytes = slab_bytes;
 
   // Phase 1: affinity approximation (Algorithm 2 / 6) via the
   // panel-streamed engine; P and P^T are built once inside it. The slabs
   // are created up front so the engine-aware init can watch them fill.
   AffinitySlabs affinity;
-  PANE_ASSIGN_OR_RETURN(affinity.forward,
-                        FactorSlab::Create(n, d, backing, opt.spill_dir));
-  PANE_ASSIGN_OR_RETURN(affinity.backward,
-                        FactorSlab::Create(n, d, backing, opt.spill_dir));
+  PANE_ASSIGN_OR_RETURN(
+      affinity.forward,
+      FactorSlab::Create(n, d, backing, opt.spill_dir, buffer_pool.get()));
+  PANE_ASSIGN_OR_RETURN(
+      affinity.backward,
+      FactorSlab::Create(n, d, backing, opt.spill_dir, buffer_pool.get()));
 
   InitOptions init_options;
   init_options.k = opt.k;
@@ -104,6 +118,7 @@ Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
   init_options.residual_backing = backing;
   init_options.spill_dir = opt.spill_dir;
   init_options.memory_budget_mb = budget_mb;
+  init_options.buffer_pool = buffer_pool.get();
 
   // Declared after `affinity` so its destructor (which joins the helper
   // thread reading the slabs) runs first on every exit path.
@@ -163,6 +178,7 @@ Result<PaneEmbedding> Pane::Train(const AttributedGraph& graph,
   }
   out_stats->objective_final = Objective(state);
   out_stats->total_seconds = total_timer.ElapsedSeconds();
+  if (buffer_pool != nullptr) out_stats->pool = buffer_pool->stats();
 
   PaneEmbedding embedding;
   embedding.xf = std::move(state.xf);

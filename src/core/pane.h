@@ -46,6 +46,12 @@ struct PaneOptions {
   /// Slab backing decision; kAuto applies the budget rule above, kInRam /
   /// kMmap force one backing (benches, tests).
   SlabPolicy slab_policy = SlabPolicy::kAuto;
+  /// Spill flavor once the policy says "spill": kPooled (default) routes
+  /// all spilled slabs through one store::BufferPool — pages are evicted by
+  /// a clock policy only under budget pressure, at pool-page granularity —
+  /// while kFlat keeps the original self-managed whole-panel-release path.
+  /// Both produce bitwise-identical embeddings.
+  SpillMode spill_mode = SpillMode::kPooled;
   /// Directory for spill files ("" => the system temp directory). Files are
   /// removed when their slab is destroyed, including on error paths.
   std::string spill_dir;
@@ -75,9 +81,11 @@ struct PaneStats {
   double objective_initial = 0.0;  ///< Equation (4) right after init
   double objective_final = 0.0;    ///< Equation (4) after refinement
   bool slabs_spilled = false;      ///< factors lived in mmap spill slabs
+  bool pooled_spill = false;       ///< spilled through the shared BufferPool
   int64_t slab_bytes = 0;          ///< the four n x d factors (F',B',Sf,Sb)
   int init_blocks_overlapped = 0;  ///< init block SVDs run during affinity
   CcdStats ccd;                    ///< phase-2 strip decomposition
+  store::BufferPool::Stats pool;   ///< eviction/write-back counters (pooled)
 };
 
 /// \brief Trains PANE embeddings on an attributed graph.

@@ -7,21 +7,31 @@
 #include <string>
 #include <vector>
 
+#include "src/common/atomic_file.h"
 #include "src/common/string_util.h"
 #include "src/graph/text_parser.h"
 #include "src/parallel/thread_pool.h"
+#include "src/store/container.h"
 
 namespace pane {
 namespace {
 
 constexpr uint64_t kBinaryMagic = 0x50414e4547523031ULL;  // "PANEGR01"
 
+// Container stream names (SaveGraphContainer / LoadGraphContainer).
+constexpr char kGraphMetaStream[] = "graph.meta";
+constexpr char kAdjIndptrStream[] = "graph.adj.indptr";
+constexpr char kAdjIndicesStream[] = "graph.adj.indices";
+constexpr char kAdjValuesStream[] = "graph.adj.values";
+constexpr char kAttrIndptrStream[] = "graph.attr.indptr";
+constexpr char kAttrIndicesStream[] = "graph.attr.indices";
+constexpr char kAttrValuesStream[] = "graph.attr.values";
+constexpr char kLabelOffsetsStream[] = "graph.label.offsets";
+constexpr char kLabelIdsStream[] = "graph.label.ids";
+constexpr uint32_t kGraphMetaVersion = 1;
+
 Status WriteAll(const std::string& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, contents);
 }
 
 /// Re-labels an error status with the file it came from.
@@ -323,6 +333,186 @@ Result<AttributedGraph> LoadGraphBinary(const std::string& path) {
   return graph;
 }
 
+Status SaveGraphContainer(const AttributedGraph& graph,
+                          const std::string& path) {
+  // Fixed-size meta record, serialized field by field (no struct memcpy, so
+  // no padding-byte nondeterminism): version u32, undirected u8, 3 reserved
+  // bytes, then the two CSR shapes as i64 pairs.
+  std::string meta;
+  AppendPod<uint32_t>(&meta, kGraphMetaVersion);
+  AppendPod<uint8_t>(&meta, graph.undirected() ? 1 : 0);
+  meta.append(3, '\0');
+  AppendPod<int64_t>(&meta, graph.adjacency().rows());
+  AppendPod<int64_t>(&meta, graph.adjacency().cols());
+  AppendPod<int64_t>(&meta, graph.attributes().rows());
+  AppendPod<int64_t>(&meta, graph.attributes().cols());
+
+  // Flatten the per-node label lists into an offsets + ids pair so they pack
+  // as two flat streams.
+  const int64_t n = graph.num_nodes();
+  std::vector<int64_t> label_offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<int32_t> label_ids;
+  for (int64_t v = 0; v < n; ++v) {
+    const auto& node_labels = graph.labels()[static_cast<size_t>(v)];
+    label_ids.insert(label_ids.end(), node_labels.begin(), node_labels.end());
+    label_offsets[static_cast<size_t>(v) + 1] =
+        static_cast<int64_t>(label_ids.size());
+  }
+
+  store::ContainerWriter writer;
+  const auto add = [&writer](const char* name, store::PageType type,
+                             const void* data, int64_t bytes) {
+    return writer.AddStream(name, type, data, bytes);
+  };
+  const auto bytes_of = [](const auto& v) {
+    return static_cast<int64_t>(v.size() * sizeof(v[0]));
+  };
+  const CsrMatrix& adj = graph.adjacency();
+  const CsrMatrix& attr = graph.attributes();
+  PANE_RETURN_NOT_OK(add(kGraphMetaStream, store::PageType::kMeta, meta.data(),
+                         static_cast<int64_t>(meta.size())));
+  PANE_RETURN_NOT_OK(add(kAdjIndptrStream, store::PageType::kGraphCsr,
+                         adj.indptr().data(), bytes_of(adj.indptr())));
+  PANE_RETURN_NOT_OK(add(kAdjIndicesStream, store::PageType::kGraphCsr,
+                         adj.indices().data(), bytes_of(adj.indices())));
+  PANE_RETURN_NOT_OK(add(kAdjValuesStream, store::PageType::kGraphCsr,
+                         adj.values().data(), bytes_of(adj.values())));
+  PANE_RETURN_NOT_OK(add(kAttrIndptrStream, store::PageType::kGraphCsr,
+                         attr.indptr().data(), bytes_of(attr.indptr())));
+  PANE_RETURN_NOT_OK(add(kAttrIndicesStream, store::PageType::kGraphCsr,
+                         attr.indices().data(), bytes_of(attr.indices())));
+  PANE_RETURN_NOT_OK(add(kAttrValuesStream, store::PageType::kGraphCsr,
+                         attr.values().data(), bytes_of(attr.values())));
+  PANE_RETURN_NOT_OK(add(kLabelOffsetsStream, store::PageType::kGraphCsr,
+                         label_offsets.data(), bytes_of(label_offsets)));
+  PANE_RETURN_NOT_OK(add(kLabelIdsStream, store::PageType::kGraphCsr,
+                         label_ids.data(), bytes_of(label_ids)));
+  return writer.WriteTo(path);
+}
+
+namespace {
+
+/// Reads one CSR matrix from its three container streams. The arrays are
+/// copied out of the mapping (the graph owns its storage) and validated by
+/// FromCsrArrays before adoption.
+Result<CsrMatrix> ReadContainerCsr(const store::Container& container,
+                                   int64_t rows, int64_t cols,
+                                   const char* indptr_name,
+                                   const char* indices_name,
+                                   const char* values_name) {
+  PANE_ASSIGN_OR_RETURN(auto indptr_view,
+                        container.ReadArray<int64_t>(indptr_name));
+  PANE_ASSIGN_OR_RETURN(auto indices_view,
+                        container.ReadArray<int32_t>(indices_name));
+  PANE_ASSIGN_OR_RETURN(auto values_view,
+                        container.ReadArray<double>(values_name));
+  if (indptr_view.count != rows + 1) {
+    return Status::IOError(std::string(indptr_name) +
+                           " length does not match the stored row count");
+  }
+  if (indices_view.count != values_view.count) {
+    return Status::IOError(std::string(indices_name) + " and " + values_name +
+                           " lengths disagree");
+  }
+  std::vector<int64_t> indptr(indptr_view.data,
+                              indptr_view.data + indptr_view.count);
+  std::vector<int32_t> indices(indices_view.data,
+                               indices_view.data + indices_view.count);
+  std::vector<double> values(values_view.data,
+                             values_view.data + values_view.count);
+  return CsrMatrix::FromCsrArrays(rows, cols, std::move(indptr),
+                                  std::move(indices), std::move(values));
+}
+
+}  // namespace
+
+Result<AttributedGraph> LoadGraphContainer(const std::string& path) {
+  PANE_ASSIGN_OR_RETURN(store::Container container,
+                        store::Container::Open(path));
+  auto meta_result = container.Read(kGraphMetaStream);
+  if (!meta_result.ok()) {
+    if (meta_result.status().IsNotFound()) {
+      return Status::InvalidArgument("container " + path +
+                                     " holds no graph artifact");
+    }
+    return meta_result.status();
+  }
+  const store::Container::StreamView meta = meta_result.MoveValueUnsafe();
+  constexpr int64_t kMetaBytes = 4 + 1 + 3 + 4 * 8;
+  if (meta.bytes != kMetaBytes) {
+    return Status::IOError("graph.meta stream in " + path + " holds " +
+                           std::to_string(meta.bytes) + " bytes, expected " +
+                           std::to_string(kMetaBytes));
+  }
+  const char* p = meta.data;
+  uint32_t version = 0;
+  std::memcpy(&version, p, sizeof(version));
+  if (version != kGraphMetaVersion) {
+    return Status::InvalidArgument(
+        "unsupported graph container version " + std::to_string(version) +
+        " in " + path);
+  }
+  const uint8_t undirected = static_cast<uint8_t>(p[4]);
+  if (undirected > 1) {
+    return Status::IOError("bad undirected flag in " + path);
+  }
+  int64_t shapes[4] = {0, 0, 0, 0};
+  std::memcpy(shapes, p + 8, sizeof(shapes));
+  for (int64_t s : shapes) {
+    if (s < 0) return Status::IOError("negative matrix shape in " + path);
+  }
+  if (shapes[2] != shapes[0]) {
+    return Status::IOError(
+        "adjacency and attribute row counts disagree in " + path);
+  }
+
+  auto adjacency =
+      ReadContainerCsr(container, shapes[0], shapes[1], kAdjIndptrStream,
+                       kAdjIndicesStream, kAdjValuesStream);
+  if (!adjacency.ok()) return AnnotateError(adjacency.status(), path);
+  auto attributes =
+      ReadContainerCsr(container, shapes[2], shapes[3], kAttrIndptrStream,
+                       kAttrIndicesStream, kAttrValuesStream);
+  if (!attributes.ok()) return AnnotateError(attributes.status(), path);
+
+  const int64_t n = shapes[0];
+  PANE_ASSIGN_OR_RETURN(auto offsets_view,
+                        container.ReadArray<int64_t>(kLabelOffsetsStream));
+  PANE_ASSIGN_OR_RETURN(auto ids_view,
+                        container.ReadArray<int32_t>(kLabelIdsStream));
+  if (offsets_view.count != n + 1) {
+    return Status::IOError("label offsets length does not match the node "
+                           "count in " + path);
+  }
+  if (offsets_view.data[0] != 0 ||
+      offsets_view.data[n] != ids_view.count) {
+    return Status::IOError("label offsets do not span the id list in " + path);
+  }
+  std::vector<std::vector<int32_t>> labels(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    const int64_t begin = offsets_view.data[v];
+    const int64_t end = offsets_view.data[v + 1];
+    if (begin > end) {
+      return Status::IOError("label offsets not non-decreasing in " + path);
+    }
+    auto& node_labels = labels[static_cast<size_t>(v)];
+    node_labels.reserve(static_cast<size_t>(end - begin));
+    for (int64_t i = begin; i < end; ++i) {
+      if (ids_view.data[i] < 0) {
+        return Status::IOError("negative label id in " + path);
+      }
+      node_labels.push_back(ids_view.data[i]);
+    }
+  }
+
+  auto graph =
+      AttributedGraph::FromCsr(adjacency.MoveValueUnsafe(),
+                               attributes.MoveValueUnsafe(), std::move(labels),
+                               undirected == 1);
+  if (!graph.ok()) return AnnotateError(graph.status(), path);
+  return graph;
+}
+
 // Parses "key=value" integer fields from a SaveEdgeList header line
 // ("# PANE edge list: nodes=N edges=M directed=D"); returns -1 when absent.
 int64_t HeaderField(std::string_view line, std::string_view key) {
@@ -422,6 +612,9 @@ Result<AttributedGraph> LoadGraphAuto(const std::string& path,
     if (!probe) magic = 0;  // shorter than a magic header: not binary
   }
   if (magic == kBinaryMagic) return LoadGraphBinary(path);
+  if (store::Container::HasContainerMagic(&magic)) {
+    return LoadGraphContainer(path);
+  }
   EdgeListOptions options;
   options.pool = pool;
   return LoadEdgeList(path, options);

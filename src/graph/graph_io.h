@@ -54,6 +54,18 @@ Status SaveGraphBinary(const AttributedGraph& graph, const std::string& path);
 /// — no per-edge rebuild.
 Result<AttributedGraph> LoadGraphBinary(const std::string& path);
 
+/// Writes the graph as a paged, checksummed store:: container
+/// (src/store/container.h): one meta stream plus the adjacency / attribute
+/// CSR arrays and the flattened label lists, each its own page-aligned
+/// stream. Crash-safe (temp + fsync + rename) and every page CRC32C-guarded.
+Status SaveGraphContainer(const AttributedGraph& graph,
+                          const std::string& path);
+
+/// Loads a container written by SaveGraphContainer. Page checksums are
+/// verified for every stream read, so a flipped bit anywhere in the loaded
+/// bytes is a descriptive IOError, not a corrupt graph.
+Result<AttributedGraph> LoadGraphContainer(const std::string& path);
+
 struct EdgeListOptions {
   /// Mirror every (u, v) as (v, u) — most SNAP graphs are undirected.
   bool undirected = false;
@@ -74,7 +86,8 @@ Result<AttributedGraph> LoadEdgeList(const std::string& path,
 Status SaveEdgeList(const AttributedGraph& graph, const std::string& path);
 
 /// Dispatches on `path`: a directory loads the text layout, a file starting
-/// with the binary magic loads the binary snapshot, anything else is parsed
+/// with the binary magic loads the binary snapshot, a file starting with the
+/// container magic loads the checksummed container, anything else is parsed
 /// as a raw edge list.
 Result<AttributedGraph> LoadGraphAuto(const std::string& path,
                                       ThreadPool* pool = nullptr);

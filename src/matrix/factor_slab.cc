@@ -48,7 +48,9 @@ FactorSlab& FactorSlab::operator=(const FactorSlab& other) {
     cols_ = other.cols_;
     base_ = dense_.data();
   } else {
-    // Deep copy into a fresh spill file next to the source's.
+    // Deep copy into a fresh spill file next to the source's. A kPooled
+    // source degrades to a self-managed kMmap copy: the copy has no claim
+    // on the source's pool budget.
     const std::string dir =
         std::filesystem::path(other.spill_path_).parent_path().string();
     auto copy = Create(other.rows_, other.cols_, Backing::kMmap, dir);
@@ -76,6 +78,8 @@ FactorSlab& FactorSlab::operator=(FactorSlab&& other) noexcept {
   map_ = other.map_;
   map_bytes_ = other.map_bytes_;
   spill_path_ = std::move(other.spill_path_);
+  pool_ = other.pool_;
+  region_ = other.region_;
   other.backing_ = Backing::kInRam;
   other.rows_ = 0;
   other.cols_ = 0;
@@ -83,6 +87,8 @@ FactorSlab& FactorSlab::operator=(FactorSlab&& other) noexcept {
   other.map_ = nullptr;
   other.map_bytes_ = 0;
   other.spill_path_.clear();
+  other.pool_ = nullptr;
+  other.region_ = -1;
   return *this;
 }
 
@@ -99,6 +105,11 @@ FactorSlab& FactorSlab::operator=(DenseMatrix dense) {
 FactorSlab::~FactorSlab() { Destroy(); }
 
 void FactorSlab::Destroy() {
+  if (pool_ != nullptr && region_ >= 0) {
+    pool_->Unregister(region_);
+  }
+  pool_ = nullptr;
+  region_ = -1;
   if (map_ != nullptr) {
     munmap(map_, static_cast<size_t>(map_bytes_));
     map_ = nullptr;
@@ -163,7 +174,8 @@ Status FactorSlab::InitMmap(int64_t rows, int64_t cols,
 
 Result<FactorSlab> FactorSlab::Create(int64_t rows, int64_t cols,
                                       Backing backing,
-                                      const std::string& spill_dir) {
+                                      const std::string& spill_dir,
+                                      store::BufferPool* pool) {
   if (rows < 0 || cols < 0) {
     return Status::InvalidArgument("FactorSlab shape must be non-negative");
   }
@@ -172,17 +184,30 @@ Result<FactorSlab> FactorSlab::Create(int64_t rows, int64_t cols,
     slab = FactorSlab(DenseMatrix(rows, cols));
     return slab;
   }
+  if (backing == Backing::kPooled && pool == nullptr) {
+    return Status::InvalidArgument(
+        "a pooled FactorSlab needs a BufferPool");
+  }
   PANE_RETURN_NOT_OK(slab.InitMmap(rows, cols, spill_dir));
+  if (backing == Backing::kPooled) {
+    slab.backing_ = Backing::kPooled;
+    if (slab.map_ != nullptr) {
+      PANE_ASSIGN_OR_RETURN(slab.region_,
+                            pool->Register(slab.map_, slab.map_bytes_));
+      slab.pool_ = pool;
+    }
+  }
   return slab;
 }
 
 Result<FactorSlab> FactorSlab::FromDense(const DenseMatrix& dense,
                                          Backing backing,
-                                         const std::string& spill_dir) {
+                                         const std::string& spill_dir,
+                                         store::BufferPool* pool) {
   if (backing == Backing::kInRam) return FactorSlab(dense);
   PANE_ASSIGN_OR_RETURN(
       FactorSlab slab,
-      Create(dense.rows(), dense.cols(), Backing::kMmap, spill_dir));
+      Create(dense.rows(), dense.cols(), backing, spill_dir, pool));
   if (!slab.empty()) {
     std::copy(dense.data(), dense.data() + dense.size(), slab.base_);
   }
@@ -206,6 +231,16 @@ FactorSlab::RowBlock FactorSlab::AcquireRows(int64_t row_begin,
   block.row_begin = row_begin;
   block.row_end = row_end;
   block.cols = cols_;
+  if (backing_ == Backing::kPooled && pool_ != nullptr && map_ != nullptr) {
+    const Status pinned = pool_->Pin(
+        region_, row_begin * cols_ * static_cast<int64_t>(sizeof(double)),
+        row_end * cols_ * static_cast<int64_t>(sizeof(double)));
+    if (!pinned.ok()) {
+      // Advisory like every residency call: the flat mapping stays correct
+      // without the pin, only the eviction protection is lost.
+      PANE_LOG(WARNING) << "slab pin failed: " << pinned;
+    }
+  }
   return block;
 }
 
@@ -218,6 +253,13 @@ Status FactorSlab::ReleaseRowRange(int64_t row_begin, int64_t row_end,
   if (backing_ == Backing::kInRam || map_ == nullptr ||
       row_begin >= row_end) {
     return Status::OK();
+  }
+  if (backing_ == Backing::kPooled) {
+    // Unpin and let the pool decide: pages stay resident until budget
+    // pressure actually evicts them (with write-back first when dirty).
+    return pool_->Unpin(
+        region_, row_begin * cols_ * static_cast<int64_t>(sizeof(double)),
+        row_end * cols_ * static_cast<int64_t>(sizeof(double)), dirty);
   }
   const int64_t page = PageSize();
   const int64_t byte_begin =
@@ -254,6 +296,7 @@ Status FactorSlab::ReleaseRowRange(int64_t row_begin, int64_t row_end,
 
 Status FactorSlab::DropResidency() const {
   if (backing_ == Backing::kInRam || map_ == nullptr) return Status::OK();
+  if (backing_ == Backing::kPooled) return pool_->EvictRegion(region_);
   if (msync(map_, static_cast<size_t>(map_bytes_), MS_ASYNC) != 0) {
     return Status::IOError(ErrnoMessage("msync failed on", spill_path_));
   }

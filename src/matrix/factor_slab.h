@@ -1,20 +1,24 @@
 // FactorSlab: the row-major n x d factor store behind every big matrix in
 // the PANE pipeline — the affinity outputs F' / B' and the CCD residuals
-// Sf / Sb. A slab has one of two interchangeable backings:
+// Sf / Sb. A slab has one of three interchangeable backings:
 //
-//   kInRam  a DenseMatrix, the historical in-memory shape;
-//   kMmap   a memory-mapped spill file (MAP_SHARED on an unlinked-on-
-//           destruction temp file), so factors larger than RAM still run.
+//   kInRam   a DenseMatrix, the historical in-memory shape;
+//   kMmap    a memory-mapped spill file (MAP_SHARED on an unlinked-on-
+//            destruction temp file), so factors larger than RAM still run;
+//   kPooled  the same spill mapping, but with residency managed by a shared
+//            store::BufferPool — pages stay resident until pool-wide budget
+//            pressure evicts them (clock policy, pool-page granularity)
+//            instead of being dropped whole-panel at every release.
 //
-// Both backings expose the same flat row-major address space, so every
+// All backings expose the same flat row-major address space, so every
 // kernel runs one code path regardless of where the bytes live — which is
 // what makes spilled and in-RAM runs bitwise identical. The RowBlock API
 // (AcquireRows / ReleaseRows) adds residency management on top: releasing a
-// block of a spilled slab drops its pages from the process (dirty pages are
-// scheduled for write-back to the spill file and survive in the page cache,
-// so re-acquisition is lossless), keeping resident memory proportional to
-// the in-flight blocks instead of the whole factor. For the in-RAM backing
-// every release is a no-op, so callers sprinkle releases unconditionally.
+// block of a spilled slab drops (kMmap) or offers for eviction (kPooled)
+// its pages; dirty pages are scheduled for write-back to the spill file and
+// survive in the page cache, so re-acquisition is lossless. For the in-RAM
+// backing every release is a no-op, so callers sprinkle releases
+// unconditionally.
 #pragma once
 
 #include <cstdint>
@@ -22,14 +26,16 @@
 
 #include "src/common/status.h"
 #include "src/matrix/dense_matrix.h"
+#include "src/store/buffer_pool.h"
 
 namespace pane {
 
 class FactorSlab {
  public:
   enum class Backing {
-    kInRam,  ///< DenseMatrix storage
-    kMmap,   ///< memory-mapped spill file
+    kInRam,   ///< DenseMatrix storage
+    kMmap,    ///< memory-mapped spill file, self-managed residency
+    kPooled,  ///< memory-mapped spill file, BufferPool-managed residency
   };
 
   /// Empty in-RAM slab (0 x 0).
@@ -39,8 +45,9 @@ class FactorSlab {
   /// it is the bridge from legacy AffinityMatrices call sites).
   FactorSlab(DenseMatrix dense);  // NOLINT(runtime/explicit)
 
-  /// Deep copy, preserving the backing (a spilled slab copies into a fresh
-  /// spill file). Aborts on spill I/O failure — copies are a test / bench
+  /// Deep copy, preserving the backing except that a kPooled source copies
+  /// into a self-managed kMmap slab (the copy has no claim on the source's
+  /// pool). Aborts on spill I/O failure — copies are a test / bench
   /// convenience, not a production path; production code moves.
   FactorSlab(const FactorSlab& other);
   FactorSlab& operator=(const FactorSlab& other);
@@ -55,18 +62,21 @@ class FactorSlab {
   /// Unmaps and unlinks the spill file when spilled.
   ~FactorSlab();
 
-  /// \brief Creates a zero-filled rows x cols slab. For kMmap, the spill
-  /// file is created in `spill_dir` (empty => the system temp directory);
-  /// on any failure nothing is left behind on disk.
+  /// \brief Creates a zero-filled rows x cols slab. For kMmap / kPooled,
+  /// the spill file is created in `spill_dir` (empty => the system temp
+  /// directory); on any failure nothing is left behind on disk. kPooled
+  /// additionally requires `pool`, which must outlive the slab.
   static Result<FactorSlab> Create(int64_t rows, int64_t cols,
                                    Backing backing,
-                                   const std::string& spill_dir = "");
+                                   const std::string& spill_dir = "",
+                                   store::BufferPool* pool = nullptr);
 
   /// \brief Creates a slab holding a copy of `dense` under the requested
   /// backing.
   static Result<FactorSlab> FromDense(const DenseMatrix& dense,
                                       Backing backing,
-                                      const std::string& spill_dir = "");
+                                      const std::string& spill_dir = "",
+                                      store::BufferPool* pool = nullptr);
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
@@ -75,7 +85,7 @@ class FactorSlab {
   }
   bool empty() const { return rows_ * cols_ == 0; }
   Backing backing() const { return backing_; }
-  bool spilled() const { return backing_ == Backing::kMmap; }
+  bool spilled() const { return backing_ != Backing::kInRam; }
   /// Path of the spill file ("" for in-RAM slabs).
   const std::string& spill_path() const { return spill_path_; }
 
@@ -107,21 +117,25 @@ class FactorSlab {
     }
   };
 
+  /// For a kPooled slab this also pins the block's pages against eviction
+  /// until the matching release.
   RowBlock AcquireRows(int64_t row_begin, int64_t row_end);
 
-  /// \brief Returns a block to the slab. In-RAM: no-op. Spilled: if `dirty`,
+  /// \brief Returns a block to the slab. In-RAM: no-op. kMmap: if `dirty`,
   /// schedules asynchronous write-back of the block's pages to the spill
   /// file, then drops the fully-contained pages from this process's resident
   /// set (inward page rounding, so concurrent neighbors on boundary pages
-  /// are never touched). Content is preserved either way — the page cache
-  /// keeps the authoritative copy until write-back completes.
+  /// are never touched). kPooled: unpins the pages and hands them to the
+  /// pool, which evicts only under budget pressure. Content is preserved in
+  /// every case — the page cache keeps the authoritative copy until
+  /// write-back completes.
   Status ReleaseRows(const RowBlock& block, bool dirty);
   Status ReleaseRowRange(int64_t row_begin, int64_t row_end,
                          bool dirty) const;
 
-  /// \brief Drops every resident page of a spilled slab (no-op in RAM).
-  /// Called at phase boundaries so one phase's sweep does not stay resident
-  /// through the next.
+  /// \brief Drops every resident (kPooled: resident unpinned) page of a
+  /// spilled slab (no-op in RAM). Called at phase boundaries so one phase's
+  /// sweep does not stay resident through the next.
   Status DropResidency() const;
 
   /// Reshapes (zero-filled). In-RAM slabs only — spilled slabs are created
@@ -151,9 +165,11 @@ class FactorSlab {
   int64_t cols_ = 0;
   DenseMatrix dense_;       // kInRam storage
   double* base_ = nullptr;  // dense_.data() or the mapping base
-  void* map_ = nullptr;     // kMmap mapping (nullptr when empty / in-RAM)
+  void* map_ = nullptr;     // spill mapping (nullptr when empty / in-RAM)
   int64_t map_bytes_ = 0;
   std::string spill_path_;  // "" when in-RAM
+  store::BufferPool* pool_ = nullptr;  // kPooled only; not owned
+  store::BufferPool::RegionId region_ = -1;
 };
 
 /// \brief How the pipeline chooses a slab backing. kAuto spills exactly when
@@ -164,6 +180,20 @@ enum class SlabPolicy { kAuto, kInRam, kMmap };
 FactorSlab::Backing ResolveSlabBacking(SlabPolicy policy,
                                        int64_t memory_budget_mb,
                                        int64_t resident_slab_bytes);
+
+/// \brief Which spill flavor the pipeline uses once ResolveSlabBacking says
+/// "spill": kPooled (the default) shares a BufferPool across all spilled
+/// slabs; kFlat is the original self-managed whole-panel-release path.
+enum class SpillMode { kPooled, kFlat };
+
+/// \brief The spilled Backing for a chosen mode: kPooled only when a pool
+/// exists, otherwise kMmap.
+inline FactorSlab::Backing SpillBackingFor(SpillMode mode,
+                                           store::BufferPool* pool) {
+  return (mode == SpillMode::kPooled && pool != nullptr)
+             ? FactorSlab::Backing::kPooled
+             : FactorSlab::Backing::kMmap;
+}
 
 /// \brief The streaming passes' release policy, in one place: residency
 /// failures are advisory (the data is intact, only the RSS bound slips), so

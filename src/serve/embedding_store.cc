@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <memory>
+
+#include "src/store/embedding_pages.h"
 
 namespace pane {
 namespace serve {
@@ -98,6 +101,50 @@ FloatMatrix ToFloatMatrix(ConstMatrixView m, bool l2_normalize) {
 
 Result<EmbeddingStore> EmbeddingStore::Open(
     const std::string& path, const EmbeddingStoreOptions& options) {
+  if (store::Container::PathIsContainer(path)) {
+    EmbeddingStore store;
+    PANE_ASSIGN_OR_RETURN(store::Container container,
+                          store::Container::Open(path));
+    store.container_ =
+        std::make_unique<store::Container>(std::move(container));
+    if (!store::HasEmbeddingStreams(*store.container_)) {
+      return Status::InvalidArgument("container " + path +
+                                     " holds no embedding artifact");
+    }
+    PANE_ASSIGN_OR_RETURN(
+        store::EmbeddingExtents extents,
+        store::ReadEmbeddingStreams(*store.container_,
+                                    options.verify_checksums));
+    if (extents.link_convention < 0 ||
+        extents.link_convention >
+            static_cast<int8_t>(LinkConvention::kAsymmetricDot)) {
+      return Status::InvalidArgument("bad link convention in " + path);
+    }
+    if (extents.attribute_convention < 0 ||
+        extents.attribute_convention >
+            static_cast<int8_t>(AttributeConvention::kFactors)) {
+      return Status::InvalidArgument("bad attribute convention in " + path);
+    }
+    store.method_ = std::move(extents.method);
+    store.link_convention_ =
+        static_cast<LinkConvention>(extents.link_convention);
+    store.attribute_convention_ =
+        static_cast<AttributeConvention>(extents.attribute_convention);
+    const auto view_of = [](const store::MatrixExtent& e) {
+      return e.present() ? ConstMatrixView(e.data, e.rows, e.cols)
+                         : ConstMatrixView();
+    };
+    store.features_ = view_of(extents.features);
+    store.xf_ = view_of(extents.xf);
+    store.xb_ = view_of(extents.xb);
+    store.y_ = view_of(extents.y);
+    // Container payloads are page-aligned: the views always point straight
+    // into the mapping.
+    store.zero_copy_ = true;
+    PANE_RETURN_NOT_OK(store.FinishOpen(path, options));
+    return store;
+  }
+
   EmbeddingStore store;
   PANE_ASSIGN_OR_RETURN(store.map_, MappedFile::OpenReadOnly(path));
   MapCursor cursor(store.map_.data(), store.map_.size());
@@ -163,39 +210,43 @@ Result<EmbeddingStore> EmbeddingStore::Open(
                                    &store.zero_copy_));
   }
 
+  PANE_RETURN_NOT_OK(store.FinishOpen(path, options));
+  return store;
+}
+
+Status EmbeddingStore::FinishOpen(const std::string& path,
+                                  const EmbeddingStoreOptions& options) {
   // Cross-matrix consistency, mirroring NodeEmbedding::Check.
-  if (store.features_.rows() * store.features_.cols() == 0) {
+  if (features_.rows() * features_.cols() == 0) {
     return Status::InvalidArgument("embedding artifact has no features: " +
                                    path);
   }
-  const bool has_xf = store.xf_.rows() > 0;
-  const bool has_xb = store.xb_.rows() > 0;
+  const bool has_xf = xf_.rows() > 0;
+  const bool has_xb = xb_.rows() > 0;
   if (has_xf != has_xb ||
-      (has_xf && (store.xf_.rows() != store.features_.rows() ||
-                  store.xf_.rows() != store.xb_.rows() ||
-                  store.xf_.cols() != store.xb_.cols()))) {
+      (has_xf && (xf_.rows() != features_.rows() ||
+                  xf_.rows() != xb_.rows() || xf_.cols() != xb_.cols()))) {
     return Status::InvalidArgument(
         "inconsistent factor blocks in embedding artifact: " + path);
   }
-  if (store.y_.rows() > 0 &&
-      (!has_xf || store.y_.cols() != store.xf_.cols())) {
+  if (y_.rows() > 0 && (!has_xf || y_.cols() != xf_.cols())) {
     return Status::InvalidArgument(
         "attribute factor inconsistent with node factors in: " + path);
   }
 
   if (options.float_copies) {
     const bool norm = options.l2_normalize_floats;
-    if (store.has_node_factors()) {
-      store.xf_f32_ = ToFloatMatrix(store.xf_, norm);
-      store.xb_f32_ = ToFloatMatrix(store.xb_, norm);
-      if (store.y_.rows() > 0) {
-        store.y_f32_ = ToFloatMatrix(store.y_, norm);
+    if (has_node_factors()) {
+      xf_f32_ = ToFloatMatrix(xf_, norm);
+      xb_f32_ = ToFloatMatrix(xb_, norm);
+      if (y_.rows() > 0) {
+        y_f32_ = ToFloatMatrix(y_, norm);
       }
     } else {
-      store.features_f32_ = ToFloatMatrix(store.features_, norm);
+      features_f32_ = ToFloatMatrix(features_, norm);
     }
   }
-  return store;
+  return Status::OK();
 }
 
 }  // namespace serve

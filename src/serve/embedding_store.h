@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "src/common/mmap_file.h"
 #include "src/common/status.h"
 #include "src/matrix/dense_matrix.h"
+#include "src/store/container.h"
 
 namespace pane {
 namespace serve {
@@ -56,6 +58,11 @@ struct EmbeddingStoreOptions {
   /// L2-normalize each row of the float copies (unit vectors; inner product
   /// becomes cosine). Zero rows are left zero.
   bool l2_normalize_floats = false;
+  /// For container artifacts: CRC32C-verify each matrix stream's pages at
+  /// open. Verification touches (faults) every page of every stream; turn it
+  /// off when the store should serve a subset of the blocks — e.g. Y only —
+  /// without ever faulting Xf / Xb.
+  bool verify_checksums = true;
 };
 
 class EmbeddingStore {
@@ -66,10 +73,13 @@ class EmbeddingStore {
   EmbeddingStore(EmbeddingStore&&) = default;
   EmbeddingStore& operator=(EmbeddingStore&&) = default;
 
-  /// Maps and parses a NodeEmbedding artifact (format version 1 or 2).
-  /// Every shape / length field is validated against the mapped size, so a
-  /// corrupt artifact yields a Status, never an OOM or an out-of-bounds
-  /// read.
+  /// Maps and parses a NodeEmbedding artifact — the legacy layout (version
+  /// 1 or 2) or a store:: container written by NodeEmbedding::SaveContainer,
+  /// dispatched on the leading magic. Every shape / length field is
+  /// validated against the mapped size, so a corrupt artifact yields a
+  /// Status, never an OOM or an out-of-bounds read. Container payloads are
+  /// page-aligned, so the container path is always zero-copy; its checksum
+  /// policy is options.verify_checksums.
   static Result<EmbeddingStore> Open(const std::string& path,
                                      const EmbeddingStoreOptions& options =
                                          EmbeddingStoreOptions());
@@ -97,10 +107,19 @@ class EmbeddingStore {
     return has_node_factors() && y_.rows() > 0;
   }
 
-  /// True when the factor views point into the mapping (version-2
-  /// artifact); false when they were copied out (version 1).
+  /// True when the factor views point into the mapping (version-2 or
+  /// container artifact); false when they were copied out (version 1).
   bool zero_copy() const { return zero_copy_; }
-  int64_t mapped_bytes() const { return map_.size(); }
+  int64_t mapped_bytes() const {
+    if (container_ != nullptr) {
+      return container_->num_pages() *
+             static_cast<int64_t>(container_->page_size());
+    }
+    return map_.size();
+  }
+
+  /// True when the artifact was opened from a store:: container.
+  bool container_backed() const { return container_ != nullptr; }
 
   /// Single-precision copies (empty unless float_copies was requested).
   const FloatMatrix& features_f32() const { return features_f32_; }
@@ -109,7 +128,13 @@ class EmbeddingStore {
   const FloatMatrix& y_f32() const { return y_f32_; }
 
  private:
+  Status FinishOpen(const std::string& path,
+                    const EmbeddingStoreOptions& options);
+
   MappedFile map_;
+  // Set instead of map_ when the artifact is a store:: container (the
+  // container holds its own mapping; views point into it).
+  std::unique_ptr<store::Container> container_;
   // Owned fallback storage for unaligned (version-1) artifacts.
   DenseMatrix owned_features_, owned_xf_, owned_xb_, owned_y_;
   ConstMatrixView features_, xf_, xb_, y_;

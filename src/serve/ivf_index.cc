@@ -12,6 +12,20 @@ namespace pane {
 namespace serve {
 namespace {
 
+// Container stream-name suffixes (AppendToContainer / FromContainer).
+constexpr char kIvfMetaSuffix[] = "ivf.meta";
+constexpr char kIvfCentroidsSuffix[] = "ivf.centroids";
+constexpr char kIvfMembersSuffix[] = "ivf.members";
+constexpr char kIvfMemberIdsSuffix[] = "ivf.member_ids";
+constexpr char kIvfOffsetsSuffix[] = "ivf.offsets";
+constexpr uint32_t kIvfMetaVersion = 1;
+constexpr int64_t kIvfMetaBytes = 4 + 4 + 3 * 8;
+
+template <typename T>
+void AppendPod(std::string* buf, const T& value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
 float FloatDot(const float* x, const float* y, int64_t n) {
   float s = 0.0f;
   for (int64_t i = 0; i < n; ++i) s += x[i] * y[i];
@@ -129,6 +143,129 @@ Result<IvfIndex> IvfIndex::Build(const FloatMatrix& candidates,
     index.member_ids_[static_cast<size_t>(slot)] = static_cast<int32_t>(i);
     std::memcpy(index.members_.MutableRow(slot), candidates.Row(i),
                 static_cast<size_t>(dim) * sizeof(float));
+  }
+  return index;
+}
+
+Status IvfIndex::AppendToContainer(const std::string& prefix,
+                                   std::string* meta_buf,
+                                   store::ContainerWriter* writer) const {
+  if (empty()) {
+    return Status::InvalidArgument("cannot serialize an empty IvfIndex");
+  }
+  meta_buf->clear();
+  AppendPod<uint32_t>(meta_buf, kIvfMetaVersion);
+  AppendPod<uint32_t>(meta_buf, 0);  // reserved
+  AppendPod<int64_t>(meta_buf, num_clusters());
+  AppendPod<int64_t>(meta_buf, dim());
+  AppendPod<int64_t>(meta_buf, num_candidates());
+  PANE_RETURN_NOT_OK(writer->AddStream(prefix + kIvfMetaSuffix,
+                                       store::PageType::kMeta,
+                                       meta_buf->data(),
+                                       static_cast<int64_t>(meta_buf->size())));
+  PANE_RETURN_NOT_OK(writer->AddStream(
+      prefix + kIvfCentroidsSuffix, store::PageType::kIvfList,
+      centroids_.data.data(),
+      static_cast<int64_t>(centroids_.data.size() * sizeof(float))));
+  PANE_RETURN_NOT_OK(writer->AddStream(
+      prefix + kIvfMembersSuffix, store::PageType::kIvfList,
+      members_.data.data(),
+      static_cast<int64_t>(members_.data.size() * sizeof(float))));
+  PANE_RETURN_NOT_OK(writer->AddStream(
+      prefix + kIvfMemberIdsSuffix, store::PageType::kIvfList,
+      member_ids_.data(),
+      static_cast<int64_t>(member_ids_.size() * sizeof(int32_t))));
+  return writer->AddStream(
+      prefix + kIvfOffsetsSuffix, store::PageType::kIvfList,
+      list_offsets_.data(),
+      static_cast<int64_t>(list_offsets_.size() * sizeof(int64_t)));
+}
+
+Result<IvfIndex> IvfIndex::FromContainer(const store::Container& container,
+                                         const std::string& prefix) {
+  const std::string meta_name = prefix + kIvfMetaSuffix;
+  if (!container.Contains(meta_name)) {
+    return Status::NotFound("container " + container.path() +
+                            " holds no '" + prefix + "' IVF index");
+  }
+  PANE_ASSIGN_OR_RETURN(store::Container::StreamView meta,
+                        container.Read(meta_name));
+  if (meta.bytes != kIvfMetaBytes) {
+    return Status::IOError("stream '" + meta_name + "' in " +
+                           container.path() + " holds " +
+                           std::to_string(meta.bytes) + " bytes, expected " +
+                           std::to_string(kIvfMetaBytes));
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, meta.data, sizeof(version));
+  if (version != kIvfMetaVersion) {
+    return Status::InvalidArgument("unsupported IVF index version " +
+                                   std::to_string(version) + " in " +
+                                   container.path());
+  }
+  int64_t shape[3] = {0, 0, 0};  // clusters, dim, candidates
+  std::memcpy(shape, meta.data + 8, sizeof(shape));
+  const int64_t clusters = shape[0], dim = shape[1], n = shape[2];
+  if (clusters <= 0 || dim <= 0 || n <= 0 || clusters > n) {
+    return Status::IOError("implausible IVF shape in " + container.path());
+  }
+
+  PANE_ASSIGN_OR_RETURN(auto centroids,
+                        container.ReadArray<float>(prefix + kIvfCentroidsSuffix));
+  PANE_ASSIGN_OR_RETURN(auto members,
+                        container.ReadArray<float>(prefix + kIvfMembersSuffix));
+  PANE_ASSIGN_OR_RETURN(
+      auto ids, container.ReadArray<int32_t>(prefix + kIvfMemberIdsSuffix));
+  PANE_ASSIGN_OR_RETURN(
+      auto offsets, container.ReadArray<int64_t>(prefix + kIvfOffsetsSuffix));
+  if (centroids.count != clusters * dim || members.count != n * dim ||
+      ids.count != n || offsets.count != clusters + 1) {
+    return Status::IOError("IVF stream lengths disagree with '" + meta_name +
+                           "' in " + container.path());
+  }
+  if (offsets.data[0] != 0 || offsets.data[clusters] != n) {
+    return Status::IOError("IVF list offsets do not span the member set in " +
+                           container.path());
+  }
+  for (int64_t c = 0; c < clusters; ++c) {
+    if (offsets.data[c] > offsets.data[c + 1]) {
+      return Status::IOError("IVF list offsets not non-decreasing in " +
+                             container.path());
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    if (ids.data[i] < 0 || ids.data[i] >= n) {
+      return Status::IOError("IVF member id out of range in " +
+                             container.path());
+    }
+  }
+
+  IvfIndex index;
+  index.centroids_.Resize(clusters, dim);
+  std::memcpy(index.centroids_.data.data(), centroids.data,
+              static_cast<size_t>(centroids.count) * sizeof(float));
+  index.members_.Resize(n, dim);
+  std::memcpy(index.members_.data.data(), members.data,
+              static_cast<size_t>(members.count) * sizeof(float));
+  index.member_ids_.assign(ids.data, ids.data + ids.count);
+  index.list_offsets_.assign(offsets.data, offsets.data + offsets.count);
+  return index;
+}
+
+Status IvfIndex::Save(const std::string& path) const {
+  store::ContainerWriter writer;
+  std::string meta_buf;
+  PANE_RETURN_NOT_OK(AppendToContainer("", &meta_buf, &writer));
+  return writer.WriteTo(path);
+}
+
+Result<IvfIndex> IvfIndex::Load(const std::string& path) {
+  PANE_ASSIGN_OR_RETURN(store::Container container,
+                        store::Container::Open(path));
+  auto index = FromContainer(container, "");
+  if (!index.ok() && index.status().IsNotFound()) {
+    return Status::InvalidArgument("container " + path +
+                                   " holds no IVF index");
   }
   return index;
 }

@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/topk.h"
 #include "src/serve/embedding_store.h"
+#include "src/store/container.h"
 
 namespace pane {
 
@@ -61,6 +63,26 @@ class IvfIndex {
   }
   int64_t dim() const { return centroids_.cols; }
   bool empty() const { return member_ids_.empty(); }
+
+  /// Registers the index as `<prefix>ivf.*` streams (meta, centroids,
+  /// members, member_ids, offsets) on `writer`, so several indexes — e.g.
+  /// the query engine's "attr." and "link." pair — pack into one container.
+  /// The caller keeps the index and `meta_buf` alive until
+  /// ContainerWriter::WriteTo returns, and `meta_buf` must outlive *this*
+  /// call distinctly per index (one buffer per prefix).
+  Status AppendToContainer(const std::string& prefix, std::string* meta_buf,
+                           store::ContainerWriter* writer) const;
+
+  /// Decodes `<prefix>ivf.*` streams from an opened container, verifying
+  /// their page checksums and the structural invariants (offset monotonicity,
+  /// id ranges, shape agreement). NotFound when the prefix is absent.
+  static Result<IvfIndex> FromContainer(const store::Container& container,
+                                        const std::string& prefix);
+
+  /// Whole-index save/load as a standalone container file — what
+  /// pane_server uses to skip the k-means build on restart.
+  Status Save(const std::string& path) const;
+  static Result<IvfIndex> Load(const std::string& path);
 
  private:
   FloatMatrix centroids_;              // C x dim

@@ -388,6 +388,80 @@ Status QueryEngine::BuildPrunedIndex(const IvfOptions& options) {
   return Status::OK();
 }
 
+Status QueryEngine::SavePrunedIndex(const std::string& path) const {
+  if (!has_pruned_index()) {
+    return Status::InvalidArgument(
+        "no pruned index built; call BuildPrunedIndex before SavePrunedIndex");
+  }
+  store::ContainerWriter writer;
+  std::string attr_meta, link_meta;  // alive until WriteTo returns
+  if (!attr_index_.empty()) {
+    PANE_RETURN_NOT_OK(attr_index_.AppendToContainer("attr.", &attr_meta,
+                                                     &writer));
+  }
+  if (!link_index_.empty()) {
+    PANE_RETURN_NOT_OK(link_index_.AppendToContainer("link.", &link_meta,
+                                                     &writer));
+  }
+  return writer.WriteTo(path);
+}
+
+Status QueryEngine::LoadPrunedIndex(const std::string& path) {
+  PANE_ASSIGN_OR_RETURN(store::Container container,
+                        store::Container::Open(path));
+  // Validate each stored index against this engine's candidate set before
+  // touching attr_index_ / link_index_, so a mismatch leaves the engine
+  // unchanged.
+  IvfIndex attr_loaded, link_loaded;
+  bool have_attr = false, have_link = false;
+  {
+    auto loaded = IvfIndex::FromContainer(container, "attr.");
+    if (loaded.ok()) {
+      if (!supports_attributes()) {
+        return Status::InvalidArgument(
+            path + " holds an attribute index but this engine has no "
+                   "attribute scoring");
+      }
+      if (loaded->num_candidates() != y_.rows() ||
+          loaded->dim() != y_.cols()) {
+        return Status::InvalidArgument(
+            path + " attribute index was built for a different embedding "
+                   "(candidate count or dimension mismatch)");
+      }
+      attr_loaded = loaded.MoveValueUnsafe();
+      have_attr = true;
+    } else if (!loaded.status().IsNotFound()) {
+      return loaded.status();
+    }
+  }
+  {
+    auto loaded = IvfIndex::FromContainer(container, "link.");
+    if (loaded.ok()) {
+      if (!supports_links()) {
+        return Status::InvalidArgument(
+            path + " holds a link index but this engine has no link scoring");
+      }
+      if (loaded->num_candidates() != z_.rows() ||
+          loaded->dim() != z_.cols()) {
+        return Status::InvalidArgument(
+            path + " link index was built for a different embedding "
+                   "(candidate count or dimension mismatch)");
+      }
+      link_loaded = loaded.MoveValueUnsafe();
+      have_link = true;
+    } else if (!loaded.status().IsNotFound()) {
+      return loaded.status();
+    }
+  }
+  if (!have_attr && !have_link) {
+    return Status::InvalidArgument("container " + path +
+                                   " holds no pruned index");
+  }
+  if (have_attr) attr_index_ = std::move(attr_loaded);
+  if (have_link) link_index_ = std::move(link_loaded);
+  return Status::OK();
+}
+
 std::vector<Ranking> QueryEngine::TopKAttributesPruned(
     const std::vector<TopKQuery>& queries, int64_t nprobe,
     const AttributedGraph* exclude) const {

@@ -117,6 +117,18 @@ class QueryEngine {
   const IvfIndex& attr_index() const { return attr_index_; }
   const IvfIndex& link_index() const { return link_index_; }
 
+  /// Writes the built pruned indexes as one checksummed container file
+  /// ("attr." / "link." prefixed ivf.* streams) — crash-safe via temp +
+  /// fsync + rename. Requires BuildPrunedIndex to have run.
+  Status SavePrunedIndex(const std::string& path) const;
+
+  /// Loads indexes written by SavePrunedIndex, replacing any built ones.
+  /// Each index present in the file is validated against the engine's
+  /// candidate set (candidate count and dimension) before adoption, so an
+  /// index built for a different embedding is an InvalidArgument, not wrong
+  /// answers.
+  Status LoadPrunedIndex(const std::string& path);
+
   /// Approximate top-k through the IVF indexes; same exclusion / self-skip
   /// semantics as the exact calls, scores computed in single precision.
   std::vector<Ranking> TopKAttributesPruned(

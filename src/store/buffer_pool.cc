@@ -1,0 +1,232 @@
+#include "src/store/buffer_pool.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pane {
+namespace store {
+namespace {
+
+int64_t SystemPageBytes() {
+  static const int64_t bytes = sysconf(_SC_PAGESIZE);
+  return bytes > 0 ? bytes : 4096;
+}
+
+int64_t RoundUpTo(int64_t value, int64_t multiple) {
+  return ((value + multiple - 1) / multiple) * multiple;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(Options options)
+    : budget_bytes_(options.budget_bytes),
+      page_bytes_(RoundUpTo(std::max<int64_t>(options.page_bytes, 1),
+                            SystemPageBytes())) {}
+
+BufferPool::~BufferPool() = default;
+
+Result<BufferPool::RegionId> BufferPool::Register(void* base, int64_t bytes) {
+  if (base == nullptr || bytes <= 0) {
+    return Status::InvalidArgument("buffer pool region must be non-empty");
+  }
+  if (reinterpret_cast<uintptr_t>(base) %
+          static_cast<uintptr_t>(SystemPageBytes()) !=
+      0) {
+    return Status::InvalidArgument(
+        "buffer pool region base is not page-aligned");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Region region;
+  region.base = static_cast<char*>(base);
+  region.bytes = bytes;
+  region.num_pages = (bytes + page_bytes_ - 1) / page_bytes_;
+  region.live = true;
+  region.pins.assign(static_cast<size_t>(region.num_pages), 0);
+  region.resident.assign(static_cast<size_t>(region.num_pages), 0);
+  region.dirty.assign(static_cast<size_t>(region.num_pages), 0);
+  region.referenced.assign(static_cast<size_t>(region.num_pages), 0);
+  stats_.registered_bytes += bytes;
+  // Reuse a dead slot if one exists so region ids stay small.
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (!regions_[i].live) {
+      regions_[i] = std::move(region);
+      return static_cast<RegionId>(i);
+    }
+  }
+  regions_.push_back(std::move(region));
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+void BufferPool::Unregister(RegionId region_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region_id < 0 || region_id >= static_cast<RegionId>(regions_.size())) {
+    return;
+  }
+  Region& region = regions_[static_cast<size_t>(region_id)];
+  if (!region.live) return;
+  for (int64_t p = 0; p < region.num_pages; ++p) {
+    if (region.resident[static_cast<size_t>(p)]) {
+      const int64_t begin = p * page_bytes_;
+      stats_.resident_bytes -=
+          std::min(page_bytes_, region.bytes - begin);
+    }
+  }
+  stats_.registered_bytes -= region.bytes;
+  region = Region{};  // live = false; slot reusable
+}
+
+Status BufferPool::CheckRange(const Region& region, int64_t begin,
+                              int64_t end) const {
+  if (!region.live) {
+    return Status::InvalidArgument("buffer pool region is not registered");
+  }
+  if (begin < 0 || end < begin || end > region.bytes) {
+    return Status::OutOfRange(
+        "buffer pool range [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") outside region of " +
+        std::to_string(region.bytes) + " bytes");
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Pin(RegionId region_id, int64_t begin, int64_t end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region_id < 0 || region_id >= static_cast<RegionId>(regions_.size())) {
+    return Status::InvalidArgument("unknown buffer pool region");
+  }
+  Region& region = regions_[static_cast<size_t>(region_id)];
+  PANE_RETURN_NOT_OK(CheckRange(region, begin, end));
+  if (begin == end) return Status::OK();
+  const int64_t first = begin / page_bytes_;
+  const int64_t last = (end - 1) / page_bytes_;
+  for (int64_t p = first; p <= last; ++p) {
+    const size_t i = static_cast<size_t>(p);
+    region.pins[i] += 1;
+    region.referenced[i] = 1;
+    if (!region.resident[i]) {
+      region.resident[i] = 1;
+      const int64_t page_begin = p * page_bytes_;
+      stats_.resident_bytes +=
+          std::min(page_bytes_, region.bytes - page_begin);
+    }
+  }
+  stats_.resident_peak_bytes =
+      std::max(stats_.resident_peak_bytes, stats_.resident_bytes);
+  EvictUntilWithinBudgetLocked();
+  return Status::OK();
+}
+
+Status BufferPool::Unpin(RegionId region_id, int64_t begin, int64_t end,
+                         bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region_id < 0 || region_id >= static_cast<RegionId>(regions_.size())) {
+    return Status::InvalidArgument("unknown buffer pool region");
+  }
+  Region& region = regions_[static_cast<size_t>(region_id)];
+  PANE_RETURN_NOT_OK(CheckRange(region, begin, end));
+  if (begin == end) return Status::OK();
+  const int64_t first = begin / page_bytes_;
+  const int64_t last = (end - 1) / page_bytes_;
+  for (int64_t p = first; p <= last; ++p) {
+    const size_t i = static_cast<size_t>(p);
+    // Floor at zero: pipeline kernels release row ranges they populated
+    // through flat pointers without a matching Pin.
+    region.pins[i] = std::max(region.pins[i] - 1, 0);
+    if (dirty) region.dirty[i] = 1;
+    region.referenced[i] = 1;
+    if (!region.resident[i]) {
+      // A release after flat-pointer writes is the first time the ledger
+      // hears about these pages; account them now.
+      region.resident[i] = 1;
+      const int64_t page_begin = p * page_bytes_;
+      stats_.resident_bytes +=
+          std::min(page_bytes_, region.bytes - page_begin);
+    }
+  }
+  stats_.resident_peak_bytes =
+      std::max(stats_.resident_peak_bytes, stats_.resident_bytes);
+  EvictUntilWithinBudgetLocked();
+  return Status::OK();
+}
+
+int64_t BufferPool::EvictPageLocked(Region& region, int64_t page) {
+  const size_t i = static_cast<size_t>(page);
+  const int64_t page_begin = page * page_bytes_;
+  const int64_t len = std::min(page_bytes_, region.bytes - page_begin);
+  char* addr = region.base + page_begin;
+  if (region.dirty[i]) {
+    // MS_ASYNC queues the dirty pages for the kernel's writeback path; the
+    // backing file is a scratch spill, so durability is not the point —
+    // releasing the PTEs without losing the data is.
+    msync(addr, static_cast<size_t>(len), MS_ASYNC);
+    stats_.writeback_pages += 1;
+    region.dirty[i] = 0;
+  }
+  madvise(addr, static_cast<size_t>(len), MADV_DONTNEED);
+  region.resident[i] = 0;
+  region.referenced[i] = 0;
+  stats_.resident_bytes -= len;
+  stats_.evicted_pages += 1;
+  return len;
+}
+
+void BufferPool::EvictUntilWithinBudgetLocked() {
+  if (budget_bytes_ <= 0) return;
+  if (regions_.empty()) return;
+  // Clock sweep: a full pass that evicts nothing and clears no reference
+  // bits means everything left is pinned — stop rather than spin.
+  int64_t sweep_budget = 0;
+  for (const Region& r : regions_) sweep_budget += r.live ? r.num_pages : 0;
+  sweep_budget *= 2;  // each page may be visited twice (ref clear, then evict)
+  while (stats_.resident_bytes > budget_bytes_ && sweep_budget > 0) {
+    if (clock_region_ >= static_cast<int64_t>(regions_.size())) {
+      clock_region_ = 0;
+      clock_page_ = 0;
+    }
+    Region& region = regions_[static_cast<size_t>(clock_region_)];
+    if (!region.live || clock_page_ >= region.num_pages) {
+      ++clock_region_;
+      clock_page_ = 0;
+      continue;
+    }
+    const size_t i = static_cast<size_t>(clock_page_);
+    if (region.resident[i] && region.pins[i] == 0) {
+      if (region.referenced[i]) {
+        region.referenced[i] = 0;  // second chance
+      } else {
+        EvictPageLocked(region, clock_page_);
+      }
+    }
+    ++clock_page_;
+    --sweep_budget;
+  }
+}
+
+Status BufferPool::EvictRegion(RegionId region_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (region_id < 0 || region_id >= static_cast<RegionId>(regions_.size())) {
+    return Status::InvalidArgument("unknown buffer pool region");
+  }
+  Region& region = regions_[static_cast<size_t>(region_id)];
+  if (!region.live) {
+    return Status::InvalidArgument("buffer pool region is not registered");
+  }
+  for (int64_t p = 0; p < region.num_pages; ++p) {
+    const size_t i = static_cast<size_t>(p);
+    if (region.resident[i] && region.pins[i] == 0) {
+      EvictPageLocked(region, p);
+    }
+  }
+  return Status::OK();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace store
+}  // namespace pane

@@ -1,0 +1,67 @@
+#include "src/store/crc32c.h"
+
+#include <cstring>
+
+namespace pane {
+namespace store {
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+      }
+      t[0][i] = crc;
+    }
+    // Slice tables: t[k][b] advances byte b through k extra zero bytes.
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t bytes, uint32_t crc) {
+  const Tables& tab = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte alignment, so the main loop's loads are
+  // aligned on every architecture.
+  while (bytes > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xFFu];
+    --bytes;
+  }
+  while (bytes >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, sizeof(chunk));
+    chunk ^= crc;  // little-endian: low 4 bytes fold into the running crc
+    crc = tab.t[7][chunk & 0xFFu] ^ tab.t[6][(chunk >> 8) & 0xFFu] ^
+          tab.t[5][(chunk >> 16) & 0xFFu] ^ tab.t[4][(chunk >> 24) & 0xFFu] ^
+          tab.t[3][(chunk >> 32) & 0xFFu] ^ tab.t[2][(chunk >> 40) & 0xFFu] ^
+          tab.t[1][(chunk >> 48) & 0xFFu] ^ tab.t[0][(chunk >> 56) & 0xFFu];
+    p += 8;
+    bytes -= 8;
+  }
+  while (bytes > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xFFu];
+    --bytes;
+  }
+  return ~crc;
+}
+
+}  // namespace store
+}  // namespace pane

@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding every page of the artifact container. Chosen over plain
+// CRC32 for its better error-detection spectrum on 4-byte-aligned payloads
+// (the same reason iSCSI, ext4 metadata, RocksDB and LevelDB use it).
+// Software slice-by-8 implementation: one table lookup per byte lane, eight
+// bytes per iteration, ~1-2 GB/s — fast enough that verifying a mapped
+// artifact is bandwidth-bound on the page cache, not the checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pane {
+namespace store {
+
+/// \brief CRC32C of `data`, seeded with `crc` (0 for a fresh checksum).
+/// Extending: Crc32c(b, nb, Crc32c(a, na)) == Crc32c(concat(a,b)).
+uint32_t Crc32c(const void* data, size_t bytes, uint32_t crc = 0);
+
+}  // namespace store
+}  // namespace pane

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "src/api/node_embedding.h"
 #include "src/graph/generators.h"
 #include "src/parallel/thread_pool.h"
 
@@ -503,6 +504,71 @@ TEST_F(GraphIoTest, UndirectedFlagSurvivesRoundTrip) {
   const std::string path = (dir_ / "undirected.bin").string();
   ASSERT_TRUE(SaveGraphBinary(g, path).ok());
   EXPECT_TRUE(LoadGraphBinary(path)->undirected());
+}
+
+TEST_F(GraphIoTest, ContainerRoundTrip) {
+  const AttributedGraph g = SampleGraph();
+  const std::string path = (dir_ / "graph.pane").string();
+  ASSERT_TRUE(SaveGraphContainer(g, path).ok());
+  auto loaded = LoadGraphContainer(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectGraphsEqual(g, *loaded);
+}
+
+TEST_F(GraphIoTest, ContainerUndirectedFlagSurvives) {
+  SbmParams params;
+  params.num_nodes = 60;
+  params.num_edges = 200;
+  params.num_attributes = 10;
+  params.num_attr_entries = 100;
+  params.num_communities = 3;
+  params.undirected = true;
+  const AttributedGraph g = GenerateAttributedSbm(params);
+  const std::string path = (dir_ / "undirected.pane").string();
+  ASSERT_TRUE(SaveGraphContainer(g, path).ok());
+  auto loaded = LoadGraphContainer(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->undirected());
+  ExpectGraphsEqual(g, *loaded);
+}
+
+TEST_F(GraphIoTest, LoadGraphAutoDispatchesOnContainerMagic) {
+  const AttributedGraph g = SampleGraph();
+  const std::string path = (dir_ / "auto.pane").string();
+  ASSERT_TRUE(SaveGraphContainer(g, path).ok());
+  auto loaded = LoadGraphAuto(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectGraphsEqual(g, *loaded);
+}
+
+TEST_F(GraphIoTest, ContainerFlippedByteFailsWithChecksumError) {
+  const AttributedGraph g = SampleGraph();
+  const std::string path = (dir_ / "corrupt.pane").string();
+  ASSERT_TRUE(SaveGraphContainer(g, path).ok());
+  std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 8192u);
+  // Flip one byte well inside the data pages, past the superblock.
+  bytes[bytes.size() / 2 + 3] ^= 0x10;
+  WriteFile(path, bytes);
+  const auto loaded = LoadGraphContainer(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status();
+}
+
+TEST_F(GraphIoTest, ContainerWithoutGraphStreamsIsRejected) {
+  // A perfectly valid container holding an embedding, not a graph.
+  NodeEmbedding embedding;
+  embedding.method = "pane";
+  embedding.features = DenseMatrix(4, 3);
+  for (int64_t i = 0; i < embedding.features.size(); ++i) {
+    embedding.features.data()[i] = 0.5 * static_cast<double>(i);
+  }
+  const std::string path = (dir_ / "embedding.pane").string();
+  ASSERT_TRUE(embedding.SaveContainer(path).ok());
+  const auto loaded = LoadGraphContainer(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
 }
 
 }  // namespace

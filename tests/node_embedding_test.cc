@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/common/random.h"
+#include "src/store/container.h"
 
 namespace pane {
 namespace {
@@ -272,6 +273,62 @@ TEST_F(NodeEmbeddingIoTest, LoadsHandWrittenVersion1Artifacts) {
   const auto resaved = NodeEmbedding::Load(path2_);
   ASSERT_TRUE(resaved.ok()) << resaved.status();
   EXPECT_EQ(e.features.MaxAbsDiff(resaved->features), 0.0);
+}
+
+TEST_F(NodeEmbeddingIoTest, ContainerRoundTripMatchesLegacyBitwise) {
+  const NodeEmbedding e = FactorEmbedding(15, 9, 4, 31);
+  ASSERT_TRUE(e.Save(path_).ok());
+  ASSERT_TRUE(e.SaveContainer(path2_).ok());
+  // Load dispatches on the magic: both layouts decode to the same artifact,
+  // matrix payloads bitwise equal.
+  const auto legacy = NodeEmbedding::Load(path_);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  const auto container = NodeEmbedding::Load(path2_);
+  ASSERT_TRUE(container.ok()) << container.status();
+  EXPECT_EQ(container->method, legacy->method);
+  EXPECT_EQ(container->link_convention, legacy->link_convention);
+  EXPECT_EQ(container->attribute_convention, legacy->attribute_convention);
+  EXPECT_EQ(legacy->features.MaxAbsDiff(container->features), 0.0);
+  EXPECT_EQ(legacy->xf.MaxAbsDiff(container->xf), 0.0);
+  EXPECT_EQ(legacy->xb.MaxAbsDiff(container->xb), 0.0);
+  EXPECT_EQ(legacy->y.MaxAbsDiff(container->y), 0.0);
+  // And the container write itself is deterministic.
+  const std::string again = path2_ + ".again";
+  ASSERT_TRUE(e.SaveContainer(again).ok());
+  EXPECT_EQ(ReadFileBytes(path2_), ReadFileBytes(again));
+  std::filesystem::remove(again);
+}
+
+TEST_F(NodeEmbeddingIoTest, ContainerLoadDetectsFlippedBytes) {
+  const NodeEmbedding e = FactorEmbedding(12, 7, 4, 33);
+  ASSERT_TRUE(e.SaveContainer(path_).ok());
+  std::string bytes = ReadFileBytes(path_);
+  // Flip one byte in the middle of a matrix payload (the file's second
+  // half is all data pages).
+  bytes[bytes.size() / 2 + 17] ^= 0x20;
+  {
+    std::ofstream out(path2_, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto corrupt = NodeEmbedding::Load(path2_);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("checksum"), std::string::npos)
+      << corrupt.status();
+}
+
+TEST_F(NodeEmbeddingIoTest, ContainerWithoutEmbeddingStreamsIsRejected) {
+  // A valid container holding non-embedding streams must be refused with a
+  // descriptive error, not misparsed.
+  store::ContainerWriter writer;
+  const double payload[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(writer
+                  .AddStream("something.else", store::PageType::kMeta,
+                             payload, sizeof(payload))
+                  .ok());
+  ASSERT_TRUE(writer.WriteTo(path_).ok());
+  const auto loaded = NodeEmbedding::Load(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
 }
 
 }  // namespace

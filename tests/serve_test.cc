@@ -444,6 +444,150 @@ TEST_F(EmbeddingStoreTest, RejectsCorruptArtifacts) {
           .IsIOError());
 }
 
+// ---- Container-backed serving artifacts ---------------------------------
+
+TEST_F(EmbeddingStoreTest, OpensContainerArtifactZeroCopy) {
+  const std::string container_path = path_ + ".ctn";
+  ASSERT_TRUE(artifact_.SaveContainer(container_path).ok());
+  auto store = serve::EmbeddingStore::Open(container_path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE(store->container_backed());
+  EXPECT_TRUE(store->zero_copy());
+  EXPECT_EQ(store->method(), "pane");
+  EXPECT_EQ(store->link_convention(), LinkConvention::kForwardBackward);
+  EXPECT_TRUE(store->has_attribute_factors());
+  EXPECT_GT(store->mapped_bytes(), 0);
+  ExpectViewEqualsMatrix(store->features(), artifact_.features);
+  ExpectViewEqualsMatrix(store->xf(), artifact_.xf);
+  ExpectViewEqualsMatrix(store->xb(), artifact_.xb);
+  ExpectViewEqualsMatrix(store->y(), artifact_.y);
+  // Unverified open (the serving fast path that never faults pages it does
+  // not serve) must expose the same views.
+  serve::EmbeddingStoreOptions options;
+  options.verify_checksums = false;
+  auto unverified = serve::EmbeddingStore::Open(container_path, options);
+  ASSERT_TRUE(unverified.ok()) << unverified.status();
+  EXPECT_TRUE(unverified->container_backed());
+  ExpectViewEqualsMatrix(unverified->y(), artifact_.y);
+  std::filesystem::remove(container_path);
+}
+
+TEST_F(EmbeddingStoreTest, ContainerEngineMatchesLegacyEngine) {
+  const std::string container_path = path_ + ".ctn";
+  ASSERT_TRUE(artifact_.SaveContainer(container_path).ok());
+  auto legacy = serve::EmbeddingStore::Open(path_);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  auto container = serve::EmbeddingStore::Open(container_path);
+  ASSERT_TRUE(container.ok()) << container.status();
+  auto legacy_engine = serve::QueryEngine::Create(*legacy, EngineOptions());
+  ASSERT_TRUE(legacy_engine.ok()) << legacy_engine.status();
+  auto container_engine =
+      serve::QueryEngine::Create(*container, EngineOptions());
+  ASSERT_TRUE(container_engine.ok()) << container_engine.status();
+  const auto& f = TrainedFixture::Get();
+  const auto queries = AllNodeQueries(25, 8);
+  const auto expected_attr = legacy_engine->TopKAttributes(queries, &f.graph);
+  const auto expected_link = legacy_engine->TopKTargets(queries, &f.graph);
+  const auto attr = container_engine->TopKAttributes(queries, &f.graph);
+  const auto link = container_engine->TopKTargets(queries, &f.graph);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameRanking(expected_attr[i], attr[i], "container attr");
+    ExpectSameRanking(expected_link[i], link[i], "container link");
+  }
+  std::filesystem::remove(container_path);
+}
+
+TEST_F(EmbeddingStoreTest, ContainerOpenDetectsFlippedByte) {
+  const std::string container_path = path_ + ".ctn";
+  ASSERT_TRUE(artifact_.SaveContainer(container_path).ok());
+  std::ifstream in(container_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2 + 11] ^= 0x04;
+  std::ofstream out(container_path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  const auto store = serve::EmbeddingStore::Open(container_path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_NE(store.status().message().find("checksum"), std::string::npos)
+      << store.status();
+  std::filesystem::remove(container_path);
+}
+
+TEST(IvfIndexTest, SaveLoadRoundTripSearchesIdentical) {
+  const auto& f = TrainedFixture::Get();
+  serve::IvfOptions ivf;
+  ivf.num_clusters = 12;
+  ivf.seed = 31;
+  auto built = serve::IvfIndex::Build(f.embedding.y.View(), ivf);
+  ASSERT_TRUE(built.ok()) << built.status();
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("serve_ivf_" + std::to_string(::getpid()) + ".ctn"))
+          .string();
+  ASSERT_TRUE(built->Save(path).ok());
+  auto loaded = serve::IvfIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded->num_clusters(), built->num_clusters());
+  EXPECT_EQ(loaded->num_candidates(), built->num_candidates());
+  EXPECT_EQ(loaded->dim(), built->dim());
+  // Identical searches, not merely similar: the container round trip may
+  // not perturb a single float.
+  for (const int64_t v : {int64_t{0}, int64_t{17}, int64_t{123}}) {
+    const Ranking expected =
+        built->Search(f.embedding.xf.View().Row(v), 10, 6);
+    const Ranking actual =
+        loaded->Search(f.embedding.xf.View().Row(v), 10, 6);
+    ExpectSameRanking(expected, actual, "ivf node " + std::to_string(v));
+  }
+  EXPECT_TRUE(
+      serve::IvfIndex::Load("/nonexistent/index.ctn").status().IsIOError());
+}
+
+TEST(QueryEngineTest, PrunedIndexSaveLoadRoundTrip) {
+  const auto& f = TrainedFixture::Get();
+  serve::QueryEngine built = MakeEngine(f.embedding, EngineOptions());
+  serve::IvfOptions ivf;
+  ivf.num_clusters = 8;
+  ivf.seed = 5;
+  PANE_CHECK_OK(built.BuildPrunedIndex(ivf));
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("serve_pruned_" + std::to_string(::getpid()) + ".ctn"))
+          .string();
+  ASSERT_TRUE(built.SavePrunedIndex(path).ok());
+
+  serve::QueryEngine loaded = MakeEngine(f.embedding, EngineOptions());
+  EXPECT_FALSE(loaded.has_pruned_index());
+  ASSERT_TRUE(loaded.LoadPrunedIndex(path).ok());
+  ASSERT_TRUE(loaded.has_pruned_index());
+  const auto queries = AllNodeQueries(40, 10);
+  const auto expected_link = built.TopKTargetsPruned(queries, 6, nullptr);
+  const auto expected_attr = built.TopKAttributesPruned(queries, 6, nullptr);
+  const auto link = loaded.TopKTargetsPruned(queries, 6, nullptr);
+  const auto attr = loaded.TopKAttributesPruned(queries, 6, nullptr);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameRanking(expected_link[i], link[i], "pruned link");
+    ExpectSameRanking(expected_attr[i], attr[i], "pruned attr");
+  }
+
+  // An index built for a different embedding shape must be rejected, and
+  // the rejection may not clobber the engine's state.
+  DenseMatrix xf(10, 8), xb(10, 8), y(6, 8);
+  for (int64_t i = 0; i < xf.size(); ++i) xf.data()[i] = 0.01 * (i + 1);
+  for (int64_t i = 0; i < xb.size(); ++i) xb.data()[i] = 0.02 * (i + 1);
+  for (int64_t i = 0; i < y.size(); ++i) y.data()[i] = 0.03 * (i + 1);
+  auto mismatched = serve::QueryEngine::Create(
+      xf.View(), xb.View(), y.View(), ConstMatrixView(), EngineOptions());
+  ASSERT_TRUE(mismatched.ok()) << mismatched.status();
+  const auto status = mismatched->LoadPrunedIndex(path);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status;
+  EXPECT_FALSE(mismatched->has_pruned_index());
+  std::filesystem::remove(path);
+}
+
 // ---- IVF pruned retrieval ----------------------------------------------
 
 TEST(IvfIndexTest, PrunedRecallRegression) {
