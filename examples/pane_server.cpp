@@ -56,6 +56,9 @@ int main(int argc, char** argv) {
                   "next start");
   flags.AddInt("memory-budget-mb", 0,
                "caps the engine's per-batch scoring scratch (0 = default)");
+  flags.AddBool("stats", false,
+                "print one consistent counter snapshot to stderr at exit "
+                "(taken in a single locked read, not field by field)");
   flags.AddBool("verbose", false, "log store / engine configuration");
   PANE_CHECK_OK(flags.Parse(argc, argv));
   PANE_CHECK(!flags.GetString("embedding").empty())
@@ -143,8 +146,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pane_server listening on 127.0.0.1:%d\n", *bound);
     server.AcceptLoop();
   }
+  // counters() returns one snapshot taken under the server's stats
+  // capability, so the five numbers below all belong to the same instant
+  // even if a TCP handler thread were still counting.
   const auto counters = server.counters();
-  if (flags.GetBool("verbose")) {
+  if (flags.GetBool("stats")) {
+    std::fprintf(stderr,
+                 "stats: requests=%llu batches=%llu dedup=%llu cache=%llu "
+                 "errors=%llu\n",
+                 static_cast<unsigned long long>(counters.requests),
+                 static_cast<unsigned long long>(counters.batches),
+                 static_cast<unsigned long long>(counters.dedup_hits),
+                 static_cast<unsigned long long>(counters.cache_hits),
+                 static_cast<unsigned long long>(counters.errors));
+  } else if (flags.GetBool("verbose")) {
     std::fprintf(stderr,
                  "served: requests=%llu batches=%llu dedup=%llu cache=%llu "
                  "errors=%llu\n",

@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "src/common/sync.h"
 
 namespace pane {
 namespace {
@@ -19,7 +20,11 @@ LogLevel InitialLevel() {
 }
 
 std::atomic<int> g_log_level{static_cast<int>(InitialLevel())};
-std::mutex g_log_mutex;
+
+// Serializes the sink: every emitted record goes through WriteLogLine below,
+// so concurrent threads can never interleave bytes of two records even when
+// stderr is unbuffered or redirected to a pipe.
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -42,6 +47,15 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+/// The single guarded write path: both the leveled and the fatal emitters
+/// funnel here, one whole record per acquisition.
+void WriteLogLine(const char* severity, const char* file, int line,
+                  const std::string& text) PANE_EXCLUDES(g_log_mutex) {
+  MutexLock lock(&g_log_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", severity, Basename(file), line,
+               text.c_str());
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() {
@@ -59,9 +73,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ < GetLogLevel()) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
-               line_, stream_.str().c_str());
+  WriteLogLine(LevelName(level_), file_, line_, stream_.str());
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
@@ -71,11 +83,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::fprintf(stderr, "[FATAL %s:%d] %s\n", Basename(file_), line_,
-                 stream_.str().c_str());
-  }
+  WriteLogLine("FATAL", file_, line_, stream_.str());
   std::abort();
 }
 

@@ -1,0 +1,14 @@
+#include "src/common/sync.h"
+
+namespace pane {
+
+void CondVar::Wait(Mutex* mu) {
+  // Adopt the already-held std::mutex for the duration of the wait, then
+  // release the unique_lock wrapper without unlocking: ownership stays with
+  // the caller's scoped MutexLock exactly as the REQUIRES annotation says.
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+}  // namespace pane

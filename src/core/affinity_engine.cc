@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/sync.h"
 #include "src/matrix/spmm.h"
 #include "src/parallel/thread_pool.h"
 
@@ -222,13 +222,15 @@ Status ComputeAffinityIntoSlabs(const CsrMatrix& p,
     }
   }
 
-  // Panel-completion bookkeeping for the consumer callback.
-  std::mutex consumer_mutex;
+  // Panel-completion bookkeeping for the consumer callback. The mutex
+  // guards the done counters and serializes consumer invocations (the
+  // consumer contract: at most one callback at a time).
+  Mutex consumer_mutex;
   int64_t forward_done = 0;
   int64_t backward_done = 0;
   const auto notify = [&](const PanelTask& task) {
     if (!options.panel_consumer) return;
-    std::lock_guard<std::mutex> lock(consumer_mutex);
+    MutexLock lock(&consumer_mutex);
     AffinityPanelEvent event;
     event.forward = task.forward;
     event.col_begin = task.begin;

@@ -221,18 +221,19 @@ void EngineAwareInit::ClaimLoop(bool overlapped) {
     const bool count_overlapped =
         overlapped && !draining_.load(std::memory_order_relaxed);
     if (max_inflight_blocks_ > 0) {
-      std::unique_lock<std::mutex> lock(inflight_mutex_);
-      inflight_cv_.wait(
-          lock, [this] { return inflight_blocks_ < max_inflight_blocks_; });
+      MutexLock lock(&inflight_mutex_);
+      while (inflight_blocks_ >= max_inflight_blocks_) {
+        inflight_cv_.Wait(&inflight_mutex_);
+      }
       ++inflight_blocks_;
     }
     RunBlock(b);
     if (max_inflight_blocks_ > 0) {
       {
-        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        MutexLock lock(&inflight_mutex_);
         --inflight_blocks_;
       }
-      inflight_cv_.notify_one();
+      inflight_cv_.Signal();
     }
     if (count_overlapped) overlapped_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -14,13 +14,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/core/affinity.h"
 #include "src/matrix/dense_matrix.h"
 #include "src/matrix/factor_slab.h"
@@ -117,7 +116,7 @@ class EngineAwareInit {
   }
 
  private:
-  void ClaimLoop(bool overlapped);
+  void ClaimLoop(bool overlapped) PANE_EXCLUDES(inflight_mutex_);
   void RunBlock(int b);
 
   const AffinitySlabs* affinity_;
@@ -134,9 +133,13 @@ class EngineAwareInit {
   std::atomic<bool> helper_started_{false};
   std::atomic<bool> draining_{false};  // Finish() reached; engine is done
   std::thread helper_;
-  std::mutex inflight_mutex_;
-  std::condition_variable inflight_cv_;
-  int64_t inflight_blocks_ = 0;
+  /// Guards the residency throttle only: claim tickets (next_block_) and
+  /// the overlap stat stay atomics; per-block outputs (u_blocks_ /
+  /// v_blocks_ / block_status_) are disjoint slots indexed by the claimed
+  /// block and published by the pool barrier / helper join in Finish().
+  Mutex inflight_mutex_;
+  CondVar inflight_cv_;
+  int64_t inflight_blocks_ PANE_GUARDED_BY(inflight_mutex_) = 0;
 };
 
 /// \brief Streams S = X Y^T - F into the residual slab `s` (row blocks,

@@ -5,14 +5,14 @@
 // here provides exactly that execution shape via RunBlocks().
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace pane {
 
@@ -33,7 +33,7 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Enqueues a task; the future resolves when it finishes.
-  std::future<void> Submit(std::function<void()> fn);
+  std::future<void> Submit(std::function<void()> fn) PANE_EXCLUDES(mutex_);
 
   /// Runs fn(0), ..., fn(num_blocks - 1) across the pool and blocks until
   /// all complete. This is the "parallel for Vi in V" primitive of
@@ -43,14 +43,19 @@ class ThreadPool {
   void RunBlocks(int num_blocks, const std::function<void(int)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PANE_EXCLUDES(mutex_);
 
   int num_threads_;
-  std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;  // set in the constructor, then joined
+
+  /// Guards the task queue and the shutdown flag; cv_ signals both "work
+  /// arrived" and "shutting down". The RunBlocks barrier counter is NOT
+  /// under this mutex — it is a shared atomic claim ticket whose results
+  /// are published through the workers' task futures.
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ PANE_GUARDED_BY(mutex_);
+  bool shutting_down_ PANE_GUARDED_BY(mutex_) = false;
 };
 
 /// \brief Half-open index range [begin, end).

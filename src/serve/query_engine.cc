@@ -290,6 +290,16 @@ namespace {
 
 /// Contiguous-range dispatch: queries are independent, so any partition
 /// yields identical per-query results.
+///
+/// Concurrency contract of the engine (checked by the TSan tier rather
+/// than lock annotations — there is no lock to annotate): the factor views
+/// and IVF indexes are immutable once Create / BuildPrunedIndex /
+/// LoadPrunedIndex return, every worker owns private scratch, and each
+/// worker writes only the result slots of its own [begin, end) range. The
+/// RunBlocks barrier in ParallelFor publishes those slots to the caller.
+/// The only mutating members (BuildPrunedIndex / LoadPrunedIndex) must not
+/// run concurrently with queries — PaneServer builds its index before
+/// accepting traffic.
 void RunRanges(ThreadPool* pool, int64_t count,
                const std::function<void(int64_t, int64_t)>& fn) {
   if (count == 0) return;

@@ -105,7 +105,7 @@ PaneServer::~PaneServer() {
 
 bool PaneServer::CacheLookup(const Request& key, std::string* response) {
   if (options_.cache_capacity <= 0) return false;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(&cache_mutex_);
   const auto it = cache_.find(key);
   if (it == cache_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
@@ -115,7 +115,7 @@ bool PaneServer::CacheLookup(const Request& key, std::string* response) {
 
 void PaneServer::CacheInsert(const Request& key, const std::string& response) {
   if (options_.cache_capacity <= 0) return;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(&cache_mutex_);
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -130,7 +130,13 @@ void PaneServer::CacheInsert(const Request& key, const std::string& response) {
   }
 }
 
+void PaneServer::Count(uint64_t Counters::*field, uint64_t delta) {
+  MutexLock lock(&stats_mutex_);
+  counters_.*field += delta;
+}
+
 std::string PaneServer::StatsResponse() const {
+  const Counters snapshot = counters();  // one instant, one lock hold
   std::string out = "stats ok";
   const auto field = [&out](const char* name, uint64_t value) {
     out += ' ';
@@ -138,11 +144,11 @@ std::string PaneServer::StatsResponse() const {
     out += '=';
     out += std::to_string(value);
   };
-  field("requests", requests_.load());
-  field("batches", batches_.load());
-  field("dedup_hits", dedup_hits_.load());
-  field("cache_hits", cache_hits_.load());
-  field("errors", errors_.load());
+  field("requests", snapshot.requests);
+  field("batches", snapshot.batches);
+  field("dedup_hits", snapshot.dedup_hits);
+  field("cache_hits", snapshot.cache_hits);
+  field("errors", snapshot.errors);
   out += options_.pruned ? " mode=pruned nprobe=" + std::to_string(options_.nprobe)
                          : std::string(" mode=exact");
   return out;
@@ -168,11 +174,11 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
     Entry& entry = (*batch)[i];
     if (entry.parse_error) {
       responses[i] = FormatError(entry.error);
-      errors_.fetch_add(1);
+      Count(&Counters::errors);
       continue;
     }
     const Request& r = entry.request;
-    requests_.fetch_add(1);
+    Count(&Counters::requests);
     if (r.type == Request::Type::kQuit) {
       responses[i] = "bye";
       *quit = true;
@@ -187,35 +193,35 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
                            r.type == Request::Type::kAttributePair;
     if (r.a < 0 || r.a >= n) {
       responses[i] = FormatError("node out of range");
-      errors_.fetch_add(1);
+      Count(&Counters::errors);
       continue;
     }
     if ((r.type == Request::Type::kAttributePair && (r.b < 0 || r.b >= d)) ||
         (r.type == Request::Type::kLinkPair && (r.b < 0 || r.b >= n))) {
       responses[i] = FormatError("id out of range");
-      errors_.fetch_add(1);
+      Count(&Counters::errors);
       continue;
     }
     if (attr_like && !engine_->supports_attributes()) {
       responses[i] = FormatError("attribute scoring unavailable");
-      errors_.fetch_add(1);
+      Count(&Counters::errors);
       continue;
     }
     if (!attr_like && !engine_->supports_links()) {
       responses[i] = FormatError("link scoring unavailable");
-      errors_.fetch_add(1);
+      Count(&Counters::errors);
       continue;
     }
     std::string cached;
     if (CacheLookup(r, &cached)) {
       responses[i] = std::move(cached);
-      cache_hits_.fetch_add(1);
+      Count(&Counters::cache_hits);
       continue;
     }
     const auto [it, inserted] = first_seen.emplace(r, i);
     if (!inserted) {
       duplicates.push_back(i);
-      dedup_hits_.fetch_add(1);
+      Count(&Counters::dedup_hits);
       continue;
     }
     switch (r.type) {
@@ -284,7 +290,7 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
     }
     ran_engine = true;
   }
-  if (ran_engine) batches_.fetch_add(1);
+  if (ran_engine) Count(&Counters::batches);
 
   for (const size_t i : duplicates) {
     const auto it = first_seen.find((*batch)[i].request);
@@ -405,13 +411,8 @@ void PaneServer::HandleConnection(int fd) {
 }
 
 PaneServer::Counters PaneServer::counters() const {
-  Counters c;
-  c.requests = requests_.load();
-  c.batches = batches_.load();
-  c.dedup_hits = dedup_hits_.load();
-  c.cache_hits = cache_hits_.load();
-  c.errors = errors_.load();
-  return c;
+  MutexLock lock(&stats_mutex_);
+  return counters_;
 }
 
 }  // namespace serve

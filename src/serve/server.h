@@ -17,12 +17,12 @@
 #include <iosfwd>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/serve/line_protocol.h"
 #include "src/serve/query_engine.h"
 
@@ -81,7 +81,10 @@ class PaneServer {
     uint64_t cache_hits = 0;  ///< answered from the LRU cache
     uint64_t errors = 0;      ///< malformed / out-of-range requests
   };
-  Counters counters() const;
+  /// One consistent snapshot taken under the stats capability — the fields
+  /// of the returned struct all belong to the same instant, unlike the
+  /// field-by-field atomic reads this replaced.
+  Counters counters() const PANE_EXCLUDES(stats_mutex_);
 
  private:
   struct Entry {
@@ -96,24 +99,35 @@ class PaneServer {
 
   void ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
                     bool* quit);
-  bool CacheLookup(const Request& key, std::string* response);
-  void CacheInsert(const Request& key, const std::string& response);
-  std::string StatsResponse() const;
+  bool CacheLookup(const Request& key, std::string* response)
+      PANE_EXCLUDES(cache_mutex_);
+  void CacheInsert(const Request& key, const std::string& response)
+      PANE_EXCLUDES(cache_mutex_);
+  /// Bumps one counter field by `delta` under the stats capability.
+  void Count(uint64_t Counters::*field, uint64_t delta = 1)
+      PANE_EXCLUDES(stats_mutex_);
+  std::string StatsResponse() const PANE_EXCLUDES(stats_mutex_);
   void HandleConnection(int fd);
 
   const QueryEngine* engine_;
   ServerOptions options_;
 
-  mutable std::mutex cache_mutex_;
-  std::list<std::pair<Request, std::string>> lru_;  // most recent at front
-  std::unordered_map<Request, std::list<std::pair<Request, std::string>>::iterator,
+  /// Guards the LRU result cache (the list order is part of the state, so
+  /// even lookups mutate under the lock).
+  mutable Mutex cache_mutex_;
+  std::list<std::pair<Request, std::string>> lru_
+      PANE_GUARDED_BY(cache_mutex_);  // most recent at front
+  std::unordered_map<Request,
+                     std::list<std::pair<Request, std::string>>::iterator,
                      RequestHash>
-      cache_;
+      cache_ PANE_GUARDED_BY(cache_mutex_);
 
-  std::atomic<uint64_t> requests_{0}, batches_{0}, dedup_hits_{0},
-      cache_hits_{0}, errors_{0};
+  /// Guards the served-request counters; a separate capability from the
+  /// cache so a stats snapshot never contends with cache traffic.
+  mutable Mutex stats_mutex_;
+  Counters counters_ PANE_GUARDED_BY(stats_mutex_);
 
-  int listen_fd_ = -1;
+  int listen_fd_ = -1;  // written by ListenTcp before any thread reads it
   std::atomic<bool> shutdown_{false};
   std::unique_ptr<ThreadPool> conn_pool_;
 };

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/common/sync.h"
+
 namespace pane {
 namespace store {
 namespace {
@@ -38,7 +40,7 @@ Result<BufferPool::RegionId> BufferPool::Register(void* base, int64_t bytes) {
     return Status::InvalidArgument(
         "buffer pool region base is not page-aligned");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Region region;
   region.base = static_cast<char*>(base);
   region.bytes = bytes;
@@ -61,7 +63,7 @@ Result<BufferPool::RegionId> BufferPool::Register(void* base, int64_t bytes) {
 }
 
 void BufferPool::Unregister(RegionId region_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (region_id < 0 || region_id >= static_cast<RegionId>(regions_.size())) {
     return;
   }
@@ -93,7 +95,7 @@ Status BufferPool::CheckRange(const Region& region, int64_t begin,
 }
 
 Status BufferPool::Pin(RegionId region_id, int64_t begin, int64_t end) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (region_id < 0 || region_id >= static_cast<RegionId>(regions_.size())) {
     return Status::InvalidArgument("unknown buffer pool region");
   }
@@ -121,7 +123,7 @@ Status BufferPool::Pin(RegionId region_id, int64_t begin, int64_t end) {
 
 Status BufferPool::Unpin(RegionId region_id, int64_t begin, int64_t end,
                          bool dirty) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (region_id < 0 || region_id >= static_cast<RegionId>(regions_.size())) {
     return Status::InvalidArgument("unknown buffer pool region");
   }
@@ -206,7 +208,7 @@ void BufferPool::EvictUntilWithinBudgetLocked() {
 }
 
 Status BufferPool::EvictRegion(RegionId region_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (region_id < 0 || region_id >= static_cast<RegionId>(regions_.size())) {
     return Status::InvalidArgument("unknown buffer pool region");
   }
@@ -224,7 +226,7 @@ Status BufferPool::EvictRegion(RegionId region_id) {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 

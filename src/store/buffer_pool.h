@@ -19,10 +19,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 
 namespace pane {
 namespace store {
@@ -55,29 +55,31 @@ class BufferPool {
 
   /// Registers a MAP_SHARED mapping (`base` must be an mmap result, i.e.
   /// system-page aligned). The pool never unmaps it — the owner does.
-  Result<RegionId> Register(void* base, int64_t bytes);
+  Result<RegionId> Register(void* base, int64_t bytes) PANE_EXCLUDES(mutex_);
 
   /// Forgets the region (dropping its resident accounting). Must be called
   /// before the owner munmaps.
-  void Unregister(RegionId region);
+  void Unregister(RegionId region) PANE_EXCLUDES(mutex_);
 
   /// Marks byte range [begin, end) resident and pinned; pinned pages are
   /// skipped by eviction. May evict unpinned pages elsewhere to honor the
   /// budget. Faulting is left to the caller's actual accesses.
-  Status Pin(RegionId region, int64_t begin, int64_t end);
+  Status Pin(RegionId region, int64_t begin, int64_t end)
+      PANE_EXCLUDES(mutex_);
 
   /// Drops one pin from each page of the range (floored at zero, so
   /// releasing rows that were never acquired is a valid no-op pin-wise),
   /// marks the range resident and — if `dirty` — in need of write-back
   /// before any future drop. Triggers eviction if over budget.
-  Status Unpin(RegionId region, int64_t begin, int64_t end, bool dirty);
+  Status Unpin(RegionId region, int64_t begin, int64_t end, bool dirty)
+      PANE_EXCLUDES(mutex_);
 
   /// Immediately drops every unpinned page of the region (write-back first
   /// where dirty), regardless of budget. FactorSlab::DropResidency maps
   /// here.
-  Status EvictRegion(RegionId region);
+  Status EvictRegion(RegionId region) PANE_EXCLUDES(mutex_);
 
-  Stats stats() const;
+  Stats stats() const PANE_EXCLUDES(mutex_);
   int64_t budget_bytes() const { return budget_bytes_; }
   int64_t page_bytes() const { return page_bytes_; }
 
@@ -94,19 +96,23 @@ class BufferPool {
   };
 
   /// Clock sweep until resident_bytes_ <= budget or nothing evictable.
-  void EvictUntilWithinBudgetLocked();
+  void EvictUntilWithinBudgetLocked() PANE_REQUIRES(mutex_);
   /// Write back (if dirty) and drop one page. Returns bytes released.
-  int64_t EvictPageLocked(Region& region, int64_t page);
+  int64_t EvictPageLocked(Region& region, int64_t page) PANE_REQUIRES(mutex_);
   Status CheckRange(const Region& region, int64_t begin, int64_t end) const;
 
   const int64_t budget_bytes_;
   const int64_t page_bytes_;
 
-  mutable std::mutex mutex_;
-  std::vector<Region> regions_;
-  int64_t clock_region_ = 0;
-  int64_t clock_page_ = 0;
-  Stats stats_;
+  /// One capability guards the whole ledger: the region table (per-page pin
+  /// counts, residency/dirty/reference bitmaps), the clock hand, and the
+  /// stats. Eviction syscalls (msync / madvise) run under it too — the pool
+  /// is a slow-path residency controller, never on the kernels' access path.
+  mutable Mutex mutex_;
+  std::vector<Region> regions_ PANE_GUARDED_BY(mutex_);
+  int64_t clock_region_ PANE_GUARDED_BY(mutex_) = 0;
+  int64_t clock_page_ PANE_GUARDED_BY(mutex_) = 0;
+  Stats stats_ PANE_GUARDED_BY(mutex_);
 };
 
 }  // namespace store

@@ -371,7 +371,7 @@ Result<Container> Container::Open(const std::string& path) {
   }
 
   c.verified_.assign(c.streams_.size(), 0);
-  c.verify_mutex_ = std::make_unique<std::mutex>();
+  c.verify_mutex_ = std::make_unique<SharedMutex>();
   return c;
 }
 
@@ -404,7 +404,13 @@ Status Container::VerifyPageRange(int64_t first_page, int64_t page_count,
 }
 
 Status Container::VerifyStream(int64_t index) const {
-  std::lock_guard<std::mutex> lock(*verify_mutex_);
+  {
+    // Fast path: after warm-up every Read() lands here, so concurrent
+    // readers only share the lock instead of serializing on it.
+    ReaderMutexLock lock(verify_mutex_.get());
+    if (verified_[static_cast<size_t>(index)]) return Status::OK();
+  }
+  WriterMutexLock lock(verify_mutex_.get());
   if (verified_[static_cast<size_t>(index)]) return Status::OK();
   const StreamEntry& entry = streams_[static_cast<size_t>(index)];
   PANE_RETURN_NOT_OK(VerifyPageRange(
@@ -451,7 +457,7 @@ Container::StreamView Container::ViewOf(const StreamEntry& entry) const {
 }
 
 Status Container::VerifyAll() const {
-  std::lock_guard<std::mutex> lock(*verify_mutex_);
+  WriterMutexLock lock(verify_mutex_.get());
   PANE_RETURN_NOT_OK(VerifyPageRange(
       data_first_, static_cast<int64_t>(table_.size()), "full verify"));
   std::fill(verified_.begin(), verified_.end(), 1);

@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/mmap_file.h"
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/store/page.h"
 
 namespace pane {
@@ -153,10 +153,12 @@ class Container {
   int64_t data_first_ = 0;  // page id of the first data page
   std::vector<StreamEntry> streams_;
   std::vector<PageTableEntry> table_;  // one per data page
-  // Lazily verified stream flags; mutex-guarded (Container must stay movable,
-  // hence the unique_ptr).
+  // Lazily verified stream flags, guarded by *verify_mutex_: Read() callers
+  // take a reader lock to check the memo (the read-mostly steady state) and
+  // upgrade to the writer lock only to run the checksum pass once. The lock
+  // lives behind a unique_ptr because Container must stay movable.
   mutable std::vector<uint8_t> verified_;
-  mutable std::unique_ptr<std::mutex> verify_mutex_;
+  mutable std::unique_ptr<SharedMutex> verify_mutex_;
 };
 
 }  // namespace store

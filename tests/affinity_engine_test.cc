@@ -7,8 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <mutex>
 
+#include "src/common/sync.h"
 #include "src/core/affinity.h"
 #include "src/core/apmi.h"
 #include "src/parallel/thread_pool.h"
@@ -364,13 +364,13 @@ TEST(AffinityEngineTest, PanelConsumerSeesEveryPanelOnce) {
   options.t = 3;
   options.panel_width = 16;  // 5 panels per direction
   options.pool = &pool;
-  std::mutex mutex;
+  Mutex mutex;
   int64_t forward_events = 0;
   int64_t backward_events = 0;
   int64_t forward_complete_events = 0;
   int64_t cols_seen = 0;
   options.panel_consumer = [&](const AffinityPanelEvent& event) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(&mutex);
     (event.forward ? forward_events : backward_events) += 1;
     if (event.forward_complete) {
       ++forward_complete_events;

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Repo lint, run as a CI gate (see .github/workflows/ci.yml) and locally via
+#   tools/lint.sh
+#
+# Rule 1 — annotated lock discipline cannot erode: the raw std:: sync
+# primitives may be named ONLY inside src/common/sync.{h,cc}, which wraps
+# them with Clang thread-safety annotations. Everything else (src/, bench/,
+# examples/, tests/) must go through pane::Mutex / MutexLock /
+# ReaderMutexLock / CondVar so `-Werror=thread-safety` keeps seeing every
+# lock site. std::atomic and std::thread stay legal: atomics carry their own
+# semantics and threads are not capabilities.
+#
+# Rule 2 — no tracked build directories (migrated from the inline CI grep).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+# --- Rule 1: naked std sync primitives ------------------------------------
+pattern='std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex'
+pattern+='|shared_mutex|shared_timed_mutex|lock_guard|unique_lock'
+pattern+='|shared_lock|scoped_lock|condition_variable|condition_variable_any)'
+
+hits=$(grep -rEn "$pattern" src bench examples tests \
+         --include='*.h' --include='*.cc' --include='*.cpp' \
+       | grep -Ev '^src/common/sync\.(h|cc):' || true)
+if [[ -n "$hits" ]]; then
+  echo "lint: naked std:: sync primitives outside src/common/sync.{h,cc}:" >&2
+  echo "$hits" >&2
+  echo "lint: use the annotated wrappers from src/common/sync.h instead" >&2
+  status=1
+fi
+
+# <mutex>/<shared_mutex>/<condition_variable> includes outside the wrapper
+# are a smell for the same erosion (the types above would be unusable, but
+# catch the include before someone reaches for them).
+inc_hits=$(grep -rEn '#include <(mutex|shared_mutex|condition_variable)>' \
+             src bench examples tests \
+             --include='*.h' --include='*.cc' --include='*.cpp' \
+           | grep -Ev '^src/common/sync\.(h|cc):' || true)
+if [[ -n "$inc_hits" ]]; then
+  echo "lint: raw sync headers included outside src/common/sync.{h,cc}:" >&2
+  echo "$inc_hits" >&2
+  status=1
+fi
+
+# --- Rule 2: tracked build directories ------------------------------------
+if git ls-files | grep -E '^build[^/]*/' >&2; then
+  echo "lint: build*/ paths must never be tracked (see .gitignore)" >&2
+  status=1
+fi
+
+if [[ $status -eq 0 ]]; then
+  echo "lint: OK"
+fi
+exit $status
