@@ -13,8 +13,16 @@
 // override the node / attribute counts and the per-side factor width
 // (defaults 100000 / 20000 / 64 = the paper-default k=128, n and d times
 // PANE_BENCH_SCALE).
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -26,8 +34,10 @@
 #include "src/core/embedding.h"
 #include "src/graph/generators.h"
 #include "src/parallel/thread_pool.h"
+#include "src/serve/frame_protocol.h"
 #include "src/serve/ivf_index.h"
 #include "src/serve/query_engine.h"
+#include "src/serve/server.h"
 
 namespace pane {
 namespace bench {
@@ -137,6 +147,78 @@ std::string MicrosCell(double seconds) {
 struct Latency {
   double p50 = 0.0, p99 = 0.0;
 };
+
+// ---- TCP client for the concurrent-connections section ------------------
+
+int ConnectLoopback(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  PANE_CHECK(fd >= 0);
+  const int one = 1;
+  // Round-trip latency is the measurement; Nagle would serialize it with
+  // the delayed-ack clock instead of the server.
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  PANE_CHECK(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+             0)
+      << std::strerror(errno);
+  return fd;
+}
+
+/// One client connection issuing `count` random attr round-trips (write a
+/// request, block for its full response) and recording each round-trip
+/// time.
+std::vector<double> RunClient(int port, bool framed, int64_t count,
+                              int64_t num_nodes, uint64_t seed) {
+  const int fd = ConnectLoopback(port);
+  Rng rng(seed);
+  serve::FrameCodec codec;
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(count));
+  std::string wire, response;
+  char buf[4096];
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t node =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+    const std::string payload =
+        "attr " + std::to_string(node) + " " + std::to_string(kTopK);
+    wire.clear();
+    if (framed) {
+      serve::AppendFrame(payload, &wire);
+    } else {
+      wire = payload + "\n";
+    }
+    WallTimer t;
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = write(fd, wire.data() + sent, wire.size() - sent);
+      PANE_CHECK(n > 0) << std::strerror(errno);
+      sent += static_cast<size_t>(n);
+    }
+    response.clear();
+    bool complete = false;
+    while (!complete) {
+      const ssize_t got = read(fd, buf, sizeof(buf));
+      PANE_CHECK(got > 0) << "server closed mid-benchmark";
+      response.append(buf, static_cast<size_t>(got));
+      if (framed) {
+        size_t pos = 0;
+        std::string_view p;
+        std::string error;
+        complete = codec.Decode(response, &pos, &p, &error) ==
+                   serve::ProtocolCodec::Decoded::kMessage;
+      } else {
+        complete = response.back() == '\n';
+      }
+    }
+    times.push_back(t.ElapsedSeconds());
+  }
+  close(fd);
+  return times;
+}
 
 Latency Percentiles(std::vector<double> seconds) {
   std::sort(seconds.begin(), seconds.end());
@@ -328,6 +410,49 @@ void Run() {
         accepted_recall, engine_attr_qps / legacy_attr_qps,
         engine_link_qps / legacy_link_qps);
   }
+
+  // ---- Concurrent connections over the epoll transport ------------------
+  // Every connection runs on the single loop thread; the table shows how
+  // round-trip QPS scales with open connections (the loop interleaves
+  // them) and what the binary framing buys over newline scanning on the
+  // same conversation.
+  PrintHeader("Concurrent serving",
+              "epoll transport, attr round-trips per connection, line vs "
+              "frame wire");
+  serve::ServerOptions server_options;
+  serve::PaneServer server(&*pooled_engine, server_options);
+  const auto port = server.ListenTcp(0);
+  PANE_CHECK(port.ok()) << port.status();
+  std::thread loop([&server] { server.AcceptLoop(); });
+  const int64_t per_conn = std::max<int64_t>(32, 2000000 / n);
+  PrintRow("connections / wire", {"QPS", "p50", "p99"});
+  for (const int connections : {1, 4, 16}) {
+    for (const bool framed : {false, true}) {
+      std::vector<std::vector<double>> times(
+          static_cast<size_t>(connections));
+      WallTimer wall;
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<size_t>(connections));
+      for (int c = 0; c < connections; ++c) {
+        clients.emplace_back([&, c] {
+          times[static_cast<size_t>(c)] =
+              RunClient(*port, framed, per_conn, n,
+                        51 + static_cast<uint64_t>(c));
+        });
+      }
+      for (auto& client : clients) client.join();
+      const double seconds = wall.ElapsedSeconds();
+      std::vector<double> all;
+      for (const auto& t : times) all.insert(all.end(), t.begin(), t.end());
+      const Latency lat = Percentiles(std::move(all));
+      PrintRow(std::to_string(connections) +
+                   (framed ? " conn frame" : " conn line"),
+               {QpsCell(connections * per_conn / seconds),
+                MicrosCell(lat.p50), MicrosCell(lat.p99)});
+    }
+  }
+  server.Shutdown();
+  loop.join();
 }
 
 }  // namespace bench

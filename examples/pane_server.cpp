@@ -38,6 +38,15 @@ int main(int argc, char** argv) {
                   "/ existing out-edges of the query node are skipped");
   flags.AddInt("port", 0, "TCP port to listen on (0 = serve stdin/stdout; "
                           "loopback only)");
+  flags.AddString("protocol", "auto",
+                  "wire format: 'line' (newline-delimited text), 'frame' "
+                  "(length-prefixed binary), or 'auto' (sniff per "
+                  "connection from the first byte)");
+  flags.AddInt("max-connections", 256,
+               "open-connection cap; connections beyond it are refused "
+               "with 'err server busy' and closed");
+  flags.AddInt("idle-timeout-ms", 0,
+               "reap TCP connections idle this long (0 disables)");
   flags.AddInt("threads", 4, "engine worker threads for batch execution");
   flags.AddInt("batch-size", 64, "max requests per engine batch");
   flags.AddInt("cache-size", 1024, "LRU result-cache entries (0 disables)");
@@ -135,6 +144,12 @@ int main(int argc, char** argv) {
   server_options.cache_capacity = flags.GetInt("cache-size");
   server_options.pruned = flags.GetBool("pruned");
   server_options.nprobe = flags.GetInt("nprobe");
+  PANE_CHECK(pane::serve::ParseProtocolName(flags.GetString("protocol"),
+                                            &server_options.protocol))
+      << "--protocol must be 'auto', 'line', or 'frame', got '"
+      << flags.GetString("protocol") << "'";
+  server_options.max_connections = flags.GetInt("max-connections");
+  server_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms");
 
   pane::serve::PaneServer server(&*engine, server_options);
   const int64_t port = flags.GetInt("port");
@@ -147,27 +162,22 @@ int main(int argc, char** argv) {
     server.AcceptLoop();
   }
   // counters() returns one snapshot taken under the server's stats
-  // capability, so the five numbers below all belong to the same instant
-  // even if a TCP handler thread were still counting.
+  // capability (plus the transport's accept-side counters), so the numbers
+  // below all belong to the same instant.
   const auto counters = server.counters();
-  if (flags.GetBool("stats")) {
+  if (flags.GetBool("stats") || flags.GetBool("verbose")) {
     std::fprintf(stderr,
-                 "stats: requests=%llu batches=%llu dedup=%llu cache=%llu "
-                 "errors=%llu\n",
+                 "%s: requests=%llu batches=%llu dedup=%llu cache=%llu "
+                 "errors=%llu timeouts=%llu rejected=%llu frames=%llu\n",
+                 flags.GetBool("stats") ? "stats" : "served",
                  static_cast<unsigned long long>(counters.requests),
                  static_cast<unsigned long long>(counters.batches),
                  static_cast<unsigned long long>(counters.dedup_hits),
                  static_cast<unsigned long long>(counters.cache_hits),
-                 static_cast<unsigned long long>(counters.errors));
-  } else if (flags.GetBool("verbose")) {
-    std::fprintf(stderr,
-                 "served: requests=%llu batches=%llu dedup=%llu cache=%llu "
-                 "errors=%llu\n",
-                 static_cast<unsigned long long>(counters.requests),
-                 static_cast<unsigned long long>(counters.batches),
-                 static_cast<unsigned long long>(counters.dedup_hits),
-                 static_cast<unsigned long long>(counters.cache_hits),
-                 static_cast<unsigned long long>(counters.errors));
+                 static_cast<unsigned long long>(counters.errors),
+                 static_cast<unsigned long long>(counters.timeouts),
+                 static_cast<unsigned long long>(counters.rejected),
+                 static_cast<unsigned long long>(counters.frames));
   }
   return 0;
 }

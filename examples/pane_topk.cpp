@@ -10,8 +10,14 @@
 // asc) order. The serve-smoke CI job does exactly that. Don't script
 // `stats` into a diffed run; it is server-side only.
 //
+// With --protocol=frame the same conversation runs over the binary
+// length-prefixed framing of frame_protocol.h instead of lines, so the
+// frame leg of the differential harness can `cmp` server and reference
+// bytes too.
+//
 //   ./pane_topk --embedding=emb.bin [--graph=/data/cora] < queries.txt
 #include <iostream>
+#include <iterator>
 #include <string>
 
 #include "src/api/node_embedding.h"
@@ -21,7 +27,9 @@
 #include "src/core/embedding.h"
 #include "src/graph/graph_io.h"
 #include "src/parallel/thread_pool.h"
+#include "src/serve/frame_protocol.h"
 #include "src/serve/line_protocol.h"
+#include "src/serve/protocol.h"
 
 namespace {
 
@@ -53,6 +61,49 @@ pane::Ranking ScanTargets(const pane::PaneEmbedding& embedding,
   return pane::SelectTopK(std::move(candidates), k);
 }
 
+/// Answers one request payload with the same response text pane_server
+/// produces (sans wire framing). Sets *quit on `quit`.
+std::string Respond(const pane::PaneEmbedding& embedding,
+                    const pane::EdgeScorer& scorer,
+                    const pane::AttributedGraph* exclude,
+                    std::string_view payload, bool* quit) {
+  const auto parsed = pane::serve::ParseRequestLine(payload);
+  if (!parsed.ok()) {
+    return pane::serve::FormatError(parsed.status().message());
+  }
+  const Request& r = *parsed;
+  if (r.type == Request::Type::kQuit) {
+    *quit = true;
+    return "bye";
+  }
+  if (r.type == Request::Type::kStats) return "stats ok offline";
+  const int64_t n = embedding.num_nodes();
+  const int64_t d = embedding.num_attributes();
+  if (r.a < 0 || r.a >= n) {
+    return pane::serve::FormatError("node out of range");
+  }
+  switch (r.type) {
+    case Request::Type::kTopKAttributes:
+      return pane::serve::FormatRanking(
+          r, ScanAttributes(embedding, r.a, r.k, exclude));
+    case Request::Type::kTopKTargets:
+      return pane::serve::FormatRanking(
+          r, ScanTargets(embedding, scorer, r.a, r.k, exclude));
+    case Request::Type::kAttributePair:
+      if (r.b < 0 || r.b >= d) {
+        return pane::serve::FormatError("id out of range");
+      }
+      return pane::serve::FormatScore(r, embedding.AttributeScore(r.a, r.b));
+    case Request::Type::kLinkPair:
+      if (r.b < 0 || r.b >= n) {
+        return pane::serve::FormatError("id out of range");
+      }
+      return pane::serve::FormatScore(r, scorer.Score(r.a, r.b));
+    default:
+      return pane::serve::FormatError("unsupported request");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,6 +112,9 @@ int main(int argc, char** argv) {
   flags.AddString("graph", "",
                   "optional graph for recommendation mode (same semantics "
                   "as pane_server --graph)");
+  flags.AddString("protocol", "line",
+                  "wire format: 'line' (newline-delimited text) or 'frame' "
+                  "(length-prefixed binary)");
   PANE_CHECK_OK(flags.Parse(argc, argv));
   PANE_CHECK(!flags.GetString("embedding").empty())
       << "--embedding=<artifact> is required";
@@ -89,61 +143,53 @@ int main(int argc, char** argv) {
     exclude = &exclude_graph;
   }
 
-  const int64_t n = embedding.num_nodes();
-  const int64_t d = embedding.num_attributes();
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    const auto parsed = pane::serve::ParseRequestLine(line);
-    if (!parsed.ok()) {
-      std::cout << pane::serve::FormatError(parsed.status().message())
-                << '\n';
-      continue;
+  pane::serve::Protocol protocol = pane::serve::Protocol::kLine;
+  PANE_CHECK(pane::serve::ParseProtocolName(flags.GetString("protocol"),
+                                            &protocol) &&
+             protocol != pane::serve::Protocol::kAuto)
+      << "--protocol must be 'line' or 'frame', got '"
+      << flags.GetString("protocol") << "'";
+
+  bool quit = false;
+  if (protocol == pane::serve::Protocol::kLine) {
+    std::string line;
+    while (!quit && std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      std::cout << Respond(embedding, scorer, exclude, line, &quit) << '\n';
     }
-    const Request& r = *parsed;
-    if (r.type == Request::Type::kQuit) {
-      std::cout << "bye\n";
+    return 0;
+  }
+
+  // Frame mode: stdin is a binary frame stream, not line-oriented, so slurp
+  // it whole and walk it with the same codec the server uses.
+  const std::string input(std::istreambuf_iterator<char>(std::cin), {});
+  pane::serve::FrameCodec codec;
+  std::string output;
+  size_t pos = 0;
+  int exit_code = 0;
+  while (!quit) {
+    std::string_view payload;
+    std::string error;
+    const auto decoded = codec.Decode(input, &pos, &payload, &error);
+    if (decoded == pane::serve::ProtocolCodec::Decoded::kNeedMore) {
+      if (pos < input.size()) {
+        // Trailing partial frame: mirror the server's truncated-frame error.
+        std::string_view unused;
+        codec.DecodeFinal(input.substr(pos), &unused, &error);
+        pane::serve::AppendFrame(pane::serve::FormatError(error), &output);
+        exit_code = 1;
+      }
       break;
     }
-    if (r.type == Request::Type::kStats) {
-      std::cout << "stats ok offline\n";
-      continue;
+    if (decoded == pane::serve::ProtocolCodec::Decoded::kError) {
+      pane::serve::AppendFrame(pane::serve::FormatError(error), &output);
+      exit_code = 1;
+      break;
     }
-    if (r.a < 0 || r.a >= n) {
-      std::cout << pane::serve::FormatError("node out of range") << '\n';
-      continue;
-    }
-    switch (r.type) {
-      case Request::Type::kTopKAttributes:
-        std::cout << pane::serve::FormatRanking(
-                         r, ScanAttributes(embedding, r.a, r.k, exclude))
-                  << '\n';
-        break;
-      case Request::Type::kTopKTargets:
-        std::cout << pane::serve::FormatRanking(
-                         r, ScanTargets(embedding, scorer, r.a, r.k, exclude))
-                  << '\n';
-        break;
-      case Request::Type::kAttributePair:
-        if (r.b < 0 || r.b >= d) {
-          std::cout << pane::serve::FormatError("id out of range") << '\n';
-          break;
-        }
-        std::cout << pane::serve::FormatScore(
-                         r, embedding.AttributeScore(r.a, r.b))
-                  << '\n';
-        break;
-      case Request::Type::kLinkPair:
-        if (r.b < 0 || r.b >= n) {
-          std::cout << pane::serve::FormatError("id out of range") << '\n';
-          break;
-        }
-        std::cout << pane::serve::FormatScore(r, scorer.Score(r.a, r.b))
-                  << '\n';
-        break;
-      default:
-        break;
-    }
+    pane::serve::AppendFrame(
+        Respond(embedding, scorer, exclude, payload, &quit), &output);
   }
-  return 0;
+  std::cout.write(output.data(), static_cast<std::streamsize>(output.size()));
+  std::cout.flush();
+  return exit_code;
 }

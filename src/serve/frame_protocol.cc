@@ -1,0 +1,93 @@
+#include "src/serve/frame_protocol.h"
+
+#include "src/common/logging.h"
+
+namespace pane {
+namespace serve {
+namespace {
+
+uint32_t ReadU32Le(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ProtocolCodec::Decoded FrameCodec::Decode(std::string_view buffer, size_t* pos,
+                                          std::string_view* payload,
+                                          std::string* error) {
+  const std::string_view rest = buffer.substr(*pos);
+  if (rest.empty()) return Decoded::kNeedMore;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(rest.data());
+  // Validate the header prefix byte by byte, so garbage is rejected from
+  // the first wrong byte even when the rest of the header has not arrived.
+  if (bytes[0] != kFrameMagic) {
+    *error = "bad frame magic";
+    return Decoded::kError;
+  }
+  if (rest.size() >= 2 && bytes[1] != kFrameTag0) {
+    *error = "bad frame magic";
+    return Decoded::kError;
+  }
+  if (rest.size() >= 3 && bytes[2] != kFrameTag1) {
+    *error = "bad frame magic";
+    return Decoded::kError;
+  }
+  if (rest.size() >= 4 && bytes[3] != kFrameVersion) {
+    *error = "unsupported frame version " + std::to_string(bytes[3]);
+    return Decoded::kError;
+  }
+  if (rest.size() < kFrameHeaderSize) return Decoded::kNeedMore;
+  const uint32_t length = ReadU32Le(bytes + 4);
+  // The length field is hostile input until proven otherwise: bound it
+  // before comparing against (let alone allocating) anything.
+  if (length == 0) {
+    *error = "zero-length frame";
+    return Decoded::kError;
+  }
+  if (static_cast<size_t>(length) > kMaxFramePayload) {
+    *error = "oversized frame length " + std::to_string(length);
+    return Decoded::kError;
+  }
+  if (rest.size() < kFrameHeaderSize + length) return Decoded::kNeedMore;
+  *payload = rest.substr(kFrameHeaderSize, length);
+  *pos += kFrameHeaderSize + length;
+  return Decoded::kMessage;
+}
+
+void FrameCodec::Encode(std::string_view payload, std::string* out) {
+  AppendFrame(payload, out);
+}
+
+bool FrameCodec::DecodeFinal(std::string_view remainder,
+                             std::string_view* payload, std::string* error) {
+  (void)remainder;
+  (void)payload;
+  // A nonempty remainder that Decode could not consume is a frame cut off
+  // mid-header or mid-payload; unlike a line, it cannot be a message.
+  *error = "truncated frame at end of input";
+  return false;
+}
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  PANE_CHECK(!payload.empty() && payload.size() <= kMaxFramePayload)
+      << "frame payload must be 1.." << kMaxFramePayload << " bytes, got "
+      << payload.size();
+  const auto length = static_cast<uint32_t>(payload.size());
+  const char header[kFrameHeaderSize] = {
+      static_cast<char>(kFrameMagic),
+      static_cast<char>(kFrameTag0),
+      static_cast<char>(kFrameTag1),
+      static_cast<char>(kFrameVersion),
+      static_cast<char>(length & 0xFF),
+      static_cast<char>((length >> 8) & 0xFF),
+      static_cast<char>((length >> 16) & 0xFF),
+      static_cast<char>((length >> 24) & 0xFF),
+  };
+  out->append(header, kFrameHeaderSize);
+  out->append(payload.data(), payload.size());
+}
+
+}  // namespace serve
+}  // namespace pane

@@ -1,0 +1,64 @@
+// Length-prefixed binary framing for the serving protocol — the wire
+// format that makes shard-to-router hops cheap: a receiver learns each
+// message boundary from an 8-byte header instead of scanning for
+// newlines, and a frame can carry any payload bytes.
+//
+// Frame layout (little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//   0       1     magic 0xAB  (non-ASCII: never the first byte of a
+//                 line-protocol request, so the codec is sniffable)
+//   1       2     "PF"
+//   3       1     version, currently 0x01
+//   4       4     payload length L, u32 LE, 1 <= L <= kMaxFramePayload
+//   8       L     payload (one line_protocol request / response, no '\n')
+//
+// Decoding is BoundedReader-style defensive: every field is validated
+// against the bytes actually buffered before anything is trusted, a
+// hostile length field is rejected before any allocation sized by it, and
+// a partial header or payload simply waits for more bytes. Garbage magic,
+// an unknown version, a zero length, and an oversized length are
+// unrecoverable framing errors — the session answers once with an err
+// payload and closes, because after a framing error the stream offset is
+// meaningless.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/serve/protocol.h"
+
+namespace pane {
+namespace serve {
+
+/// First byte of every frame; DetectProtocol keys off it.
+inline constexpr unsigned char kFrameMagic = 0xAB;
+inline constexpr unsigned char kFrameTag0 = 'P';
+inline constexpr unsigned char kFrameTag1 = 'F';
+inline constexpr unsigned char kFrameVersion = 0x01;
+inline constexpr size_t kFrameHeaderSize = 8;
+/// Upper bound on one payload (requests are tens of bytes; responses grow
+/// with k). Anything larger is treated as a corrupt / hostile length.
+inline constexpr size_t kMaxFramePayload = size_t{16} << 20;
+
+class FrameCodec final : public ProtocolCodec {
+ public:
+  const char* name() const override { return "frame"; }
+  Decoded Decode(std::string_view buffer, size_t* pos,
+                 std::string_view* payload, std::string* error) override;
+  void Encode(std::string_view payload, std::string* out) override;
+  bool DecodeFinal(std::string_view remainder, std::string_view* payload,
+                   std::string* error) override;
+};
+
+/// Appends one framed payload to *out (the static form of
+/// FrameCodec::Encode, for clients and tools). Payloads are clamped to
+/// [1, kMaxFramePayload] by PANE_CHECK — the server never produces an
+/// empty or multi-frame response payload.
+void AppendFrame(std::string_view payload, std::string* out);
+
+}  // namespace serve
+}  // namespace pane

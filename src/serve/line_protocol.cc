@@ -102,5 +102,35 @@ std::string FormatError(const std::string& message) {
   return "err " + message;
 }
 
+ProtocolCodec::Decoded LineCodec::Decode(std::string_view buffer, size_t* pos,
+                                         std::string_view* payload,
+                                         std::string* error) {
+  (void)error;  // text lines have no framing errors, only parse errors
+  const size_t newline = buffer.find('\n', *pos);
+  if (newline == std::string_view::npos) return Decoded::kNeedMore;
+  const std::string_view line = buffer.substr(*pos, newline - *pos);
+  *pos = newline + 1;
+  const bool blank = line.find_first_not_of(" \t\r\v\f") ==
+                     std::string_view::npos;
+  if (blank) return Decoded::kFlush;
+  *payload = line;
+  return Decoded::kMessage;
+}
+
+void LineCodec::Encode(std::string_view payload, std::string* out) {
+  out->append(payload.data(), payload.size());
+  out->push_back('\n');
+}
+
+bool LineCodec::DecodeFinal(std::string_view remainder,
+                            std::string_view* payload, std::string* error) {
+  (void)error;
+  if (remainder.find_first_not_of(" \t\r\v\f") == std::string_view::npos) {
+    return false;  // trailing whitespace, nothing to answer
+  }
+  *payload = remainder;
+  return true;
+}
+
 }  // namespace serve
 }  // namespace pane

@@ -28,6 +28,7 @@
 
 #include "src/common/status.h"
 #include "src/common/topk.h"
+#include "src/serve/protocol.h"
 
 namespace pane {
 namespace serve {
@@ -61,6 +62,22 @@ Result<Request> ParseRequestLine(std::string_view line);
 std::string FormatRanking(const Request& request, const Ranking& ranking);
 std::string FormatScore(const Request& request, double score);
 std::string FormatError(const std::string& message);
+
+/// The newline-delimited wire format as a ProtocolCodec: one payload per
+/// '\n'-terminated line (the '\n' is framing, not payload — responses get
+/// one appended by Encode), an all-whitespace line decodes to kFlush (the
+/// explicit batch marker ServeStream always honored), and a trailing
+/// unterminated line at end of input is a final message, exactly like the
+/// std::getline loop this replaces.
+class LineCodec final : public ProtocolCodec {
+ public:
+  const char* name() const override { return "line"; }
+  Decoded Decode(std::string_view buffer, size_t* pos,
+                 std::string_view* payload, std::string* error) override;
+  void Encode(std::string_view payload, std::string* out) override;
+  bool DecodeFinal(std::string_view remainder, std::string_view* payload,
+                   std::string* error) override;
+};
 
 }  // namespace serve
 }  // namespace pane

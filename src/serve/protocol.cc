@@ -1,0 +1,46 @@
+#include "src/serve/protocol.h"
+
+#include "src/serve/frame_protocol.h"
+#include "src/serve/line_protocol.h"
+
+namespace pane {
+namespace serve {
+
+bool ParseProtocolName(std::string_view name, Protocol* out) {
+  if (name == "auto") {
+    *out = Protocol::kAuto;
+  } else if (name == "line") {
+    *out = Protocol::kLine;
+  } else if (name == "frame") {
+    *out = Protocol::kFrame;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAuto:
+      return "auto";
+    case Protocol::kLine:
+      return "line";
+    case Protocol::kFrame:
+      return "frame";
+  }
+  return "auto";
+}
+
+std::unique_ptr<ProtocolCodec> MakeCodec(Protocol requested,
+                                         unsigned char first) {
+  if (requested == Protocol::kAuto) {
+    requested = first == kFrameMagic ? Protocol::kFrame : Protocol::kLine;
+  }
+  if (requested == Protocol::kFrame) {
+    return std::make_unique<FrameCodec>();
+  }
+  return std::make_unique<LineCodec>();
+}
+
+}  // namespace serve
+}  // namespace pane

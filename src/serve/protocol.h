@@ -1,0 +1,86 @@
+// The serving stack's codec seam. A ProtocolCodec turns the byte stream of
+// one connection into request payloads and wraps response payloads back
+// into wire bytes; everything between those two calls (parsing, batching,
+// dedup, cache, engine) is payload-format-agnostic. Two implementations
+// exist:
+//
+//   LineCodec   (line_protocol.h)   one request per '\n'-terminated line;
+//                                   a blank line is an explicit batch-flush
+//                                   marker. The human-debuggable default.
+//   FrameCodec  (frame_protocol.h)  length-prefixed binary frames (magic +
+//                                   version + u32 length + payload), the
+//                                   cheap-to-delimit format for shard hops
+//                                   and high-throughput clients.
+//
+// The payload itself is identical in both codecs — the request / response
+// text of line_protocol.h — so the two wire formats decode to byte-equal
+// conversations and the differential harness can diff them against one
+// golden transcript.
+//
+// Which codec a connection speaks is decided once, from its first byte
+// (DetectProtocol): a frame stream always begins with the non-ASCII frame
+// magic, a line stream with a printable verb. A server may also pin the
+// codec per ServerOptions instead of sniffing.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace pane {
+namespace serve {
+
+/// Wire format selection for a server or a tool endpoint.
+enum class Protocol : int8_t {
+  kAuto,   ///< sniff per connection from the first byte
+  kLine,   ///< newline-delimited text (line_protocol.h)
+  kFrame,  ///< length-prefixed binary frames (frame_protocol.h)
+};
+
+/// Parses a --protocol flag value ("auto" / "line" / "frame"); returns
+/// false on anything else.
+bool ParseProtocolName(std::string_view name, Protocol* out);
+const char* ProtocolName(Protocol protocol);
+
+class ProtocolCodec {
+ public:
+  enum class Decoded : int8_t {
+    kMessage,   ///< one request payload extracted, *pos advanced past it
+    kFlush,     ///< an explicit batch-flush marker (line codec blank line)
+    kNeedMore,  ///< no complete message buffered; wait for more bytes
+    kError,     ///< unrecoverable framing error; close after answering
+  };
+
+  virtual ~ProtocolCodec() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Examines buffer[*pos..). On kMessage fills *payload (a view into
+  /// `buffer` — valid only until the buffer mutates) and advances *pos; on
+  /// kFlush just advances *pos; on kError fills *error. Never reads past
+  /// buffer.size(): every length field is validated against the bytes
+  /// actually buffered before anything is trusted.
+  virtual Decoded Decode(std::string_view buffer, size_t* pos,
+                         std::string_view* payload, std::string* error) = 0;
+
+  /// Appends one response payload, wrapped in this codec's wire format,
+  /// to *out.
+  virtual void Encode(std::string_view payload, std::string* out) = 0;
+
+  /// End-of-input with a nonempty undecodable remainder. Line treats the
+  /// trailing unterminated text as a final request (getline semantics) and
+  /// returns true with *payload set; frame reports a truncated frame and
+  /// returns false with *error set.
+  virtual bool DecodeFinal(std::string_view remainder,
+                           std::string_view* payload, std::string* error) = 0;
+};
+
+/// Codec for a connection whose first byte is `first`: the frame magic
+/// selects FrameCodec, anything else LineCodec. `requested` != kAuto
+/// overrides sniffing.
+std::unique_ptr<ProtocolCodec> MakeCodec(Protocol requested,
+                                         unsigned char first);
+
+}  // namespace serve
+}  // namespace pane

@@ -1,78 +1,21 @@
 #include "src/serve/server.h"
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
-#include <cstring>
 #include <istream>
 #include <ostream>
 #include <streambuf>
 #include <utility>
 
 #include "src/common/logging.h"
-#include "src/parallel/thread_pool.h"
+#include "src/serve/session.h"
+#include "src/serve/transport.h"
 
 namespace pane {
 namespace serve {
 namespace {
 
-bool IsBlank(const std::string& line) {
-  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
-    return std::isspace(c) != 0;
-  });
-}
-
-/// Minimal read/write streambuf over a connected socket, so the TCP path
-/// reuses ServeStream verbatim.
-class FdStreambuf : public std::streambuf {
- public:
-  explicit FdStreambuf(int fd) : fd_(fd) {
-    setg(in_, in_, in_);
-    setp(out_, out_ + sizeof(out_));
-  }
-
- protected:
-  int_type underflow() override {
-    ssize_t got;
-    do {
-      got = read(fd_, in_, sizeof(in_));
-    } while (got < 0 && errno == EINTR);
-    if (got <= 0) return traits_type::eof();
-    setg(in_, in_, in_ + got);
-    return traits_type::to_int_type(in_[0]);
-  }
-
-  int_type overflow(int_type ch) override {
-    if (FlushOut() != 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return FlushOut(); }
-
- private:
-  int FlushOut() {
-    const char* p = pbase();
-    while (p < pptr()) {
-      const ssize_t sent = write(fd_, p, static_cast<size_t>(pptr() - p));
-      if (sent <= 0) return -1;
-      p += sent;
-    }
-    setp(out_, out_ + sizeof(out_));
-    return 0;
-  }
-
-  int fd_;
-  char in_[4096];
-  char out_[4096];
-};
+/// Bytes pulled from the stream per ServeStream pump.
+constexpr std::streamsize kStreamChunk = 64 << 10;
 
 }  // namespace
 
@@ -95,13 +38,18 @@ PaneServer::PaneServer(const QueryEngine* engine, const ServerOptions& options)
     PANE_CHECK(engine_->has_pruned_index())
         << "pruned serving mode needs BuildPrunedIndex on the engine";
   }
+  TransportOptions transport_options;
+  transport_options.max_connections = options_.max_connections;
+  transport_options.idle_timeout_ms = options_.idle_timeout_ms;
+  transport_options.refusal = "err server busy\n";
+  transport_ = std::make_unique<EpollTransport>(
+      [this]() -> std::unique_ptr<ConnectionHandler> {
+        return std::make_unique<ServeSession>(this, options_.protocol);
+      },
+      transport_options);
 }
 
-PaneServer::~PaneServer() {
-  Shutdown();
-  conn_pool_.reset();  // joins in-flight connection handlers
-  if (listen_fd_ >= 0) close(listen_fd_);
-}
+PaneServer::~PaneServer() { Shutdown(); }
 
 bool PaneServer::CacheLookup(const Request& key, std::string* response) {
   if (options_.cache_capacity <= 0) return false;
@@ -135,6 +83,10 @@ void PaneServer::Count(uint64_t Counters::*field, uint64_t delta) {
   counters_.*field += delta;
 }
 
+void PaneServer::RecordFrames(uint64_t delta) {
+  Count(&Counters::frames, delta);
+}
+
 std::string PaneServer::StatsResponse() const {
   const Counters snapshot = counters();  // one instant, one lock hold
   std::string out = "stats ok";
@@ -149,16 +101,21 @@ std::string PaneServer::StatsResponse() const {
   field("dedup_hits", snapshot.dedup_hits);
   field("cache_hits", snapshot.cache_hits);
   field("errors", snapshot.errors);
+  field("timeouts", snapshot.timeouts);
+  field("rejected", snapshot.rejected);
+  field("frames", snapshot.frames);
   out += options_.pruned ? " mode=pruned nprobe=" + std::to_string(options_.nprobe)
                          : std::string(" mode=exact");
   return out;
 }
 
-void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
+void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
+                              std::vector<std::string>* responses,
                               bool* quit) {
+  responses->clear();
   if (batch->empty()) return;
   const size_t count = batch->size();
-  std::vector<std::string> responses(count);
+  responses->resize(count);
   // Key -> index of the entry that owns the engine work for it.
   std::unordered_map<Request, size_t, RequestHash> first_seen;
   std::vector<size_t> duplicates;  // entries answered by an earlier twin
@@ -171,16 +128,16 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
   const int64_t n = engine_->num_nodes();
   const int64_t d = engine_->num_attributes();
   for (size_t i = 0; i < count; ++i) {
-    Entry& entry = (*batch)[i];
+    BatchEntry& entry = (*batch)[i];
     if (entry.parse_error) {
-      responses[i] = FormatError(entry.error);
+      (*responses)[i] = FormatError(entry.error);
       Count(&Counters::errors);
       continue;
     }
     const Request& r = entry.request;
     Count(&Counters::requests);
     if (r.type == Request::Type::kQuit) {
-      responses[i] = "bye";
+      (*responses)[i] = "bye";
       *quit = true;
       continue;
     }
@@ -192,29 +149,29 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
     const bool attr_like = r.type == Request::Type::kTopKAttributes ||
                            r.type == Request::Type::kAttributePair;
     if (r.a < 0 || r.a >= n) {
-      responses[i] = FormatError("node out of range");
+      (*responses)[i] = FormatError("node out of range");
       Count(&Counters::errors);
       continue;
     }
     if ((r.type == Request::Type::kAttributePair && (r.b < 0 || r.b >= d)) ||
         (r.type == Request::Type::kLinkPair && (r.b < 0 || r.b >= n))) {
-      responses[i] = FormatError("id out of range");
+      (*responses)[i] = FormatError("id out of range");
       Count(&Counters::errors);
       continue;
     }
     if (attr_like && !engine_->supports_attributes()) {
-      responses[i] = FormatError("attribute scoring unavailable");
+      (*responses)[i] = FormatError("attribute scoring unavailable");
       Count(&Counters::errors);
       continue;
     }
     if (!attr_like && !engine_->supports_links()) {
-      responses[i] = FormatError("link scoring unavailable");
+      (*responses)[i] = FormatError("link scoring unavailable");
       Count(&Counters::errors);
       continue;
     }
     std::string cached;
     if (CacheLookup(r, &cached)) {
-      responses[i] = std::move(cached);
+      (*responses)[i] = std::move(cached);
       Count(&Counters::cache_hits);
       continue;
     }
@@ -254,8 +211,8 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
             : engine_->TopKAttributes(attr_queries, options_.exclude);
     for (size_t j = 0; j < results.size(); ++j) {
       const size_t i = attr_owner[j];
-      responses[i] = FormatRanking((*batch)[i].request, results[j]);
-      CacheInsert((*batch)[i].request, responses[i]);
+      (*responses)[i] = FormatRanking((*batch)[i].request, results[j]);
+      CacheInsert((*batch)[i].request, (*responses)[i]);
     }
     ran_engine = true;
   }
@@ -267,8 +224,8 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
             : engine_->TopKTargets(link_queries, options_.exclude);
     for (size_t j = 0; j < results.size(); ++j) {
       const size_t i = link_owner[j];
-      responses[i] = FormatRanking((*batch)[i].request, results[j]);
-      CacheInsert((*batch)[i].request, responses[i]);
+      (*responses)[i] = FormatRanking((*batch)[i].request, results[j]);
+      CacheInsert((*batch)[i].request, (*responses)[i]);
     }
     ran_engine = true;
   }
@@ -276,8 +233,8 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
     const std::vector<double> scores = engine_->AttributeScores(attr_pairs);
     for (size_t j = 0; j < scores.size(); ++j) {
       const size_t i = attr_pair_owner[j];
-      responses[i] = FormatScore((*batch)[i].request, scores[j]);
-      CacheInsert((*batch)[i].request, responses[i]);
+      (*responses)[i] = FormatScore((*batch)[i].request, scores[j]);
+      CacheInsert((*batch)[i].request, (*responses)[i]);
     }
     ran_engine = true;
   }
@@ -285,8 +242,8 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
     const std::vector<double> scores = engine_->LinkScores(link_pairs);
     for (size_t j = 0; j < scores.size(); ++j) {
       const size_t i = link_pair_owner[j];
-      responses[i] = FormatScore((*batch)[i].request, scores[j]);
-      CacheInsert((*batch)[i].request, responses[i]);
+      (*responses)[i] = FormatScore((*batch)[i].request, scores[j]);
+      CacheInsert((*batch)[i].request, (*responses)[i]);
     }
     ran_engine = true;
   }
@@ -295,124 +252,69 @@ void PaneServer::ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
   for (const size_t i : duplicates) {
     const auto it = first_seen.find((*batch)[i].request);
     PANE_CHECK(it != first_seen.end());
-    responses[i] = responses[it->second];
+    (*responses)[i] = (*responses)[it->second];
   }
+  // Stats entries format last so they see this batch's own counter bumps,
+  // the same instant the old stream loop printed them at.
   for (size_t i = 0; i < count; ++i) {
-    if ((*batch)[i].parse_error) {
-      out << responses[i] << '\n';
-      continue;
+    if (!(*batch)[i].parse_error &&
+        (*batch)[i].request.type == Request::Type::kStats) {
+      (*responses)[i] = StatsResponse();
     }
-    if ((*batch)[i].request.type == Request::Type::kStats) {
-      out << StatsResponse() << '\n';
-      continue;
-    }
-    out << responses[i] << '\n';
   }
-  out.flush();
   batch->clear();
 }
 
 void PaneServer::ServeStream(std::istream& in, std::ostream& out) {
-  std::vector<Entry> batch;
-  batch.reserve(static_cast<size_t>(options_.batch_size));
-  std::string line;
-  bool quit = false;
-  while (!quit && std::getline(in, line)) {
-    if (IsBlank(line)) {  // explicit flush marker
-      ExecuteBatch(&batch, out, &quit);
-      continue;
-    }
-    Entry entry;
-    const auto parsed = ParseRequestLine(line);
-    if (parsed.ok()) {
-      entry.request = *parsed;
-    } else {
-      entry.parse_error = true;
-      entry.error = parsed.status().message();
-    }
-    const bool is_quit =
-        !entry.parse_error && entry.request.type == Request::Type::kQuit;
-    batch.push_back(std::move(entry));
-    // Flush when the batch is full, on quit, or when the input has no more
-    // buffered bytes (keeps latency low without a timer; under load the
-    // stream stays ahead and batches fill up).
-    if (static_cast<int64_t>(batch.size()) >= options_.batch_size ||
-        is_quit || in.rdbuf()->in_avail() <= 0) {
-      ExecuteBatch(&batch, out, &quit);
-    }
+  ServeSession session(this, options_.protocol);
+  std::string input;
+  std::string output;
+  std::string chunk;
+  const auto emit = [&out, &output]() {
+    if (output.empty()) return;
+    out.write(output.data(), static_cast<std::streamsize>(output.size()));
+    out.flush();
+    output.clear();
+  };
+  while (true) {
+    // peek() blocks until at least one byte (or EOF) is available; the
+    // inner loop then drains whatever else the streambuf already holds so
+    // a burst of requests becomes one pump — and one engine batch.
+    if (in.peek() == std::char_traits<char>::eof()) break;
+    do {
+      const std::streamsize want =
+          std::min(std::max<std::streamsize>(in.rdbuf()->in_avail(), 1),
+                   kStreamChunk);
+      chunk.resize(static_cast<size_t>(want));
+      in.read(chunk.data(), want);
+      const std::streamsize got = in.gcount();
+      if (got <= 0) break;
+      input.append(chunk.data(), static_cast<size_t>(got));
+    } while (in.good() && in.rdbuf()->in_avail() > 0);
+    const ConnectionHandler::Action action = session.OnData(&input, &output);
+    emit();
+    if (action == ConnectionHandler::Action::kClose) return;
   }
-  ExecuteBatch(&batch, out, &quit);
+  session.OnEof(&input, &output);
+  emit();
 }
 
-Result<int> PaneServer::ListenTcp(int port) {
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status st =
-        Status::IOError(std::string("bind: ") + std::strerror(errno));
-    close(fd);
-    return st;
-  }
-  if (listen(fd, 64) != 0) {
-    const Status st =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
-    close(fd);
-    return st;
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    const Status st =
-        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
-    close(fd);
-    return st;
-  }
-  listen_fd_ = fd;
-  conn_pool_ = std::make_unique<ThreadPool>(
-      std::max(1, options_.connection_threads));
-  return static_cast<int>(ntohs(addr.sin_port));
-}
+Result<int> PaneServer::ListenTcp(int port) { return transport_->Listen(port); }
 
-void PaneServer::AcceptLoop() {
-  PANE_CHECK(listen_fd_ >= 0) << "ListenTcp first";
-  while (!shutdown_.load()) {
-    const int conn = accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      break;  // shutdown() on the listening socket lands here
-    }
-    conn_pool_->Submit([this, conn] { HandleConnection(conn); });
-  }
-}
+void PaneServer::AcceptLoop() { transport_->Run(); }
 
-void PaneServer::Shutdown() {
-  if (shutdown_.exchange(true)) return;
-  if (listen_fd_ >= 0) {
-    // Wakes a blocked accept (Linux returns EINVAL after shutdown()).
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-}
-
-void PaneServer::HandleConnection(int fd) {
-  FdStreambuf buf(fd);
-  std::istream in(&buf);
-  std::ostream out(&buf);
-  ServeStream(in, out);
-  out.flush();
-  close(fd);
-}
+void PaneServer::Shutdown() { transport_->Shutdown(); }
 
 PaneServer::Counters PaneServer::counters() const {
-  MutexLock lock(&stats_mutex_);
-  return counters_;
+  Counters snapshot;
+  {
+    MutexLock lock(&stats_mutex_);
+    snapshot = counters_;
+  }
+  const TransportStats transport = transport_->stats();
+  snapshot.timeouts = transport.timeouts;
+  snapshot.rejected = transport.rejected;
+  return snapshot;
 }
 
 }  // namespace serve

@@ -1,36 +1,42 @@
-// The pane_server core: reads line-protocol requests from a stream or TCP
-// connection, executes them in batches on a QueryEngine, and answers in
-// request order. Batching is what turns the engine's blocked kernels on:
-// consecutive buffered requests (up to batch_size, or until the input
-// drains or a blank line forces a flush) become one engine batch.
-// Identical requests inside a batch are deduplicated, and a small LRU
-// cache short-circuits repeats across batches — an immutable store means
-// a cached response never goes stale.
+// The pane_server batching core. After the transport/session/codec split
+// this class no longer touches sockets or wire bytes: it executes batches
+// of parsed requests on a QueryEngine and composes the layers below it —
+// an EpollTransport for TCP, a ServeSession per connection (and per
+// ServeStream call), and a ProtocolCodec chosen per connection.
 //
-// One PaneServer may serve a stdin/stdout session and any number of TCP
-// connections concurrently: the engine is read-only, and the cache and
-// counters are the only shared mutable state.
+// Batching is what turns the engine's blocked kernels on: consecutive
+// buffered requests (up to batch_size, or until the input drains or the
+// codec signals an explicit flush) become one engine batch. Identical
+// requests inside a batch are deduplicated, and a small LRU cache
+// short-circuits repeats across batches — an immutable store means a
+// cached response never goes stale.
+//
+// Threading: the TCP path runs every session on the single transport loop
+// thread; parallelism comes from the engine's internal pool inside a
+// batch. ServeStream may additionally run on any number of caller
+// threads: the engine is read-only, and the cache and counters (each
+// under its own capability) are the only shared mutable state.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/sync.h"
 #include "src/serve/line_protocol.h"
+#include "src/serve/protocol.h"
 #include "src/serve/query_engine.h"
 
 namespace pane {
-
-class ThreadPool;
-
 namespace serve {
+
+class EpollTransport;
 
 struct ServerOptions {
   /// Max requests executed as one engine batch.
@@ -44,9 +50,14 @@ struct ServerOptions {
   /// Recommendation mode: skip attributes / out-neighbors the query node
   /// already has in this graph (must outlive the server).
   const AttributedGraph* exclude = nullptr;
-  /// Worker threads for TCP connection handling (the engine's own pool is
-  /// configured separately via QueryEngineOptions).
-  int connection_threads = 4;
+  /// Wire format: kAuto sniffs per connection from the first byte; kLine /
+  /// kFrame pin the codec for every connection and stream.
+  Protocol protocol = Protocol::kAuto;
+  /// Connections beyond this cap are refused with `err server busy` and
+  /// an immediate close (the transport's 503).
+  int64_t max_connections = 256;
+  /// TCP connections idle this long are reaped; 0 disables the sweep.
+  int64_t idle_timeout_ms = 0;
 };
 
 class PaneServer {
@@ -59,19 +70,21 @@ class PaneServer {
   PaneServer& operator=(const PaneServer&) = delete;
 
   /// Serves one request stream until EOF or `quit`, flushing `out` after
-  /// every batch. Thread-safe: may run concurrently with TCP connections.
+  /// every pump. Thread-safe: may run concurrently with the TCP loop and
+  /// with other ServeStream calls.
   void ServeStream(std::istream& in, std::ostream& out);
 
   /// Binds a loopback listening socket (`port` 0 picks an ephemeral port)
   /// and returns the bound port.
   Result<int> ListenTcp(int port);
 
-  /// Accepts connections until Shutdown(), handing each to the connection
-  /// pool. Blocks the calling thread.
+  /// Runs the transport event loop — accepts, reads, batches, writes — on
+  /// the calling thread until Shutdown(). A safe no-op (not a crash) if
+  /// ListenTcp has not succeeded.
   void AcceptLoop();
 
-  /// Wakes AcceptLoop and refuses new connections; in-flight connections
-  /// finish on the pool.
+  /// Thread-safe: wakes the event loop, which closes every connection and
+  /// returns from AcceptLoop. Safe in any order relative to ListenTcp.
   void Shutdown();
 
   struct Counters {
@@ -79,26 +92,42 @@ class PaneServer {
     uint64_t batches = 0;     ///< engine batches flushed
     uint64_t dedup_hits = 0;  ///< duplicates folded inside a batch
     uint64_t cache_hits = 0;  ///< answered from the LRU cache
-    uint64_t errors = 0;      ///< malformed / out-of-range requests
+    uint64_t errors = 0;      ///< malformed / out-of-range / framing errors
+    uint64_t timeouts = 0;    ///< connections reaped by the idle sweep
+    uint64_t rejected = 0;    ///< connections refused over max_connections
+    uint64_t frames = 0;      ///< binary frames decoded
   };
-  /// One consistent snapshot taken under the stats capability — the fields
-  /// of the returned struct all belong to the same instant, unlike the
-  /// field-by-field atomic reads this replaced.
+  /// One consistent snapshot: the request/batch/cache fields are read in
+  /// one stats_mutex_ hold, then the transport's accept-side counters
+  /// (timeouts, rejected) are merged in.
   Counters counters() const PANE_EXCLUDES(stats_mutex_);
 
- private:
-  struct Entry {
+  /// One decoded request, parsed by the session layer; a parse or framing
+  /// failure travels as an entry too, so errors stay in request order.
+  struct BatchEntry {
     Request request;
     bool parse_error = false;
     std::string error;
   };
 
+  /// Executes one batch in request order: validates ranges, consults the
+  /// LRU cache, folds duplicates, runs the engine's blocked kernels on
+  /// the rest, and fills *responses with one payload (no wire framing)
+  /// per entry. Sets *quit on a kQuit entry. Clears *batch.
+  void ExecuteBatch(std::vector<BatchEntry>* batch,
+                    std::vector<std::string>* responses, bool* quit)
+      PANE_EXCLUDES(stats_mutex_, cache_mutex_);
+
+  /// Counts decoded binary frames (called by frame-codec sessions).
+  void RecordFrames(uint64_t delta = 1) PANE_EXCLUDES(stats_mutex_);
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
   struct RequestHash {
     size_t operator()(const Request& r) const;
   };
 
-  void ExecuteBatch(std::vector<Entry>* batch, std::ostream& out,
-                    bool* quit);
   bool CacheLookup(const Request& key, std::string* response)
       PANE_EXCLUDES(cache_mutex_);
   void CacheInsert(const Request& key, const std::string& response)
@@ -107,7 +136,6 @@ class PaneServer {
   void Count(uint64_t Counters::*field, uint64_t delta = 1)
       PANE_EXCLUDES(stats_mutex_);
   std::string StatsResponse() const PANE_EXCLUDES(stats_mutex_);
-  void HandleConnection(int fd);
 
   const QueryEngine* engine_;
   ServerOptions options_;
@@ -127,9 +155,10 @@ class PaneServer {
   mutable Mutex stats_mutex_;
   Counters counters_ PANE_GUARDED_BY(stats_mutex_);
 
-  int listen_fd_ = -1;  // written by ListenTcp before any thread reads it
-  std::atomic<bool> shutdown_{false};
-  std::unique_ptr<ThreadPool> conn_pool_;
+  /// Created in the constructor and never reassigned, so every thread that
+  /// can observe the server sees the same transport — there is no
+  /// ListenTcp-before-Shutdown ordering to get wrong anymore.
+  std::unique_ptr<EpollTransport> transport_;
 };
 
 }  // namespace serve

@@ -11,6 +11,13 @@
 # semantics and threads are not capabilities.
 #
 # Rule 2 — no tracked build directories (migrated from the inline CI grep).
+#
+# Rule 3 — the transport layer owns the sockets: raw socket / epoll
+# syscalls may appear ONLY in src/serve/transport.cc. Server and example
+# code sees connections through EpollTransport's handler interface, so
+# fd-lifecycle and readiness bugs have exactly one home. tests/ and bench/
+# are exempt: they are *clients* of the server and legitimately open
+# plain connect() sockets to talk to it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +48,20 @@ inc_hits=$(grep -rEn '#include <(mutex|shared_mutex|condition_variable)>' \
 if [[ -n "$inc_hits" ]]; then
   echo "lint: raw sync headers included outside src/common/sync.{h,cc}:" >&2
   echo "$inc_hits" >&2
+  status=1
+fi
+
+# --- Rule 3: raw socket syscalls outside the transport ---------------------
+sock_pattern='\b(socket|accept4?|bind|listen|epoll_create1?|epoll_ctl'
+sock_pattern+='|epoll_wait|eventfd)\('
+
+sock_hits=$(grep -rEn "$sock_pattern" src examples \
+              --include='*.h' --include='*.cc' --include='*.cpp' \
+            | grep -Ev '^src/serve/transport\.cc:' || true)
+if [[ -n "$sock_hits" ]]; then
+  echo "lint: raw socket/epoll syscalls outside src/serve/transport.cc:" >&2
+  echo "$sock_hits" >&2
+  echo "lint: route connections through serve::EpollTransport instead" >&2
   status=1
 fi
 
