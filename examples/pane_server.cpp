@@ -14,12 +14,27 @@
 //   # TCP instead of stdin (loopback)
 //   ./pane_server --embedding=emb.bin --port=7077
 //
+// Sharded serving (the scatter-gather fabric of src/serve/router.h):
+//
+//   # router over an in-process fleet: the candidate space is cut into N
+//   # row shards, each scanned by a serial engine, fanned out in parallel
+//   ./pane_server --embedding=emb.bin --local-shards=4 --port=7077
+//   # router over remote shard servers (each serving a pane_shardctl slice)
+//   ./pane_server --embedding=emb.shard.0 --port=7071 &
+//   ./pane_server --embedding=emb.shard.1 --port=7072 &
+//   ./pane_server --shards=127.0.0.1:7071,127.0.0.1:7072 --port=7077
+//
+// Either way the router's responses are byte-identical to an unsharded
+// server over the same artifact; a dead shard degrades the affected
+// queries to `err shard unavailable` rather than a partial merge.
+//
 // Because the store maps the artifact read-only (MAP_SHARED), any number of
 // pane_server processes over the same file share one physical copy of the
 // embedding through the page cache.
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
@@ -28,7 +43,26 @@
 #include "src/parallel/thread_pool.h"
 #include "src/serve/embedding_store.h"
 #include "src/serve/query_engine.h"
+#include "src/serve/router.h"
 #include "src/serve/server.h"
+
+namespace {
+
+/// Splits a comma-separated --shards list; empty elements are rejected.
+std::vector<std::string> SplitAddresses(const std::string& list) {
+  std::vector<std::string> addresses;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    PANE_CHECK(end > begin) << "--shards has an empty element: " << list;
+    addresses.push_back(list.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return addresses;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   pane::FlagSet flags;
@@ -65,74 +99,113 @@ int main(int argc, char** argv) {
                   "next start");
   flags.AddInt("memory-budget-mb", 0,
                "caps the engine's per-batch scoring scratch (0 = default)");
+  flags.AddInt("local-shards", 0,
+               "router mode over an in-process fleet: cut --embedding into "
+               "this many row shards, each scanned by a serial engine, "
+               "fanned out across --threads (0 = unsharded serving)");
+  flags.AddString("shards", "",
+                  "router mode over remote shards: comma-separated "
+                  "host:port list of shard servers, in plan order "
+                  "(--embedding not needed)");
+  flags.AddInt("hop-timeout-ms", 2000,
+               "router: per-shard-hop deadline; a shard missing it answers "
+               "'err shard unavailable'");
+  flags.AddInt("max-frame-mb", 0,
+               "upper bound on one inbound frame payload, in MiB (0 = the "
+               "protocol default, 16); also bounds router hop replies");
   flags.AddBool("stats", false,
                 "print one consistent counter snapshot to stderr at exit "
                 "(taken in a single locked read, not field by field)");
   flags.AddBool("verbose", false, "log store / engine configuration");
   PANE_CHECK_OK(flags.Parse(argc, argv));
-  PANE_CHECK(!flags.GetString("embedding").empty())
-      << "--embedding=<artifact> is required (train one with pane_cli)";
+
+  const std::string shards_flag = flags.GetString("shards");
+  const int local_shards = static_cast<int>(flags.GetInt("local-shards"));
+  const bool remote_router = !shards_flag.empty();
+  PANE_CHECK(!(remote_router && local_shards > 0))
+      << "--shards and --local-shards are mutually exclusive";
+  PANE_CHECK(remote_router || !flags.GetString("embedding").empty())
+      << "--embedding=<artifact> is required (train one with pane_cli) "
+         "unless routing to remote --shards";
+
+  pane::ThreadPool pool(static_cast<int>(flags.GetInt("threads")));
 
   // No float copies: the IVF build makes its own single-precision
   // candidate/centroid storage (the link index scores Z rows, which exist
   // only post-derivation), and keeping the store copy-free preserves the
   // MAP_SHARED one-physical-copy property across server processes.
-  const auto store =
-      pane::serve::EmbeddingStore::Open(flags.GetString("embedding"));
-  PANE_CHECK(store.ok()) << store.status();
-  if (flags.GetBool("verbose")) {
-    std::fprintf(stderr,
-                 "store: method=%s n=%lld dim=%lld attrs=%lld mapped=%lldB "
-                 "zero_copy=%d\n",
-                 store->method().c_str(),
-                 static_cast<long long>(store->num_nodes()),
-                 static_cast<long long>(store->dim()),
-                 static_cast<long long>(store->num_attributes()),
-                 static_cast<long long>(store->mapped_bytes()),
-                 store->zero_copy() ? 1 : 0);
+  std::unique_ptr<pane::serve::EmbeddingStore> store;
+  if (!remote_router) {
+    auto opened =
+        pane::serve::EmbeddingStore::Open(flags.GetString("embedding"));
+    PANE_CHECK(opened.ok()) << opened.status();
+    store = std::make_unique<pane::serve::EmbeddingStore>(
+        opened.MoveValueUnsafe());
+    if (flags.GetBool("verbose")) {
+      std::fprintf(stderr,
+                   "store: method=%s n=%lld dim=%lld attrs=%lld mapped=%lldB "
+                   "zero_copy=%d sharded=%d\n",
+                   store->method().c_str(),
+                   static_cast<long long>(store->num_nodes()),
+                   static_cast<long long>(store->dim()),
+                   static_cast<long long>(store->num_attributes()),
+                   static_cast<long long>(store->mapped_bytes()),
+                   store->zero_copy() ? 1 : 0, store->sharded() ? 1 : 0);
+    }
   }
 
-  pane::ThreadPool pool(static_cast<int>(flags.GetInt("threads")));
-  pane::serve::QueryEngineOptions engine_options;
-  engine_options.pool = &pool;
-  engine_options.memory_budget_mb = flags.GetInt("memory-budget-mb");
-  auto engine = pane::serve::QueryEngine::Create(*store, engine_options);
-  PANE_CHECK(engine.ok()) << engine.status();
+  pane::serve::IvfOptions ivf;
+  ivf.num_clusters = flags.GetInt("clusters");
+  ivf.kmeans_iters = static_cast<int>(flags.GetInt("kmeans-iters"));
+  ivf.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  ivf.pool = &pool;
 
-  if (flags.GetBool("pruned")) {
-    const std::string ivf_path = flags.GetString("ivf");
-    std::error_code ec;
-    if (!ivf_path.empty() && std::filesystem::exists(ivf_path, ec)) {
-      // Restart path: adopt the saved indexes instead of re-running k-means.
-      pane::WallTimer timer;
-      PANE_CHECK_OK(engine->LoadPrunedIndex(ivf_path));
-      std::fprintf(stderr, "ivf: loaded %s in %.3fs (k-means skipped)\n",
-                   ivf_path.c_str(), timer.ElapsedSeconds());
-    } else {
-      pane::serve::IvfOptions ivf;
-      ivf.num_clusters = flags.GetInt("clusters");
-      ivf.kmeans_iters = static_cast<int>(flags.GetInt("kmeans-iters"));
-      ivf.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-      ivf.pool = &pool;
-      pane::WallTimer timer;
-      PANE_CHECK_OK(engine->BuildPrunedIndex(ivf));
-      std::fprintf(stderr, "ivf: built in %.3fs\n", timer.ElapsedSeconds());
-      if (!ivf_path.empty()) {
-        PANE_CHECK_OK(engine->SavePrunedIndex(ivf_path));
-        std::fprintf(stderr, "ivf: saved to %s (next start loads it)\n",
-                     ivf_path.c_str());
+  std::unique_ptr<pane::serve::QueryEngine> engine;
+  if (!remote_router && local_shards == 0) {
+    pane::serve::QueryEngineOptions engine_options;
+    engine_options.pool = &pool;
+    engine_options.memory_budget_mb = flags.GetInt("memory-budget-mb");
+    auto created = pane::serve::QueryEngine::Create(*store, engine_options);
+    PANE_CHECK(created.ok()) << created.status();
+    engine = std::make_unique<pane::serve::QueryEngine>(
+        created.MoveValueUnsafe());
+
+    if (flags.GetBool("pruned")) {
+      const std::string ivf_path = flags.GetString("ivf");
+      std::error_code ec;
+      if (!ivf_path.empty() && std::filesystem::exists(ivf_path, ec)) {
+        // Restart path: adopt the saved indexes instead of re-running
+        // k-means.
+        pane::WallTimer timer;
+        PANE_CHECK_OK(engine->LoadPrunedIndex(ivf_path));
+        std::fprintf(stderr, "ivf: loaded %s in %.3fs (k-means skipped)\n",
+                     ivf_path.c_str(), timer.ElapsedSeconds());
+      } else {
+        pane::WallTimer timer;
+        PANE_CHECK_OK(engine->BuildPrunedIndex(ivf));
+        std::fprintf(stderr, "ivf: built in %.3fs\n",
+                     timer.ElapsedSeconds());
+        if (!ivf_path.empty()) {
+          PANE_CHECK_OK(engine->SavePrunedIndex(ivf_path));
+          std::fprintf(stderr, "ivf: saved to %s (next start loads it)\n",
+                       ivf_path.c_str());
+        }
       }
-    }
-    if (flags.GetBool("verbose")) {
-      std::fprintf(stderr, "ivf: attr_clusters=%lld link_clusters=%lld\n",
-                   static_cast<long long>(engine->attr_index().num_clusters()),
-                   static_cast<long long>(engine->link_index().num_clusters()));
+      if (flags.GetBool("verbose")) {
+        std::fprintf(
+            stderr, "ivf: attr_clusters=%lld link_clusters=%lld\n",
+            static_cast<long long>(engine->attr_index().num_clusters()),
+            static_cast<long long>(engine->link_index().num_clusters()));
+      }
     }
   }
 
   pane::AttributedGraph exclude_graph;
   pane::serve::ServerOptions server_options;
   if (!flags.GetString("graph").empty()) {
+    PANE_CHECK(store != nullptr)
+        << "--graph needs a local --embedding (remote shards apply their "
+           "own --graph)";
     auto loaded = pane::LoadGraphAuto(flags.GetString("graph"), &pool);
     PANE_CHECK(loaded.ok()) << loaded.status();
     exclude_graph = loaded.MoveValueUnsafe();
@@ -150,21 +223,68 @@ int main(int argc, char** argv) {
       << flags.GetString("protocol") << "'";
   server_options.max_connections = flags.GetInt("max-connections");
   server_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms");
+  server_options.max_frame_bytes = flags.GetInt("max-frame-mb") << 20;
 
-  pane::serve::PaneServer server(&*engine, server_options);
+  // The fleet (local mode) and router must outlive the server.
+  pane::serve::LocalFleet fleet;
+  std::unique_ptr<pane::serve::Router> router;
+  std::unique_ptr<pane::serve::PaneServer> server;
+  if (remote_router || local_shards > 0) {
+    pane::serve::RouterOptions router_options;
+    router_options.hop_timeout_ms = flags.GetInt("hop-timeout-ms");
+    router_options.max_frame_bytes = server_options.max_frame_bytes;
+    router_options.pool = &pool;
+    std::vector<std::unique_ptr<pane::serve::ShardBackend>> backends;
+    if (remote_router) {
+      for (const std::string& address : SplitAddresses(shards_flag)) {
+        backends.push_back(
+            std::make_unique<pane::serve::RemoteShard>(address,
+                                                       router_options));
+      }
+    } else {
+      // Serial shard engines; the router's fan-out over `pool` is the
+      // parallelism, so engine and fan-out threads never nest.
+      pane::serve::QueryEngineOptions shard_engine_options;
+      shard_engine_options.memory_budget_mb =
+          flags.GetInt("memory-budget-mb");
+      auto built = pane::serve::BuildLocalShards(
+          *store, local_shards, shard_engine_options, server_options,
+          flags.GetBool("pruned") ? &ivf : nullptr);
+      PANE_CHECK(built.ok()) << built.status();
+      fleet = built.MoveValueUnsafe();
+      backends = std::move(fleet.backends);
+    }
+    auto created =
+        pane::serve::Router::Create(std::move(backends), router_options);
+    PANE_CHECK(created.ok()) << created.status();
+    router = std::make_unique<pane::serve::Router>(created.MoveValueUnsafe());
+    if (flags.GetBool("verbose")) {
+      std::fprintf(stderr, "router: shards=%d n=%lld attrs=%lld dim=%lld\n",
+                   router->num_shards(),
+                   static_cast<long long>(router->num_nodes()),
+                   static_cast<long long>(router->num_attributes()),
+                   static_cast<long long>(router->dim()));
+    }
+    server = std::make_unique<pane::serve::PaneServer>(router.get(),
+                                                       server_options);
+  } else {
+    server = std::make_unique<pane::serve::PaneServer>(engine.get(),
+                                                       server_options);
+  }
+
   const int64_t port = flags.GetInt("port");
   if (port == 0) {
-    server.ServeStream(std::cin, std::cout);
+    server->ServeStream(std::cin, std::cout);
   } else {
-    const auto bound = server.ListenTcp(static_cast<int>(port));
+    const auto bound = server->ListenTcp(static_cast<int>(port));
     PANE_CHECK(bound.ok()) << bound.status();
     std::fprintf(stderr, "pane_server listening on 127.0.0.1:%d\n", *bound);
-    server.AcceptLoop();
+    server->AcceptLoop();
   }
   // counters() returns one snapshot taken under the server's stats
   // capability (plus the transport's accept-side counters), so the numbers
   // below all belong to the same instant.
-  const auto counters = server.counters();
+  const auto counters = server->counters();
   if (flags.GetBool("stats") || flags.GetBool("verbose")) {
     std::fprintf(stderr,
                  "%s: requests=%llu batches=%llu dedup=%llu cache=%llu "

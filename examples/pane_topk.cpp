@@ -30,6 +30,7 @@
 #include "src/serve/frame_protocol.h"
 #include "src/serve/line_protocol.h"
 #include "src/serve/protocol.h"
+#include "src/serve/shard_plan.h"
 
 namespace {
 
@@ -77,6 +78,21 @@ std::string Respond(const pane::PaneEmbedding& embedding,
     return "bye";
   }
   if (r.type == Request::Type::kStats) return "stats ok offline";
+  if (r.type == Request::Type::kPlan) {
+    // Same full-range 0/1 plan an unsharded pane_server reports, so the
+    // shard-smoke differential can script `plan` through both sides.
+    pane::serve::ShardSpec spec;
+    spec.shard_index = 0;
+    spec.shard_count = 1;
+    spec.num_nodes = embedding.num_nodes();
+    spec.num_attributes = embedding.num_attributes();
+    spec.dim = embedding.xf.cols();
+    spec.node_end = spec.num_nodes;
+    spec.attr_end = spec.num_attributes;
+    spec.has_attributes = true;
+    spec.has_links = true;
+    return pane::serve::FormatPlanResponse(spec);
+  }
   const int64_t n = embedding.num_nodes();
   const int64_t d = embedding.num_attributes();
   if (r.a < 0 || r.a >= n) {

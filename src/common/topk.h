@@ -42,6 +42,45 @@ inline Ranking SelectTopK(Ranking candidates, int64_t k) {
   return candidates;
 }
 
+/// \brief Deterministic k-way merge of per-shard top-k lists. Each input
+/// list must already be sorted by RankBetter (what SelectTopK / TopKHeap::
+/// Take produce); indices must be globally unique across lists (each shard
+/// ranks a disjoint candidate range). The merge walks a cursor heap over
+/// the list heads, so the global order is exactly the order a single scan
+/// over the union would have produced: a sharded answer is byte-identical
+/// to the unsharded one. O(k log s) for s lists.
+inline Ranking MergeTopK(const std::vector<Ranking>& lists, int64_t k) {
+  // Heap of (list, position) cursors; the best current head is popped first.
+  std::vector<std::pair<size_t, size_t>> cursors;
+  cursors.reserve(lists.size());
+  for (size_t l = 0; l < lists.size(); ++l) {
+    if (!lists[l].empty()) cursors.emplace_back(l, 0);
+  }
+  const auto cursor_worse = [&lists](const std::pair<size_t, size_t>& a,
+                                     const std::pair<size_t, size_t>& b) {
+    // std::push_heap keeps the max on top, so "a worse than b" puts the
+    // RankBetter-best cursor at the front.
+    return RankBetter(lists[b.first][b.second], lists[a.first][a.second]);
+  };
+  std::make_heap(cursors.begin(), cursors.end(), cursor_worse);
+  int64_t total = 0;
+  for (const Ranking& list : lists) total += static_cast<int64_t>(list.size());
+  Ranking merged;
+  merged.reserve(static_cast<size_t>(std::max<int64_t>(
+      0, std::min<int64_t>(k, total))));
+  while (static_cast<int64_t>(merged.size()) < k && !cursors.empty()) {
+    std::pop_heap(cursors.begin(), cursors.end(), cursor_worse);
+    auto [l, p] = cursors.back();
+    cursors.pop_back();
+    merged.push_back(lists[l][p]);
+    if (p + 1 < lists[l].size()) {
+      cursors.emplace_back(l, p + 1);
+      std::push_heap(cursors.begin(), cursors.end(), cursor_worse);
+    }
+  }
+  return merged;
+}
+
 /// \brief Streaming bounded selection: offer any number of (index, score)
 /// pairs, take the k best in ranking order. A size-k min-heap whose top is
 /// the worst kept pair, so the common reject case is one comparison.

@@ -107,6 +107,26 @@ Result<EmbeddingStore> EmbeddingStore::Open(
                           store::Container::Open(path));
     store.container_ =
         std::make_unique<store::Container>(std::move(container));
+    if (store::HasShardStreams(*store.container_)) {
+      // One shard of a split artifact: full xf/xb, y/z slices, no features.
+      PANE_ASSIGN_OR_RETURN(
+          store::ShardExtents extents,
+          store::ReadShardStreams(*store.container_,
+                                  options.verify_checksums));
+      store.shard_ = std::make_unique<store::ShardMeta>(extents.meta);
+      store.method_ = store.shard_->method;
+      const auto view_of = [](const store::MatrixExtent& e) {
+        return e.present() ? ConstMatrixView(e.data, e.rows, e.cols)
+                           : ConstMatrixView();
+      };
+      store.xf_ = view_of(extents.xf);
+      store.xb_ = view_of(extents.xb);
+      store.y_ = view_of(extents.y);
+      store.z_ = view_of(extents.z);
+      store.zero_copy_ = true;
+      PANE_RETURN_NOT_OK(store.FinishOpen(path, options));
+      return store;
+    }
     if (!store::HasEmbeddingStreams(*store.container_)) {
       return Status::InvalidArgument("container " + path +
                                      " holds no embedding artifact");
@@ -216,15 +236,18 @@ Result<EmbeddingStore> EmbeddingStore::Open(
 
 Status EmbeddingStore::FinishOpen(const std::string& path,
                                   const EmbeddingStoreOptions& options) {
-  // Cross-matrix consistency, mirroring NodeEmbedding::Check.
-  if (features_.rows() * features_.cols() == 0) {
+  // Cross-matrix consistency. Shard artifacts carry no features block —
+  // their shapes were already validated against the shard meta's declared
+  // ranges by ReadShardStreams — so only the factor relations apply.
+  if (!sharded() && features_.rows() * features_.cols() == 0) {
     return Status::InvalidArgument("embedding artifact has no features: " +
                                    path);
   }
   const bool has_xf = xf_.rows() > 0;
   const bool has_xb = xb_.rows() > 0;
+  const int64_t expected_rows = sharded() ? xf_.rows() : features_.rows();
   if (has_xf != has_xb ||
-      (has_xf && (xf_.rows() != features_.rows() ||
+      (has_xf && (xf_.rows() != expected_rows ||
                   xf_.rows() != xb_.rows() || xf_.cols() != xb_.cols()))) {
     return Status::InvalidArgument(
         "inconsistent factor blocks in embedding artifact: " + path);

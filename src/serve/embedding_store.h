@@ -30,6 +30,7 @@
 #include "src/common/status.h"
 #include "src/matrix/dense_matrix.h"
 #include "src/store/container.h"
+#include "src/store/shard_pages.h"
 
 namespace pane {
 namespace serve {
@@ -96,10 +97,28 @@ class EmbeddingStore {
   ConstMatrixView xf() const { return xf_; }
   ConstMatrixView xb() const { return xb_; }
   ConstMatrixView y() const { return y_; }
+  /// Pre-derived link-candidate rows (shard containers only; the unsharded
+  /// open path leaves this empty and the engine derives Z itself).
+  ConstMatrixView z() const { return z_; }
 
-  int64_t num_nodes() const { return features_.rows(); }
-  int64_t dim() const { return features_.cols(); }
-  int64_t num_attributes() const { return y_.rows(); }
+  /// True when the artifact is one shard of a split embedding (a shard.*
+  /// container written by pane_shardctl). A sharded store has no features
+  /// block: it holds the full xf/xb plus the y/z slices of its ranges.
+  bool sharded() const { return shard_ != nullptr; }
+  /// The shard's plan position and held ranges; only valid when sharded().
+  const store::ShardMeta& shard() const { return *shard_; }
+
+  int64_t num_nodes() const {
+    return sharded() ? shard_->num_nodes : features_.rows();
+  }
+  int64_t dim() const {
+    return sharded() ? shard_->dim : features_.cols();
+  }
+  /// Global attribute count: for a shard this is the plan's d, not the
+  /// local slice height (y().rows()).
+  int64_t num_attributes() const {
+    return sharded() ? shard_->num_attributes : y_.rows();
+  }
   bool has_node_factors() const {
     return xf_.rows() > 0 && xb_.rows() > 0;
   }
@@ -137,7 +156,9 @@ class EmbeddingStore {
   std::unique_ptr<store::Container> container_;
   // Owned fallback storage for unaligned (version-1) artifacts.
   DenseMatrix owned_features_, owned_xf_, owned_xb_, owned_y_;
-  ConstMatrixView features_, xf_, xb_, y_;
+  ConstMatrixView features_, xf_, xb_, y_, z_;
+  // Set when the container holds a shard artifact (shard.* streams).
+  std::unique_ptr<store::ShardMeta> shard_;
   std::string method_;
   LinkConvention link_convention_ = LinkConvention::kInnerProduct;
   AttributeConvention attribute_convention_ = AttributeConvention::kCentroid;

@@ -46,7 +46,7 @@ ProtocolCodec::Decoded FrameCodec::Decode(std::string_view buffer, size_t* pos,
     *error = "zero-length frame";
     return Decoded::kError;
   }
-  if (static_cast<size_t>(length) > kMaxFramePayload) {
+  if (static_cast<size_t>(length) > max_payload_) {
     *error = "oversized frame length " + std::to_string(length);
     return Decoded::kError;
   }

@@ -46,12 +46,21 @@ inline constexpr size_t kMaxFramePayload = size_t{16} << 20;
 
 class FrameCodec final : public ProtocolCodec {
  public:
+  /// `max_payload` bounds inbound frame lengths (default: the protocol-wide
+  /// kMaxFramePayload). The router lowers it per hop via --max-frame-mb;
+  /// outbound Encode always enforces the protocol-wide bound.
+  explicit FrameCodec(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload == 0 ? kMaxFramePayload : max_payload) {}
+
   const char* name() const override { return "frame"; }
   Decoded Decode(std::string_view buffer, size_t* pos,
                  std::string_view* payload, std::string* error) override;
   void Encode(std::string_view payload, std::string* out) override;
   bool DecodeFinal(std::string_view remainder, std::string_view* payload,
                    std::string* error) override;
+
+ private:
+  size_t max_payload_;
 };
 
 /// Appends one framed payload to *out (the static form of

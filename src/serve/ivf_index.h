@@ -53,9 +53,12 @@ class IvfIndex {
   /// scored in float). Probes the `nprobe` centroid-best lists. `excluded`
   /// is a sorted id list to skip (may be empty); `skip_id` < 0 disables the
   /// self-skip. Scores in the result are the float dots widened to double.
+  /// `id_base` shifts every member id into a global id space before the
+  /// exclusion / self-skip checks and the result — a shard engine indexes
+  /// its local candidate slice but answers (and excludes) in global ids.
   Ranking Search(const double* query, int64_t k, int64_t nprobe,
                  const std::vector<int64_t>& excluded = {},
-                 int64_t skip_id = -1) const;
+                 int64_t skip_id = -1, int64_t id_base = 0) const;
 
   int64_t num_clusters() const { return centroids_.rows; }
   int64_t num_candidates() const {

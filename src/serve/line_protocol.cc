@@ -1,6 +1,8 @@
 #include "src/serve/line_protocol.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/common/string_util.h"
 
@@ -35,13 +37,14 @@ Result<Request> ParseRequestLine(std::string_view line) {
   }
   Request request;
   const std::string_view verb = tokens[0];
-  if (verb == "stats" || verb == "quit") {
+  if (verb == "stats" || verb == "quit" || verb == "plan") {
     if (tokens.size() != 1) {
       return Status::InvalidArgument(std::string(verb) +
                                      " takes no arguments");
     }
-    request.type =
-        verb == "stats" ? Request::Type::kStats : Request::Type::kQuit;
+    request.type = verb == "stats"  ? Request::Type::kStats
+                   : verb == "plan" ? Request::Type::kPlan
+                                    : Request::Type::kQuit;
     return request;
   }
   if (tokens.size() != 3) {
@@ -100,6 +103,83 @@ std::string FormatScore(const Request& request, double score) {
 
 std::string FormatError(const std::string& message) {
   return "err " + message;
+}
+
+std::string FormatRequest(const Request& request) {
+  switch (request.type) {
+    case Request::Type::kTopKAttributes:
+      return "attr " + std::to_string(request.a) + ' ' +
+             std::to_string(request.k);
+    case Request::Type::kTopKTargets:
+      return "link " + std::to_string(request.a) + ' ' +
+             std::to_string(request.k);
+    case Request::Type::kAttributePair:
+      return "pattr " + std::to_string(request.a) + ' ' +
+             std::to_string(request.b);
+    case Request::Type::kLinkPair:
+      return "pair " + std::to_string(request.a) + ' ' +
+             std::to_string(request.b);
+    case Request::Type::kStats:
+      return "stats";
+    case Request::Type::kPlan:
+      return "plan";
+    case Request::Type::kQuit:
+      return "quit";
+  }
+  return "stats";
+}
+
+Status ParseRankingResponse(std::string_view line, Request::Type expected,
+                            int64_t expected_node, Ranking* ranking) {
+  const std::vector<std::string_view> tokens = SplitWhitespace(line);
+  if (tokens.size() >= 1 && tokens[0] == "err") {
+    return Status::IOError("shard answered: " + std::string(line));
+  }
+  const std::string_view verb =
+      expected == Request::Type::kTopKAttributes ? "attr" : "link";
+  if (tokens.size() < 3 || tokens[0] != verb || tokens[2] != "ok") {
+    return Status::InvalidArgument("malformed top-k response: " +
+                                   std::string(line));
+  }
+  int64_t node = 0;
+  if (!ParseId(tokens[1], &node) || node != expected_node) {
+    return Status::InvalidArgument("top-k response for the wrong query: " +
+                                   std::string(line));
+  }
+  ranking->clear();
+  ranking->reserve(tokens.size() - 3);
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    const std::string_view entry = tokens[i];
+    const size_t colon = entry.find(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      return Status::InvalidArgument("malformed ranking entry: " +
+                                     std::string(entry));
+    }
+    int64_t index = 0;
+    if (!ParseId(entry.substr(0, colon), &index)) {
+      return Status::InvalidArgument("non-numeric ranking index: " +
+                                     std::string(entry));
+    }
+    // The score substring needs NUL termination for strtod; entries are
+    // short, so a stack copy beats materializing the whole line.
+    char buf[48];
+    const std::string_view score_text = entry.substr(colon + 1);
+    if (score_text.size() >= sizeof(buf)) {
+      return Status::InvalidArgument("implausible score length in: " +
+                                     std::string(entry));
+    }
+    std::memcpy(buf, score_text.data(), score_text.size());
+    buf[score_text.size()] = '\0';
+    char* end = nullptr;
+    const double score = std::strtod(buf, &end);
+    if (end != buf + score_text.size()) {
+      return Status::InvalidArgument("non-numeric score: " +
+                                     std::string(entry));
+    }
+    ranking->emplace_back(index, score);
+  }
+  return Status::OK();
 }
 
 ProtocolCodec::Decoded LineCodec::Decode(std::string_view buffer, size_t* pos,

@@ -9,6 +9,7 @@
 //   pattr <node> <attr> one attribute pair score
 //   pair <src> <dst>    one directed link pair score
 //   stats               server counters (never cached / deduplicated)
+//   plan                shard identity / held ranges (router handshake)
 //   quit                close the connection after responding "bye"
 //
 // Responses:
@@ -16,6 +17,7 @@
 //   link <node> ok ...
 //   pattr <node> <attr> ok <score>
 //   pair <src> <dst> ok <score>
+//   plan ok shard=<i>/<N> nodes=<b>:<e>/<n> attrs=<b>:<e>/<d> dim=<h> ...
 //   err <message>
 //
 // Scores are printed with %.17g, enough digits to round-trip a double, so
@@ -40,6 +42,7 @@ struct Request {
     kAttributePair,
     kLinkPair,
     kStats,
+    kPlan,
     kQuit,
   };
   Type type = Type::kStats;
@@ -62,6 +65,18 @@ Result<Request> ParseRequestLine(std::string_view line);
 std::string FormatRanking(const Request& request, const Ranking& ranking);
 std::string FormatScore(const Request& request, double score);
 std::string FormatError(const std::string& message);
+
+/// The canonical request line for `request` — what the router sends on a
+/// shard hop. ParseRequestLine(FormatRequest(r)) == r for every type.
+std::string FormatRequest(const Request& request);
+
+/// Parses a top-k response line ("attr <node> ok <idx>:<score> ..." or the
+/// "link" form) back into its ranking — the router's merge input. Scores
+/// parse with strtod, which round-trips the %.17g formatting exactly, so a
+/// parse → merge → reformat cycle is byte-stable. An "err ..." payload or
+/// any malformed line is an error Status, never a partial ranking.
+Status ParseRankingResponse(std::string_view line, Request::Type expected,
+                            int64_t expected_node, Ranking* ranking);
 
 /// The newline-delimited wire format as a ProtocolCodec: one payload per
 /// '\n'-terminated line (the '\n' is framing, not payload — responses get

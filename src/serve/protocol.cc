@@ -32,12 +32,13 @@ const char* ProtocolName(Protocol protocol) {
 }
 
 std::unique_ptr<ProtocolCodec> MakeCodec(Protocol requested,
-                                         unsigned char first) {
+                                         unsigned char first,
+                                         size_t max_frame_payload) {
   if (requested == Protocol::kAuto) {
     requested = first == kFrameMagic ? Protocol::kFrame : Protocol::kLine;
   }
   if (requested == Protocol::kFrame) {
-    return std::make_unique<FrameCodec>();
+    return std::make_unique<FrameCodec>(max_frame_payload);
   }
   return std::make_unique<LineCodec>();
 }

@@ -78,9 +78,11 @@ class ProtocolCodec {
 
 /// Codec for a connection whose first byte is `first`: the frame magic
 /// selects FrameCodec, anything else LineCodec. `requested` != kAuto
-/// overrides sniffing.
+/// overrides sniffing. `max_frame_payload` bounds inbound frame lengths
+/// for the frame codec (0 = the protocol default, kMaxFramePayload).
 std::unique_ptr<ProtocolCodec> MakeCodec(Protocol requested,
-                                         unsigned char first);
+                                         unsigned char first,
+                                         size_t max_frame_payload = 0);
 
 }  // namespace serve
 }  // namespace pane

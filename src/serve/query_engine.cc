@@ -179,11 +179,58 @@ Result<QueryEngine> QueryEngine::Create(ConstMatrixView xf,
     Gemm(xb, gram, &engine.z_owned_);
     engine.z_ = engine.z_owned_.View();
   }
+  engine.num_attributes_ = engine.y_.rows();
+  engine.supports_attributes_ = engine.xb_.rows() > 0 && engine.y_.rows() > 0;
+  engine.supports_links_ = engine.z_.rows() > 0;
+  return engine;
+}
+
+Result<QueryEngine> QueryEngine::CreateSharded(
+    ConstMatrixView xf, ConstMatrixView xb, ConstMatrixView y,
+    ConstMatrixView z, const store::ShardMeta& shard,
+    const QueryEngineOptions& options) {
+  if (xf.rows() != shard.num_nodes || xf.cols() != shard.dim ||
+      xb.rows() != shard.num_nodes || xb.cols() != shard.dim) {
+    return Status::InvalidArgument(
+        "sharded engine needs the full xf/xb factors (" +
+        std::to_string(shard.num_nodes) + " x " + std::to_string(shard.dim) +
+        ")");
+  }
+  if (y.rows() != shard.attr_end - shard.attr_begin ||
+      (y.rows() > 0 && y.cols() != shard.dim)) {
+    return Status::InvalidArgument(
+        "sharded engine y slice disagrees with the shard's attribute range");
+  }
+  if (z.rows() != shard.node_end - shard.node_begin ||
+      (z.rows() > 0 && z.cols() != shard.dim)) {
+    return Status::InvalidArgument(
+        "sharded engine z slice disagrees with the shard's node range");
+  }
+  QueryEngine engine;
+  engine.xf_ = xf;
+  engine.xb_ = xb;
+  engine.y_ = y;
+  engine.z_ = z;
+  engine.pool_ = options.pool;
+  const BlockShape shape = DeriveBlockShape(options, shard.dim);
+  engine.query_block_ = shape.query_block;
+  engine.candidate_tile_ = shape.candidate_tile;
+  engine.attr_base_ = shard.attr_begin;
+  engine.link_base_ = shard.node_begin;
+  engine.num_attributes_ = shard.num_attributes;
+  engine.supports_attributes_ = shard.has_attributes;
+  engine.supports_links_ = shard.has_links;
+  engine.sharded_ = true;
+  engine.shard_ = shard;
   return engine;
 }
 
 Result<QueryEngine> QueryEngine::Create(const EmbeddingStore& store,
                                         const QueryEngineOptions& options) {
+  if (store.sharded()) {
+    return CreateSharded(store.xf(), store.xb(), store.y(), store.z(),
+                         store.shard(), options);
+  }
   if (!store.has_attribute_factors()) {
     return Status::InvalidArgument(
         "serving engine requires the xf/xb/y factor blocks (artifact "
@@ -232,7 +279,10 @@ void QueryEngine::ProcessAttributeRange(const std::vector<TopKQuery>& queries,
                   /*add=*/true);
       }
       for (int64_t q = 0; q < b; ++q) {
-        ScanTile(buf.data() + q * tile, c0, len, &states[static_cast<size_t>(q)]);
+        // Offer global candidate ids (attr_base_ shifts the local slice),
+        // so exclusion lists and tie-breaks work in global id space.
+        ScanTile(buf.data() + q * tile, attr_base_ + c0, len,
+                 &states[static_cast<size_t>(q)]);
       }
     }
     for (int64_t q = 0; q < b; ++q) {
@@ -276,7 +326,8 @@ void QueryEngine::ProcessTargetRange(const std::vector<TopKQuery>& queries,
                   /*add=*/false);
       }
       for (int64_t q = 0; q < b; ++q) {
-        ScanTile(buf.data() + q * tile, c0, len, &states[static_cast<size_t>(q)]);
+        ScanTile(buf.data() + q * tile, link_base_ + c0, len,
+                 &states[static_cast<size_t>(q)]);
       }
     }
     for (int64_t q = 0; q < b; ++q) {
@@ -358,7 +409,9 @@ std::vector<double> QueryEngine::AttributeScores(
                 const auto& [v, r] = pairs[static_cast<size_t>(i)];
                 PANE_CHECK(v >= 0 && v < num_nodes());
                 PANE_CHECK(r >= 0 && r < num_attributes());
-                const double* yr = y_.Row(r);
+                PANE_CHECK(OwnsAttribute(r))
+                    << "attribute " << r << " is not held by this shard";
+                const double* yr = y_.Row(r - attr_base_);
                 scores[static_cast<size_t>(i)] =
                     Dot(xf_.Row(v), yr, h) + Dot(xb_.Row(v), yr, h);
               }
@@ -377,8 +430,10 @@ std::vector<double> QueryEngine::LinkScores(
                 const auto& [u, w] = pairs[static_cast<size_t>(i)];
                 PANE_CHECK(u >= 0 && u < num_nodes());
                 PANE_CHECK(w >= 0 && w < num_nodes());
+                PANE_CHECK(OwnsTarget(w))
+                    << "target " << w << " is not held by this shard";
                 scores[static_cast<size_t>(i)] =
-                    Dot(xf_.Row(u), z_.Row(w), h);
+                    Dot(xf_.Row(u), z_.Row(w - link_base_), h);
               }
             });
   return scores;
@@ -389,10 +444,13 @@ Status QueryEngine::BuildPrunedIndex(const IvfOptions& options) {
     return Status::InvalidArgument(
         "nothing to index: engine has neither attribute nor link scoring");
   }
-  if (supports_attributes()) {
+  // Index only the local candidate slices. A shard whose slice for one
+  // query family is empty simply keeps that index empty — the pruned calls
+  // answer it with empty rankings, and the router's merge is unaffected.
+  if (supports_attributes() && y_.rows() > 0) {
     PANE_ASSIGN_OR_RETURN(attr_index_, IvfIndex::Build(y_, options));
   }
-  if (supports_links()) {
+  if (supports_links() && z_.rows() > 0) {
     PANE_ASSIGN_OR_RETURN(link_index_, IvfIndex::Build(z_, options));
   }
   return Status::OK();
@@ -475,10 +533,18 @@ Status QueryEngine::LoadPrunedIndex(const std::string& path) {
 std::vector<Ranking> QueryEngine::TopKAttributesPruned(
     const std::vector<TopKQuery>& queries, int64_t nprobe,
     const AttributedGraph* exclude) const {
-  PANE_CHECK(!attr_index_.empty())
+  PANE_CHECK(!attr_index_.empty() || (sharded_ && y_.rows() == 0))
       << "call BuildPrunedIndex before pruned attribute queries";
   const int64_t h = xf_.cols();
   std::vector<Ranking> results(queries.size());
+  // A shard holding no attribute rows contributes nothing to any merge.
+  if (attr_index_.empty()) {
+    for (const TopKQuery& q : queries) {
+      PANE_CHECK(q.node >= 0 && q.node < num_nodes());
+      PANE_CHECK(q.k > 0);
+    }
+    return results;
+  }
   RunRanges(pool_, static_cast<int64_t>(queries.size()),
             [&](int64_t begin, int64_t end) {
               std::vector<double> qv(static_cast<size_t>(h));
@@ -496,7 +562,8 @@ std::vector<Ranking> QueryEngine::TopKAttributesPruned(
                         ? ExcludedIds(exclude->attributes(), query.node)
                         : std::vector<int64_t>();
                 results[static_cast<size_t>(i)] = attr_index_.Search(
-                    qv.data(), query.k, nprobe, ex, /*skip_id=*/-1);
+                    qv.data(), query.k, nprobe, ex, /*skip_id=*/-1,
+                    /*id_base=*/attr_base_);
               }
             });
   return results;
@@ -505,9 +572,16 @@ std::vector<Ranking> QueryEngine::TopKAttributesPruned(
 std::vector<Ranking> QueryEngine::TopKTargetsPruned(
     const std::vector<TopKQuery>& queries, int64_t nprobe,
     const AttributedGraph* exclude) const {
-  PANE_CHECK(!link_index_.empty())
+  PANE_CHECK(!link_index_.empty() || (sharded_ && z_.rows() == 0))
       << "call BuildPrunedIndex before pruned link queries";
   std::vector<Ranking> results(queries.size());
+  if (link_index_.empty()) {
+    for (const TopKQuery& q : queries) {
+      PANE_CHECK(q.node >= 0 && q.node < num_nodes());
+      PANE_CHECK(q.k > 0);
+    }
+    return results;
+  }
   RunRanges(pool_, static_cast<int64_t>(queries.size()),
             [&](int64_t begin, int64_t end) {
               for (int64_t i = begin; i < end; ++i) {
@@ -520,7 +594,8 @@ std::vector<Ranking> QueryEngine::TopKTargetsPruned(
                         : std::vector<int64_t>();
                 results[static_cast<size_t>(i)] =
                     link_index_.Search(xf_.Row(query.node), query.k, nprobe,
-                                       ex, /*skip_id=*/query.node);
+                                       ex, /*skip_id=*/query.node,
+                                       /*id_base=*/link_base_);
               }
             });
   return results;

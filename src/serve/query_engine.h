@@ -27,6 +27,7 @@
 #include "src/graph/graph.h"
 #include "src/matrix/dense_matrix.h"
 #include "src/serve/ivf_index.h"
+#include "src/store/shard_pages.h"
 
 namespace pane {
 
@@ -79,9 +80,27 @@ class QueryEngine {
                                     const QueryEngineOptions& options);
 
   /// Engine over a mapped artifact (factor blocks required; the store must
-  /// outlive the engine).
+  /// outlive the engine). A sharded store dispatches to CreateSharded with
+  /// the store's slices and shard meta.
   static Result<QueryEngine> Create(const EmbeddingStore& store,
                                     const QueryEngineOptions& options);
+
+  /// Engine over one shard of a split embedding: the full query-side
+  /// factors (xf / xb: n x h) plus the local candidate slices (y: rows
+  /// [attr_begin, attr_end); z: rows [node_begin, node_end), either may be
+  /// empty). The engine scans only its slices but accepts and returns
+  /// *global* ids everywhere — queries, exclusion lists, pair ids, and
+  /// top-k results — so the router merges per-shard answers without any
+  /// id translation, and tie-breaks resolve in global-index order. `z`
+  /// must be pre-derived from the full matrices (SplitEmbeddingArtifact /
+  /// BuildLocalShards do this), never per shard, so link scores stay
+  /// bitwise the unsharded engine's.
+  static Result<QueryEngine> CreateSharded(ConstMatrixView xf,
+                                           ConstMatrixView xb,
+                                           ConstMatrixView y,
+                                           ConstMatrixView z,
+                                           const store::ShardMeta& shard,
+                                           const QueryEngineOptions& options);
 
   // ---- Exact mode -------------------------------------------------------
 
@@ -140,12 +159,30 @@ class QueryEngine {
 
   // ---- Introspection ----------------------------------------------------
 
+  /// Global node count (xf is replicated in full on every shard).
   int64_t num_nodes() const { return xf_.rows(); }
-  int64_t num_attributes() const { return y_.rows(); }
-  bool supports_attributes() const {
-    return xb_.rows() > 0 && y_.rows() > 0;
+  /// Factor dimensionality h.
+  int64_t dim() const { return xf_.cols(); }
+  /// Global attribute count — for a shard this is the plan's d, not the
+  /// local slice height.
+  int64_t num_attributes() const { return num_attributes_; }
+  bool supports_attributes() const { return supports_attributes_; }
+  bool supports_links() const { return supports_links_; }
+
+  bool sharded() const { return sharded_; }
+  /// Only meaningful when sharded() (an unsharded engine owns everything).
+  const store::ShardMeta& shard() const { return shard_; }
+  /// Whether this engine holds the candidate row for a global id — pair
+  /// requests must be routed to the owner.
+  bool OwnsAttribute(int64_t attribute) const {
+    return !sharded_ || (attribute >= shard_.attr_begin &&
+                         attribute < shard_.attr_end);
   }
-  bool supports_links() const { return z_.rows() > 0; }
+  bool OwnsTarget(int64_t node) const {
+    return !sharded_ ||
+           (node >= shard_.node_begin && node < shard_.node_end);
+  }
+
   /// The realized blocking (after the budget cap).
   int64_t query_block() const { return query_block_; }
   int64_t candidate_tile() const { return candidate_tile_; }
@@ -165,6 +202,16 @@ class QueryEngine {
   ThreadPool* pool_ = nullptr;
   int64_t query_block_ = 0;
   int64_t candidate_tile_ = 0;
+  // Global id of local candidate row 0 (y_ / z_ respectively); 0 unsharded.
+  int64_t attr_base_ = 0;
+  int64_t link_base_ = 0;
+  int64_t num_attributes_ = 0;  // global d
+  // Capability is a *global* property: a shard whose local slice is empty
+  // still "supports" the query family and answers with an empty ranking.
+  bool supports_attributes_ = false;
+  bool supports_links_ = false;
+  bool sharded_ = false;
+  store::ShardMeta shard_;
   IvfIndex attr_index_, link_index_;
 };
 

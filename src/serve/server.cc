@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/serve/router.h"
 #include "src/serve/session.h"
+#include "src/serve/shard_plan.h"
 #include "src/serve/transport.h"
 
 namespace pane {
@@ -33,11 +35,23 @@ size_t PaneServer::RequestHash::operator()(const Request& r) const {
 PaneServer::PaneServer(const QueryEngine* engine, const ServerOptions& options)
     : engine_(engine), options_(options) {
   PANE_CHECK(engine_ != nullptr);
-  PANE_CHECK(options_.batch_size > 0);
   if (options_.pruned) {
-    PANE_CHECK(engine_->has_pruned_index())
+    // A shard whose local candidate slice is empty legitimately has no
+    // index — it answers pruned queries with empty rankings.
+    PANE_CHECK(engine_->has_pruned_index() || engine_->sharded())
         << "pruned serving mode needs BuildPrunedIndex on the engine";
   }
+  Init();
+}
+
+PaneServer::PaneServer(Router* router, const ServerOptions& options)
+    : router_(router), options_(options) {
+  PANE_CHECK(router_ != nullptr);
+  Init();
+}
+
+void PaneServer::Init() {
+  PANE_CHECK(options_.batch_size > 0);
   TransportOptions transport_options;
   transport_options.max_connections = options_.max_connections;
   transport_options.idle_timeout_ms = options_.idle_timeout_ms;
@@ -104,9 +118,41 @@ std::string PaneServer::StatsResponse() const {
   field("timeouts", snapshot.timeouts);
   field("rejected", snapshot.rejected);
   field("frames", snapshot.frames);
+  if (router_ != nullptr) {
+    out += " mode=router shards=" + std::to_string(router_->num_shards());
+    out += router_->StatsSuffix();
+    return out;
+  }
   out += options_.pruned ? " mode=pruned nprobe=" + std::to_string(options_.nprobe)
                          : std::string(" mode=exact");
   return out;
+}
+
+std::string PaneServer::PlanResponse() const {
+  if (router_ == nullptr && engine_->sharded()) {
+    return FormatPlanResponse(engine_->shard());
+  }
+  // An unsharded server (or a router fronting a whole fleet) is plan
+  // position 0/1 owning the full candidate space.
+  ShardSpec spec;
+  spec.shard_index = 0;
+  spec.shard_count = 1;
+  if (router_ != nullptr) {
+    spec.num_nodes = router_->num_nodes();
+    spec.num_attributes = router_->num_attributes();
+    spec.dim = router_->dim();
+    spec.has_attributes = router_->supports_attributes();
+    spec.has_links = router_->supports_links();
+  } else {
+    spec.num_nodes = engine_->num_nodes();
+    spec.num_attributes = engine_->num_attributes();
+    spec.dim = engine_->dim();
+    spec.has_attributes = engine_->supports_attributes();
+    spec.has_links = engine_->supports_links();
+  }
+  spec.node_end = spec.num_nodes;
+  spec.attr_end = spec.num_attributes;
+  return FormatPlanResponse(spec);
 }
 
 void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
@@ -125,8 +171,14 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
   std::vector<size_t> attr_pair_owner, link_pair_owner;
   bool ran_engine = false;
 
-  const int64_t n = engine_->num_nodes();
-  const int64_t d = engine_->num_attributes();
+  const bool routed = router_ != nullptr;
+  const int64_t n = routed ? router_->num_nodes() : engine_->num_nodes();
+  const int64_t d =
+      routed ? router_->num_attributes() : engine_->num_attributes();
+  const bool has_attr_scoring =
+      routed ? router_->supports_attributes() : engine_->supports_attributes();
+  const bool has_link_scoring =
+      routed ? router_->supports_links() : engine_->supports_links();
   for (size_t i = 0; i < count; ++i) {
     BatchEntry& entry = (*batch)[i];
     if (entry.parse_error) {
@@ -139,6 +191,10 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
     if (r.type == Request::Type::kQuit) {
       (*responses)[i] = "bye";
       *quit = true;
+      continue;
+    }
+    if (r.type == Request::Type::kPlan) {
+      (*responses)[i] = PlanResponse();
       continue;
     }
     if (r.type == Request::Type::kStats) {
@@ -159,13 +215,24 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
       Count(&Counters::errors);
       continue;
     }
-    if (attr_like && !engine_->supports_attributes()) {
+    if (attr_like && !has_attr_scoring) {
       (*responses)[i] = FormatError("attribute scoring unavailable");
       Count(&Counters::errors);
       continue;
     }
-    if (!attr_like && !engine_->supports_links()) {
+    if (!attr_like && !has_link_scoring) {
       (*responses)[i] = FormatError("link scoring unavailable");
+      Count(&Counters::errors);
+      continue;
+    }
+    // A shard server reached directly (not via its router) must refuse
+    // pairs whose candidate row lives elsewhere — the engine PANE_CHECKs
+    // ownership, and a served request must never abort the process.
+    if (!routed && engine_->sharded() &&
+        ((r.type == Request::Type::kAttributePair &&
+          !engine_->OwnsAttribute(r.b)) ||
+         (r.type == Request::Type::kLinkPair && !engine_->OwnsTarget(r.b)))) {
+      (*responses)[i] = FormatError("id not on this shard");
       Count(&Counters::errors);
       continue;
     }
@@ -203,49 +270,94 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
     }
   }
 
-  if (!attr_queries.empty()) {
-    const std::vector<Ranking> results =
-        options_.pruned
-            ? engine_->TopKAttributesPruned(attr_queries, options_.nprobe,
-                                            options_.exclude)
-            : engine_->TopKAttributes(attr_queries, options_.exclude);
-    for (size_t j = 0; j < results.size(); ++j) {
-      const size_t i = attr_owner[j];
-      (*responses)[i] = FormatRanking((*batch)[i].request, results[j]);
-      CacheInsert((*batch)[i].request, (*responses)[i]);
+  // Shared cache step: degradation payloads (`err shard unavailable`)
+  // count as errors and must not outlive the outage in the cache.
+  const auto cache_response = [this, batch, responses](size_t i) {
+    const std::string& payload = (*responses)[i];
+    if (payload.compare(0, 4, "err ") == 0) {
+      Count(&Counters::errors);
+      return;
     }
-    ran_engine = true;
-  }
-  if (!link_queries.empty()) {
-    const std::vector<Ranking> results =
-        options_.pruned
-            ? engine_->TopKTargetsPruned(link_queries, options_.nprobe,
-                                         options_.exclude)
-            : engine_->TopKTargets(link_queries, options_.exclude);
-    for (size_t j = 0; j < results.size(); ++j) {
-      const size_t i = link_owner[j];
-      (*responses)[i] = FormatRanking((*batch)[i].request, results[j]);
-      CacheInsert((*batch)[i].request, (*responses)[i]);
+    CacheInsert((*batch)[i].request, payload);
+  };
+
+  if (routed) {
+    const auto gather = [batch](const std::vector<size_t>& owners) {
+      std::vector<Request> gathered;
+      gathered.reserve(owners.size());
+      for (const size_t i : owners) gathered.push_back((*batch)[i].request);
+      return gathered;
+    };
+    const auto assign = [responses, &cache_response](
+                            const std::vector<size_t>& owners,
+                            std::vector<std::string> payloads) {
+      for (size_t j = 0; j < owners.size(); ++j) {
+        (*responses)[owners[j]] = std::move(payloads[j]);
+        cache_response(owners[j]);
+      }
+    };
+    if (!attr_owner.empty()) {
+      assign(attr_owner, router_->TopKAttributes(gather(attr_owner)));
+      ran_engine = true;
     }
-    ran_engine = true;
-  }
-  if (!attr_pairs.empty()) {
-    const std::vector<double> scores = engine_->AttributeScores(attr_pairs);
-    for (size_t j = 0; j < scores.size(); ++j) {
-      const size_t i = attr_pair_owner[j];
-      (*responses)[i] = FormatScore((*batch)[i].request, scores[j]);
-      CacheInsert((*batch)[i].request, (*responses)[i]);
+    if (!link_owner.empty()) {
+      assign(link_owner, router_->TopKTargets(gather(link_owner)));
+      ran_engine = true;
     }
-    ran_engine = true;
-  }
-  if (!link_pairs.empty()) {
-    const std::vector<double> scores = engine_->LinkScores(link_pairs);
-    for (size_t j = 0; j < scores.size(); ++j) {
-      const size_t i = link_pair_owner[j];
-      (*responses)[i] = FormatScore((*batch)[i].request, scores[j]);
-      CacheInsert((*batch)[i].request, (*responses)[i]);
+    if (!attr_pair_owner.empty()) {
+      assign(attr_pair_owner,
+             router_->AttributeScores(gather(attr_pair_owner)));
+      ran_engine = true;
     }
-    ran_engine = true;
+    if (!link_pair_owner.empty()) {
+      assign(link_pair_owner, router_->LinkScores(gather(link_pair_owner)));
+      ran_engine = true;
+    }
+  } else {
+    if (!attr_queries.empty()) {
+      const std::vector<Ranking> results =
+          options_.pruned
+              ? engine_->TopKAttributesPruned(attr_queries, options_.nprobe,
+                                              options_.exclude)
+              : engine_->TopKAttributes(attr_queries, options_.exclude);
+      for (size_t j = 0; j < results.size(); ++j) {
+        const size_t i = attr_owner[j];
+        (*responses)[i] = FormatRanking((*batch)[i].request, results[j]);
+        cache_response(i);
+      }
+      ran_engine = true;
+    }
+    if (!link_queries.empty()) {
+      const std::vector<Ranking> results =
+          options_.pruned
+              ? engine_->TopKTargetsPruned(link_queries, options_.nprobe,
+                                           options_.exclude)
+              : engine_->TopKTargets(link_queries, options_.exclude);
+      for (size_t j = 0; j < results.size(); ++j) {
+        const size_t i = link_owner[j];
+        (*responses)[i] = FormatRanking((*batch)[i].request, results[j]);
+        cache_response(i);
+      }
+      ran_engine = true;
+    }
+    if (!attr_pairs.empty()) {
+      const std::vector<double> scores = engine_->AttributeScores(attr_pairs);
+      for (size_t j = 0; j < scores.size(); ++j) {
+        const size_t i = attr_pair_owner[j];
+        (*responses)[i] = FormatScore((*batch)[i].request, scores[j]);
+        cache_response(i);
+      }
+      ran_engine = true;
+    }
+    if (!link_pairs.empty()) {
+      const std::vector<double> scores = engine_->LinkScores(link_pairs);
+      for (size_t j = 0; j < scores.size(); ++j) {
+        const size_t i = link_pair_owner[j];
+        (*responses)[i] = FormatScore((*batch)[i].request, scores[j]);
+        cache_response(i);
+      }
+      ran_engine = true;
+    }
   }
   if (ran_engine) Count(&Counters::batches);
 

@@ -37,6 +37,7 @@ namespace pane {
 namespace serve {
 
 class EpollTransport;
+class Router;
 
 struct ServerOptions {
   /// Max requests executed as one engine batch.
@@ -58,12 +59,19 @@ struct ServerOptions {
   int64_t max_connections = 256;
   /// TCP connections idle this long are reaped; 0 disables the sweep.
   int64_t idle_timeout_ms = 0;
+  /// Upper bound on one inbound frame payload; 0 = the protocol default
+  /// (kMaxFramePayload). The --max-frame-mb flag feeds this.
+  int64_t max_frame_bytes = 0;
 };
 
 class PaneServer {
  public:
   /// The engine (and anything its views borrow) must outlive the server.
   PaneServer(const QueryEngine* engine, const ServerOptions& options);
+  /// Router mode: batches execute through scatter-gather over the router's
+  /// shard fleet instead of a local engine (same protocol, byte-identical
+  /// responses). The router must outlive the server.
+  PaneServer(Router* router, const ServerOptions& options);
   ~PaneServer();
 
   PaneServer(const PaneServer&) = delete;
@@ -137,7 +145,15 @@ class PaneServer {
       PANE_EXCLUDES(stats_mutex_);
   std::string StatsResponse() const PANE_EXCLUDES(stats_mutex_);
 
-  const QueryEngine* engine_;
+  /// Shared constructor tail (transport wiring).
+  void Init();
+  /// The response to the `plan` verb for this server's candidate space.
+  std::string PlanResponse() const;
+
+  // Exactly one of engine_ / router_ is set; all batch execution branches
+  // on router_.
+  const QueryEngine* engine_ = nullptr;
+  Router* router_ = nullptr;
   ServerOptions options_;
 
   /// Guards the LRU result cache (the list order is part of the state, so

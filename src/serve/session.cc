@@ -54,7 +54,9 @@ ConnectionHandler::Action ServeSession::Pump(std::string* input,
   }
   if (codec_ == nullptr) {
     if (input->empty()) return at_eof ? Action::kClose : Action::kKeepOpen;
-    codec_ = MakeCodec(requested_, static_cast<unsigned char>((*input)[0]));
+    codec_ = MakeCodec(
+        requested_, static_cast<unsigned char>((*input)[0]),
+        static_cast<size_t>(server_->options().max_frame_bytes));
   }
   const bool framed = std::strcmp(codec_->name(), "frame") == 0;
   const int64_t batch_size = server_->options().batch_size;

@@ -1,6 +1,9 @@
 #include "src/serve/transport.h"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -32,6 +35,139 @@ Status Errno(const char* what) {
 void OwnedFd::reset(int fd) {
   if (fd_ >= 0) ::close(fd_);
   fd_ = fd;
+}
+
+Status ShardConnection::Connect(const std::string& address,
+                                int64_t timeout_ms) {
+  Close();
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return Status::InvalidArgument("shard address must be host:port, got " +
+                                   address);
+  }
+  const std::string host = address.substr(0, colon);
+  int port = 0;
+  for (size_t i = colon + 1; i < address.size(); ++i) {
+    const char c = address[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port in shard address " + address);
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("bad port in shard address " + address);
+    }
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("shard host must be a numeric IPv4 "
+                                   "address or localhost, got " + host);
+  }
+
+  // Non-blocking connect so the handshake honors timeout_ms, then back to
+  // blocking: per-call deadlines are enforced with poll() in SendAll /
+  // RecvSome, not with O_NONBLOCK bookkeeping.
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                      0));
+  if (!fd.valid()) return Errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    pollfd pfd = {fd.get(), POLLOUT, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(std::max<int64_t>(1, timeout_ms)));
+    if (ready <= 0) {
+      return Status::IOError("connect to " + address + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return Status::IOError("connect to " + address + ": " +
+                             std::strerror(err != 0 ? err : errno));
+    }
+  }
+  const int flags = ::fcntl(fd.get(), F_GETFL);
+  if (flags < 0 ||
+      ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    return Errno("fcntl");
+  }
+  fd_ = std::move(fd);
+  return Status::OK();
+}
+
+int64_t ShardConnection::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+/// Shared deadline gate: polls fd for `events` until ready or deadline.
+Status AwaitReady(int fd, short events, int64_t deadline_ms,
+                  const char* what) {
+  while (true) {
+    const int64_t budget = deadline_ms - ShardConnection::NowMs();
+    if (budget <= 0) {
+      return Status::IOError(std::string(what) + " deadline exceeded");
+    }
+    pollfd pfd = {fd, events, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(budget));
+    if (ready > 0) return Status::OK();
+    if (ready == 0) {
+      return Status::IOError(std::string(what) + " deadline exceeded");
+    }
+    if (errno != EINTR) return Errno("poll");
+  }
+}
+
+}  // namespace
+
+Status ShardConnection::SendAll(std::string_view bytes, int64_t deadline_ms) {
+  if (!connected()) return Status::IOError("shard connection is closed");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    PANE_RETURN_NOT_OK(AwaitReady(fd_.get(), POLLOUT, deadline_ms, "send"));
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      continue;
+    }
+    Close();
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status ShardConnection::RecvSome(std::string* buffer, int64_t deadline_ms) {
+  if (!connected()) return Status::IOError("shard connection is closed");
+  char chunk[16 << 10];
+  while (true) {
+    PANE_RETURN_NOT_OK(AwaitReady(fd_.get(), POLLIN, deadline_ms, "recv"));
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) {
+      Close();
+      return Status::IOError("shard closed the connection mid-reply");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    Close();
+    return Errno("recv");
+  }
 }
 
 EpollTransport::EpollTransport(HandlerFactory factory,

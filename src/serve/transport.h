@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/common/status.h"
@@ -95,6 +96,44 @@ class ConnectionHandler {
   /// partial message in *input; the connection closes once *output
   /// drains.
   virtual void OnEof(std::string* input, std::string* output) = 0;
+};
+
+/// Blocking outbound client connection — the router's side of a shard hop.
+/// Lives here because transport.cc is the only translation unit allowed to
+/// issue raw socket syscalls (connect / poll / send / recv included).
+/// Every call takes an absolute deadline in NowMs() time, so one request's
+/// budget spans connect, send, and however many RecvSome calls the
+/// response needs. Move-only; a failed call leaves the connection closed
+/// so the owner can reconnect.
+class ShardConnection {
+ public:
+  ShardConnection() = default;
+  ShardConnection(ShardConnection&&) = default;
+  ShardConnection& operator=(ShardConnection&&) = default;
+  ShardConnection(const ShardConnection&) = delete;
+  ShardConnection& operator=(const ShardConnection&) = delete;
+
+  /// Connects to "host:port" (numeric IPv4 host, e.g. "127.0.0.1:7077"),
+  /// waiting at most `timeout_ms`. The socket stays blocking after the
+  /// non-blocking connect handshake; per-call deadlines come from
+  /// readiness waits on the fd.
+  Status Connect(const std::string& address, int64_t timeout_ms);
+
+  bool connected() const { return fd_.valid(); }
+  void Close() { fd_.reset(); }
+
+  /// Writes all of `bytes` before `deadline_ms` (absolute, NowMs clock).
+  Status SendAll(std::string_view bytes, int64_t deadline_ms);
+
+  /// Appends at least one received byte to *buffer before `deadline_ms`;
+  /// EOF from the peer is an error (a shard never half-closes mid-reply).
+  Status RecvSome(std::string* buffer, int64_t deadline_ms);
+
+  /// The monotonic clock the deadlines are measured in.
+  static int64_t NowMs();
+
+ private:
+  OwnedFd fd_;
 };
 
 struct TransportOptions {

@@ -1,0 +1,114 @@
+// MergeTopK: the k-way merge under the (score desc, index asc) ranking
+// order that turns per-shard top-k lists back into the exact answer a
+// single scan over the union would have produced. The property every test
+// here circles is equivalence with SelectTopK over the concatenated
+// candidates — that equivalence is what makes sharded serving
+// byte-identical to unsharded serving.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/common/topk.h"
+
+namespace pane {
+namespace {
+
+Ranking Concat(const std::vector<Ranking>& lists) {
+  Ranking all;
+  for (const Ranking& list : lists) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  return all;
+}
+
+void ExpectExactlyEqual(const Ranking& expected, const Ranking& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].first, actual[i].first) << "rank " << i;
+    EXPECT_EQ(expected[i].second, actual[i].second) << "rank " << i;
+  }
+}
+
+TEST(MergeTopKTest, MergesSortedListsInRankOrder) {
+  const std::vector<Ranking> lists = {
+      {{0, 9.0}, {2, 5.0}, {4, 1.0}},
+      {{10, 8.0}, {11, 6.0}},
+      {{20, 7.0}, {21, 2.0}},
+  };
+  const Ranking merged = MergeTopK(lists, 4);
+  ExpectExactlyEqual({{0, 9.0}, {10, 8.0}, {20, 7.0}, {11, 6.0}}, merged);
+}
+
+TEST(MergeTopKTest, CrossShardTiesResolveByAscendingGlobalIndex) {
+  // Equal scores straddling the shard boundary: the higher shard holds the
+  // *lower* global indices here, so a naive shard-order merge would get
+  // this wrong — only the index tie-break produces 3 < 7 < 12 < 15.
+  const std::vector<Ranking> lists = {
+      {{7, 2.5}, {3, 2.5}},   // NOT sorted-by-index within equal scores...
+      {{12, 2.5}, {15, 2.5}},
+  };
+  // ...so fix list 0 to the order SelectTopK would emit (index asc).
+  const std::vector<Ranking> sorted_lists = {
+      {{3, 2.5}, {7, 2.5}},
+      {{12, 2.5}, {15, 2.5}},
+  };
+  const Ranking merged = MergeTopK(sorted_lists, 4);
+  ExpectExactlyEqual({{3, 2.5}, {7, 2.5}, {12, 2.5}, {15, 2.5}}, merged);
+  ExpectExactlyEqual(SelectTopK(Concat(sorted_lists), 4), merged);
+}
+
+TEST(MergeTopKTest, EmptyShardListsAreSkipped) {
+  const std::vector<Ranking> lists = {
+      {}, {{5, 3.0}, {6, 1.0}}, {}, {{9, 2.0}}, {}};
+  ExpectExactlyEqual({{5, 3.0}, {9, 2.0}, {6, 1.0}}, MergeTopK(lists, 3));
+}
+
+TEST(MergeTopKTest, AllEmptyOrNoLists) {
+  EXPECT_TRUE(MergeTopK({}, 5).empty());
+  EXPECT_TRUE(MergeTopK({{}, {}, {}}, 5).empty());
+}
+
+TEST(MergeTopKTest, KLargerThanTotalCandidates) {
+  const std::vector<Ranking> lists = {{{1, 4.0}}, {{2, 6.0}}, {{3, 5.0}}};
+  const Ranking merged = MergeTopK(lists, 100);
+  ExpectExactlyEqual({{2, 6.0}, {3, 5.0}, {1, 4.0}}, merged);
+}
+
+TEST(MergeTopKTest, KZeroAndNegativeReturnEmpty) {
+  const std::vector<Ranking> lists = {{{1, 4.0}}, {{2, 6.0}}};
+  EXPECT_TRUE(MergeTopK(lists, 0).empty());
+  EXPECT_TRUE(MergeTopK(lists, -3).empty());
+}
+
+TEST(MergeTopKTest, EquivalentToSelectTopKOverTheUnion) {
+  // Randomized shard splits with heavy score collisions (scores drawn from
+  // a few buckets) — the exact situation where only the strict total order
+  // keeps the merged answer unique.
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<int> score_bucket(0, 6);
+  std::uniform_int_distribution<int> shard_count(1, 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int shards = shard_count(rng);
+    const int64_t n = 40;
+    // Contiguous ranges like a real shard plan; every index unique.
+    std::vector<Ranking> lists(static_cast<size_t>(shards));
+    for (int64_t id = 0; id < n; ++id) {
+      const size_t shard = static_cast<size_t>(id * shards / n);
+      lists[shard].emplace_back(id, 0.5 * score_bucket(rng));
+    }
+    const int64_t k = 1 + trial % 17;
+    std::vector<Ranking> tops;
+    for (Ranking& list : lists) {
+      tops.push_back(SelectTopK(std::move(list), k));
+    }
+    const Ranking merged = MergeTopK(tops, k);
+    // The union of per-shard top-k always contains the global top-k.
+    const Ranking expected = SelectTopK(Concat(tops), k);
+    ExpectExactlyEqual(expected, merged);
+  }
+}
+
+}  // namespace
+}  // namespace pane

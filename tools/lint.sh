@@ -13,11 +13,15 @@
 # Rule 2 — no tracked build directories (migrated from the inline CI grep).
 #
 # Rule 3 — the transport layer owns the sockets: raw socket / epoll
-# syscalls may appear ONLY in src/serve/transport.cc. Server and example
-# code sees connections through EpollTransport's handler interface, so
-# fd-lifecycle and readiness bugs have exactly one home. tests/ and bench/
-# are exempt: they are *clients* of the server and legitimately open
-# plain connect() sockets to talk to it.
+# syscalls may appear ONLY in src/serve/transport.cc. That covers the
+# outbound side too — connect() / poll() belong to ShardConnection, so the
+# router's shard hops (src/serve/router.cc) and every other caller go
+# through the transport's deadline/reconnect logic instead of dialing
+# sockets themselves. Server and example code sees connections through
+# EpollTransport's handler interface, so fd-lifecycle and readiness bugs
+# have exactly one home. tests/ and bench/ are exempt: they are *clients*
+# of the server and legitimately open plain connect() sockets to talk to
+# it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,8 +56,8 @@ if [[ -n "$inc_hits" ]]; then
 fi
 
 # --- Rule 3: raw socket syscalls outside the transport ---------------------
-sock_pattern='\b(socket|accept4?|bind|listen|epoll_create1?|epoll_ctl'
-sock_pattern+='|epoll_wait|eventfd)\('
+sock_pattern='\b(socket|accept4?|bind|listen|connect|poll'
+sock_pattern+='|epoll_create1?|epoll_ctl|epoll_wait|eventfd)\('
 
 sock_hits=$(grep -rEn "$sock_pattern" src examples \
               --include='*.h' --include='*.cc' --include='*.cpp' \
@@ -61,7 +65,8 @@ sock_hits=$(grep -rEn "$sock_pattern" src examples \
 if [[ -n "$sock_hits" ]]; then
   echo "lint: raw socket/epoll syscalls outside src/serve/transport.cc:" >&2
   echo "$sock_hits" >&2
-  echo "lint: route connections through serve::EpollTransport instead" >&2
+  echo "lint: route inbound connections through serve::EpollTransport and" >&2
+  echo "lint: outbound ones through serve::ShardConnection instead" >&2
   status=1
 fi
 
