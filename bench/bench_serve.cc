@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "src/common/topk.h"
 #include "src/core/embedding.h"
 #include "src/graph/generators.h"
+#include "src/obs/metrics.h"
 #include "src/parallel/thread_pool.h"
 #include "src/serve/embedding_store.h"
 #include "src/serve/frame_protocol.h"
@@ -152,6 +154,26 @@ struct Latency {
   double p50 = 0.0, p99 = 0.0;
 };
 
+/// Everything the --json snapshot reports, collected as the sections run.
+struct ServeTelemetry {
+  int64_t n = 0, d = 0, h = 0;
+  double legacy_attr_qps = 0.0, exact_attr_qps = 0.0;
+  double legacy_link_qps = 0.0, exact_link_qps = 0.0;
+  double attr_p50_us = 0.0, attr_p99_us = 0.0;
+  double link_p50_us = 0.0, link_p99_us = 0.0;
+  struct PrunedRow {
+    int64_t nprobe = 0;
+    double qps = 0.0;
+    double recall = 0.0;
+  };
+  std::vector<PrunedRow> pruned;
+  double shard2_speedup = 0.0, shard4_speedup = 0.0;
+  double qps_metrics_off = 0.0, qps_metrics_on = 0.0;
+  double metrics_overhead_pct = 0.0;
+  int64_t stage_scan_count = 0, stage_fanout_count = 0;
+  std::string metrics_dump;  ///< the local-shards=2 registry exposition
+};
+
 // ---- TCP client for the concurrent-connections section ------------------
 
 int ConnectLoopback(int port) {
@@ -235,7 +257,8 @@ Latency Percentiles(std::vector<double> seconds) {
 
 }  // namespace
 
-void Run() {
+void Run(const std::string& json_path) {
+  ServeTelemetry telemetry;
   const double scale = BenchScale();
   const int64_t n = static_cast<int64_t>(
       EnvDoubleOr("PANE_BENCH_SERVE_N", 100000.0 * scale));
@@ -244,6 +267,9 @@ void Run() {
   const int64_t h = static_cast<int64_t>(EnvDoubleOr("PANE_BENCH_SERVE_H", 64.0));
   const int32_t communities = 32;
   const int num_threads = 4;
+  telemetry.n = n;
+  telemetry.d = d;
+  telemetry.h = h;
 
   SbmParams params;
   params.num_nodes = n;
@@ -331,6 +357,10 @@ void Run() {
                             "exact-" + std::to_string(num_threads) + "t"});
   bench_mode("score-all", nullptr);
   bench_mode("recommend", &graph);
+  telemetry.legacy_attr_qps = legacy_attr_qps;
+  telemetry.exact_attr_qps = engine_attr_qps;
+  telemetry.legacy_link_qps = legacy_link_qps;
+  telemetry.exact_link_qps = engine_link_qps;
   std::printf(
       "  single-thread exact vs legacy: attr %.1fx, link %.1fx (bitwise "
       "identical scores; see the pruned section for the >= 5x serving "
@@ -353,6 +383,10 @@ void Run() {
   }
   const Latency attr_lat = Percentiles(attr_times);
   const Latency link_lat = Percentiles(link_times);
+  telemetry.attr_p50_us = attr_lat.p50 * 1e6;
+  telemetry.attr_p99_us = attr_lat.p99 * 1e6;
+  telemetry.link_p50_us = link_lat.p50 * 1e6;
+  telemetry.link_p99_us = link_lat.p99 * 1e6;
   PrintRow("query", {"p50", "p99"});
   PrintRow("attr", {MicrosCell(attr_lat.p50), MicrosCell(attr_lat.p99)});
   PrintRow("link", {MicrosCell(link_lat.p50), MicrosCell(link_lat.p99)});
@@ -394,6 +428,7 @@ void Run() {
       recall += serve::RecallAtK(exact[i], approx[i]);
     }
     recall /= static_cast<double>(exact.size());
+    telemetry.pruned.push_back({nprobe, qps, recall});
     const double speedup = qps / legacy_qps;
     char vs[32];
     std::snprintf(vs, sizeof(vs), "%.1fx", speedup);
@@ -558,6 +593,100 @@ void Run() {
       "one. Merged answers are byte-identical to the unsharded server "
       "(shard_test).\n",
       shard2_speedup, shard4_speedup, std::thread::hardware_concurrency());
+  telemetry.shard2_speedup = shard2_speedup;
+  telemetry.shard4_speedup = shard4_speedup;
+
+  // ---- Metrics overhead (A/B) -------------------------------------------
+  // The same exact attr batches through PaneServer::ExecuteBatch with the
+  // metrics subsystem disabled vs enabled. Disabled means no registry, no
+  // stage histograms, and no clock reads — the honest baseline for the
+  // < 3% acceptance bound.
+  PrintHeader("Metrics overhead",
+              "exact attr batches, metrics_enabled off vs on "
+              "(target < 3% QPS loss)");
+  {
+    serve::ServerOptions ab_options;
+    ab_options.cache_capacity = 0;
+    auto ab_engine = serve::QueryEngine::Create(
+        embedding.xf.View(), embedding.xb.View(), embedding.y.View(),
+        scorer.z(), serve::QueryEngineOptions());
+    PANE_CHECK(ab_engine.ok()) << ab_engine.status();
+    ab_options.metrics_enabled = false;
+    serve::PaneServer off(&*ab_engine, ab_options);
+    ab_options.metrics_enabled = true;
+    serve::PaneServer on(&*ab_engine, ab_options);
+    // Interleaved best-of-two per side: the bound is about steady-state
+    // instrumentation cost, not first-touch page faults.
+    double qps_off = 0.0, qps_on = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+      qps_off = std::max(qps_off, measure_qps(&off, attr_payloads));
+      qps_on = std::max(qps_on, measure_qps(&on, attr_payloads));
+    }
+    telemetry.qps_metrics_off = qps_off;
+    telemetry.qps_metrics_on = qps_on;
+    telemetry.metrics_overhead_pct = (qps_off - qps_on) / qps_off * 100.0;
+    char overhead_cell[32];
+    std::snprintf(overhead_cell, sizeof(overhead_cell), "%.2f%%",
+                  telemetry.metrics_overhead_pct);
+    PrintRow("metrics", {"off", "on", "overhead"});
+    PrintRow("attr QPS", {QpsCell(qps_off), QpsCell(qps_on), overhead_cell});
+  }
+
+  // ---- Metrics exposition round-trip ------------------------------------
+  // A 2-shard local fleet sharing one registry, driven through the full
+  // session path (decode -> batch -> encode), then the `metrics` verb: the
+  // shard engines must have recorded engine-scan samples and the fronting
+  // router fan-out samples, all visible in one exposition.
+  PrintHeader("Metrics exposition",
+              "`metrics` verb round-trip, 2 local shards, one registry");
+  {
+    obs::MetricsRegistry registry;
+    serve::ServerOptions shard2_options;
+    shard2_options.cache_capacity = 0;
+    shard2_options.metrics = &registry;
+    serve::QueryEngineOptions shard2_engine_options;
+    shard2_engine_options.metrics = &registry;
+    auto fleet2 = serve::BuildLocalShards(*sharded_store, 2,
+                                          shard2_engine_options,
+                                          shard2_options, nullptr);
+    PANE_CHECK(fleet2.ok()) << fleet2.status();
+    serve::RouterOptions router2_options;
+    router2_options.pool = &pool;
+    router2_options.metrics = &registry;
+    auto router2 = serve::Router::Create(std::move(fleet2->backends),
+                                         router2_options);
+    PANE_CHECK(router2.ok()) << router2.status();
+    serve::PaneServer front(&*router2, shard2_options);
+    std::istringstream in("attr 1 10\nlink 1 10\nmetrics\nquit\n");
+    std::ostringstream out;
+    front.ServeStream(in, out);
+    const std::string stream = out.str();
+    const size_t begin = stream.find("# TYPE");
+    const size_t end_marker = stream.find("# EOF");
+    PANE_CHECK(begin != std::string::npos && end_marker != std::string::npos)
+        << "metrics verb answered no exposition";
+    telemetry.metrics_dump = stream.substr(begin, end_marker + 5 - begin);
+    const auto sample = [&telemetry](const std::string& name) -> long long {
+      const std::string needle = '\n' + name + ' ';
+      const size_t pos = telemetry.metrics_dump.find(needle);
+      if (pos == std::string::npos) return 0;
+      return std::strtoll(telemetry.metrics_dump.c_str() + pos +
+                              needle.size(),
+                          nullptr, 10);
+    };
+    telemetry.stage_scan_count = sample("pane_stage_engine_scan_us_count");
+    telemetry.stage_fanout_count = sample("pane_stage_fanout_us_count");
+    PANE_CHECK(telemetry.stage_scan_count > 0)
+        << "shard engines recorded no engine-scan samples";
+    PANE_CHECK(telemetry.stage_fanout_count > 0)
+        << "router recorded no fan-out samples";
+    std::printf(
+        "  pane_stage_engine_scan_us_count=%lld "
+        "pane_stage_fanout_us_count=%lld — shard scans and router fan-out "
+        "report through one registry\n",
+        static_cast<long long>(telemetry.stage_scan_count),
+        static_cast<long long>(telemetry.stage_fanout_count));
+  }
   std::filesystem::remove(artifact_path);
 
   // ---- Concurrent connections over the epoll transport ------------------
@@ -602,12 +731,67 @@ void Run() {
   }
   server.Shutdown();
   loop.join();
+
+  // ---- JSON telemetry snapshot ------------------------------------------
+  if (!json_path.empty()) {
+    std::string json = "{\n";
+    json += "  \"bench\": \"serve\",\n";
+    json += "  \"n\": " + std::to_string(telemetry.n) + ",\n";
+    json += "  \"d\": " + std::to_string(telemetry.d) + ",\n";
+    json += "  \"h\": " + std::to_string(telemetry.h) + ",\n";
+    json += "  \"legacy_attr_qps\": " +
+            JsonNumber(telemetry.legacy_attr_qps) + ",\n";
+    json += "  \"exact_attr_qps\": " +
+            JsonNumber(telemetry.exact_attr_qps) + ",\n";
+    json += "  \"legacy_link_qps\": " +
+            JsonNumber(telemetry.legacy_link_qps) + ",\n";
+    json += "  \"exact_link_qps\": " +
+            JsonNumber(telemetry.exact_link_qps) + ",\n";
+    json += "  \"attr_p50_us\": " + JsonNumber(telemetry.attr_p50_us) + ",\n";
+    json += "  \"attr_p99_us\": " + JsonNumber(telemetry.attr_p99_us) + ",\n";
+    json += "  \"link_p50_us\": " + JsonNumber(telemetry.link_p50_us) + ",\n";
+    json += "  \"link_p99_us\": " + JsonNumber(telemetry.link_p99_us) + ",\n";
+    json += "  \"pruned\": [";
+    for (size_t i = 0; i < telemetry.pruned.size(); ++i) {
+      const auto& row = telemetry.pruned[i];
+      json += i == 0 ? "\n" : ",\n";
+      json += "    {\"nprobe\": " + std::to_string(row.nprobe) +
+              ", \"qps\": " + JsonNumber(row.qps) +
+              ", \"recall_at_" + std::to_string(kTopK) +
+              "\": " + JsonNumber(row.recall) + "}";
+    }
+    json += "\n  ],\n";
+    json += "  \"shard2_speedup\": " +
+            JsonNumber(telemetry.shard2_speedup) + ",\n";
+    json += "  \"shard4_speedup\": " +
+            JsonNumber(telemetry.shard4_speedup) + ",\n";
+    json += "  \"qps_metrics_off\": " +
+            JsonNumber(telemetry.qps_metrics_off) + ",\n";
+    json += "  \"qps_metrics_on\": " +
+            JsonNumber(telemetry.qps_metrics_on) + ",\n";
+    json += "  \"metrics_overhead_pct\": " +
+            JsonNumber(telemetry.metrics_overhead_pct) + ",\n";
+    json += "  \"stage_scan_count\": " +
+            std::to_string(telemetry.stage_scan_count) + ",\n";
+    json += "  \"stage_fanout_count\": " +
+            std::to_string(telemetry.stage_fanout_count) + ",\n";
+    json += "  \"metrics_dump\": \"" + JsonEscape(telemetry.metrics_dump) +
+            "\"\n";
+    json += "}";
+    WriteJsonFile(json_path, json);
+  }
 }
 
 }  // namespace bench
 }  // namespace pane
 
-int main() {
-  pane::bench::Run();
+int main(int argc, char** argv) {
+  pane::FlagSet flags;
+  flags.AddString("json", "",
+                  "write a JSON telemetry snapshot (QPS, latency "
+                  "percentiles, recall sweep, metrics exposition) to this "
+                  "path, e.g. BENCH_serve.json");
+  PANE_CHECK_OK(flags.Parse(argc, argv));
+  pane::bench::Run(flags.GetString("json"));
   return 0;
 }

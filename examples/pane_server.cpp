@@ -31,15 +31,19 @@
 // Because the store maps the artifact read-only (MAP_SHARED), any number of
 // pane_server processes over the same file share one physical copy of the
 // embedding through the page cache.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
 #include "src/graph/graph_io.h"
+#include "src/obs/metrics.h"
 #include "src/parallel/thread_pool.h"
 #include "src/serve/embedding_store.h"
 #include "src/serve/query_engine.h"
@@ -116,6 +120,13 @@ int main(int argc, char** argv) {
   flags.AddBool("stats", false,
                 "print one consistent counter snapshot to stderr at exit "
                 "(taken in a single locked read, not field by field)");
+  flags.AddInt("metrics-interval-ms", 0,
+               "log a one-line metrics summary (requests, batch-latency "
+               "percentiles) to stderr this often (0 disables); the full "
+               "exposition is always available via the 'metrics' verb");
+  flags.AddInt("slow-query-us", 0,
+               "log one structured stage breakdown per engine batch whose "
+               "traced total reaches this many microseconds (0 disables)");
   flags.AddBool("verbose", false, "log store / engine configuration");
   PANE_CHECK_OK(flags.Parse(argc, argv));
 
@@ -129,6 +140,12 @@ int main(int argc, char** argv) {
          "unless routing to remote --shards";
 
   pane::ThreadPool pool(static_cast<int>(flags.GetInt("threads")));
+
+  // One registry for the whole process: engine, router, shards, transport,
+  // and server all record into it, so the `metrics` verb exposes every
+  // layer in one exposition. Declared before the server objects — they
+  // hold handles into it.
+  pane::obs::MetricsRegistry registry;
 
   // No float copies: the IVF build makes its own single-precision
   // candidate/centroid storage (the link index scores Z rows, which exist
@@ -165,6 +182,7 @@ int main(int argc, char** argv) {
     pane::serve::QueryEngineOptions engine_options;
     engine_options.pool = &pool;
     engine_options.memory_budget_mb = flags.GetInt("memory-budget-mb");
+    engine_options.metrics = &registry;
     auto created = pane::serve::QueryEngine::Create(*store, engine_options);
     PANE_CHECK(created.ok()) << created.status();
     engine = std::make_unique<pane::serve::QueryEngine>(
@@ -224,6 +242,8 @@ int main(int argc, char** argv) {
   server_options.max_connections = flags.GetInt("max-connections");
   server_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms");
   server_options.max_frame_bytes = flags.GetInt("max-frame-mb") << 20;
+  server_options.metrics = &registry;
+  server_options.slow_query_us = flags.GetInt("slow-query-us");
 
   // The fleet (local mode) and router must outlive the server.
   pane::serve::LocalFleet fleet;
@@ -234,6 +254,7 @@ int main(int argc, char** argv) {
     router_options.hop_timeout_ms = flags.GetInt("hop-timeout-ms");
     router_options.max_frame_bytes = server_options.max_frame_bytes;
     router_options.pool = &pool;
+    router_options.metrics = &registry;
     std::vector<std::unique_ptr<pane::serve::ShardBackend>> backends;
     if (remote_router) {
       for (const std::string& address : SplitAddresses(shards_flag)) {
@@ -247,6 +268,7 @@ int main(int argc, char** argv) {
       pane::serve::QueryEngineOptions shard_engine_options;
       shard_engine_options.memory_budget_mb =
           flags.GetInt("memory-budget-mb");
+      shard_engine_options.metrics = &registry;
       auto built = pane::serve::BuildLocalShards(
           *store, local_shards, shard_engine_options, server_options,
           flags.GetBool("pruned") ? &ivf : nullptr);
@@ -272,6 +294,37 @@ int main(int argc, char** argv) {
                                                        server_options);
   }
 
+  // Periodic metrics logging through the guarded logger: a background
+  // thread snapshots the batch histogram and the served-request counters
+  // every --metrics-interval-ms. Short sleep steps keep shutdown prompt.
+  const int64_t metrics_interval_ms = flags.GetInt("metrics-interval-ms");
+  std::atomic<bool> stop_metrics{false};
+  std::thread metrics_thread;
+  if (metrics_interval_ms > 0) {
+    metrics_thread = std::thread([&registry, &server, &stop_metrics,
+                                  metrics_interval_ms]() {
+      pane::obs::Histogram* batch_us =
+          registry.GetHistogram("pane_server_batch_us");
+      int64_t last_ms = pane::MonotonicMillis();
+      while (!stop_metrics.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const int64_t now_ms = pane::MonotonicMillis();
+        if (now_ms - last_ms < metrics_interval_ms) continue;
+        last_ms = now_ms;
+        const pane::obs::Histogram::Snapshot snap = batch_us->TakeSnapshot();
+        const auto counters = server->counters();
+        PANE_LOG(INFO) << "metrics requests=" << counters.requests
+                       << " batches=" << counters.batches
+                       << " errors=" << counters.errors
+                       << " cache_hits=" << counters.cache_hits
+                       << " batch_us_count=" << snap.count
+                       << " batch_us_p50=" << snap.p50
+                       << " batch_us_p99=" << snap.p99
+                       << " batch_us_max=" << snap.max;
+      }
+    });
+  }
+
   const int64_t port = flags.GetInt("port");
   if (port == 0) {
     server->ServeStream(std::cin, std::cout);
@@ -280,6 +333,10 @@ int main(int argc, char** argv) {
     PANE_CHECK(bound.ok()) << bound.status();
     std::fprintf(stderr, "pane_server listening on 127.0.0.1:%d\n", *bound);
     server->AcceptLoop();
+  }
+  if (metrics_thread.joinable()) {
+    stop_metrics.store(true, std::memory_order_release);
+    metrics_thread.join();
   }
   // counters() returns one snapshot taken under the server's stats
   // capability (plus the transport's accept-side counters), so the numbers

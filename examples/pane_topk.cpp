@@ -78,6 +78,12 @@ std::string Respond(const pane::PaneEmbedding& embedding,
     return "bye";
   }
   if (r.type == Request::Type::kStats) return "stats ok offline";
+  if (r.type == Request::Type::kMetrics) {
+    // The offline scanner keeps no metrics; answer an empty but
+    // well-terminated exposition so scripted differentials can still pipe
+    // the same request file through both sides.
+    return "# EOF";
+  }
   if (r.type == Request::Type::kPlan) {
     // Same full-range 0/1 plan an unsharded pane_server reports, so the
     // shard-smoke differential can script `plan` through both sides.

@@ -53,4 +53,12 @@ class ScopedTimer {
 /// \brief "1.23 s" / "45.6 ms" / "789 us" style formatting for reports.
 std::string FormatDuration(double seconds);
 
+// Monotonic (steady_clock) readings since an arbitrary epoch. These are the
+// serving stack's only clocks: tools/lint.sh Rule 4 bans std::chrono inside
+// src/serve/, so deadline bookkeeping uses these and latency accounting
+// goes through src/obs/ histograms fed from them.
+int64_t MonotonicNanos();
+int64_t MonotonicMicros();
+int64_t MonotonicMillis();
+
 }  // namespace pane

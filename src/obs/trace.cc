@@ -1,0 +1,44 @@
+#include "src/obs/trace.h"
+
+namespace pane {
+namespace obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kBatchWait:
+      return "batch_wait";
+    case Stage::kScan:
+      return "engine_scan";
+    case Stage::kSelect:
+      return "topk_select";
+    case Stage::kFanout:
+      return "fanout";
+    case Stage::kMerge:
+      return "merge";
+    case Stage::kEncode:
+      return "encode";
+  }
+  return "unknown";
+}
+
+int64_t RequestTrace::total_us() const {
+  int64_t total = 0;
+  for (const int64_t us : us_) total += us;
+  return total;
+}
+
+std::string RequestTrace::FormatBreakdown() const {
+  std::string out;
+  for (int i = 0; i < kNumStages; ++i) {
+    if (!out.empty()) out += ' ';
+    out += StageName(static_cast<Stage>(i));
+    out += "_us=";
+    out += std::to_string(us_[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pane

@@ -1,0 +1,68 @@
+// Per-request stage timeline. A RequestTrace rides along with one batch
+// through the serving stack and accumulates how long each pipeline stage
+// took, in the order a request actually experiences them:
+//
+//   decode      bytes -> Request structs (codec + request-line parse)
+//   batch_wait  first request parsed -> batch dispatched to the engine
+//   engine_scan scoring work: tile dot-products (exact) or IVF probes
+//   topk_select per-tile heap selection of the running top-k
+//   fanout      router scatter: per-shard hops, issued concurrently
+//   merge       router gather: k-way merge + reformat of shard answers
+//   encode      response strings -> wire bytes
+//
+// Unsharded servers fill scan/select and leave fanout/merge at zero; a
+// routing front-end does the reverse (its shards fill scan/select on their
+// side). The trace itself is plain data owned by one session — it is NOT
+// thread-safe; cross-thread accumulation happens in EngineCallStats
+// (query_engine.h) and is folded in by the owner.
+//
+// Two consumers: PaneServer records each stage into the registry's
+// pane_stage_* histograms, and --slow-query-us logs FormatBreakdown() for
+// batches over the threshold.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pane {
+namespace obs {
+
+enum class Stage : int {
+  kDecode = 0,
+  kBatchWait,
+  kScan,
+  kSelect,
+  kFanout,
+  kMerge,
+  kEncode,
+};
+
+inline constexpr int kNumStages = 7;
+
+/// Stable lowercase token used in metric names, the slow-query log line,
+/// and the README stage glossary.
+const char* StageName(Stage stage);
+
+class RequestTrace {
+ public:
+  void Add(Stage stage, int64_t us) {
+    us_[static_cast<size_t>(stage)] += us;
+  }
+
+  int64_t us(Stage stage) const { return us_[static_cast<size_t>(stage)]; }
+
+  int64_t total_us() const;
+
+  void Reset() { us_.fill(0); }
+
+  /// One space-separated token per stage, in pipeline order:
+  /// "decode_us=12 batch_wait_us=3 engine_scan_us=840 ...".
+  std::string FormatBreakdown() const;
+
+ private:
+  std::array<int64_t, kNumStages> us_{};
+};
+
+}  // namespace obs
+}  // namespace pane

@@ -272,7 +272,8 @@ Result<IvfIndex> IvfIndex::Load(const std::string& path) {
 
 Ranking IvfIndex::Search(const double* query, int64_t k, int64_t nprobe,
                          const std::vector<int64_t>& excluded,
-                         int64_t skip_id, int64_t id_base) const {
+                         int64_t skip_id, int64_t id_base,
+                         int64_t* scanned) const {
   const int64_t dim = centroids_.cols;
   std::vector<float> q(static_cast<size_t>(dim));
   for (int64_t j = 0; j < dim; ++j) q[static_cast<size_t>(j)] = static_cast<float>(query[j]);
@@ -291,6 +292,7 @@ Ranking IvfIndex::Search(const double* query, int64_t k, int64_t nprobe,
     (void)centroid_score;
     const int64_t begin = list_offsets_[static_cast<size_t>(cluster)];
     const int64_t end = list_offsets_[static_cast<size_t>(cluster) + 1];
+    if (scanned != nullptr) *scanned += end - begin;
     for (int64_t slot = begin; slot < end; ++slot) {
       const int64_t id = id_base + member_ids_[static_cast<size_t>(slot)];
       if (id == skip_id) continue;

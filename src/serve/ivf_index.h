@@ -56,9 +56,13 @@ class IvfIndex {
   /// `id_base` shifts every member id into a global id space before the
   /// exclusion / self-skip checks and the result — a shard engine indexes
   /// its local candidate slice but answers (and excludes) in global ids.
+  /// When `scanned` is non-null it is incremented by the number of
+  /// candidates in the probed lists (before exclusion), the engine's
+  /// pruning-effectiveness metric: pruned = num_candidates() - scanned.
   Ranking Search(const double* query, int64_t k, int64_t nprobe,
                  const std::vector<int64_t>& excluded = {},
-                 int64_t skip_id = -1, int64_t id_base = 0) const;
+                 int64_t skip_id = -1, int64_t id_base = 0,
+                 int64_t* scanned = nullptr) const;
 
   int64_t num_clusters() const { return centroids_.rows; }
   int64_t num_candidates() const {

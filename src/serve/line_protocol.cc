@@ -37,14 +37,16 @@ Result<Request> ParseRequestLine(std::string_view line) {
   }
   Request request;
   const std::string_view verb = tokens[0];
-  if (verb == "stats" || verb == "quit" || verb == "plan") {
+  if (verb == "stats" || verb == "quit" || verb == "plan" ||
+      verb == "metrics") {
     if (tokens.size() != 1) {
       return Status::InvalidArgument(std::string(verb) +
                                      " takes no arguments");
     }
-    request.type = verb == "stats"  ? Request::Type::kStats
-                   : verb == "plan" ? Request::Type::kPlan
-                                    : Request::Type::kQuit;
+    request.type = verb == "stats"     ? Request::Type::kStats
+                   : verb == "plan"    ? Request::Type::kPlan
+                   : verb == "metrics" ? Request::Type::kMetrics
+                                       : Request::Type::kQuit;
     return request;
   }
   if (tokens.size() != 3) {
@@ -121,6 +123,8 @@ std::string FormatRequest(const Request& request) {
              std::to_string(request.b);
     case Request::Type::kStats:
       return "stats";
+    case Request::Type::kMetrics:
+      return "metrics";
     case Request::Type::kPlan:
       return "plan";
     case Request::Type::kQuit:

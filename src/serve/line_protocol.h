@@ -9,6 +9,8 @@
 //   pattr <node> <attr> one attribute pair score
 //   pair <src> <dst>    one directed link pair score
 //   stats               server counters (never cached / deduplicated)
+//   metrics             Prometheus text exposition, terminated by "# EOF"
+//                       (never cached / deduplicated)
 //   plan                shard identity / held ranges (router handshake)
 //   quit                close the connection after responding "bye"
 //
@@ -42,6 +44,7 @@ struct Request {
     kAttributePair,
     kLinkPair,
     kStats,
+    kMetrics,
     kPlan,
     kQuit,
   };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/timer.h"
 #include "src/matrix/gemm.h"
 #include "src/matrix/vector_ops.h"
 #include "src/parallel/thread_pool.h"
@@ -182,7 +183,43 @@ Result<QueryEngine> QueryEngine::Create(ConstMatrixView xf,
   engine.num_attributes_ = engine.y_.rows();
   engine.supports_attributes_ = engine.xb_.rows() > 0 && engine.y_.rows() > 0;
   engine.supports_links_ = engine.z_.rows() > 0;
+  if (options.metrics != nullptr) engine.ResolveMetrics(options.metrics);
   return engine;
+}
+
+void QueryEngine::ResolveMetrics(obs::MetricsRegistry* registry) {
+  tiles_total_ = registry->GetCounter("pane_engine_tiles_scanned_total");
+  ivf_scanned_total_ =
+      registry->GetCounter("pane_engine_ivf_candidates_scanned_total");
+  ivf_pruned_total_ =
+      registry->GetCounter("pane_engine_ivf_candidates_pruned_total");
+  tiles_gauge_ = registry->GetGauge("pane_engine_tiles_last_range");
+  pruned_gauge_ = registry->GetGauge("pane_engine_ivf_pruned_last_range");
+}
+
+void QueryEngine::AccumulateRange(EngineCallStats* call_stats,
+                                  int64_t scan_ns, int64_t select_ns,
+                                  int64_t tiles, int64_t ivf_scanned,
+                                  int64_t ivf_pruned) const {
+  if (call_stats != nullptr) {
+    call_stats->scan_ns.fetch_add(scan_ns, std::memory_order_relaxed);
+    call_stats->select_ns.fetch_add(select_ns, std::memory_order_relaxed);
+    call_stats->tiles.fetch_add(tiles, std::memory_order_relaxed);
+    call_stats->ivf_scanned.fetch_add(ivf_scanned,
+                                      std::memory_order_relaxed);
+    call_stats->ivf_pruned.fetch_add(ivf_pruned, std::memory_order_relaxed);
+  }
+  if (tiles_total_ != nullptr && tiles > 0) {
+    tiles_total_->Add(static_cast<uint64_t>(tiles));
+    tiles_gauge_->Set(tiles);
+  }
+  if (ivf_scanned_total_ != nullptr && ivf_scanned > 0) {
+    ivf_scanned_total_->Add(static_cast<uint64_t>(ivf_scanned));
+  }
+  if (ivf_pruned_total_ != nullptr && ivf_pruned > 0) {
+    ivf_pruned_total_->Add(static_cast<uint64_t>(ivf_pruned));
+    pruned_gauge_->Set(ivf_pruned);
+  }
 }
 
 Result<QueryEngine> QueryEngine::CreateSharded(
@@ -222,6 +259,7 @@ Result<QueryEngine> QueryEngine::CreateSharded(
   engine.supports_links_ = shard.has_links;
   engine.sharded_ = true;
   engine.shard_ = shard;
+  if (options.metrics != nullptr) engine.ResolveMetrics(options.metrics);
   return engine;
 }
 
@@ -244,9 +282,15 @@ Result<QueryEngine> QueryEngine::Create(const EmbeddingStore& store,
 void QueryEngine::ProcessAttributeRange(const std::vector<TopKQuery>& queries,
                                         const AttributedGraph* exclude,
                                         int64_t begin, int64_t end,
-                                        std::vector<Ranking>* results) const {
+                                        std::vector<Ranking>* results,
+                                        EngineCallStats* call_stats) const {
   const int64_t h = xf_.cols();
   const int64_t d = y_.rows();
+  // Stage clocks are read per tile only when the caller asked for the
+  // breakdown; a tile is ~query_block x candidate_tile x h flops, so two
+  // clock reads against it are noise.
+  const bool timed = call_stats != nullptr;
+  int64_t scan_ns = 0, select_ns = 0, tiles = 0;
   const int64_t max_b = std::min(query_block_, end - begin);
   const int64_t max_w = PadDotBlockWidth(max_b);
   const int64_t tile = candidate_tile_;
@@ -271,6 +315,7 @@ void QueryEngine::ProcessAttributeRange(const std::vector<TopKQuery>& queries,
     }
     for (int64_t c0 = 0; c0 < d; c0 += tile) {
       const int64_t len = std::min(tile, d - c0);
+      const int64_t scan_start = timed ? MonotonicNanos() : 0;
       for (int64_t c = c0; c < c0 + len; ++c) {
         // Score = Dot(xf, y) + Dot(xb, y), summed in that order (Eq. 21).
         dot_block(qtf.data(), h, w, y_.Row(c), buf.data() + (c - c0), tile,
@@ -278,26 +323,36 @@ void QueryEngine::ProcessAttributeRange(const std::vector<TopKQuery>& queries,
         dot_block(qtb.data(), h, w, y_.Row(c), buf.data() + (c - c0), tile,
                   /*add=*/true);
       }
+      const int64_t select_start = timed ? MonotonicNanos() : 0;
       for (int64_t q = 0; q < b; ++q) {
         // Offer global candidate ids (attr_base_ shifts the local slice),
         // so exclusion lists and tie-breaks work in global id space.
         ScanTile(buf.data() + q * tile, attr_base_ + c0, len,
                  &states[static_cast<size_t>(q)]);
       }
+      if (timed) {
+        scan_ns += select_start - scan_start;
+        select_ns += MonotonicNanos() - select_start;
+      }
+      ++tiles;
     }
     for (int64_t q = 0; q < b; ++q) {
       (*results)[static_cast<size_t>(block + q)] =
           states[static_cast<size_t>(q)].heap.Take();
     }
   }
+  AccumulateRange(call_stats, scan_ns, select_ns, tiles, 0, 0);
 }
 
 void QueryEngine::ProcessTargetRange(const std::vector<TopKQuery>& queries,
                                      const AttributedGraph* exclude,
                                      int64_t begin, int64_t end,
-                                     std::vector<Ranking>* results) const {
+                                     std::vector<Ranking>* results,
+                                     EngineCallStats* call_stats) const {
   const int64_t h = xf_.cols();
   const int64_t n = z_.rows();
+  const bool timed = call_stats != nullptr;
+  int64_t scan_ns = 0, select_ns = 0, tiles = 0;
   const int64_t max_b = std::min(query_block_, end - begin);
   const int64_t max_w = PadDotBlockWidth(max_b);
   const int64_t tile = candidate_tile_;
@@ -321,20 +376,28 @@ void QueryEngine::ProcessTargetRange(const std::vector<TopKQuery>& queries,
     }
     for (int64_t c0 = 0; c0 < n; c0 += tile) {
       const int64_t len = std::min(tile, n - c0);
+      const int64_t scan_start = timed ? MonotonicNanos() : 0;
       for (int64_t c = c0; c < c0 + len; ++c) {
         dot_block(qtf.data(), h, w, z_.Row(c), buf.data() + (c - c0), tile,
                   /*add=*/false);
       }
+      const int64_t select_start = timed ? MonotonicNanos() : 0;
       for (int64_t q = 0; q < b; ++q) {
         ScanTile(buf.data() + q * tile, link_base_ + c0, len,
                  &states[static_cast<size_t>(q)]);
       }
+      if (timed) {
+        scan_ns += select_start - scan_start;
+        select_ns += MonotonicNanos() - select_start;
+      }
+      ++tiles;
     }
     for (int64_t q = 0; q < b; ++q) {
       (*results)[static_cast<size_t>(block + q)] =
           states[static_cast<size_t>(q)].heap.Take();
     }
   }
+  AccumulateRange(call_stats, scan_ns, select_ns, tiles, 0, 0);
 }
 
 namespace {
@@ -364,8 +427,8 @@ void RunRanges(ThreadPool* pool, int64_t count,
 }  // namespace
 
 std::vector<Ranking> QueryEngine::TopKAttributes(
-    const std::vector<TopKQuery>& queries,
-    const AttributedGraph* exclude) const {
+    const std::vector<TopKQuery>& queries, const AttributedGraph* exclude,
+    EngineCallStats* call_stats) const {
   PANE_CHECK(supports_attributes())
       << "attribute queries need the xb and y factor blocks";
   for (const TopKQuery& q : queries) {
@@ -375,14 +438,15 @@ std::vector<Ranking> QueryEngine::TopKAttributes(
   std::vector<Ranking> results(queries.size());
   RunRanges(pool_, static_cast<int64_t>(queries.size()),
             [&](int64_t begin, int64_t end) {
-              ProcessAttributeRange(queries, exclude, begin, end, &results);
+              ProcessAttributeRange(queries, exclude, begin, end, &results,
+                                    call_stats);
             });
   return results;
 }
 
 std::vector<Ranking> QueryEngine::TopKTargets(
-    const std::vector<TopKQuery>& queries,
-    const AttributedGraph* exclude) const {
+    const std::vector<TopKQuery>& queries, const AttributedGraph* exclude,
+    EngineCallStats* call_stats) const {
   PANE_CHECK(supports_links())
       << "link queries need z (supply it or let Create derive it from "
          "xb and y)";
@@ -393,7 +457,8 @@ std::vector<Ranking> QueryEngine::TopKTargets(
   std::vector<Ranking> results(queries.size());
   RunRanges(pool_, static_cast<int64_t>(queries.size()),
             [&](int64_t begin, int64_t end) {
-              ProcessTargetRange(queries, exclude, begin, end, &results);
+              ProcessTargetRange(queries, exclude, begin, end, &results,
+                                 call_stats);
             });
   return results;
 }
@@ -532,7 +597,7 @@ Status QueryEngine::LoadPrunedIndex(const std::string& path) {
 
 std::vector<Ranking> QueryEngine::TopKAttributesPruned(
     const std::vector<TopKQuery>& queries, int64_t nprobe,
-    const AttributedGraph* exclude) const {
+    const AttributedGraph* exclude, EngineCallStats* call_stats) const {
   PANE_CHECK(!attr_index_.empty() || (sharded_ && y_.rows() == 0))
       << "call BuildPrunedIndex before pruned attribute queries";
   const int64_t h = xf_.cols();
@@ -545,9 +610,13 @@ std::vector<Ranking> QueryEngine::TopKAttributesPruned(
     }
     return results;
   }
+  const bool count = call_stats != nullptr || ivf_scanned_total_ != nullptr;
   RunRanges(pool_, static_cast<int64_t>(queries.size()),
             [&](int64_t begin, int64_t end) {
               std::vector<double> qv(static_cast<size_t>(h));
+              int64_t scanned = 0;
+              const int64_t start_ns =
+                  call_stats != nullptr ? MonotonicNanos() : 0;
               for (int64_t i = begin; i < end; ++i) {
                 const TopKQuery& query = queries[static_cast<size_t>(i)];
                 PANE_CHECK(query.node >= 0 && query.node < num_nodes());
@@ -563,15 +632,22 @@ std::vector<Ranking> QueryEngine::TopKAttributesPruned(
                         : std::vector<int64_t>();
                 results[static_cast<size_t>(i)] = attr_index_.Search(
                     qv.data(), query.k, nprobe, ex, /*skip_id=*/-1,
-                    /*id_base=*/attr_base_);
+                    /*id_base=*/attr_base_, count ? &scanned : nullptr);
               }
+              const int64_t scan_ns =
+                  call_stats != nullptr ? MonotonicNanos() - start_ns : 0;
+              const int64_t pruned =
+                  count ? (end - begin) * attr_index_.num_candidates() -
+                              scanned
+                        : 0;
+              AccumulateRange(call_stats, scan_ns, 0, 0, scanned, pruned);
             });
   return results;
 }
 
 std::vector<Ranking> QueryEngine::TopKTargetsPruned(
     const std::vector<TopKQuery>& queries, int64_t nprobe,
-    const AttributedGraph* exclude) const {
+    const AttributedGraph* exclude, EngineCallStats* call_stats) const {
   PANE_CHECK(!link_index_.empty() || (sharded_ && z_.rows() == 0))
       << "call BuildPrunedIndex before pruned link queries";
   std::vector<Ranking> results(queries.size());
@@ -582,8 +658,12 @@ std::vector<Ranking> QueryEngine::TopKTargetsPruned(
     }
     return results;
   }
+  const bool count = call_stats != nullptr || ivf_scanned_total_ != nullptr;
   RunRanges(pool_, static_cast<int64_t>(queries.size()),
             [&](int64_t begin, int64_t end) {
+              int64_t scanned = 0;
+              const int64_t start_ns =
+                  call_stats != nullptr ? MonotonicNanos() : 0;
               for (int64_t i = begin; i < end; ++i) {
                 const TopKQuery& query = queries[static_cast<size_t>(i)];
                 PANE_CHECK(query.node >= 0 && query.node < num_nodes());
@@ -595,8 +675,16 @@ std::vector<Ranking> QueryEngine::TopKTargetsPruned(
                 results[static_cast<size_t>(i)] =
                     link_index_.Search(xf_.Row(query.node), query.k, nprobe,
                                        ex, /*skip_id=*/query.node,
-                                       /*id_base=*/link_base_);
+                                       /*id_base=*/link_base_,
+                                       count ? &scanned : nullptr);
               }
+              const int64_t scan_ns =
+                  call_stats != nullptr ? MonotonicNanos() - start_ns : 0;
+              const int64_t pruned =
+                  count ? (end - begin) * link_index_.num_candidates() -
+                              scanned
+                        : 0;
+              AccumulateRange(call_stats, scan_ns, 0, 0, scanned, pruned);
             });
   return results;
 }

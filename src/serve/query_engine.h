@@ -18,6 +18,7 @@
 // with `nprobe` as the measured-recall knob.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "src/common/topk.h"
 #include "src/graph/graph.h"
 #include "src/matrix/dense_matrix.h"
+#include "src/obs/metrics.h"
 #include "src/serve/ivf_index.h"
 #include "src/store/shard_pages.h"
 
@@ -54,6 +56,25 @@ struct QueryEngineOptions {
   /// Precompute Z = Xb (Y^T Y) at Create when no `z` view is supplied
   /// (required for link queries; skip for attribute-only engines).
   bool precompute_link_gram = true;
+  /// Optional registry for the engine's work metrics (pane_engine_*:
+  /// tiles-scanned and IVF candidates scanned / pruned). Null disables
+  /// them; the registry must outlive the engine. Recording goes through
+  /// handles resolved at Create, so the engine itself stays immutable
+  /// during queries (the TSan contract in query_engine.cc).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Per-call scoring breakdown, filled by the top-k entry points when the
+/// caller passes one: nanoseconds spent in tile dot-products (scan) and
+/// per-tile heap selection (select), plus tile / IVF-candidate counts.
+/// Atomic because range workers accumulate concurrently (once per range,
+/// not per tile).
+struct EngineCallStats {
+  std::atomic<int64_t> scan_ns{0};
+  std::atomic<int64_t> select_ns{0};
+  std::atomic<int64_t> tiles{0};
+  std::atomic<int64_t> ivf_scanned{0};
+  std::atomic<int64_t> ivf_pruned{0};
 };
 
 /// \brief One top-k request: the query node and how many results to keep.
@@ -106,16 +127,21 @@ class QueryEngine {
 
   /// Batched Eq. 21 top-k attributes. `exclude` skips attributes already
   /// associated with the query node in that graph. Results per query are
-  /// identical to the offline TopKAttributes helper.
+  /// identical to the offline TopKAttributes helper. A non-null
+  /// `call_stats` receives the scan/select timing split for this call
+  /// (timing is only taken when requested, so the default path pays no
+  /// clock reads).
   std::vector<Ranking> TopKAttributes(
       const std::vector<TopKQuery>& queries,
-      const AttributedGraph* exclude = nullptr) const;
+      const AttributedGraph* exclude = nullptr,
+      EngineCallStats* call_stats = nullptr) const;
 
   /// Batched Eq. 22 top-k link targets. The query node itself is always
   /// skipped; `exclude` also skips its existing out-neighbors.
   std::vector<Ranking> TopKTargets(
       const std::vector<TopKQuery>& queries,
-      const AttributedGraph* exclude = nullptr) const;
+      const AttributedGraph* exclude = nullptr,
+      EngineCallStats* call_stats = nullptr) const;
 
   /// Batched pair scores: p(v, r) of Eq. 21 for (node, attribute) pairs.
   std::vector<double> AttributeScores(
@@ -150,12 +176,16 @@ class QueryEngine {
 
   /// Approximate top-k through the IVF indexes; same exclusion / self-skip
   /// semantics as the exact calls, scores computed in single precision.
+  /// The pruned path has no tile/select split, so `call_stats` gets the
+  /// whole probe under scan_ns plus the scanned/pruned candidate counts.
   std::vector<Ranking> TopKAttributesPruned(
       const std::vector<TopKQuery>& queries, int64_t nprobe,
-      const AttributedGraph* exclude = nullptr) const;
+      const AttributedGraph* exclude = nullptr,
+      EngineCallStats* call_stats = nullptr) const;
   std::vector<Ranking> TopKTargetsPruned(
       const std::vector<TopKQuery>& queries, int64_t nprobe,
-      const AttributedGraph* exclude = nullptr) const;
+      const AttributedGraph* exclude = nullptr,
+      EngineCallStats* call_stats = nullptr) const;
 
   // ---- Introspection ----------------------------------------------------
 
@@ -190,12 +220,21 @@ class QueryEngine {
  private:
   QueryEngine() = default;
 
+  void ResolveMetrics(obs::MetricsRegistry* registry);
+
   void ProcessAttributeRange(const std::vector<TopKQuery>& queries,
                              const AttributedGraph* exclude, int64_t begin,
-                             int64_t end, std::vector<Ranking>* results) const;
+                             int64_t end, std::vector<Ranking>* results,
+                             EngineCallStats* call_stats) const;
   void ProcessTargetRange(const std::vector<TopKQuery>& queries,
                           const AttributedGraph* exclude, int64_t begin,
-                          int64_t end, std::vector<Ranking>* results) const;
+                          int64_t end, std::vector<Ranking>* results,
+                          EngineCallStats* call_stats) const;
+  /// Folds one range's counters into the registry handles (if any) and the
+  /// caller's EngineCallStats (if any).
+  void AccumulateRange(EngineCallStats* call_stats, int64_t scan_ns,
+                       int64_t select_ns, int64_t tiles, int64_t ivf_scanned,
+                       int64_t ivf_pruned) const;
 
   ConstMatrixView xf_, xb_, y_, z_;
   DenseMatrix z_owned_;  // backs z_ when derived at Create
@@ -213,6 +252,14 @@ class QueryEngine {
   bool sharded_ = false;
   store::ShardMeta shard_;
   IvfIndex attr_index_, link_index_;
+  // Registry handles (null without a registry). The pointed-to metrics are
+  // thread-safe, so recording from const query paths keeps the engine's
+  // immutability contract.
+  obs::Counter* tiles_total_ = nullptr;
+  obs::Counter* ivf_scanned_total_ = nullptr;
+  obs::Counter* ivf_pruned_total_ = nullptr;
+  obs::Gauge* tiles_gauge_ = nullptr;
+  obs::Gauge* pruned_gauge_ = nullptr;
 };
 
 /// \brief Sorted ids to skip for one query: the non-zero columns of

@@ -1,10 +1,10 @@
 #include "src/serve/router.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/timer.h"
 #include "src/matrix/gemm.h"
 #include "src/parallel/thread_pool.h"
 #include "src/serve/embedding_store.h"
@@ -18,15 +18,10 @@ namespace {
 /// shard answers this, never a top-k silently merged from a subset.
 const char kShardUnavailable[] = "err shard unavailable";
 
-int64_t NowUs() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 ServerOptions ShardServerOptions(const ServerOptions& options) {
   ServerOptions shard = options;
   shard.cache_capacity = 0;  // the router's cache is the only cache
+  shard.slow_query_us = 0;   // only the fronting server logs slow queries
   return shard;
 }
 
@@ -138,6 +133,15 @@ Result<Router> Router::Create(
   router.shards_ = std::move(shards);
   router.health_mutex_ = std::make_unique<Mutex>();
   router.health_.resize(router.shards_.size());
+  for (size_t i = 0; i < router.health_.size(); ++i) {
+    if (options.metrics != nullptr) {
+      router.health_[i].latency = options.metrics->GetHistogram(
+          "pane_router_hop_us", "shard=\"" + std::to_string(i) + "\"");
+    } else {
+      router.owned_latency_.push_back(std::make_unique<obs::Histogram>());
+      router.health_[i].latency = router.owned_latency_.back().get();
+    }
+  }
 
   // Plan handshake: every backend reports its spec; together they must
   // tile one consistent plan. Sequential — startup, not the hot path.
@@ -164,21 +168,16 @@ Result<Router> Router::Create(
 Status Router::CallShard(size_t shard,
                          const std::vector<std::string>& requests,
                          std::vector<std::string>* responses) {
-  const int64_t start_us = NowUs();
+  const int64_t start_us = MonotonicMicros();
   const Status status = shards_[shard]->Execute(requests, responses);
-  const int64_t elapsed_us = NowUs() - start_us;
+  const int64_t elapsed_us = MonotonicMicros() - start_us;
   MutexLock lock(health_mutex_.get());
   ShardHealth& h = health_[shard];
   h.requests += requests.size();
   if (status.ok()) {
     h.alive = true;
     h.last_alive_ms = ShardConnection::NowMs();
-    if (h.latency_us.size() < kLatencyWindow) {
-      h.latency_us.push_back(elapsed_us);
-    } else {
-      h.latency_us[h.latency_next] = elapsed_us;
-    }
-    h.latency_next = (h.latency_next + 1) % kLatencyWindow;
+    h.latency->Record(elapsed_us);
   } else {
     h.alive = false;
     h.errors += requests.size();
@@ -201,7 +200,8 @@ void Router::ForEachShard(const std::function<void(size_t)>& fn) {
 }
 
 std::vector<std::string> Router::MergeTopKFamily(
-    const std::vector<Request>& requests, Request::Type type) {
+    const std::vector<Request>& requests, Request::Type type,
+    obs::RequestTrace* trace) {
   std::vector<std::string> out(requests.size());
   if (requests.empty()) return out;
   std::vector<std::string> payloads;
@@ -218,6 +218,8 @@ std::vector<std::string> Router::MergeTopKFamily(
   // the serial tail is just the merge + reformat below.
   std::vector<std::vector<Ranking>> rankings(
       requests.size(), std::vector<Ranking>(num_shards));
+  const int64_t fanout_start_us =
+      trace != nullptr ? MonotonicMicros() : 0;
   ForEachShard([&](size_t s) {
     statuses[s] = CallShard(s, payloads, &replies[s]);
     if (!statuses[s].ok()) return;
@@ -234,6 +236,10 @@ std::vector<std::string> Router::MergeTopKFamily(
       }
     }
   });
+  const int64_t merge_start_us = trace != nullptr ? MonotonicMicros() : 0;
+  if (trace != nullptr) {
+    trace->Add(obs::Stage::kFanout, merge_start_us - fanout_start_us);
+  }
   for (size_t s = 0; s < num_shards; ++s) {
     if (statuses[s].ok()) continue;
     PANE_LOG(WARNING) << "shard " << shards_[s]->describe()
@@ -245,17 +251,20 @@ std::vector<std::string> Router::MergeTopKFamily(
     out[i] = FormatRanking(requests[i],
                            MergeTopK(rankings[i], requests[i].k));
   }
+  if (trace != nullptr) {
+    trace->Add(obs::Stage::kMerge, MonotonicMicros() - merge_start_us);
+  }
   return out;
 }
 
 std::vector<std::string> Router::TopKAttributes(
-    const std::vector<Request>& requests) {
-  return MergeTopKFamily(requests, Request::Type::kTopKAttributes);
+    const std::vector<Request>& requests, obs::RequestTrace* trace) {
+  return MergeTopKFamily(requests, Request::Type::kTopKAttributes, trace);
 }
 
 std::vector<std::string> Router::TopKTargets(
-    const std::vector<Request>& requests) {
-  return MergeTopKFamily(requests, Request::Type::kTopKTargets);
+    const std::vector<Request>& requests, obs::RequestTrace* trace) {
+  return MergeTopKFamily(requests, Request::Type::kTopKTargets, trace);
 }
 
 size_t Router::OwnerShard(int64_t id, bool by_attribute) const {
@@ -271,7 +280,8 @@ size_t Router::OwnerShard(int64_t id, bool by_attribute) const {
 }
 
 std::vector<std::string> Router::RoutePairs(
-    const std::vector<Request>& requests, bool by_attribute) {
+    const std::vector<Request>& requests, bool by_attribute,
+    obs::RequestTrace* trace) {
   std::vector<std::string> out(requests.size());
   if (requests.empty()) return out;
   const size_t num_shards = shards_.size();
@@ -284,6 +294,8 @@ std::vector<std::string> Router::RoutePairs(
   }
   std::vector<std::vector<std::string>> replies(num_shards);
   std::vector<Status> statuses(num_shards, Status::OK());
+  const int64_t fanout_start_us =
+      trace != nullptr ? MonotonicMicros() : 0;
   ForEachShard([&](size_t s) {
     if (payloads[s].empty()) return;
     statuses[s] = CallShard(s, payloads[s], &replies[s]);
@@ -291,6 +303,10 @@ std::vector<std::string> Router::RoutePairs(
       statuses[s] = Status::IOError("shard answered a short batch");
     }
   });
+  const int64_t merge_start_us = trace != nullptr ? MonotonicMicros() : 0;
+  if (trace != nullptr) {
+    trace->Add(obs::Stage::kFanout, merge_start_us - fanout_start_us);
+  }
   // Pair responses forward verbatim: the shard already formats
   // "pattr <a> <b> ok <score>", byte-equal to the unsharded server's. A
   // dead owner degrades only its own pairs — the other shards' answers
@@ -307,17 +323,20 @@ std::vector<std::string> Router::RoutePairs(
       out[owners[s][j]] = std::move(replies[s][j]);
     }
   }
+  if (trace != nullptr) {
+    trace->Add(obs::Stage::kMerge, MonotonicMicros() - merge_start_us);
+  }
   return out;
 }
 
 std::vector<std::string> Router::AttributeScores(
-    const std::vector<Request>& requests) {
-  return RoutePairs(requests, /*by_attribute=*/true);
+    const std::vector<Request>& requests, obs::RequestTrace* trace) {
+  return RoutePairs(requests, /*by_attribute=*/true, trace);
 }
 
 std::vector<std::string> Router::LinkScores(
-    const std::vector<Request>& requests) {
-  return RoutePairs(requests, /*by_attribute=*/false);
+    const std::vector<Request>& requests, obs::RequestTrace* trace) {
+  return RoutePairs(requests, /*by_attribute=*/false, trace);
 }
 
 std::string Router::StatsSuffix() const {
@@ -326,17 +345,13 @@ std::string Router::StatsSuffix() const {
   MutexLock lock(health_mutex_.get());
   for (size_t s = 0; s < health_.size(); ++s) {
     const ShardHealth& h = health_[s];
-    int64_t p50_us = 0;
-    if (!h.latency_us.empty()) {
-      std::vector<int64_t> window = h.latency_us;
-      const size_t mid = window.size() / 2;
-      std::nth_element(window.begin(), window.begin() + mid, window.end());
-      p50_us = window[mid];
-    }
+    const obs::Histogram::Snapshot latency = h.latency->TakeSnapshot();
     const std::string prefix = " shard" + std::to_string(s) + '.';
     out += prefix + "requests=" + std::to_string(h.requests);
     out += prefix + "errors=" + std::to_string(h.errors);
-    out += prefix + "p50_us=" + std::to_string(p50_us);
+    out += prefix + "p50_us=" + std::to_string(latency.p50);
+    out += prefix + "p99_us=" + std::to_string(latency.p99);
+    out += prefix + "max_us=" + std::to_string(latency.max);
     out += prefix + "alive=" + (h.alive ? "1" : "0");
     out += prefix + "age_ms=" + std::to_string(now - h.last_alive_ms);
   }

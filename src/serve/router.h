@@ -24,8 +24,11 @@
 // cannot be reached (after one reconnect attempt) marks itself dead and
 // every query in the affected batch answers `err shard unavailable` —
 // top-k answers are never silently computed from a subset of shards. Per-
-// shard health (requests, errors, p50 hop latency, last-alive age) is
-// surfaced through StatsSuffix on the router's `stats` response.
+// shard health (requests, errors, p50/p99/max hop latency, last-alive
+// age) is surfaced through StatsSuffix on the router's `stats` response;
+// hop latencies live in per-shard `pane_router_hop_us` histograms
+// (src/obs/metrics.h), shared with the Prometheus exposition when the
+// router is built over a MetricsRegistry.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +40,8 @@
 #include "src/common/status.h"
 #include "src/common/sync.h"
 #include "src/matrix/dense_matrix.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/line_protocol.h"
 #include "src/serve/server.h"
 #include "src/serve/shard_plan.h"
@@ -56,6 +61,11 @@ struct RouterOptions {
   /// Fans batches out across shards concurrently. Null => sequential hops.
   /// Local shards run serial engines, so this pool is the parallelism.
   ThreadPool* pool = nullptr;
+  /// Optional registry for the per-shard hop-latency histograms
+  /// (pane_router_hop_us{shard="N"}). Null keeps the histograms
+  /// router-private (stats still reports them); the registry must outlive
+  /// the router.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One shard as the router sees it: a batch of request payloads in, one
@@ -141,32 +151,39 @@ class Router {
 
   // ---- Query execution --------------------------------------------------
   // Each call takes pre-validated requests of one family and returns one
-  // formatted response payload (no wire framing) per request, in order.
+  // formatted response payload (no wire framing) per request, in order. A
+  // non-null `trace` gets the fan-out and merge stage times stamped onto
+  // it (the caller owns recording them into histograms).
 
   /// Fan-out + merge for kTopKAttributes requests.
   std::vector<std::string> TopKAttributes(
-      const std::vector<Request>& requests);
+      const std::vector<Request>& requests,
+      obs::RequestTrace* trace = nullptr);
   /// Fan-out + merge for kTopKTargets requests.
-  std::vector<std::string> TopKTargets(const std::vector<Request>& requests);
+  std::vector<std::string> TopKTargets(const std::vector<Request>& requests,
+                                       obs::RequestTrace* trace = nullptr);
   /// Owner-shard routing for kAttributePair requests.
   std::vector<std::string> AttributeScores(
-      const std::vector<Request>& requests);
+      const std::vector<Request>& requests,
+      obs::RequestTrace* trace = nullptr);
   /// Owner-shard routing for kLinkPair requests.
-  std::vector<std::string> LinkScores(const std::vector<Request>& requests);
+  std::vector<std::string> LinkScores(const std::vector<Request>& requests,
+                                      obs::RequestTrace* trace = nullptr);
 
-  /// " shard0.requests=.. shard0.errors=.. shard0.p50_us=.. shard0.alive=..
-  /// shard0.age_ms=.. shard1. ..." — appended to the stats response.
+  /// " shard0.requests=.. shard0.errors=.. shard0.p50_us=..
+  /// shard0.p99_us=.. shard0.max_us=.. shard0.alive=.. shard0.age_ms=..
+  /// shard1. ..." — appended to the stats response. The p50_us field keeps
+  /// its pre-histogram position and spelling; p99_us / max_us are the
+  /// histogram's additions.
   std::string StatsSuffix() const;
 
  private:
-  /// Rolling hop-latency window per shard (p50 over the last entries).
-  static constexpr size_t kLatencyWindow = 64;
-
   struct ShardHealth {
     uint64_t requests = 0;
     uint64_t errors = 0;
-    std::vector<int64_t> latency_us;  // ring buffer, kLatencyWindow deep
-    size_t latency_next = 0;
+    /// Hop-latency histogram: registry-owned when RouterOptions.metrics is
+    /// set, else one of owned_latency_'s. Never null after Create.
+    obs::Histogram* latency = nullptr;
     int64_t last_alive_ms = 0;
     bool alive = true;
   };
@@ -180,10 +197,12 @@ class Router {
   void ForEachShard(const std::function<void(size_t)>& fn);
   /// Shared fan-out + parse + merge path for both top-k families.
   std::vector<std::string> MergeTopKFamily(
-      const std::vector<Request>& requests, Request::Type type);
+      const std::vector<Request>& requests, Request::Type type,
+      obs::RequestTrace* trace);
   /// Shared owner-routing path for both pair families.
   std::vector<std::string> RoutePairs(const std::vector<Request>& requests,
-                                      bool by_attribute);
+                                      bool by_attribute,
+                                      obs::RequestTrace* trace);
   /// Index of the shard whose range holds this candidate id.
   size_t OwnerShard(int64_t id, bool by_attribute) const;
 
@@ -193,6 +212,9 @@ class Router {
 
   mutable std::unique_ptr<Mutex> health_mutex_;  // unique_ptr: movable
   std::vector<ShardHealth> health_;
+  /// Backing storage for ShardHealth::latency when no registry is supplied
+  /// (unique_ptrs: addresses survive Router moves).
+  std::vector<std::unique_ptr<obs::Histogram>> owned_latency_;
 };
 
 /// A complete in-process shard fleet over one unsharded store: Z derived

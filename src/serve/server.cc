@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/timer.h"
 #include "src/serve/router.h"
 #include "src/serve/session.h"
 #include "src/serve/shard_plan.h"
@@ -52,10 +53,25 @@ PaneServer::PaneServer(Router* router, const ServerOptions& options)
 
 void PaneServer::Init() {
   PANE_CHECK(options_.batch_size > 0);
+  if (options_.metrics_enabled) {
+    if (options_.metrics != nullptr) {
+      metrics_ = options_.metrics;
+    } else {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+      metrics_ = owned_metrics_.get();
+    }
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      stage_us_[s] = metrics_->GetHistogram(
+          std::string("pane_stage_") +
+          obs::StageName(static_cast<obs::Stage>(s)) + "_us");
+    }
+    batch_us_ = metrics_->GetHistogram("pane_server_batch_us");
+  }
   TransportOptions transport_options;
   transport_options.max_connections = options_.max_connections;
   transport_options.idle_timeout_ms = options_.idle_timeout_ms;
   transport_options.refusal = "err server busy\n";
+  transport_options.metrics = metrics_;
   transport_ = std::make_unique<EpollTransport>(
       [this]() -> std::unique_ptr<ConnectionHandler> {
         return std::make_unique<ServeSession>(this, options_.protocol);
@@ -101,6 +117,11 @@ void PaneServer::RecordFrames(uint64_t delta) {
   Count(&Counters::frames, delta);
 }
 
+void PaneServer::RecordStageTime(obs::Stage stage, int64_t us) {
+  if (metrics_ == nullptr) return;
+  stage_us_[static_cast<int>(stage)]->Record(us);
+}
+
 std::string PaneServer::StatsResponse() const {
   const Counters snapshot = counters();  // one instant, one lock hold
   std::string out = "stats ok";
@@ -125,6 +146,34 @@ std::string PaneServer::StatsResponse() const {
   }
   out += options_.pruned ? " mode=pruned nprobe=" + std::to_string(options_.nprobe)
                          : std::string(" mode=exact");
+  return out;
+}
+
+std::string PaneServer::MetricsResponse() const {
+  // The registry first (stage/transport/engine/router series), then the
+  // served-request counters as their own families, then the explicit
+  // terminator clients scan for — a multi-line payload needs one.
+  std::string out;
+  if (metrics_ != nullptr) out = metrics_->RenderPrometheus();
+  const Counters snapshot = counters();
+  const auto counter = [&out](const char* name, uint64_t value) {
+    out += "# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  counter("pane_server_requests_total", snapshot.requests);
+  counter("pane_server_batches_total", snapshot.batches);
+  counter("pane_server_dedup_hits_total", snapshot.dedup_hits);
+  counter("pane_server_cache_hits_total", snapshot.cache_hits);
+  counter("pane_server_errors_total", snapshot.errors);
+  counter("pane_server_timeouts_total", snapshot.timeouts);
+  counter("pane_server_rejected_total", snapshot.rejected);
+  counter("pane_server_frames_total", snapshot.frames);
+  out += "# EOF";
   return out;
 }
 
@@ -157,11 +206,22 @@ std::string PaneServer::PlanResponse() const {
 
 void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
                               std::vector<std::string>* responses,
-                              bool* quit) {
+                              bool* quit, obs::RequestTrace* trace) {
   responses->clear();
   if (batch->empty()) return;
   const size_t count = batch->size();
   responses->resize(count);
+  // Timing runs when the batch can land anywhere observable: the stage
+  // histograms or a slow-query line. A disabled subsystem pays no clock
+  // reads at all.
+  const bool timing = metrics_ != nullptr || options_.slow_query_us > 0;
+  obs::RequestTrace local_trace;
+  obs::RequestTrace* t =
+      trace != nullptr ? trace : (timing ? &local_trace : nullptr);
+  EngineCallStats call_stats;
+  EngineCallStats* engine_stats = timing ? &call_stats : nullptr;
+  int64_t pair_scan_ns = 0;
+  const int64_t batch_start_us = timing ? MonotonicMicros() : 0;
   // Key -> index of the entry that owns the engine work for it.
   std::unordered_map<Request, size_t, RequestHash> first_seen;
   std::vector<size_t> duplicates;  // entries answered by an earlier twin
@@ -197,7 +257,8 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
       (*responses)[i] = PlanResponse();
       continue;
     }
-    if (r.type == Request::Type::kStats) {
+    if (r.type == Request::Type::kStats ||
+        r.type == Request::Type::kMetrics) {
       continue;  // formatted at emit time, after this batch's engine work
     }
     // Range validation up front: the engine PANE_CHECKs its inputs, and a
@@ -297,20 +358,21 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
       }
     };
     if (!attr_owner.empty()) {
-      assign(attr_owner, router_->TopKAttributes(gather(attr_owner)));
+      assign(attr_owner, router_->TopKAttributes(gather(attr_owner), t));
       ran_engine = true;
     }
     if (!link_owner.empty()) {
-      assign(link_owner, router_->TopKTargets(gather(link_owner)));
+      assign(link_owner, router_->TopKTargets(gather(link_owner), t));
       ran_engine = true;
     }
     if (!attr_pair_owner.empty()) {
       assign(attr_pair_owner,
-             router_->AttributeScores(gather(attr_pair_owner)));
+             router_->AttributeScores(gather(attr_pair_owner), t));
       ran_engine = true;
     }
     if (!link_pair_owner.empty()) {
-      assign(link_pair_owner, router_->LinkScores(gather(link_pair_owner)));
+      assign(link_pair_owner,
+             router_->LinkScores(gather(link_pair_owner), t));
       ran_engine = true;
     }
   } else {
@@ -318,8 +380,9 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
       const std::vector<Ranking> results =
           options_.pruned
               ? engine_->TopKAttributesPruned(attr_queries, options_.nprobe,
-                                              options_.exclude)
-              : engine_->TopKAttributes(attr_queries, options_.exclude);
+                                              options_.exclude, engine_stats)
+              : engine_->TopKAttributes(attr_queries, options_.exclude,
+                                        engine_stats);
       for (size_t j = 0; j < results.size(); ++j) {
         const size_t i = attr_owner[j];
         (*responses)[i] = FormatRanking((*batch)[i].request, results[j]);
@@ -331,8 +394,9 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
       const std::vector<Ranking> results =
           options_.pruned
               ? engine_->TopKTargetsPruned(link_queries, options_.nprobe,
-                                           options_.exclude)
-              : engine_->TopKTargets(link_queries, options_.exclude);
+                                           options_.exclude, engine_stats)
+              : engine_->TopKTargets(link_queries, options_.exclude,
+                                     engine_stats);
       for (size_t j = 0; j < results.size(); ++j) {
         const size_t i = link_owner[j];
         (*responses)[i] = FormatRanking((*batch)[i].request, results[j]);
@@ -341,7 +405,11 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
       ran_engine = true;
     }
     if (!attr_pairs.empty()) {
+      // Pair scoring has no tile/select split — its wall time counts as
+      // scan, the stage it is.
+      const int64_t pair_start_ns = timing ? MonotonicNanos() : 0;
       const std::vector<double> scores = engine_->AttributeScores(attr_pairs);
+      if (timing) pair_scan_ns += MonotonicNanos() - pair_start_ns;
       for (size_t j = 0; j < scores.size(); ++j) {
         const size_t i = attr_pair_owner[j];
         (*responses)[i] = FormatScore((*batch)[i].request, scores[j]);
@@ -350,7 +418,9 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
       ran_engine = true;
     }
     if (!link_pairs.empty()) {
+      const int64_t pair_start_ns = timing ? MonotonicNanos() : 0;
       const std::vector<double> scores = engine_->LinkScores(link_pairs);
+      if (timing) pair_scan_ns += MonotonicNanos() - pair_start_ns;
       for (size_t j = 0; j < scores.size(); ++j) {
         const size_t i = link_pair_owner[j];
         (*responses)[i] = FormatScore((*batch)[i].request, scores[j]);
@@ -358,20 +428,73 @@ void PaneServer::ExecuteBatch(std::vector<BatchEntry>* batch,
       }
       ran_engine = true;
     }
+    if (t != nullptr && ran_engine) {
+      t->Add(obs::Stage::kScan,
+             (call_stats.scan_ns.load(std::memory_order_relaxed) +
+              pair_scan_ns) /
+                 1000);
+      t->Add(obs::Stage::kSelect,
+             call_stats.select_ns.load(std::memory_order_relaxed) / 1000);
+    }
   }
   if (ran_engine) Count(&Counters::batches);
+
+  if (metrics_ != nullptr) {
+    // Decode / batch-wait come stamped on an external (session) trace; an
+    // internal hop (LocalShard) never records them, so the front server's
+    // numbers stay undiluted. Scan/select are engine-mode stages,
+    // fan-out/merge router-mode ones — recording only the stages this
+    // server actually runs keeps every histogram zero-free by design.
+    if (trace != nullptr) {
+      stage_us_[static_cast<int>(obs::Stage::kDecode)]->Record(
+          trace->us(obs::Stage::kDecode));
+      stage_us_[static_cast<int>(obs::Stage::kBatchWait)]->Record(
+          trace->us(obs::Stage::kBatchWait));
+    }
+    if (ran_engine && t != nullptr) {
+      if (router_ != nullptr) {
+        stage_us_[static_cast<int>(obs::Stage::kFanout)]->Record(
+            t->us(obs::Stage::kFanout));
+        stage_us_[static_cast<int>(obs::Stage::kMerge)]->Record(
+            t->us(obs::Stage::kMerge));
+      } else {
+        stage_us_[static_cast<int>(obs::Stage::kScan)]->Record(
+            t->us(obs::Stage::kScan));
+        stage_us_[static_cast<int>(obs::Stage::kSelect)]->Record(
+            t->us(obs::Stage::kSelect));
+      }
+    }
+    batch_us_->Record(MonotonicMicros() - batch_start_us);
+  }
+  // One structured line per offending engine batch (encode happens later
+  // in the session, outside this window).
+  if (options_.slow_query_us > 0 && ran_engine && t != nullptr &&
+      t->total_us() >= options_.slow_query_us) {
+    std::string first;
+    for (const BatchEntry& entry : *batch) {
+      if (!entry.parse_error) {
+        first = FormatRequest(entry.request);
+        break;
+      }
+    }
+    PANE_LOG(WARNING) << "slow_query total_us=" << t->total_us()
+                      << " requests=" << count << ' '
+                      << t->FormatBreakdown() << " first=\"" << first << '"';
+  }
 
   for (const size_t i : duplicates) {
     const auto it = first_seen.find((*batch)[i].request);
     PANE_CHECK(it != first_seen.end());
     (*responses)[i] = (*responses)[it->second];
   }
-  // Stats entries format last so they see this batch's own counter bumps,
-  // the same instant the old stream loop printed them at.
+  // Stats / metrics entries format last so they see this batch's own
+  // counter bumps, the same instant the old stream loop printed them at.
   for (size_t i = 0; i < count; ++i) {
-    if (!(*batch)[i].parse_error &&
-        (*batch)[i].request.type == Request::Type::kStats) {
+    if ((*batch)[i].parse_error) continue;
+    if ((*batch)[i].request.type == Request::Type::kStats) {
       (*responses)[i] = StatsResponse();
+    } else if ((*batch)[i].request.type == Request::Type::kMetrics) {
+      (*responses)[i] = MetricsResponse();
     }
   }
   batch->clear();

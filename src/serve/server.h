@@ -29,6 +29,8 @@
 
 #include "src/common/status.h"
 #include "src/common/sync.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/line_protocol.h"
 #include "src/serve/protocol.h"
 #include "src/serve/query_engine.h"
@@ -62,6 +64,19 @@ struct ServerOptions {
   /// Upper bound on one inbound frame payload; 0 = the protocol default
   /// (kMaxFramePayload). The --max-frame-mb flag feeds this.
   int64_t max_frame_bytes = 0;
+  /// Registry for the per-stage histograms, the transport metrics, and the
+  /// `metrics` verb. Null (with metrics_enabled) makes the server own a
+  /// private registry; a shared one (pane_server wires the same registry
+  /// into engine, router, and server) must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// False disables the metrics subsystem entirely — no registry, no stage
+  /// timing, no clock reads (the bench A/B switch). The `metrics` verb then
+  /// answers an empty exposition.
+  bool metrics_enabled = true;
+  /// Batches whose traced stage total (decode through merge; encode happens
+  /// after the batch returns) reaches this many microseconds log one
+  /// structured `slow_query` line. 0 disables.
+  int64_t slow_query_us = 0;
 };
 
 class PaneServer {
@@ -122,12 +137,29 @@ class PaneServer {
   /// LRU cache, folds duplicates, runs the engine's blocked kernels on
   /// the rest, and fills *responses with one payload (no wire framing)
   /// per entry. Sets *quit on a kQuit entry. Clears *batch.
+  ///
+  /// A non-null `trace` carries the session's decode / batch-wait times in
+  /// and leaves with the engine-side stages (scan, select, fan-out, merge)
+  /// stamped; only externally-traced batches record the decode and
+  /// batch-wait histograms, so an internal hop (LocalShard) sharing the
+  /// registry never dilutes them with zeros.
   void ExecuteBatch(std::vector<BatchEntry>* batch,
-                    std::vector<std::string>* responses, bool* quit)
+                    std::vector<std::string>* responses, bool* quit,
+                    obs::RequestTrace* trace = nullptr)
       PANE_EXCLUDES(stats_mutex_, cache_mutex_);
 
   /// Counts decoded binary frames (called by frame-codec sessions).
   void RecordFrames(uint64_t delta = 1) PANE_EXCLUDES(stats_mutex_);
+
+  /// Records one stage sample into the per-stage histogram (no-op when the
+  /// metrics subsystem is disabled). The session layer uses this for the
+  /// stages that live outside ExecuteBatch (encode).
+  void RecordStageTime(obs::Stage stage, int64_t us);
+
+  /// The registry backing this server's metrics — the options' pointer,
+  /// the server-owned one, or null when metrics_enabled is false. Sessions
+  /// branch on this to skip timing entirely.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   const ServerOptions& options() const { return options_; }
 
@@ -144,8 +176,11 @@ class PaneServer {
   void Count(uint64_t Counters::*field, uint64_t delta = 1)
       PANE_EXCLUDES(stats_mutex_);
   std::string StatsResponse() const PANE_EXCLUDES(stats_mutex_);
+  /// The `metrics` verb payload: the registry's Prometheus exposition plus
+  /// the served-request counters, terminated by "# EOF".
+  std::string MetricsResponse() const PANE_EXCLUDES(stats_mutex_);
 
-  /// Shared constructor tail (transport wiring).
+  /// Shared constructor tail (transport wiring + metrics handles).
   void Init();
   /// The response to the `plan` verb for this server's candidate space.
   std::string PlanResponse() const;
@@ -170,6 +205,16 @@ class PaneServer {
   /// cache so a stats snapshot never contends with cache traffic.
   mutable Mutex stats_mutex_;
   Counters counters_ PANE_GUARDED_BY(stats_mutex_);
+
+  /// Backs metrics_ when the options supply no registry (and metrics are
+  /// enabled); metrics_ is the single pointer every record path checks.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  /// Per-stage histograms (pane_stage_<name>_us), indexed by obs::Stage,
+  /// plus the whole-batch one; handles resolved once in Init, null when
+  /// metrics are disabled.
+  obs::Histogram* stage_us_[obs::kNumStages] = {};
+  obs::Histogram* batch_us_ = nullptr;
 
   /// Created in the constructor and never reassigned, so every thread that
   /// can observe the server sees the same transport — there is no

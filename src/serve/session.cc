@@ -3,13 +3,16 @@
 #include <cstring>
 #include <utility>
 
+#include "src/common/timer.h"
 #include "src/serve/line_protocol.h"
 
 namespace pane {
 namespace serve {
 
 ServeSession::ServeSession(PaneServer* server, Protocol requested)
-    : server_(server), requested_(requested) {
+    : server_(server),
+      requested_(requested),
+      timed_(server->metrics() != nullptr) {
   batch_.reserve(static_cast<size_t>(server_->options().batch_size));
 }
 
@@ -23,6 +26,7 @@ void ServeSession::OnEof(std::string* input, std::string* output) {
 }
 
 void ServeSession::PushPayload(std::string_view payload) {
+  if (timed_ && batch_.empty()) batch_first_us_ = MonotonicMicros();
   PaneServer::BatchEntry entry;
   const auto parsed = ParseRequestLine(payload);
   if (parsed.ok()) {
@@ -36,10 +40,21 @@ void ServeSession::PushPayload(std::string_view payload) {
 
 void ServeSession::FlushBatch(std::string* output) {
   if (batch_.empty()) return;
+  if (timed_) {
+    trace_.Add(obs::Stage::kBatchWait,
+               MonotonicMicros() - batch_first_us_);
+  }
   std::vector<std::string> responses;
-  server_->ExecuteBatch(&batch_, &responses, &quit_);
+  server_->ExecuteBatch(&batch_, &responses, &quit_,
+                        timed_ ? &trace_ : nullptr);
+  const int64_t encode_start_us = timed_ ? MonotonicMicros() : 0;
   for (const std::string& response : responses) {
     codec_->Encode(response, output);
+  }
+  if (timed_) {
+    server_->RecordStageTime(obs::Stage::kEncode,
+                             MonotonicMicros() - encode_start_us);
+    trace_.Reset();
   }
 }
 
@@ -64,6 +79,9 @@ ConnectionHandler::Action ServeSession::Pump(std::string* input,
   size_t pos = 0;
   bool close = false;
   while (!close) {
+    // Decode = framing scan + request parse; only completed messages are
+    // charged (a partial tail or flush marker is noise, not a stage).
+    const int64_t decode_start_us = timed_ ? MonotonicMicros() : 0;
     std::string_view payload;
     std::string error;
     const ProtocolCodec::Decoded decoded =
@@ -87,6 +105,9 @@ ConnectionHandler::Action ServeSession::Pump(std::string* input,
     }
     if (framed) server_->RecordFrames();
     PushPayload(payload);
+    if (timed_) {
+      trace_.Add(obs::Stage::kDecode, MonotonicMicros() - decode_start_us);
+    }
     const PaneServer::BatchEntry& last = batch_.back();
     const bool is_quit =
         !last.parse_error && last.request.type == Request::Type::kQuit;

@@ -20,10 +20,12 @@
 // can never make the server drop already-accepted requests or abort.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
 #include "src/serve/transport.h"
@@ -56,6 +58,17 @@ class ServeSession final : public ConnectionHandler {
   std::unique_ptr<ProtocolCodec> codec_;  // chosen on the first byte
   std::vector<PaneServer::BatchEntry> batch_;
   bool quit_ = false;
+
+  /// Stage timing, on when the server's metrics subsystem is (fixed at
+  /// construction — no per-message branch re-derivation).
+  const bool timed_;
+  /// The current batch's stage timeline: the session stamps decode and
+  /// batch-wait, ExecuteBatch adds the engine-side stages, encode is
+  /// recorded directly after the batch returns. Reset per batch.
+  obs::RequestTrace trace_;
+  /// When the current batch's first request was enqueued (batch-wait = the
+  /// gap from then to the flush).
+  int64_t batch_first_us_ = 0;
 };
 
 }  // namespace serve

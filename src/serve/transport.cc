@@ -10,12 +10,12 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/timer.h"
 
 namespace pane {
 namespace serve {
@@ -101,11 +101,7 @@ Status ShardConnection::Connect(const std::string& address,
   return Status::OK();
 }
 
-int64_t ShardConnection::NowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t ShardConnection::NowMs() { return MonotonicMillis(); }
 
 namespace {
 
@@ -176,6 +172,18 @@ EpollTransport::EpollTransport(HandlerFactory factory,
   PANE_CHECK(factory_ != nullptr);
   PANE_CHECK(options_.max_connections > 0);
   PANE_CHECK(options_.read_chunk_bytes > 0);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* reg = options_.metrics;
+    accepted_total_ = reg->GetCounter("pane_transport_accepted_total");
+    rejected_total_ = reg->GetCounter("pane_transport_rejected_total");
+    timeouts_total_ = reg->GetCounter("pane_transport_timeouts_total");
+    read_bytes_total_ = reg->GetCounter("pane_transport_read_bytes_total");
+    write_bytes_total_ = reg->GetCounter("pane_transport_write_bytes_total");
+    active_gauge_ = reg->GetGauge("pane_transport_connections_active");
+    read_us_ = reg->GetHistogram("pane_transport_read_us");
+    write_us_ = reg->GetHistogram("pane_transport_write_us");
+    lifetime_ms_ = reg->GetHistogram("pane_transport_conn_lifetime_ms");
+  }
 }
 
 EpollTransport::~EpollTransport() {
@@ -183,11 +191,7 @@ EpollTransport::~EpollTransport() {
   connections_.clear();  // OwnedFd closes every socket
 }
 
-int64_t EpollTransport::NowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t EpollTransport::NowMs() { return MonotonicMillis(); }
 
 Result<int> EpollTransport::Listen(int port) {
   PANE_CHECK(!listen_fd_.valid()) << "Listen() called twice";
@@ -330,6 +334,7 @@ void EpollTransport::AcceptReady() {
             ::send(fd.get(), options_.refusal.data(),
                    options_.refusal.size(), MSG_NOSIGNAL);
       }
+      if (rejected_total_ != nullptr) rejected_total_->Add();
       MutexLock lock(&stats_mutex_);
       ++stats_.rejected;
       continue;
@@ -337,7 +342,8 @@ void EpollTransport::AcceptReady() {
     auto conn = std::make_unique<Connection>();
     conn->fd = std::move(fd);
     conn->handler = factory_();
-    conn->last_active_ms = NowMs();
+    conn->created_ms = NowMs();
+    conn->last_active_ms = conn->created_ms;
     epoll_event event;
     std::memset(&event, 0, sizeof(event));
     event.events = EPOLLIN;
@@ -349,6 +355,10 @@ void EpollTransport::AcceptReady() {
     }
     const int key = conn->fd.get();
     connections_.emplace(key, std::move(conn));
+    if (accepted_total_ != nullptr) {
+      accepted_total_->Add();
+      active_gauge_->Set(static_cast<int64_t>(connections_.size()));
+    }
     MutexLock lock(&stats_mutex_);
     ++stats_.accepted;
     stats_.active = static_cast<int64_t>(connections_.size());
@@ -360,10 +370,13 @@ void EpollTransport::HandleReadable(Connection* conn) {
   bool eof = false;
   bool fatal = false;
   bool got_bytes = false;
+  uint64_t bytes_read = 0;
+  const int64_t read_start_us = read_us_ != nullptr ? MonotonicMicros() : 0;
   for (int reads = 0; reads < kMaxReadsPerWakeup; ++reads) {
     const ssize_t n = ::read(conn->fd.get(), chunk.data(), chunk.size());
     if (n > 0) {
       got_bytes = true;
+      bytes_read += static_cast<uint64_t>(n);
       if (conn->draining) continue;  // discard: the session already quit
       conn->input.append(chunk.data(), static_cast<size_t>(n));
       continue;
@@ -376,6 +389,10 @@ void EpollTransport::HandleReadable(Connection* conn) {
       fatal = true;
     }
     break;
+  }
+  if (read_us_ != nullptr && got_bytes) {
+    read_us_->Record(MonotonicMicros() - read_start_us);
+    read_bytes_total_->Add(bytes_read);
   }
   if (fatal) {
     CloseConnection(conn->fd.get(), /*timed_out=*/false);
@@ -403,6 +420,15 @@ void EpollTransport::HandleWritable(Connection* conn) {
 }
 
 bool EpollTransport::FlushOutput(Connection* conn) {
+  if (conn->sent >= conn->output.size()) {
+    conn->output.clear();
+    conn->sent = 0;
+    return true;
+  }
+  const size_t sent_before = conn->sent;
+  const int64_t write_start_us =
+      write_us_ != nullptr ? MonotonicMicros() : 0;
+  bool ok = true;
   while (conn->sent < conn->output.size()) {
     const ssize_t n =
         ::send(conn->fd.get(), conn->output.data() + conn->sent,
@@ -413,12 +439,19 @@ bool EpollTransport::FlushOutput(Connection* conn) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-    return false;  // peer gone mid-response
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    ok = false;  // peer gone mid-response
+    break;
   }
-  conn->output.clear();
-  conn->sent = 0;
-  return true;
+  if (write_us_ != nullptr && conn->sent > sent_before) {
+    write_us_->Record(MonotonicMicros() - write_start_us);
+    write_bytes_total_->Add(conn->sent - sent_before);
+  }
+  if (ok && conn->sent >= conn->output.size()) {
+    conn->output.clear();
+    conn->sent = 0;
+  }
+  return ok;
 }
 
 bool EpollTransport::UpdateConnection(Connection* conn) {
@@ -450,7 +483,14 @@ void EpollTransport::CloseConnection(int fd, bool timed_out) {
   const auto it = connections_.find(fd);
   if (it == connections_.end()) return;
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  if (lifetime_ms_ != nullptr) {
+    lifetime_ms_->Record(NowMs() - it->second->created_ms);
+  }
   connections_.erase(it);  // OwnedFd closes the socket
+  if (timeouts_total_ != nullptr) {
+    if (timed_out) timeouts_total_->Add();
+    active_gauge_->Set(static_cast<int64_t>(connections_.size()));
+  }
   MutexLock lock(&stats_mutex_);
   if (timed_out) ++stats_.timeouts;
   stats_.active = static_cast<int64_t>(connections_.size());

@@ -35,6 +35,7 @@
 
 #include "src/common/status.h"
 #include "src/common/sync.h"
+#include "src/obs/metrics.h"
 
 namespace pane {
 namespace serve {
@@ -147,6 +148,10 @@ struct TransportOptions {
   std::string refusal;
   /// Bytes per read() call in the drain loop.
   int64_t read_chunk_bytes = 64 << 10;
+  /// Optional registry for accept/read/write and connection-lifetime
+  /// metrics (pane_transport_*). Null disables instrumentation entirely;
+  /// the registry must outlive the transport.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct TransportStats {
@@ -194,6 +199,7 @@ class EpollTransport {
     std::string input;
     std::string output;
     size_t sent = 0;  ///< prefix of `output` already written
+    int64_t created_ms = 0;  ///< accept time, for the lifetime histogram
     int64_t last_active_ms = 0;
     bool draining = false;  ///< close as soon as `output` drains
     bool wants_write = false;  ///< EPOLLOUT currently registered
@@ -226,6 +232,19 @@ class EpollTransport {
 
   mutable Mutex stats_mutex_;
   TransportStats stats_ PANE_GUARDED_BY(stats_mutex_);
+
+  // Metric handles resolved once at construction; all null when
+  // options_.metrics is null. Counter/Gauge/Histogram are themselves
+  // thread-safe, though only the loop thread records here.
+  obs::Counter* accepted_total_ = nullptr;
+  obs::Counter* rejected_total_ = nullptr;
+  obs::Counter* timeouts_total_ = nullptr;
+  obs::Counter* read_bytes_total_ = nullptr;
+  obs::Counter* write_bytes_total_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Histogram* read_us_ = nullptr;
+  obs::Histogram* write_us_ = nullptr;
+  obs::Histogram* lifetime_ms_ = nullptr;
 };
 
 }  // namespace serve

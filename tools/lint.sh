@@ -22,6 +22,13 @@
 # have exactly one home. tests/ and bench/ are exempt: they are *clients*
 # of the server and legitimately open plain connect() sockets to talk to
 # it.
+#
+# Rule 4 — one latency clock in the serving stack: src/serve/ must not do
+# ad-hoc std::chrono arithmetic. Stage timings flow through the
+# MonotonicNanos/Micros/Millis helpers (src/common/timer.h) into the
+# src/obs/ histograms, so every recorded duration shares one clock and one
+# unit convention and shows up in the `metrics` exposition. examples/ and
+# bench/ may still use std::chrono for their own pacing/sleeps.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +74,17 @@ if [[ -n "$sock_hits" ]]; then
   echo "$sock_hits" >&2
   echo "lint: route inbound connections through serve::EpollTransport and" >&2
   echo "lint: outbound ones through serve::ShardConnection instead" >&2
+  status=1
+fi
+
+# --- Rule 4: ad-hoc latency clocks in the serving stack --------------------
+chrono_hits=$(grep -rEn 'std::chrono|#include <chrono>' src/serve \
+                --include='*.h' --include='*.cc' || true)
+if [[ -n "$chrono_hits" ]]; then
+  echo "lint: std::chrono inside src/serve/ — use MonotonicNanos/Micros/" >&2
+  echo "lint: Millis (src/common/timer.h) so stage timings share one clock" >&2
+  echo "lint: and land in the src/obs/ histograms:" >&2
+  echo "$chrono_hits" >&2
   status=1
 fi
 
